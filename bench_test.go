@@ -1,0 +1,292 @@
+// Benchmarks regenerating the paper's evaluation, one per figure panel,
+// plus micro-benchmarks for the analysis and simulation engines.
+//
+// The Fig6* benchmarks run a scaled-down instance of the corresponding
+// experiment per iteration (fewer graphs and a shorter horizon than the
+// paper's 10-minute runs — use cmd/disparity-exp -paper for full scale);
+// they exist so `go test -bench` exercises and times every experiment
+// code path.
+package disparity_test
+
+import (
+	"testing"
+
+	disparity "repro"
+	"repro/internal/exp"
+	"repro/internal/sim"
+	"repro/internal/timeu"
+)
+
+func benchCfg() exp.Config {
+	cfg := exp.Defaults()
+	cfg.GraphsPerPoint = 2
+	cfg.OffsetsPerGraph = 2
+	cfg.Horizon = timeu.Second
+	cfg.Warmup = 200 * timeu.Millisecond
+	return cfg
+}
+
+// BenchmarkFig6a regenerates the Fig. 6(a) series: Sim / P-diff / S-diff
+// absolute disparity versus task count.
+func BenchmarkFig6a(b *testing.B) {
+	cfg := benchCfg()
+	cfg.Points = []int{5, 15, 25}
+	for i := 0; i < b.N; i++ {
+		if _, err := exp.Fig6a(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig6b regenerates the Fig. 6(b) series: incremental ratios of
+// P-diff and S-diff against simulation.
+func BenchmarkFig6b(b *testing.B) {
+	cfg := benchCfg()
+	cfg.Points = []int{5, 15, 25}
+	for i := 0; i < b.N; i++ {
+		if _, err := exp.Fig6b(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig6c regenerates the Fig. 6(c) series: Sim / S-diff and their
+// buffered counterparts on two-chain graphs.
+func BenchmarkFig6c(b *testing.B) {
+	cfg := benchCfg()
+	cfg.Points = []int{5, 15}
+	for i := 0; i < b.N; i++ {
+		if _, err := exp.Fig6c(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig6d regenerates the Fig. 6(d) series: incremental ratios of
+// the buffered experiment.
+func BenchmarkFig6d(b *testing.B) {
+	cfg := benchCfg()
+	cfg.Points = []int{5, 15}
+	for i := 0; i < b.N; i++ {
+		if _, err := exp.Fig6d(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// benchGraph builds one schedulable 25-task GNM workload for the
+// analysis micro-benchmarks.
+func benchGraph(b *testing.B) (*disparity.Graph, disparity.TaskID) {
+	b.Helper()
+	for seed := int64(1); seed < 100; seed++ {
+		g, err := disparity.GenerateGNM(25, 50, disparity.GenConfig{Seed: seed})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := disparity.Analyze(g); err != nil {
+			continue
+		}
+		return g, g.Sinks()[0]
+	}
+	b.Fatal("no schedulable benchmark graph found")
+	return nil, 0
+}
+
+// BenchmarkAnalyzePDiff times the Theorem-1 task-level analysis on a
+// 25-task workload (the paper's efficiency claim: analysis is cheap
+// compared to simulation).
+func BenchmarkAnalyzePDiff(b *testing.B) {
+	g, sink := benchGraph(b)
+	a, err := disparity.Analyze(g)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := a.Disparity(sink, disparity.PDiff, 0); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAnalyzeSDiff times the Theorem-2 task-level analysis.
+func BenchmarkAnalyzeSDiff(b *testing.B) {
+	g, sink := benchGraph(b)
+	a, err := disparity.Analyze(g)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := a.Disparity(sink, disparity.SDiff, 0); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSimulateSecond times simulating one second of the 25-task
+// workload (reported allocations dominate the merge of source stamps).
+func BenchmarkSimulateSecond(b *testing.B) {
+	g, _ := benchGraph(b)
+	disparity.RandomOffsets(g, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := disparity.Simulate(g, disparity.SimConfig{
+			Horizon: timeu.Second,
+			Exec:    disparity.ExecExtremes,
+			Seed:    int64(i),
+		}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkEnumerateChains times path enumeration on the workload.
+func BenchmarkEnumerateChains(b *testing.B) {
+	g, sink := benchGraph(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := disparity.EnumerateChains(g, sink, 0); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkWCRT times the non-preemptive response-time analysis.
+func BenchmarkWCRT(b *testing.B) {
+	g, _ := benchGraph(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		disparity.WCRT(g)
+	}
+}
+
+// BenchmarkOptimize times Algorithm 1 on a two-chain workload.
+func BenchmarkOptimize(b *testing.B) {
+	var (
+		g      *disparity.Graph
+		la, nu disparity.Chain
+		a      *disparity.Analysis
+	)
+	for seed := int64(1); ; seed++ {
+		var err error
+		g, la, nu, err = disparity.GenerateTwoChains(10, disparity.GenConfig{Seed: seed})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if a, err = disparity.Analyze(g); err == nil {
+			break
+		}
+		if seed > 100 {
+			b.Fatal("no schedulable two-chain workload")
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := a.Optimize(la, nu); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAblationBackward regenerates the Lemma-4/5 vs baseline
+// ablation table.
+func BenchmarkAblationBackward(b *testing.B) {
+	cfg := benchCfg()
+	cfg.Points = []int{10, 20}
+	for i := 0; i < b.N; i++ {
+		if _, err := exp.AblationBackward(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAblationTail regenerates the shared-tail sweep.
+func BenchmarkAblationTail(b *testing.B) {
+	cfg := benchCfg()
+	cfg.Points = []int{0, 3, 6}
+	for i := 0; i < b.N; i++ {
+		if _, err := exp.AblationTail(cfg, 15); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAblationExec regenerates the execution-model comparison.
+func BenchmarkAblationExec(b *testing.B) {
+	cfg := benchCfg()
+	cfg.Points = []int{10}
+	for i := 0; i < b.N; i++ {
+		if _, err := exp.AblationExec(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAblationSemantics regenerates the implicit-vs-LET comparison.
+func BenchmarkAblationSemantics(b *testing.B) {
+	cfg := benchCfg()
+	cfg.Points = []int{10}
+	for i := 0; i < b.N; i++ {
+		if _, err := exp.AblationSemantics(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAblationUtilization regenerates the load sweep.
+func BenchmarkAblationUtilization(b *testing.B) {
+	cfg := benchCfg()
+	cfg.Points = []int{10, 40}
+	cfg.ECUs = 1
+	for i := 0; i < b.N; i++ {
+		if _, err := exp.AblationUtilization(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAblationGreedyBuffers regenerates the greedy-buffer table.
+func BenchmarkAblationGreedyBuffers(b *testing.B) {
+	cfg := benchCfg()
+	cfg.Points = []int{10}
+	for i := 0; i < b.N; i++ {
+		if _, err := exp.AblationGreedyBuffers(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkExactLET times the closed-form LET disparity analysis.
+func BenchmarkExactLET(b *testing.B) {
+	g, fusion, err := disparity.GenerateAutomotive(disparity.AutomotiveConfig{}, disparity.GenConfig{Seed: 2})
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < g.NumTasks(); i++ {
+		g.Task(disparity.TaskID(i)).Sem = disparity.LET
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := disparity.ExactLETDisparity(g, fusion); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTokenMerge times the simulator's stamp merging in isolation.
+func BenchmarkTokenMerge(b *testing.B) {
+	mk := func(tasks ...int) *sim.Token {
+		t := &sim.Token{}
+		for _, id := range tasks {
+			t.Stamps = append(t.Stamps, sim.Stamp{Task: disparity.TaskID(id), Min: 1, Max: 2})
+		}
+		return t
+	}
+	tokens := []*sim.Token{mk(0, 2, 4, 6), mk(1, 2, 3, 8), mk(0, 5, 9)}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		j := sim.Job{Out: tokens[i%3]}
+		_ = j.Out.Span()
+	}
+}

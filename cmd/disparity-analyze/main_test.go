@@ -1,0 +1,104 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/model"
+)
+
+// writeFixture writes the Fig. 2 example graph as JSON and returns the
+// path.
+func writeFixture(t *testing.T) string {
+	t.Helper()
+	g := model.Fig2Graph()
+	path := filepath.Join(t.TempDir(), "g.json")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	if err := g.WriteJSON(f); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestRunAnalyze(t *testing.T) {
+	path := writeFixture(t)
+	dot := filepath.Join(filepath.Dir(path), "g.dot")
+	if err := run([]string{"-graph", path, "-optimize", "-pairs", "-dot", dot}); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(dot)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), "digraph") {
+		t.Error("DOT export missing")
+	}
+}
+
+func TestRunAnalyzeNamedTask(t *testing.T) {
+	path := writeFixture(t)
+	if err := run([]string{"-graph", path, "-task", "t5"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-graph", path, "-task", "nope"}); err == nil {
+		t.Error("unknown task accepted")
+	}
+}
+
+func TestRunAnalyzeErrors(t *testing.T) {
+	if err := run([]string{}); err == nil {
+		t.Error("missing -graph accepted")
+	}
+	if err := run([]string{"-graph", "/nonexistent.json"}); err == nil {
+		t.Error("missing file accepted")
+	}
+	bad := filepath.Join(t.TempDir(), "bad.json")
+	if err := os.WriteFile(bad, []byte("not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-graph", bad}); err == nil {
+		t.Error("bad JSON accepted")
+	}
+}
+
+func TestPickTaskMultiSink(t *testing.T) {
+	g := model.NewGraph()
+	ecu := g.AddECU("e", model.Compute)
+	g.AddTask(model.Task{Name: "a", WCET: 1, BCET: 1, Period: 1000, Prio: 0, ECU: ecu})
+	g.AddTask(model.Task{Name: "b", WCET: 1, BCET: 1, Period: 1000, Prio: 1, ECU: ecu})
+	if _, err := pickTask(g, ""); err == nil {
+		t.Error("two sinks without -task accepted")
+	}
+	task, err := pickTask(g, "b")
+	if err != nil || g.Task(task).Name != "b" {
+		t.Errorf("pickTask by name = %v, %v", task, err)
+	}
+}
+
+func TestRunAnalyzeExhaustive(t *testing.T) {
+	// A graph small enough for the sweep: the Fig. 4 example at a coarse
+	// grid.
+	g := model.Fig4Graph(30 * 1000 * 1000)
+	path := filepath.Join(t.TempDir(), "g.json")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := g.WriteJSON(f); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	if err := run([]string{"-graph", path, "-exhaustive", "-exhaustive-step", "10ms"}); err != nil {
+		t.Fatal(err)
+	}
+	// A too-fine grid trips the combination cap.
+	if err := run([]string{"-graph", path, "-exhaustive", "-exhaustive-step", "1us"}); err == nil {
+		t.Error("combination explosion not caught")
+	}
+}

@@ -1,0 +1,226 @@
+// Command disparity-exp reproduces the paper's evaluation (Fig. 6): it
+// runs the synthetic experiments and prints the same series the paper
+// plots, as aligned tables and optionally CSV.
+//
+// Usage:
+//
+//	disparity-exp -fig 6a            # Sim / P-diff / S-diff vs #tasks
+//	disparity-exp -fig 6b            # incremental ratios of (a)
+//	disparity-exp -fig 6c            # two-chain buffering experiment
+//	disparity-exp -fig 6d            # incremental ratios of (c)
+//	disparity-exp -fig all           # everything
+//	disparity-exp -fig 6a -paper     # the paper's full 10-minute horizons
+//	disparity-exp -fig 6a -csv out.csv
+//
+// Ablations of the reproduction's design choices:
+//
+//	disparity-exp -fig ablation-backward   # Lemma 4/5 vs baseline bounds
+//	disparity-exp -fig ablation-tail       # shared-tail length sweep
+//	disparity-exp -fig ablation-exec       # execution-time models vs bound
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/exp"
+	"repro/internal/timeu"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "disparity-exp:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("disparity-exp", flag.ContinueOnError)
+	fig := fs.String("fig", "all", "which panel: 6a|6b|6c|6d|all")
+	paper := fs.Bool("paper", false, "use the paper's full scale (10-minute horizons)")
+	horizonStr := fs.String("horizon", "", "override simulation horizon (e.g. 30s)")
+	graphs := fs.Int("graphs", 0, "override graphs per point")
+	offsets := fs.Int("offsets", 0, "override offset runs per graph")
+	points := fs.String("points", "", "override X values, comma-separated")
+	seed := fs.Int64("seed", 0, "override random seed")
+	workers := fs.Int("workers", 0, "parallel graph evaluations (0 = all cores)")
+	csvPath := fs.String("csv", "", "also write the tables as CSV (one file per panel, suffixing the name)")
+	quiet := fs.Bool("quiet", false, "suppress progress logging")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	cfg := exp.Defaults()
+	if *paper {
+		cfg = exp.PaperScale()
+	}
+	if *horizonStr != "" {
+		h, err := timeu.Parse(*horizonStr)
+		if err != nil {
+			return err
+		}
+		cfg.Horizon = h
+	}
+	if *graphs > 0 {
+		cfg.GraphsPerPoint = *graphs
+	}
+	if *offsets > 0 {
+		cfg.OffsetsPerGraph = *offsets
+	}
+	if *points != "" {
+		var ps []int
+		for _, p := range strings.Split(*points, ",") {
+			var v int
+			if _, err := fmt.Sscanf(strings.TrimSpace(p), "%d", &v); err != nil {
+				return fmt.Errorf("bad -points %q: %w", *points, err)
+			}
+			ps = append(ps, v)
+		}
+		cfg.Points = ps
+	}
+	if *seed != 0 {
+		cfg.Seed = *seed
+	}
+	cfg.Workers = *workers
+	if !*quiet {
+		cfg.Log = os.Stderr
+	}
+
+	var tables []*exp.Table
+	switch *fig {
+	case "6a":
+		t, err := exp.Fig6a(cfg)
+		if err != nil {
+			return err
+		}
+		tables = append(tables, t)
+	case "6b":
+		t, err := exp.Fig6b(cfg)
+		if err != nil {
+			return err
+		}
+		tables = append(tables, t)
+	case "6c":
+		t, err := exp.Fig6c(cfg)
+		if err != nil {
+			return err
+		}
+		tables = append(tables, t)
+	case "6d":
+		t, err := exp.Fig6d(cfg)
+		if err != nil {
+			return err
+		}
+		tables = append(tables, t)
+	case "ablation-backward":
+		t, err := exp.AblationBackward(cfg)
+		if err != nil {
+			return err
+		}
+		tables = append(tables, t)
+	case "ablation-tail":
+		acfg := cfg
+		acfg.Points = []int{0, 1, 2, 3, 4, 6, 8}
+		t, err := exp.AblationTail(acfg, 20)
+		if err != nil {
+			return err
+		}
+		tables = append(tables, t)
+	case "ablation-exec":
+		t, err := exp.AblationExec(cfg)
+		if err != nil {
+			return err
+		}
+		tables = append(tables, t)
+	case "ablation-semantics":
+		t, err := exp.AblationSemantics(cfg)
+		if err != nil {
+			return err
+		}
+		tables = append(tables, t)
+	case "ablation-utilization":
+		ucfg := cfg
+		if *points == "" {
+			ucfg.Points = []int{1, 5, 10, 20, 40, 60}
+		}
+		// A single ECU makes every hop same-ECU, where Lemma 4's
+		// refinement over the scheduler-agnostic baseline applies.
+		ucfg.ECUs = 1
+		t, err := exp.AblationUtilization(ucfg)
+		if err != nil {
+			return err
+		}
+		tables = append(tables, t)
+	case "ablation-priority":
+		pcfg := cfg
+		if *points == "" {
+			pcfg.Points = []int{1, 10, 30, 50}
+		}
+		pcfg.ECUs = 1
+		t, err := exp.AblationPriority(pcfg)
+		if err != nil {
+			return err
+		}
+		tables = append(tables, t)
+	case "ablation-greedy":
+		t, err := exp.AblationGreedyBuffers(cfg)
+		if err != nil {
+			return err
+		}
+		tables = append(tables, t)
+	case "ablation-adversarial":
+		acfg := cfg
+		if *points == "" {
+			acfg.Points = []int{5, 10, 15}
+		}
+		t, err := exp.AblationAdversarial(acfg)
+		if err != nil {
+			return err
+		}
+		tables = append(tables, t)
+	case "all":
+		// The (c)/(d) experiment uses shorter chains as its X axis.
+		abs, ratio, err := exp.Fig6ab(cfg)
+		if err != nil {
+			return err
+		}
+		ccfg := cfg
+		ccfg.Points = []int{5, 10, 15, 20, 25, 30}
+		cAbs, cRatio, err := exp.Fig6cd(ccfg)
+		if err != nil {
+			return err
+		}
+		tables = append(tables, abs, ratio, cAbs, cRatio)
+	default:
+		return fmt.Errorf("unknown -fig %q", *fig)
+	}
+
+	for i, t := range tables {
+		if i > 0 {
+			fmt.Println()
+		}
+		if err := t.WriteText(os.Stdout); err != nil {
+			return err
+		}
+		if *csvPath != "" {
+			name := *csvPath
+			if len(tables) > 1 {
+				name = fmt.Sprintf("%s.%d.csv", strings.TrimSuffix(name, ".csv"), i)
+			}
+			f, err := os.Create(name)
+			if err != nil {
+				return err
+			}
+			if err := t.WriteCSV(f); err != nil {
+				f.Close()
+				return err
+			}
+			if err := f.Close(); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,69 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func tinyArgs(extra ...string) []string {
+	base := []string{
+		"-points", "5,8", "-graphs", "1", "-offsets", "1",
+		"-horizon", "300ms", "-quiet",
+	}
+	return append(base, extra...)
+}
+
+func TestRunEachFigure(t *testing.T) {
+	for _, fig := range []string{"6a", "6b", "6c", "6d"} {
+		if err := run(tinyArgs("-fig", fig)); err != nil {
+			t.Errorf("fig %s: %v", fig, err)
+		}
+	}
+}
+
+func TestRunAblations(t *testing.T) {
+	if err := run(tinyArgs("-fig", "ablation-backward")); err != nil {
+		t.Errorf("ablation-backward: %v", err)
+	}
+	if err := run([]string{"-fig", "ablation-tail", "-graphs", "1", "-offsets", "1", "-horizon", "300ms", "-quiet"}); err != nil {
+		t.Errorf("ablation-tail: %v", err)
+	}
+	if err := run(tinyArgs("-fig", "ablation-exec")); err != nil {
+		t.Errorf("ablation-exec: %v", err)
+	}
+}
+
+func TestRunAllWithCSV(t *testing.T) {
+	dir := t.TempDir()
+	csv := filepath.Join(dir, "out.csv")
+	if err := run(tinyArgs("-fig", "all", "-csv", csv, "-seed", "9")); err != nil {
+		t.Fatal(err)
+	}
+	// Four panels: suffixed files.
+	matches, err := filepath.Glob(filepath.Join(dir, "out.*.csv"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(matches) != 4 {
+		t.Errorf("CSV files = %v, want 4", matches)
+	}
+	for _, m := range matches {
+		data, err := os.ReadFile(m)
+		if err != nil || len(data) == 0 {
+			t.Errorf("empty CSV %s (%v)", m, err)
+		}
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	if err := run([]string{"-fig", "bogus"}); err == nil {
+		t.Error("unknown figure accepted")
+	}
+	if err := run([]string{"-points", "x,y"}); err == nil {
+		t.Error("bad points accepted")
+	}
+	if err := run([]string{"-horizon", "bogus"}); err == nil {
+		t.Error("bad horizon accepted")
+	}
+}

@@ -1,0 +1,121 @@
+// Command disparity-gen generates random WATERS-parameterized
+// cause-effect graphs in the topologies of the paper's evaluation and
+// writes them as JSON.
+//
+// Usage:
+//
+//	disparity-gen -topology gnm -n 20 -m 40 [-ecus 4] [-seed 1] -out g.json
+//	disparity-gen -topology twochains -n 10 -out g.json
+//	disparity-gen -topology layered -layers 3,4,2 -fanout 2 -out g.json
+//	disparity-gen -topology automotive -sensors 3 -depth 2 -tail 2 -out g.json
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+
+	disparity "repro"
+	"repro/internal/sched"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "disparity-gen:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("disparity-gen", flag.ContinueOnError)
+	topology := fs.String("topology", "gnm", "gnm | twochains | layered | automotive")
+	n := fs.Int("n", 15, "tasks (gnm) or per-chain tasks (twochains)")
+	m := fs.Int("m", 0, "edges for gnm (default 2n)")
+	layers := fs.String("layers", "3,4,2", "layer widths for layered")
+	fanout := fs.Int("fanout", 2, "per-task fanout for layered")
+	sensors := fs.Int("sensors", 3, "sensor pipelines for automotive")
+	depth := fs.Int("depth", 2, "per-sensor processing depth for automotive")
+	tail := fs.Int("tail", 2, "shared tail length for automotive")
+	zonal := fs.Bool("zonal", true, "zonal ECU architecture for automotive")
+	ecus := fs.Int("ecus", 4, "number of compute ECUs")
+	seed := fs.Int64("seed", 1, "random seed")
+	out := fs.String("out", "", "output path (default stdout)")
+	requireSched := fs.Bool("schedulable", true, "retry generation until the graph is NP-FP schedulable")
+	attempts := fs.Int("attempts", 100, "max generation attempts when -schedulable")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *m == 0 {
+		*m = 2 * *n
+	}
+
+	gen := func(seed int64) (*disparity.Graph, error) {
+		cfg := disparity.GenConfig{ECUs: *ecus, Seed: seed}
+		switch *topology {
+		case "gnm":
+			return disparity.GenerateGNM(*n, *m, cfg)
+		case "twochains":
+			g, _, _, err := disparity.GenerateTwoChains(*n, cfg)
+			return g, err
+		case "layered":
+			widths, err := parseInts(*layers)
+			if err != nil {
+				return nil, err
+			}
+			return disparity.GenerateLayered(widths, *fanout, cfg)
+		case "automotive":
+			g, _, err := disparity.GenerateAutomotive(disparity.AutomotiveConfig{
+				Sensors: *sensors, ProcDepth: *depth, TailLen: *tail, ZoneECUs: *zonal,
+			}, cfg)
+			return g, err
+		default:
+			return nil, fmt.Errorf("unknown topology %q", *topology)
+		}
+	}
+
+	var g *disparity.Graph
+	var err error
+	for i := 0; i < *attempts; i++ {
+		g, err = gen(*seed + int64(i))
+		if err != nil {
+			return err
+		}
+		if !*requireSched {
+			break
+		}
+		if res := sched.Analyze(g, sched.NonPreemptiveFP); res.Schedulable {
+			break
+		}
+		g = nil
+	}
+	if g == nil {
+		return fmt.Errorf("no schedulable graph found in %d attempts", *attempts)
+	}
+
+	var w io.Writer = os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		w = f
+	}
+	return g.WriteJSON(w)
+}
+
+func parseInts(s string) ([]int, error) {
+	parts := strings.Split(s, ",")
+	out := make([]int, 0, len(parts))
+	for _, p := range parts {
+		v, err := strconv.Atoi(strings.TrimSpace(p))
+		if err != nil {
+			return nil, fmt.Errorf("parsing %q: %w", s, err)
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}

@@ -1,0 +1,85 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	disparity "repro"
+)
+
+func TestRunGeneratesValidGraph(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "g.json")
+	if err := run([]string{"-topology", "gnm", "-n", "12", "-seed", "3", "-out", out}); err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.Open(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	g, err := disparity.ReadGraph(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumTasks() != 12 {
+		t.Errorf("tasks = %d, want 12", g.NumTasks())
+	}
+	// -schedulable default: the written graph passes the analysis.
+	if _, err := disparity.Analyze(g); err != nil {
+		t.Errorf("generated graph not schedulable: %v", err)
+	}
+}
+
+func TestRunTopologies(t *testing.T) {
+	dir := t.TempDir()
+	for _, args := range [][]string{
+		{"-topology", "twochains", "-n", "4", "-out", filepath.Join(dir, "a.json")},
+		{"-topology", "layered", "-layers", "2,3,2", "-fanout", "2", "-out", filepath.Join(dir, "b.json")},
+	} {
+		if err := run(args); err != nil {
+			t.Errorf("run(%v): %v", args, err)
+		}
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	for _, args := range [][]string{
+		{"-topology", "bogus"},
+		{"-topology", "layered", "-layers", "x,y"},
+		{"-topology", "gnm", "-n", "1"},
+	} {
+		if err := run(args); err == nil {
+			t.Errorf("run(%v): expected error", args)
+		}
+	}
+}
+
+func TestParseInts(t *testing.T) {
+	got, err := parseInts("1, 2,3")
+	if err != nil || len(got) != 3 || got[0] != 1 || got[2] != 3 {
+		t.Errorf("parseInts = %v, %v", got, err)
+	}
+	if _, err := parseInts("1,x"); err == nil {
+		t.Error("bad input accepted")
+	}
+}
+
+func TestRunAutomotive(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "a.json")
+	if err := run([]string{"-topology", "automotive", "-out", out}); err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.Open(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	g, err := disparity.ReadGraph(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := g.TaskByName("fusion"); !ok {
+		t.Error("automotive graph missing fusion task")
+	}
+}

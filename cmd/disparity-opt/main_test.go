@@ -1,0 +1,75 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	disparity "repro"
+	"repro/internal/model"
+)
+
+func writeFixture(t *testing.T) string {
+	t.Helper()
+	g := model.Fig4Graph(30 * 1000 * 1000) // 30ms
+	path := filepath.Join(t.TempDir(), "g.json")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	if err := g.WriteJSON(f); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestRunOptBuffers(t *testing.T) {
+	path := writeFixture(t)
+	out := filepath.Join(filepath.Dir(path), "opt.json")
+	if err := run([]string{"-graph", path, "-out", out}); err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.Open(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	g, err := disparity.ReadGraph(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Algorithm 1 on Fig. 4 buffers t1 -> t3 at capacity 2.
+	t1, _ := g.TaskByName("t1")
+	t3, _ := g.TaskByName("t3")
+	if g.Buffer(t1.ID, t3.ID) != 2 {
+		t.Errorf("optimized buffer = %d, want 2", g.Buffer(t1.ID, t3.ID))
+	}
+}
+
+func TestRunOptSinglePlanAndOffsets(t *testing.T) {
+	path := writeFixture(t)
+	out := filepath.Join(filepath.Dir(path), "opt.json")
+	if err := run([]string{
+		"-graph", path, "-out", out, "-greedy=false", "-offsets",
+		"-offset-steps", "3", "-offset-rounds", "1",
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(out); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunOptErrors(t *testing.T) {
+	if err := run([]string{}); err == nil {
+		t.Error("missing -graph accepted")
+	}
+	if err := run([]string{"-graph", "/nonexistent.json"}); err == nil {
+		t.Error("missing file accepted")
+	}
+	path := writeFixture(t)
+	if err := run([]string{"-graph", path, "-task", "zzz"}); err == nil {
+		t.Error("unknown task accepted")
+	}
+}

@@ -1,0 +1,61 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/model"
+)
+
+func writeFixture(t *testing.T) string {
+	t.Helper()
+	g := model.Fig2Graph()
+	path := filepath.Join(t.TempDir(), "g.json")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	if err := g.WriteJSON(f); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestRunReport(t *testing.T) {
+	path := writeFixture(t)
+	out := filepath.Join(filepath.Dir(path), "report.md")
+	if err := run([]string{"-graph", path, "-out", out, "-title", "T"}); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"# T", "## Task t6", "S-diff"} {
+		if !strings.Contains(string(data), want) {
+			t.Errorf("report missing %q", want)
+		}
+	}
+}
+
+func TestRunReportNamedTask(t *testing.T) {
+	path := writeFixture(t)
+	if err := run([]string{"-graph", path, "-task", "t5", "-out", filepath.Join(filepath.Dir(path), "r.md")}); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-graph", path, "-task", "zz"}); err == nil {
+		t.Error("unknown task accepted")
+	}
+}
+
+func TestRunReportErrors(t *testing.T) {
+	if err := run([]string{}); err == nil {
+		t.Error("missing -graph accepted")
+	}
+	if err := run([]string{"-graph", "/nonexistent.json"}); err == nil {
+		t.Error("missing file accepted")
+	}
+}

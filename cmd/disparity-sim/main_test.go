@@ -1,0 +1,100 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/model"
+	"repro/internal/trace"
+)
+
+func writeFixture(t *testing.T) string {
+	t.Helper()
+	g := model.Fig2Graph()
+	path := filepath.Join(t.TempDir(), "g.json")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	if err := g.WriteJSON(f); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestRunSimWithTrace(t *testing.T) {
+	path := writeFixture(t)
+	tracePath := filepath.Join(filepath.Dir(path), "trace.csv")
+	err := run([]string{
+		"-graph", path, "-horizon", "500ms", "-warmup", "100ms",
+		"-exec", "uniform", "-random-offsets", "-trace", tracePath,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.Open(tracePath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	recs, err := trace.ReadCSV(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) == 0 {
+		t.Error("empty trace")
+	}
+}
+
+func TestExecModelSelection(t *testing.T) {
+	for _, name := range []string{"wcet", "bcet", "uniform", "extremes"} {
+		if _, err := execModel(name); err != nil {
+			t.Errorf("execModel(%q): %v", name, err)
+		}
+	}
+	if _, err := execModel("quantum"); err == nil {
+		t.Error("unknown exec model accepted")
+	}
+}
+
+func TestRunSimErrors(t *testing.T) {
+	path := writeFixture(t)
+	cases := [][]string{
+		{},
+		{"-graph", "/nonexistent.json"},
+		{"-graph", path, "-horizon", "bogus"},
+		{"-graph", path, "-warmup", "bogus"},
+		{"-graph", path, "-exec", "bogus"},
+	}
+	for _, args := range cases {
+		if err := run(args); err == nil {
+			t.Errorf("run(%v): expected error", args)
+		}
+	}
+}
+
+func TestRunSimPlain(t *testing.T) {
+	path := writeFixture(t)
+	if err := run([]string{"-graph", path, "-horizon", "200ms"}); err != nil {
+		t.Fatal(err)
+	}
+	_ = strings.TrimSpace
+}
+
+func TestRunSimGantt(t *testing.T) {
+	path := writeFixture(t)
+	svg := filepath.Join(filepath.Dir(path), "g.svg")
+	if err := run([]string{"-graph", path, "-horizon", "300ms", "-gantt", svg, "-gantt-ascii"}); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(svg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), "<svg") {
+		t.Error("SVG output missing")
+	}
+}

@@ -1,0 +1,99 @@
+// Bufferopt: demonstrates Algorithm 1 end to end on a two-chain fusion
+// graph (the Fig. 6(c) topology). It prints the sampling windows of the
+// two sources, the buffer size the algorithm designs, the Theorem-3
+// bound, and before/after simulation measurements.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	disparity "repro"
+)
+
+func main() {
+	// A WATERS-parameterized pair of chains (5 tasks each) merged at a
+	// sink. Regenerate until schedulable (as the paper's harness does)
+	// and until the two sampling windows are misaligned by at least one
+	// source period, so the buffer design has something to do.
+	var (
+		g      *disparity.Graph
+		la, nu disparity.Chain
+		a      *disparity.Analysis
+	)
+	for seed := int64(1); ; seed++ {
+		var err error
+		g, la, nu, err = disparity.GenerateTwoChains(5, disparity.GenConfig{Seed: seed})
+		if err != nil {
+			log.Fatal(err)
+		}
+		if a, err = disparity.Analyze(g); err != nil {
+			continue
+		}
+		if plan, err := a.Optimize(la, nu); err == nil && plan.L > 0 {
+			break
+		}
+	}
+
+	fmt.Println("chains:")
+	fmt.Printf("  λ: %s\n", la.Format(g))
+	fmt.Printf("  ν: %s\n", nu.Format(g))
+
+	pb, err := a.PairDisparity(la, nu, disparity.SDiff)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nsampling windows relative to the analyzed job's release:\n")
+	fmt.Printf("  source of λ: %v\n", pb.WindowLambda)
+	fmt.Printf("  source of ν: %v\n", pb.WindowNu)
+	fmt.Printf("S-diff bound: %v\n", pb.Bound)
+
+	plan, err := a.Optimize(la, nu)
+	if err != nil {
+		log.Fatal(err)
+	}
+	shifted := "ν"
+	if plan.ShiftedLambda {
+		shifted = "λ"
+	}
+	fmt.Printf("\nAlgorithm 1: shift %s by buffering %s -> %s at capacity %d (L = %v)\n",
+		shifted, g.Task(plan.Edge.Src).Name, g.Task(plan.Edge.Dst).Name, plan.Cap, plan.L)
+	fmt.Printf("Theorem 3 (S-diff-B): %v -> %v\n", plan.Before, plan.After)
+
+	// Measure both systems.
+	measure := func(gr *disparity.Graph, label string) disparity.Time {
+		var worst disparity.Time
+		for seed := int64(0); seed < 5; seed++ {
+			disparity.RandomOffsets(gr, seed)
+			res, err := disparity.Simulate(gr, disparity.SimConfig{
+				Horizon: 10 * disparity.Second,
+				Warmup:  2 * disparity.Second,
+				Exec:    disparity.ExecExtremes,
+				Seed:    seed,
+			})
+			if err != nil {
+				log.Fatal(err)
+			}
+			if d := res.MaxDisparity[la.Tail()]; d > worst {
+				worst = d
+			}
+		}
+		fmt.Printf("%s: max simulated disparity %v\n", label, worst)
+		return worst
+	}
+	fmt.Println()
+	simBefore := measure(g, "Sim   (no buffer)")
+	buffered := g.Clone()
+	if err := plan.Apply(buffered); err != nil {
+		log.Fatal(err)
+	}
+	simAfter := measure(buffered, "Sim-B (buffered) ")
+
+	if simBefore > plan.Before || simAfter > plan.After {
+		log.Fatal("BUG: simulation exceeded an analytical bound")
+	}
+	fmt.Println("\nboth simulations within their bounds ✓")
+	if simAfter <= simBefore {
+		fmt.Println("buffering also reduced the observed disparity ✓")
+	}
+}

@@ -1,0 +1,99 @@
+// Letoffsets: the Logical Execution Time (LET) view of time disparity.
+//
+// Under LET every job reads its inputs at its release and publishes its
+// output exactly at its deadline, so the data flow — and therefore the
+// time disparity — is fully determined by the task periods and release
+// offsets, independent of scheduling and execution times. That turns
+// disparity reduction into an offset-assignment problem, which this
+// example solves with the library's coordinate-descent search and
+// contrasts with the analytical bounds and with buffer sizing.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	disparity "repro"
+)
+
+func main() {
+	ms := disparity.Millisecond
+
+	// A camera/LiDAR fusion graph running entirely under LET.
+	g := disparity.NewGraph()
+	ecu := g.AddECU("ecu0", disparity.Compute)
+	cam := g.AddTask(disparity.Task{Name: "camera", Period: 40 * ms, ECU: disparity.NoECU})
+	lid := g.AddTask(disparity.Task{Name: "lidar", Period: 100 * ms, ECU: disparity.NoECU})
+	det := g.AddTask(disparity.Task{Name: "detect", WCET: 8 * ms, BCET: 4 * ms, Period: 40 * ms, Prio: 0, ECU: ecu, Sem: disparity.LET})
+	clu := g.AddTask(disparity.Task{Name: "cluster", WCET: 20 * ms, BCET: 10 * ms, Period: 100 * ms, Prio: 1, ECU: ecu, Sem: disparity.LET})
+	fus := g.AddTask(disparity.Task{Name: "fusion", WCET: 10 * ms, BCET: 5 * ms, Period: 100 * ms, Prio: 2, ECU: ecu, Sem: disparity.LET})
+	for _, e := range [][2]disparity.TaskID{{cam, det}, {lid, clu}, {det, fus}, {clu, fus}} {
+		if err := g.AddEdge(e[0], e[1]); err != nil {
+			log.Fatal(err)
+		}
+	}
+	if err := g.Validate(); err != nil {
+		log.Fatal(err)
+	}
+
+	// The analytical bounds hold for every offset assignment.
+	a, err := disparity.Analyze(g)
+	if err != nil {
+		log.Fatal(err)
+	}
+	td, err := a.Disparity(fus, disparity.SDiff, 0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("S-diff bound (any offsets, LET): %v\n", td.Bound)
+
+	// A deliberately bad offset assignment, evaluated exactly: under LET
+	// one warm hyperperiod of simulation IS the ground truth.
+	g.Task(cam).Offset = 17 * ms
+	g.Task(lid).Offset = 63 * ms
+	g.Task(det).Offset = 31 * ms
+	measure := func(label string) disparity.Time {
+		res, err := disparity.Simulate(g, disparity.SimConfig{
+			Horizon: 2 * disparity.Second,
+			Warmup:  disparity.Second,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		d := res.MaxDisparity[fus]
+		fmt.Printf("%s: exact disparity %v\n", label, d)
+		return d
+	}
+	before := measure("initial offsets     ")
+
+	// Exec-time independence: the same system under a different
+	// execution model shows the same disparity.
+	resB, err := disparity.Simulate(g, disparity.SimConfig{
+		Horizon: 2 * disparity.Second,
+		Warmup:  disparity.Second,
+		Exec:    disparity.ExecBCET,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if resB.MaxDisparity[fus] != before {
+		log.Fatal("BUG: LET disparity depended on execution times")
+	}
+	fmt.Println("execution-time independence confirmed ✓")
+
+	// Search offsets.
+	opt, err := disparity.OptimizeOffsets(g, fus, disparity.OffsetOptConfig{Steps: 10, Rounds: 4})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("offset search: %v -> %v in %d evaluations\n", opt.Before, opt.After, opt.Evaluations)
+	after := measure("optimized offsets   ")
+	if after > before {
+		log.Fatal("BUG: offset optimization regressed")
+	}
+	if after > td.Bound {
+		log.Fatal("BUG: exact disparity above the analytical bound")
+	}
+	fmt.Println("\noffsets tuned the achieved disparity; the S-diff bound")
+	fmt.Println("is offset-oblivious and still covers every assignment ✓")
+}

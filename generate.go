@@ -1,0 +1,119 @@
+package disparity
+
+import (
+	"math/rand"
+
+	"repro/internal/letanalysis"
+	"repro/internal/offsetopt"
+	"repro/internal/randgraph"
+	"repro/internal/waters"
+)
+
+func newRand(seed int64) *rand.Rand { return rand.New(rand.NewSource(seed)) }
+
+// GenConfig shapes random workload generation.
+type GenConfig struct {
+	// ECUs is the number of compute ECUs (≥ 1). Zero selects 4, the
+	// evaluation default.
+	ECUs int
+	// Seed drives all randomness.
+	Seed int64
+}
+
+func (c GenConfig) ecus() int {
+	if c.ECUs == 0 {
+		return 4
+	}
+	return c.ECUs
+}
+
+// GenerateGNM builds a WATERS-parameterized random cause-effect DAG in
+// the style of the paper's Fig. 6(a) evaluation: an n-vertex, m-edge
+// uniform random graph (NetworkX dense_gnm_random_graph) oriented into a
+// DAG, condensed to a single sink, with stimulus sources and
+// rate-monotonic priorities.
+func GenerateGNM(n, m int, cfg GenConfig) (*Graph, error) {
+	rng := newRand(cfg.Seed)
+	g, err := randgraph.GNM(n, m, randgraph.Config{ECUs: cfg.ecus(), StimulusSources: true}, rng)
+	if err != nil {
+		return nil, err
+	}
+	waters.Populate(g, rng)
+	return g, nil
+}
+
+// GenerateTwoChains builds the Fig. 6(c) topology: two independent
+// chains of chainLen tasks each merged at one sink, WATERS-parameterized.
+// The returned chains include the sink.
+func GenerateTwoChains(chainLen int, cfg GenConfig) (*Graph, Chain, Chain, error) {
+	rng := newRand(cfg.Seed)
+	g, la, nu, err := randgraph.TwoChains(chainLen, randgraph.Config{ECUs: cfg.ecus(), StimulusSources: true}, rng)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	waters.Populate(g, rng)
+	return g, la, nu, nil
+}
+
+// GenerateLayered builds a layered DAG (sensing → processing → fusion
+// stages) with the given layer widths and per-task fanout,
+// WATERS-parameterized.
+func GenerateLayered(widths []int, fanout int, cfg GenConfig) (*Graph, error) {
+	rng := newRand(cfg.Seed)
+	g, err := randgraph.Layered(widths, fanout, randgraph.Config{ECUs: cfg.ecus(), StimulusSources: true}, rng)
+	if err != nil {
+		return nil, err
+	}
+	waters.Populate(g, rng)
+	return g, nil
+}
+
+// AutomotiveConfig shapes GenerateAutomotive: sensor count, per-sensor
+// processing depth, shared tail length, zonal vs central ECUs.
+type AutomotiveConfig = randgraph.AutomotiveConfig
+
+// GenerateAutomotive builds a sensing → fusion → planning → control
+// architecture in the style of the paper's Fig. 1 (the PerceptIn
+// pipeline), WATERS-parameterized, and returns the fusion task — the
+// natural target for disparity analysis. A zero-valued config selects
+// the default three-sensor zonal platform.
+func GenerateAutomotive(cfg AutomotiveConfig, gen GenConfig) (*Graph, TaskID, error) {
+	if cfg == (AutomotiveConfig{}) {
+		cfg = randgraph.DefaultAutomotive()
+	}
+	g, fusion, err := randgraph.Automotive(cfg)
+	if err != nil {
+		return nil, 0, err
+	}
+	waters.Populate(g, newRand(gen.Seed))
+	return g, fusion, nil
+}
+
+// OffsetOptConfig parameterizes OptimizeOffsets; see internal/offsetopt
+// for field semantics. The zero value selects sensible defaults.
+type OffsetOptConfig = offsetopt.Config
+
+// OffsetOptResult reports an offset search.
+type OffsetOptResult = offsetopt.Result
+
+// OptimizeOffsets searches release offsets that reduce the disparity the
+// task actually exhibits — the design knob complementary to Algorithm
+// 1's buffers. Under LET the evaluation is exact (one hyperperiod of
+// deterministic data flow); under implicit communication it is a sampled
+// heuristic. The graph's offsets are updated to the best assignment.
+func OptimizeOffsets(g *Graph, task TaskID, cfg OffsetOptConfig) (*OffsetOptResult, error) {
+	return offsetopt.Optimize(g, task, cfg)
+}
+
+// ExactLETDisparity computes the exact worst-case time disparity of a
+// task in an all-LET graph for its concrete offsets, by closed-form
+// backward resolution over one hyperperiod (no simulation). It
+// complements the offset-oblivious bounds of Analyze: the exact value is
+// never above them, and the gap is what offset tuning can exploit.
+func ExactLETDisparity(g *Graph, task TaskID) (Time, error) {
+	res, err := letanalysis.Exact(g, task, 0)
+	if err != nil {
+		return 0, err
+	}
+	return res.Disparity, nil
+}

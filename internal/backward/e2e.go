@@ -1,0 +1,61 @@
+package backward
+
+import (
+	"repro/internal/model"
+	"repro/internal/timeu"
+)
+
+// This file provides the classical end-to-end latency metrics of
+// cause-effect chains, which the paper positions its disparity analysis
+// against (§I): the maximum data age — how stale the source data behind
+// an output can be — and the maximum reaction time — how long a fresh
+// stimulus can take to influence an output.
+
+// DataAge returns an upper bound on the maximum data age of the chain.
+// Footnote 2 of the paper defines the data age of the output produced by
+// the k-th job of the tail as f(⃖π^{|π|}) − r(⃖π¹) — the backward time
+// plus the finishing lateness of the last job — so a bound is
+// 𝒲(π) + R(π^{|π|}). Under non-preemptive fixed priority this is tighter
+// than the classical scheduler-agnostic bound (see DavareBound).
+func (a *Analyzer) DataAge(pi model.Chain) timeu.Time {
+	return a.WCBT(pi) + a.wcrt.R(pi.Tail())
+}
+
+// MinDataAge returns a lower bound on the best-case data age:
+// ℬ(π) plus the tail's best-case execution time (a job's output cannot
+// exist before the job has run for at least its BCET).
+func (a *Analyzer) MinDataAge(pi model.Chain) timeu.Time {
+	return a.BCBT(pi) + a.g.Task(pi.Tail()).BCET
+}
+
+// DavareBound returns the classical end-to-end latency bound of Davare
+// et al. (DAC 2007), Σ (T(π^i) + R(π^i)), which upper-bounds both the
+// maximum reaction time and the maximum data age of a periodic chain
+// under register communication, for any scheduler. It is the standard
+// baseline the backward-time analysis improves upon.
+func (a *Analyzer) DavareBound(pi model.Chain) timeu.Time {
+	var sum timeu.Time
+	for _, id := range pi {
+		sum += a.g.Task(id).MaxInterArrival() + a.wcrt.R(id)
+	}
+	return sum
+}
+
+// Reaction returns an upper bound on the maximum reaction time of the
+// chain: the longest span from a stimulus (source release) to the finish
+// of the first tail job whose output reflects it. A stimulus can just
+// miss the sampling of π²'s current job and must wait for the next one
+// on every hop, giving Σ_{i≥2} (T(π^i) + R(π^i)) after the stimulus task
+// itself completes (R(π¹), zero for external stimuli).
+func (a *Analyzer) Reaction(pi model.Chain) timeu.Time {
+	sum := a.wcrt.R(pi.Head())
+	for _, id := range pi[1:] {
+		sum += a.g.Task(id).MaxInterArrival() + a.wcrt.R(id)
+	}
+	// Buffered channels delay propagation exactly as they age data
+	// (Lemma 6): a token must shift through the FIFO before it is read.
+	for i := 0; i+1 < pi.Len(); i++ {
+		sum += a.bufferShiftHi(pi[i], pi[i+1])
+	}
+	return sum
+}

@@ -1,0 +1,82 @@
+package backward
+
+import (
+	"testing"
+
+	"repro/internal/model"
+	"repro/internal/sched"
+)
+
+func TestDataAgeBounds(t *testing.T) {
+	g, an := fig2Analyzer(t, NonPreemptive)
+	res := sched.Analyze(g, sched.NonPreemptiveFP)
+	pi := chainByNames(t, g, "t1", "t3", "t5", "t6")
+	if got, want := an.DataAge(pi), an.WCBT(pi)+res.R(pi.Tail()); got != want {
+		t.Errorf("DataAge = %v, want WCBT + R(tail) = %v", got, want)
+	}
+	if got, want := an.MinDataAge(pi), an.BCBT(pi)+g.Task(pi.Tail()).BCET; got != want {
+		t.Errorf("MinDataAge = %v, want %v", got, want)
+	}
+	if an.MinDataAge(pi) > an.DataAge(pi) {
+		t.Error("MinDataAge exceeds DataAge")
+	}
+}
+
+func TestDavareDominatesDataAge(t *testing.T) {
+	// The classical Davare bound must dominate the NP-FP data age bound
+	// on every chain of the fixture.
+	g, an := fig2Analyzer(t, NonPreemptive)
+	for _, names := range [][]string{
+		{"t1", "t3", "t5", "t6"},
+		{"t1", "t3", "t4", "t6"},
+		{"t2", "t3", "t5", "t6"},
+		{"t2", "t3", "t4", "t6"},
+	} {
+		pi := chainByNames(t, g, names...)
+		if an.DataAge(pi) > an.DavareBound(pi) {
+			t.Errorf("chain %v: DataAge %v above Davare %v", names, an.DataAge(pi), an.DavareBound(pi))
+		}
+	}
+}
+
+func TestReactionBound(t *testing.T) {
+	g, an := fig2Analyzer(t, NonPreemptive)
+	res := sched.Analyze(g, sched.NonPreemptiveFP)
+	pi := chainByNames(t, g, "t1", "t3", "t5", "t6")
+	// R(t1)=0 (stimulus), then (10+7) + (30+16) + (30+14).
+	want := res.R(pi[1]) + 10*ms + res.R(pi[2]) + 30*ms + res.R(pi[3]) + 30*ms
+	if got := an.Reaction(pi); got != want {
+		t.Errorf("Reaction = %v, want %v", got, want)
+	}
+
+	// A buffer on the head edge delays reaction by (n−1)·T(head).
+	t1, _ := g.TaskByName("t1")
+	t3, _ := g.TaskByName("t3")
+	if err := g.SetBuffer(t1.ID, t3.ID, 3); err != nil {
+		t.Fatal(err)
+	}
+	if got := an.Reaction(pi); got != want+20*ms {
+		t.Errorf("buffered Reaction = %v, want %v", got, want+20*ms)
+	}
+}
+
+func TestReactionAtLeastDataAgeSpan(t *testing.T) {
+	// Sanity: reaction ≥ one period of every non-head task is implied by
+	// construction; check reaction ≥ data age minus head period slack on
+	// the fixture chains (a weak but useful coherence property).
+	g, an := fig2Analyzer(t, NonPreemptive)
+	pi := chainByNames(t, g, "t2", "t3", "t4", "t6")
+	if an.Reaction(pi) < an.DataAge(pi)-g.Task(pi.Head()).Period {
+		t.Errorf("Reaction %v implausibly below DataAge %v", an.Reaction(pi), an.DataAge(pi))
+	}
+}
+
+func TestSingleTaskChainE2E(t *testing.T) {
+	g, an := fig2Analyzer(t, NonPreemptive)
+	t1, _ := g.TaskByName("t1")
+	pi := model.Chain{t1.ID}
+	if an.DataAge(pi) != 0 || an.Reaction(pi) != 0 {
+		t.Errorf("stimulus-only chain: age %v reaction %v, want 0/0",
+			an.DataAge(pi), an.Reaction(pi))
+	}
+}

@@ -1,0 +1,106 @@
+package backward
+
+import (
+	"testing"
+
+	"repro/internal/model"
+	"repro/internal/sched"
+)
+
+// letFig2 returns the Fig. 2 fixture with every scheduled task on LET.
+func letFig2(t *testing.T) (*model.Graph, *Analyzer) {
+	t.Helper()
+	g := model.Fig2Graph()
+	for i := 0; i < g.NumTasks(); i++ {
+		g.Task(model.TaskID(i)).Sem = model.LET
+	}
+	res := sched.Analyze(g, sched.NonPreemptiveFP)
+	return g, NewAnalyzer(g, res, NonPreemptive)
+}
+
+func TestLETBounds(t *testing.T) {
+	g, an := letFig2(t)
+	pi := chainByNames(t, g, "t1", "t3", "t5", "t6")
+	// Hops: t1 (stimulus) -> t3: [0, 10); t3 -> t5: [10, 20); t5 -> t6:
+	// [30, 60). WCBT = 10 + 20 + 60 = 90; BCBT = 0 + 10 + 30 = 40.
+	if got := an.WCBT(pi); got != 90*ms {
+		t.Errorf("LET WCBT = %v, want 90ms", got)
+	}
+	if got := an.BCBT(pi); got != 40*ms {
+		t.Errorf("LET BCBT = %v, want 40ms", got)
+	}
+	if an.BCBT(pi) > an.WCBT(pi) {
+		t.Error("BCBT above WCBT")
+	}
+}
+
+func TestLETBoundsWithBuffer(t *testing.T) {
+	g, an := letFig2(t)
+	pi := chainByNames(t, g, "t1", "t3", "t5", "t6")
+	w0, b0 := an.WCBT(pi), an.BCBT(pi)
+	t1, _ := g.TaskByName("t1")
+	t3, _ := g.TaskByName("t3")
+	if err := g.SetBuffer(t1.ID, t3.ID, 3); err != nil {
+		t.Fatal(err)
+	}
+	if got := an.WCBT(pi); got != w0+20*ms {
+		t.Errorf("buffered LET WCBT = %v, want %v", got, w0+20*ms)
+	}
+	if got := an.BCBT(pi); got != b0+20*ms {
+		t.Errorf("buffered LET BCBT = %v, want %v", got, b0+20*ms)
+	}
+}
+
+func TestLETWindowNarrowerPerHop(t *testing.T) {
+	// Per scheduled hop, the LET window width is exactly T; the implicit
+	// window width is T + R − ... — compare whole-chain widths on the
+	// fixture: LET trades latency (larger WCBT) for tighter windows only
+	// when response times are large; on this fixture just check both
+	// orders are coherent.
+	g, let := letFig2(t)
+	imp, err := func() (*Analyzer, error) {
+		g2 := model.Fig2Graph()
+		res := sched.Analyze(g2, sched.NonPreemptiveFP)
+		return NewAnalyzer(g2, res, NonPreemptive), nil
+	}()
+	if err != nil {
+		t.Fatal(err)
+	}
+	pi := chainByNames(t, g, "t1", "t3", "t5", "t6")
+	letWidth := let.WCBT(pi) - let.BCBT(pi)
+	impWidth := imp.WCBT(pi) - imp.BCBT(pi)
+	if letWidth <= 0 || impWidth <= 0 {
+		t.Fatal("degenerate windows")
+	}
+	// LET's WCBT is at least the implicit BCBT path-wise; sanity only.
+	if let.WCBT(pi) < imp.BCBT(pi) {
+		t.Error("LET WCBT below implicit BCBT")
+	}
+}
+
+func TestMixedChainRejected(t *testing.T) {
+	g := model.Fig2Graph()
+	t3, _ := g.TaskByName("t3")
+	t3.Sem = model.LET
+	res := sched.Analyze(g, sched.NonPreemptiveFP)
+	an := NewAnalyzer(g, res, NonPreemptive)
+	pi := chainByNames(t, g, "t1", "t3", "t5", "t6")
+	if err := an.CheckChain(pi); err == nil {
+		t.Fatal("mixed chain accepted by CheckChain")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("WCBT on a mixed chain should panic")
+		}
+	}()
+	an.WCBT(pi)
+}
+
+func TestSemanticsString(t *testing.T) {
+	if model.Implicit.String() != "implicit" || model.LET.String() != "let" {
+		t.Error("Semantics.String broken")
+	}
+	if model.Semantics(9).String() != "Semantics(9)" {
+		t.Error("unknown semantics string broken")
+	}
+}

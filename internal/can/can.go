@@ -1,0 +1,124 @@
+// Package can computes Controller Area Network frame transmission times,
+// the execution-time parameters of the periodic bus "tasks" that model
+// inter-ECU communication in the cause-effect graph (§II-A of the paper;
+// the bus reference is Bosch's CAN 2.0 specification).
+//
+// The worst-case transmission time follows the classical analysis of
+// Davis, Burns, Bril and Lukkien ("Controller Area Network (CAN)
+// schedulability analysis: refuted, revisited and revised", RTS 2007):
+// a data frame with s payload bytes occupies
+//
+//	C = (g + 8s + 13 + ⌊(g + 8s − 1)/4⌋) · τ_bit
+//
+// where g = 34 for standard (11-bit) identifiers and g = 54 for extended
+// (29-bit) identifiers; the floor term is the worst-case bit stuffing
+// and the 13 bits are the inter-frame space and unstuffable tail. The
+// best case omits stuffing entirely.
+package can
+
+import (
+	"fmt"
+
+	"repro/internal/model"
+	"repro/internal/timeu"
+)
+
+// Baud is a bus bit rate in bits per second.
+type Baud int64
+
+// Common CAN bit rates.
+const (
+	Baud125k Baud = 125_000
+	Baud250k Baud = 250_000
+	Baud500k Baud = 500_000
+	Baud1M   Baud = 1_000_000
+)
+
+// BitTime returns the duration of one bit at the rate.
+func (b Baud) BitTime() timeu.Time {
+	if b <= 0 {
+		panic("can: non-positive baud rate")
+	}
+	return timeu.Time(int64(timeu.Second) / int64(b))
+}
+
+// FrameFormat selects the identifier width.
+type FrameFormat int
+
+const (
+	// Standard is the CAN 2.0A 11-bit identifier format.
+	Standard FrameFormat = iota
+	// Extended is the CAN 2.0B 29-bit identifier format.
+	Extended
+)
+
+// overhead bits exposed to stuffing, per format (g in the package doc).
+func (f FrameFormat) stuffableOverhead() int {
+	switch f {
+	case Standard:
+		return 34
+	case Extended:
+		return 54
+	default:
+		panic(fmt.Sprintf("can: unknown frame format %d", int(f)))
+	}
+}
+
+// WorstCaseBits returns the maximum on-the-wire length in bits of a data
+// frame with payload bytes of payload (0..8), including worst-case bit
+// stuffing and the 13-bit inter-frame space.
+func WorstCaseBits(payload int, f FrameFormat) int {
+	mustPayload(payload)
+	g := f.stuffableOverhead()
+	return g + 8*payload + 13 + (g+8*payload-1)/4
+}
+
+// BestCaseBits returns the minimum on-the-wire length in bits (no
+// stuffing).
+func BestCaseBits(payload int, f FrameFormat) int {
+	mustPayload(payload)
+	return f.stuffableOverhead() + 8*payload + 13
+}
+
+// WorstCaseTime returns the worst-case transmission time of a data frame.
+func WorstCaseTime(payload int, f FrameFormat, rate Baud) timeu.Time {
+	return timeu.Time(WorstCaseBits(payload, f)) * rate.BitTime()
+}
+
+// BestCaseTime returns the best-case transmission time of a data frame.
+func BestCaseTime(payload int, f FrameFormat, rate Baud) timeu.Time {
+	return timeu.Time(BestCaseBits(payload, f)) * rate.BitTime()
+}
+
+func mustPayload(payload int) {
+	if payload < 0 || payload > 8 {
+		panic(fmt.Sprintf("can: payload %d outside 0..8 bytes", payload))
+	}
+}
+
+// Bus describes one CAN bus for SplitOverBus-style graph rewriting.
+type Bus struct {
+	Rate    Baud
+	Format  FrameFormat
+	Payload int // bytes per frame, 0..8
+}
+
+// FrameTimes returns the (best, worst) transmission times of this bus's
+// frames.
+func (b Bus) FrameTimes() (best, worst timeu.Time) {
+	return BestCaseTime(b.Payload, b.Format, b.Rate), WorstCaseTime(b.Payload, b.Format, b.Rate)
+}
+
+// Split rewrites every cross-ECU edge of the graph into a two-hop path
+// through a periodic frame task on a new bus ECU with this bus's timing,
+// returning the bus ECU and the inserted messages. It is the
+// CAN-parameterized convenience wrapper around model.Graph.SplitOverBus.
+func (b Bus) Split(g *model.Graph, name string) (model.ECUID, []model.BusMessage, error) {
+	best, worst := b.FrameTimes()
+	bus := g.AddECU(name, model.Bus)
+	msgs, err := g.SplitOverBus(bus, best, worst)
+	if err != nil {
+		return bus, nil, err
+	}
+	return bus, msgs, nil
+}

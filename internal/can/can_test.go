@@ -1,0 +1,114 @@
+package can
+
+import (
+	"testing"
+
+	"repro/internal/model"
+	"repro/internal/sched"
+	"repro/internal/timeu"
+)
+
+func TestBitTime(t *testing.T) {
+	if got := Baud1M.BitTime(); got != timeu.Microsecond {
+		t.Errorf("1Mbit bit time = %v, want 1us", got)
+	}
+	if got := Baud500k.BitTime(); got != 2*timeu.Microsecond {
+		t.Errorf("500k bit time = %v, want 2us", got)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic for non-positive baud")
+		}
+	}()
+	Baud(0).BitTime()
+}
+
+func TestFrameBits(t *testing.T) {
+	// Classical worst case for an 8-byte standard frame: 34+64+13+24 = 135 bits.
+	if got := WorstCaseBits(8, Standard); got != 135 {
+		t.Errorf("8-byte standard worst = %d bits, want 135", got)
+	}
+	// Best case: 34+64+13 = 111 bits.
+	if got := BestCaseBits(8, Standard); got != 111 {
+		t.Errorf("8-byte standard best = %d bits, want 111", got)
+	}
+	// Empty standard frame: 34+0+13+8 = 55 bits worst.
+	if got := WorstCaseBits(0, Standard); got != 55 {
+		t.Errorf("0-byte standard worst = %d bits, want 55", got)
+	}
+	// Extended 8-byte: 54+64+13+29 = 160 bits worst.
+	if got := WorstCaseBits(8, Extended); got != 160 {
+		t.Errorf("8-byte extended worst = %d bits, want 160", got)
+	}
+	for p := 0; p <= 8; p++ {
+		if WorstCaseBits(p, Standard) <= BestCaseBits(p, Standard)-1 {
+			t.Errorf("payload %d: worst below best", p)
+		}
+	}
+}
+
+func TestFrameTimes(t *testing.T) {
+	// 135 bits at 500 kbit/s = 270 us.
+	if got := WorstCaseTime(8, Standard, Baud500k); got != 270*timeu.Microsecond {
+		t.Errorf("worst time = %v, want 270us", got)
+	}
+	if got := BestCaseTime(8, Standard, Baud500k); got != 222*timeu.Microsecond {
+		t.Errorf("best time = %v, want 222us", got)
+	}
+}
+
+func TestPayloadValidation(t *testing.T) {
+	for _, p := range []int{-1, 9} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("payload %d accepted", p)
+				}
+			}()
+			WorstCaseBits(p, Standard)
+		}()
+	}
+}
+
+func TestUnknownFormatPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	WorstCaseBits(1, FrameFormat(9))
+}
+
+func TestBusSplit(t *testing.T) {
+	ms := timeu.Millisecond
+	g := model.NewGraph()
+	e0 := g.AddECU("e0", model.Compute)
+	e1 := g.AddECU("e1", model.Compute)
+	src := g.AddTask(model.Task{Name: "src", Period: 10 * ms, ECU: model.NoECU})
+	a := g.AddTask(model.Task{Name: "a", WCET: ms, BCET: ms, Period: 10 * ms, Prio: 0, ECU: e0})
+	b := g.AddTask(model.Task{Name: "b", WCET: ms, BCET: ms, Period: 20 * ms, Prio: 0, ECU: e1})
+	for _, e := range [][2]model.TaskID{{src, a}, {a, b}} {
+		if err := g.AddEdge(e[0], e[1]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	bus := Bus{Rate: Baud500k, Format: Standard, Payload: 8}
+	busECU, msgs, err := bus.Split(g, "can0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(msgs) != 1 {
+		t.Fatalf("messages = %d, want 1", len(msgs))
+	}
+	m := g.Task(msgs[0].Task)
+	if m.ECU != busECU || m.WCET != 270*timeu.Microsecond || m.BCET != 222*timeu.Microsecond {
+		t.Errorf("frame task misconfigured: %+v", m)
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// The rewritten graph stays analyzable.
+	if res := sched.Analyze(g, sched.NonPreemptiveFP); !res.Schedulable {
+		t.Error("bus-split graph unschedulable")
+	}
+}

@@ -1,0 +1,179 @@
+// Package chains enumerates cause-effect chains and decomposes chain pairs
+// into the fork-join sub-chain structure used by Theorem 2 of the paper.
+//
+// For a task τ, the set 𝒫 of the paper is the set of all chains that start
+// at a source task of the graph and end at τ; each source of an output of
+// τ is reached through the immediate backward job chain along one element
+// of 𝒫.
+package chains
+
+import (
+	"fmt"
+
+	"repro/internal/model"
+)
+
+// DefaultMaxChains caps path enumeration. Random DAGs can have
+// exponentially many source→sink paths; analyses that would exceed the cap
+// fail loudly rather than running forever.
+const DefaultMaxChains = 1 << 16
+
+// ErrTooManyChains is wrapped by Enumerate when the cap is exceeded.
+var ErrTooManyChains = fmt.Errorf("chains: too many chains")
+
+// Enumerate returns every chain that starts at a source task of g and ends
+// at the given task, in depth-first order with successors visited in ID
+// order. maxChains ≤ 0 selects DefaultMaxChains.
+//
+// If the task itself is a source, the single one-task chain {task} is
+// returned: its only "source" is itself.
+func Enumerate(g *model.Graph, task model.TaskID, maxChains int) ([]model.Chain, error) {
+	if maxChains <= 0 {
+		maxChains = DefaultMaxChains
+	}
+	var out []model.Chain
+	// Walk backwards from the task to the sources, building the chain
+	// reversed, then flip.
+	stack := []model.TaskID{task}
+	var rec func(cur model.TaskID) error
+	rec = func(cur model.TaskID) error {
+		preds := g.Predecessors(cur)
+		if len(preds) == 0 {
+			if len(out) >= maxChains {
+				return fmt.Errorf("%w: more than %d chains end at %s", ErrTooManyChains, maxChains, g.Task(task).Name)
+			}
+			chain := make(model.Chain, len(stack))
+			for i, id := range stack {
+				chain[len(stack)-1-i] = id
+			}
+			out = append(out, chain)
+			return nil
+		}
+		for _, p := range preds {
+			stack = append(stack, p)
+			if err := rec(p); err != nil {
+				return err
+			}
+			stack = stack[:len(stack)-1]
+		}
+		return nil
+	}
+	if err := rec(task); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// Pairs returns all unordered pairs {λ, ν} of distinct chains from the
+// slice, as index pairs (i < j).
+func Pairs(n int) [][2]int {
+	var out [][2]int
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			out = append(out, [2]int{i, j})
+		}
+	}
+	return out
+}
+
+// StripCommonSuffix removes the longest common suffix of λ and ν beyond
+// their last joint task, returning the shortened chains. Both inputs must
+// end at the same task. The paper notes after Theorem 2 that "for each
+// pair of chains in 𝒫, we can consider the last joint task of them as the
+// analyzed task": the immediate backward job chain over the shared suffix
+// is identical on both chains, so the disparity of the pair is decided at
+// the task where they join.
+//
+// Example: λ = a→c→x→y, ν = b→c→x→y share the suffix x→y; the returned
+// chains are a→c→x and b→c→x, both ending at the last joint task x.
+func StripCommonSuffix(lambda, nu model.Chain) (model.Chain, model.Chain, error) {
+	if lambda.Tail() != nu.Tail() {
+		return nil, nil, fmt.Errorf("chains: chains end at different tasks")
+	}
+	k := 0 // length of the common suffix
+	for k < lambda.Len() && k < nu.Len() &&
+		lambda[lambda.Len()-1-k] == nu[nu.Len()-1-k] {
+		k++
+	}
+	// Keep the joint task itself: drop k-1 elements.
+	return lambda[:lambda.Len()-k+1], nu[:nu.Len()-k+1], nil
+}
+
+// Decomposition is the sub-chain structure of Theorem 2 for a pair of
+// chains λ and ν ending at the same task: the common tasks o_1 … o_c
+// (excluding any shared source head, including the analyzed task o_c) and
+// the sub-chains α_i ⊆ λ and β_i ⊆ ν, where α_i and β_i both end at o_i
+// and (for i ≥ 2) both start at o_(i-1).
+type Decomposition struct {
+	// Common lists o_1 … o_c in chain order; Common[c-1] is the analyzed
+	// task.
+	Common []model.TaskID
+	// Alpha[i] and Beta[i] are the sub-chains α_(i+1) and β_(i+1).
+	Alpha, Beta []model.Chain
+	// SameHead reports λ¹ = ν¹ (the two chains sample the same source
+	// task), which activates the ⌊·/T(λ¹)⌋·T(λ¹) cases of Theorems 1–3.
+	SameHead bool
+}
+
+// C returns the number of common tasks c.
+func (d *Decomposition) C() int { return len(d.Common) }
+
+// Decompose computes the Theorem-2 decomposition of a chain pair. Both
+// chains must end at the same task. The common tasks of two chains ending
+// at the same vertex of a DAG always appear in the same relative order on
+// both chains (a disagreement would exhibit a cycle); Decompose verifies
+// this and reports an error on non-DAG inputs.
+//
+// A shared head (λ¹ = ν¹) is excluded from the common set, as in the
+// paper ("c tasks in common except the source tasks"), and reported
+// through the SameHead field instead. A task equal to the shared head
+// appearing again later on both chains is impossible in a DAG.
+func Decompose(lambda, nu model.Chain) (*Decomposition, error) {
+	if lambda.Len() == 0 || nu.Len() == 0 {
+		return nil, fmt.Errorf("chains: empty chain")
+	}
+	if lambda.Tail() != nu.Tail() {
+		return nil, fmt.Errorf("chains: chains end at different tasks")
+	}
+	d := &Decomposition{SameHead: lambda.Head() == nu.Head()}
+
+	inNu := make(map[model.TaskID]int, nu.Len())
+	for i, id := range nu {
+		inNu[id] = i
+	}
+	// Collect common tasks in λ order; skip a shared head position 0.
+	prevNuIdx := -1
+	start := 0
+	if d.SameHead {
+		start = 1
+		prevNuIdx = 0
+	}
+	var laIdx []int
+	var nuIdx []int
+	for i := start; i < lambda.Len(); i++ {
+		j, ok := inNu[lambda[i]]
+		if !ok {
+			continue
+		}
+		if j <= prevNuIdx {
+			return nil, fmt.Errorf("chains: common tasks out of order (graph not a DAG?)")
+		}
+		d.Common = append(d.Common, lambda[i])
+		laIdx = append(laIdx, i)
+		nuIdx = append(nuIdx, j)
+		prevNuIdx = j
+	}
+	if len(d.Common) == 0 || d.Common[len(d.Common)-1] != lambda.Tail() {
+		// The tail is on both chains by precondition, so this cannot
+		// happen; keep the check as an internal invariant.
+		return nil, fmt.Errorf("chains: internal error: tail not in common set")
+	}
+	// Slice out α_i and β_i.
+	prevLa, prevNu := 0, 0
+	for k := range d.Common {
+		d.Alpha = append(d.Alpha, lambda.Sub(prevLa, laIdx[k]))
+		d.Beta = append(d.Beta, nu.Sub(prevNu, nuIdx[k]))
+		prevLa, prevNu = laIdx[k], nuIdx[k]
+	}
+	return d, nil
+}

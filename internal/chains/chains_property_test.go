@@ -1,0 +1,141 @@
+package chains
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/model"
+	"repro/internal/randgraph"
+)
+
+// TestDecomposeInvariants fuzzes random DAGs and checks the structural
+// invariants of the Theorem-2 decomposition on every chain pair of the
+// sink:
+//
+//  1. Common tasks appear in ascending position on both chains.
+//  2. α_i and β_i end at o_i; α_(i+1) and β_(i+1) start at o_i.
+//  3. Concatenating the α_i (dropping the shared joints) reconstructs λ
+//     from the first common task backward; likewise for β and ν.
+//  4. The last common task is the pair's tail.
+func TestDecomposeInvariants(t *testing.T) {
+	rng := rand.New(rand.NewSource(77))
+	for trial := 0; trial < 40; trial++ {
+		n := 6 + rng.Intn(10)
+		g, err := randgraph.GNM(n, 2*n, randgraph.DefaultConfig(), rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sink := g.Sinks()[0]
+		cs, err := Enumerate(g, sink, 4096)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, pair := range Pairs(len(cs)) {
+			la, nu := cs[pair[0]], cs[pair[1]]
+			d, err := Decompose(la, nu)
+			if err != nil {
+				t.Fatalf("trial %d: Decompose(%s | %s): %v",
+					trial, la.Format(g), nu.Format(g), err)
+			}
+			checkDecomposition(t, g, la, nu, d)
+		}
+	}
+}
+
+func checkDecomposition(t *testing.T, g *model.Graph, la, nu model.Chain, d *Decomposition) {
+	t.Helper()
+	if d.C() == 0 {
+		t.Fatal("no common tasks (the shared tail is always common)")
+	}
+	if d.Common[d.C()-1] != la.Tail() {
+		t.Fatalf("last common task %d is not the tail %d", d.Common[d.C()-1], la.Tail())
+	}
+	if len(d.Alpha) != d.C() || len(d.Beta) != d.C() {
+		t.Fatalf("sub-chain counts %d/%d for c=%d", len(d.Alpha), len(d.Beta), d.C())
+	}
+	prevLa, prevNu := -1, -1
+	for i, o := range d.Common {
+		li, ni := la.Index(o), nu.Index(o)
+		if li < 0 || ni < 0 {
+			t.Fatalf("common task %d missing from a chain", o)
+		}
+		if li <= prevLa || ni <= prevNu {
+			t.Fatalf("common task order violated at %d", o)
+		}
+		prevLa, prevNu = li, ni
+
+		if d.Alpha[i].Tail() != o || d.Beta[i].Tail() != o {
+			t.Fatalf("sub-chain %d does not end at o_%d", i, i+1)
+		}
+		if i > 0 {
+			if d.Alpha[i].Head() != d.Common[i-1] || d.Beta[i].Head() != d.Common[i-1] {
+				t.Fatalf("sub-chain %d does not start at o_%d", i, i)
+			}
+		} else {
+			if d.Alpha[0].Head() != la.Head() || d.Beta[0].Head() != nu.Head() {
+				t.Fatal("first sub-chains must start at the chain heads")
+			}
+		}
+	}
+	// Reconstruction.
+	rebuilt := append(model.Chain(nil), d.Alpha[0]...)
+	for i := 1; i < d.C(); i++ {
+		rebuilt = append(rebuilt, d.Alpha[i][1:]...)
+	}
+	if !rebuilt.Equal(la) {
+		t.Fatalf("alpha concatenation %v != λ %v", rebuilt, la)
+	}
+	rebuilt = append(model.Chain(nil), d.Beta[0]...)
+	for i := 1; i < d.C(); i++ {
+		rebuilt = append(rebuilt, d.Beta[i][1:]...)
+	}
+	if !rebuilt.Equal(nu) {
+		t.Fatalf("beta concatenation %v != ν %v", rebuilt, nu)
+	}
+	// SameHead consistency.
+	if d.SameHead != (la.Head() == nu.Head()) {
+		t.Fatal("SameHead flag wrong")
+	}
+}
+
+// TestStripThenDecomposeConsistent verifies that stripping the common
+// suffix commutes with decomposition: the stripped pair's common set is
+// a prefix of the full pair's common set.
+func TestStripThenDecomposeConsistent(t *testing.T) {
+	rng := rand.New(rand.NewSource(78))
+	for trial := 0; trial < 30; trial++ {
+		n := 6 + rng.Intn(8)
+		g, err := randgraph.GNM(n, 2*n, randgraph.DefaultConfig(), rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sink := g.Sinks()[0]
+		cs, err := Enumerate(g, sink, 2048)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, pair := range Pairs(len(cs)) {
+			la, nu := cs[pair[0]], cs[pair[1]]
+			sl, sn, err := StripCommonSuffix(la, nu)
+			if err != nil {
+				t.Fatal(err)
+			}
+			full, err := Decompose(la, nu)
+			if err != nil {
+				t.Fatal(err)
+			}
+			stripped, err := Decompose(sl, sn)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if stripped.C() > full.C() {
+				t.Fatalf("stripping increased common count %d -> %d", full.C(), stripped.C())
+			}
+			for i, o := range stripped.Common {
+				if full.Common[i] != o {
+					t.Fatalf("stripped common set is not a prefix at %d", i)
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,284 @@
+package chains
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/model"
+	"repro/internal/timeu"
+)
+
+const ms = timeu.Millisecond
+
+func namesOf(g *model.Graph, cs []model.Chain) []string {
+	out := make([]string, len(cs))
+	for i, c := range cs {
+		out[i] = c.Format(g)
+	}
+	return out
+}
+
+func TestEnumerateFig2(t *testing.T) {
+	g := model.Fig2Graph()
+	t6, _ := g.TaskByName("t6")
+	got, err := Enumerate(g, t6.ID, 0)
+	if err != nil {
+		t.Fatalf("Enumerate: %v", err)
+	}
+	want := map[string]bool{
+		"t1 -> t3 -> t4 -> t6": true,
+		"t1 -> t3 -> t5 -> t6": true,
+		"t2 -> t3 -> t4 -> t6": true,
+		"t2 -> t3 -> t5 -> t6": true,
+	}
+	if len(got) != len(want) {
+		t.Fatalf("got %d chains %v, want %d", len(got), namesOf(g, got), len(want))
+	}
+	for _, c := range got {
+		if !want[c.Format(g)] {
+			t.Errorf("unexpected chain %s", c.Format(g))
+		}
+		if err := c.ValidIn(g); err != nil {
+			t.Errorf("invalid chain %s: %v", c.Format(g), err)
+		}
+	}
+}
+
+func TestEnumerateAtIntermediateTask(t *testing.T) {
+	g := model.Fig2Graph()
+	t3, _ := g.TaskByName("t3")
+	got, err := Enumerate(g, t3.ID, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 {
+		t.Fatalf("chains to t3 = %v, want 2", namesOf(g, got))
+	}
+}
+
+func TestEnumerateSourceIsItself(t *testing.T) {
+	g := model.Fig2Graph()
+	t1, _ := g.TaskByName("t1")
+	got, err := Enumerate(g, t1.ID, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 || got[0].Len() != 1 || got[0][0] != t1.ID {
+		t.Errorf("chains to a source = %v, want the single-task chain", namesOf(g, got))
+	}
+}
+
+func TestEnumerateCap(t *testing.T) {
+	// A ladder of diamonds has 2^k paths; cap must trip.
+	g := model.NewGraph()
+	ecu := g.AddECU("e", model.Compute)
+	mk := func(name string, prio int) model.TaskID {
+		return g.AddTask(model.Task{Name: name, WCET: 1, BCET: 1, Period: 100 * ms, Prio: prio, ECU: ecu})
+	}
+	prev := g.AddTask(model.Task{Name: "s", Period: 10 * ms, ECU: model.NoECU})
+	prio := 0
+	for d := 0; d < 12; d++ {
+		a := mk("", prio)
+		b := mk("", prio+1)
+		j := mk("", prio+2)
+		prio += 3
+		for _, mid := range []model.TaskID{a, b} {
+			if err := g.AddEdge(prev, mid); err != nil {
+				t.Fatal(err)
+			}
+			if err := g.AddEdge(mid, j); err != nil {
+				t.Fatal(err)
+			}
+		}
+		prev = j
+	}
+	if _, err := Enumerate(g, prev, 100); !errors.Is(err, ErrTooManyChains) {
+		t.Errorf("err = %v, want ErrTooManyChains", err)
+	}
+	// With a generous cap it enumerates all 2^12 chains.
+	cs, err := Enumerate(g, prev, 1<<13)
+	if err != nil {
+		t.Fatalf("Enumerate with big cap: %v", err)
+	}
+	if len(cs) != 1<<12 {
+		t.Errorf("got %d chains, want %d", len(cs), 1<<12)
+	}
+}
+
+func TestPairs(t *testing.T) {
+	if got := Pairs(0); len(got) != 0 {
+		t.Errorf("Pairs(0) = %v", got)
+	}
+	if got := Pairs(1); len(got) != 0 {
+		t.Errorf("Pairs(1) = %v", got)
+	}
+	got := Pairs(4)
+	if len(got) != 6 {
+		t.Fatalf("Pairs(4) has %d entries, want 6", len(got))
+	}
+	seen := map[[2]int]bool{}
+	for _, p := range got {
+		if p[0] >= p[1] {
+			t.Errorf("pair %v not ordered", p)
+		}
+		if seen[p] {
+			t.Errorf("duplicate pair %v", p)
+		}
+		seen[p] = true
+	}
+}
+
+func TestStripCommonSuffix(t *testing.T) {
+	g := model.Fig2Graph()
+	t6, _ := g.TaskByName("t6")
+	all, err := Enumerate(g, t6.ID, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	byName := map[string]model.Chain{}
+	for _, c := range all {
+		byName[c.Format(g)] = c
+	}
+	la := byName["t1 -> t3 -> t4 -> t6"]
+	nu := byName["t2 -> t3 -> t4 -> t6"]
+	sl, sn, err := StripCommonSuffix(la, nu)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sl.Format(g) != "t1 -> t3" || sn.Format(g) != "t2 -> t3" {
+		t.Errorf("stripped = %s | %s, want t1->t3 | t2->t3", sl.Format(g), sn.Format(g))
+	}
+
+	// Divergent right at the tail: nothing but the tail is shared.
+	la2 := byName["t1 -> t3 -> t4 -> t6"]
+	nu2 := byName["t1 -> t3 -> t5 -> t6"]
+	sl2, sn2, err := StripCommonSuffix(la2, nu2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sl2.Format(g) != "t1 -> t3 -> t4 -> t6" || sn2.Format(g) != "t1 -> t3 -> t5 -> t6" {
+		t.Errorf("stripped = %s | %s, want unchanged", sl2.Format(g), sn2.Format(g))
+	}
+
+	if _, _, err := StripCommonSuffix(model.Chain{0}, model.Chain{1}); err == nil {
+		t.Error("different tails accepted")
+	}
+}
+
+func TestStripIdenticalChains(t *testing.T) {
+	c := model.Chain{0, 1, 2}
+	a, b, err := StripCommonSuffix(c, c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Everything shared: both collapse to the head... of the suffix walk,
+	// which is the full chain's head task only.
+	if a.Len() != 1 || b.Len() != 1 || a[0] != 0 || b[0] != 0 {
+		t.Errorf("identical chains strip to %v | %v, want single head task", a, b)
+	}
+}
+
+func TestDecomposeFig2(t *testing.T) {
+	g := model.Fig2Graph()
+	t6, _ := g.TaskByName("t6")
+	all, _ := Enumerate(g, t6.ID, 0)
+	byName := map[string]model.Chain{}
+	for _, c := range all {
+		byName[c.Format(g)] = c
+	}
+
+	// The paper's own example: {τ1,τ3,τ4,τ6} vs {τ2,τ3,τ5,τ6} have common
+	// tasks τ3, τ6 and sub-chains {τ1,τ3},{τ3,τ4,τ6} / {τ2,τ3},{τ3,τ5,τ6}.
+	la := byName["t1 -> t3 -> t4 -> t6"]
+	nu := byName["t2 -> t3 -> t5 -> t6"]
+	d, err := Decompose(la, nu)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.SameHead {
+		t.Error("different heads flagged as same")
+	}
+	if d.C() != 2 {
+		t.Fatalf("c = %d, want 2", d.C())
+	}
+	t3, _ := g.TaskByName("t3")
+	if d.Common[0] != t3.ID || d.Common[1] != t6.ID {
+		t.Errorf("common = %v, want [t3 t6]", d.Common)
+	}
+	if d.Alpha[0].Format(g) != "t1 -> t3" || d.Alpha[1].Format(g) != "t3 -> t4 -> t6" {
+		t.Errorf("alpha = %v / %v", d.Alpha[0].Format(g), d.Alpha[1].Format(g))
+	}
+	if d.Beta[0].Format(g) != "t2 -> t3" || d.Beta[1].Format(g) != "t3 -> t5 -> t6" {
+		t.Errorf("beta = %v / %v", d.Beta[0].Format(g), d.Beta[1].Format(g))
+	}
+}
+
+func TestDecomposeSameHead(t *testing.T) {
+	g := model.Fig2Graph()
+	t6, _ := g.TaskByName("t6")
+	all, _ := Enumerate(g, t6.ID, 0)
+	byName := map[string]model.Chain{}
+	for _, c := range all {
+		byName[c.Format(g)] = c
+	}
+	la := byName["t1 -> t3 -> t4 -> t6"]
+	nu := byName["t1 -> t3 -> t5 -> t6"]
+	d, err := Decompose(la, nu)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !d.SameHead {
+		t.Error("same head not detected")
+	}
+	// Common tasks exclude the shared source: τ3 and τ6.
+	if d.C() != 2 {
+		t.Errorf("c = %d, want 2 (t3, t6)", d.C())
+	}
+	// α_1 still spans from the head: {t1, t3}.
+	if d.Alpha[0].Format(g) != "t1 -> t3" || d.Beta[0].Format(g) != "t1 -> t3" {
+		t.Errorf("alpha1/beta1 = %s / %s", d.Alpha[0].Format(g), d.Beta[0].Format(g))
+	}
+}
+
+func TestDecomposeDisjointChains(t *testing.T) {
+	// Two chains sharing only the sink: c = 1 and the decomposition
+	// degenerates to Theorem 1.
+	g := model.NewGraph()
+	ecu := g.AddECU("e", model.Compute)
+	s1 := g.AddTask(model.Task{Name: "s1", Period: 10 * ms, ECU: model.NoECU})
+	s2 := g.AddTask(model.Task{Name: "s2", Period: 15 * ms, ECU: model.NoECU})
+	a := g.AddTask(model.Task{Name: "a", WCET: ms, BCET: ms, Period: 10 * ms, Prio: 0, ECU: ecu})
+	b := g.AddTask(model.Task{Name: "b", WCET: ms, BCET: ms, Period: 15 * ms, Prio: 1, ECU: ecu})
+	sink := g.AddTask(model.Task{Name: "sink", WCET: ms, BCET: ms, Period: 20 * ms, Prio: 2, ECU: ecu})
+	for _, e := range [][2]model.TaskID{{s1, a}, {a, sink}, {s2, b}, {b, sink}} {
+		if err := g.AddEdge(e[0], e[1]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	la := model.Chain{s1, a, sink}
+	nu := model.Chain{s2, b, sink}
+	d, err := Decompose(la, nu)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.C() != 1 || d.Common[0] != sink {
+		t.Errorf("common = %v, want [sink]", d.Common)
+	}
+	if !d.Alpha[0].Equal(la) || !d.Beta[0].Equal(nu) {
+		t.Error("alpha1/beta1 should be the whole chains")
+	}
+}
+
+func TestDecomposeErrors(t *testing.T) {
+	if _, err := Decompose(model.Chain{}, model.Chain{1}); err == nil {
+		t.Error("empty chain accepted")
+	}
+	if _, err := Decompose(model.Chain{0, 2}, model.Chain{1, 3}); err == nil {
+		t.Error("different tails accepted")
+	}
+	// Out-of-order common tasks (not realizable in a DAG, synthetic IDs):
+	// λ = 5,7,8,9 ; ν = 6,8,7,9 share {7,8,9} but in different order.
+	if _, err := Decompose(model.Chain{5, 7, 8, 9}, model.Chain{6, 8, 7, 9}); err == nil {
+		t.Error("out-of-order common tasks accepted")
+	}
+}

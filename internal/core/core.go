@@ -1,0 +1,303 @@
+// Package core implements the paper's contribution: bounds on the
+// worst-case time disparity of a task in a cause-effect graph, and the
+// buffer-sizing optimization that reduces it.
+//
+// The time disparity of a job J (Definition 2) is the maximum difference
+// among the timestamps of all sources J's output originates from. With 𝒫
+// the set of chains from source tasks to the analyzed task,
+//
+//	Δ(J) = max over pairs λ ≠ ν ∈ 𝒫 of |t(⃖λ¹) − t(⃖ν¹)|,
+//
+// and the package bounds each pairwise term in two ways:
+//
+//   - PDiff (Theorem 1) treats λ and ν as independent and combines their
+//     sampling windows [−𝒲, −ℬ] directly;
+//   - SDiff (Theorem 2) decomposes the pair at its common tasks o_1 … o_c
+//     and propagates the release-time alignment of the shared jobs through
+//     the recursion for x_j, y_j, which is tighter whenever the chains
+//     fork and join.
+//
+// Algorithm 1 (Optimize) sizes the input buffer of one chain's second task
+// so that the two sampling windows overlap as much as possible; Theorem 3
+// (SDiffBuffered) quantifies the resulting reduction L.
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/backward"
+	"repro/internal/chains"
+	"repro/internal/model"
+	"repro/internal/sched"
+	"repro/internal/timeu"
+)
+
+// Method selects the pairwise disparity bound.
+type Method int
+
+const (
+	// PDiff is Theorem 1 (chains treated as independent).
+	PDiff Method = iota
+	// SDiff is Theorem 2 (fork-join structure exploited).
+	SDiff
+)
+
+// String names the method as in the paper's evaluation.
+func (m Method) String() string {
+	switch m {
+	case PDiff:
+		return "P-diff"
+	case SDiff:
+		return "S-diff"
+	default:
+		return fmt.Sprintf("Method(%d)", int(m))
+	}
+}
+
+// Analysis bounds time disparities on one graph. Construct with New; the
+// zero value is not usable.
+type Analysis struct {
+	g  *model.Graph
+	bw *backward.Analyzer
+}
+
+// New builds an Analysis for the graph using the paper's non-preemptive
+// backward-time bounds (Lemmas 4 and 5), or their LET counterparts when
+// the graph's scheduled tasks all use LET. The graph must be schedulable
+// under non-preemptive fixed priority; an unschedulable graph yields an
+// error because the WCRT bounds that Lemmas 4 and 5 consume would be
+// meaningless. Graphs mixing LET and implicit scheduled tasks are
+// rejected: the closed-form backward bounds do not compose across a
+// mixed chain.
+func New(g *model.Graph) (*Analysis, error) {
+	seen := false
+	var sem model.Semantics
+	for i := 0; i < g.NumTasks(); i++ {
+		t := g.Task(model.TaskID(i))
+		if t.ECU == model.NoECU {
+			continue
+		}
+		if !seen {
+			sem, seen = t.Sem, true
+		} else if t.Sem != sem {
+			return nil, fmt.Errorf("core: graph mixes %v and %v tasks; the analysis needs uniform semantics", sem, t.Sem)
+		}
+	}
+	res := sched.Analyze(g, sched.NonPreemptiveFP)
+	if !res.Schedulable {
+		names := make([]string, len(res.Unschedulable))
+		for i, id := range res.Unschedulable {
+			names[i] = g.Task(id).Name
+		}
+		return nil, fmt.Errorf("core: graph is not schedulable under NP-FP: %v", names)
+	}
+	return &Analysis{g: g, bw: backward.NewAnalyzer(g, res, backward.NonPreemptive)}, nil
+}
+
+// NewWithBackward builds an Analysis on a caller-supplied backward-time
+// analyzer (e.g. the Dürr baseline for ablations).
+func NewWithBackward(g *model.Graph, bw *backward.Analyzer) *Analysis {
+	return &Analysis{g: g, bw: bw}
+}
+
+// Backward exposes the underlying backward-time analyzer.
+func (a *Analysis) Backward() *backward.Analyzer { return a.bw }
+
+// PairBound reports the bound for one chain pair together with the
+// intermediate quantities, for inspection and for Algorithm 1.
+type PairBound struct {
+	// Lambda and Nu are the analyzed chains (after any suffix stripping
+	// done by the caller).
+	Lambda, Nu model.Chain
+	// Bound is the pairwise disparity bound |t(⃖λ¹) − t(⃖ν¹)| ≤ Bound.
+	Bound timeu.Time
+	// SameHead records λ¹ = ν¹.
+	SameHead bool
+	// X1, Y1 are the Theorem-2 alignment coefficients of the first common
+	// task (both zero under PDiff or when c = 1).
+	X1, Y1 int64
+	// WindowLambda and WindowNu are the sampling windows of the two
+	// sources relative to the analyzed job's release: t(⃖λ¹) ∈
+	// WindowLambda and t(⃖ν¹) ∈ WindowNu.
+	WindowLambda, WindowNu backward.Window
+}
+
+// PairDisparity bounds |t(⃖λ¹) − t(⃖ν¹)| for two chains ending at the same
+// task with the selected method. The chains are used as given; callers
+// that want the "last joint task" tightening should strip the common
+// suffix first (TaskDisparity does).
+func (a *Analysis) PairDisparity(lambda, nu model.Chain, m Method) (*PairBound, error) {
+	switch m {
+	case PDiff:
+		return a.pairTheorem1(lambda, nu)
+	case SDiff:
+		return a.pairTheorem2(lambda, nu)
+	default:
+		return nil, fmt.Errorf("core: unknown method %d", int(m))
+	}
+}
+
+// pairTheorem1 implements Theorem 1.
+func (a *Analysis) pairTheorem1(lambda, nu model.Chain) (*PairBound, error) {
+	if err := checkPair(lambda, nu); err != nil {
+		return nil, err
+	}
+	wl, bl := a.bw.WCBT(lambda), a.bw.BCBT(lambda)
+	wn, bn := a.bw.WCBT(nu), a.bw.BCBT(nu)
+	o := timeu.Max(timeu.Abs(wl-bn), timeu.Abs(wn-bl))
+	pb := &PairBound{
+		Lambda: lambda, Nu: nu,
+		SameHead:     lambda.Head() == nu.Head(),
+		WindowLambda: backward.Window{Lo: -wl, Hi: -bl},
+		WindowNu:     backward.Window{Lo: -wn, Hi: -bn},
+	}
+	pb.Bound = o
+	if pb.SameHead && !a.g.Task(lambda.Head()).Sporadic() {
+		// The release-time difference between two jobs of the shared head
+		// is a multiple of its period — only for strictly periodic heads.
+		period := a.g.Task(lambda.Head()).Period
+		pb.Bound = timeu.FloorTo(o, period)
+	}
+	return pb, nil
+}
+
+// pairTheorem2 implements Theorem 2: decompose at the common tasks,
+// propagate x_j, y_j from the analyzed task backwards to o_1, then apply
+// Lemma 3 to the first sub-chain pair.
+func (a *Analysis) pairTheorem2(lambda, nu model.Chain) (*PairBound, error) {
+	if err := checkPair(lambda, nu); err != nil {
+		return nil, err
+	}
+	d, err := chains.Decompose(lambda, nu)
+	if err != nil {
+		return nil, err
+	}
+	// Theorem 2's alignment argument requires the common tasks' release
+	// differences to be period multiples; sporadic common tasks (or a
+	// sporadic shared head) void it, so fall back to Theorem 1 without
+	// flooring — still sound, merely less precise.
+	for _, o := range d.Common {
+		if a.g.Task(o).Sporadic() {
+			return a.pairTheorem1(lambda, nu)
+		}
+	}
+	if d.SameHead && a.g.Task(lambda.Head()).Sporadic() {
+		return a.pairTheorem1(lambda, nu)
+	}
+	x1, y1, err := a.alignment(d)
+	if err != nil {
+		return nil, err
+	}
+	// Lemma 3 on (α₁, β₁): the job of o₁ in ⃖ν is the k-th job released
+	// after the one in ⃖λ with x₁ ≤ k ≤ y₁.
+	to1 := a.g.Task(d.Common[0]).Period
+	wa, ba := a.bw.WCBT(d.Alpha[0]), a.bw.BCBT(d.Alpha[0])
+	wb, bb := a.bw.WCBT(d.Beta[0]), a.bw.BCBT(d.Beta[0])
+	o := timeu.Max(
+		timeu.Abs(wb-ba-timeu.Time(x1)*to1),
+		timeu.Abs(bb-wa-timeu.Time(y1)*to1),
+	)
+	pb := &PairBound{
+		Lambda: lambda, Nu: nu,
+		SameHead: d.SameHead,
+		X1:       x1, Y1: y1,
+		WindowLambda: backward.Window{Lo: -wa, Hi: -ba},
+		WindowNu:     backward.Window{Lo: timeu.Time(x1)*to1 - wb, Hi: timeu.Time(y1)*to1 - bb},
+	}
+	pb.Bound = o
+	if pb.SameHead {
+		period := a.g.Task(lambda.Head()).Period
+		pb.Bound = timeu.FloorTo(o, period)
+	}
+	return pb, nil
+}
+
+// alignment runs Theorem 2's recursion, producing x₁ and y₁: the release
+// of the o₁ job in ⃖ν lies in [x₁·T(o₁), y₁·T(o₁)] relative to the o₁ job
+// in ⃖λ.
+func (a *Analysis) alignment(d *chains.Decomposition) (x1, y1 int64, err error) {
+	c := d.C()
+	x, y := int64(0), int64(0) // x_c = y_c = 0
+	for j := c - 1; j >= 1; j-- {
+		toJ := a.g.Task(d.Common[j-1]).Period // T(o_j), 1-based o_j = Common[j-1]
+		toJ1 := a.g.Task(d.Common[j]).Period  // T(o_{j+1})
+		alpha, beta := d.Alpha[j], d.Beta[j]  // α_{j+1}, β_{j+1} (0-based index j)
+		nx := timeu.CeilDiv(a.bw.BCBT(alpha)-a.bw.WCBT(beta)+timeu.Time(x)*toJ1, toJ)
+		ny := timeu.FloorDiv(a.bw.WCBT(alpha)-a.bw.BCBT(beta)+timeu.Time(y)*toJ1, toJ)
+		x, y = nx, ny
+		if x > y {
+			// The windows admit no multiple of T(o_j); with sound WCBT/BCBT
+			// bounds this cannot arise from a realizable run (the actual
+			// release difference is always such a multiple and always lies
+			// in the propagated interval).
+			return 0, 0, fmt.Errorf("core: infeasible alignment x_%d=%d > y_%d=%d", j, x, j, y)
+		}
+	}
+	return x, y, nil
+}
+
+func checkPair(lambda, nu model.Chain) error {
+	if lambda.Len() == 0 || nu.Len() == 0 {
+		return fmt.Errorf("core: empty chain")
+	}
+	if lambda.Tail() != nu.Tail() {
+		return fmt.Errorf("core: chains end at different tasks")
+	}
+	if lambda.Equal(nu) {
+		return fmt.Errorf("core: chain pair must be distinct")
+	}
+	return nil
+}
+
+// TaskDisparity holds the worst-case time disparity bound of one task and
+// the per-pair breakdown behind it.
+type TaskDisparity struct {
+	Task  model.TaskID
+	Bound timeu.Time
+	// Pairs lists the pairwise bounds, worst first not guaranteed; the
+	// entry attaining Bound is at index ArgMax.
+	Pairs  []*PairBound
+	ArgMax int
+}
+
+// Disparity bounds the worst-case time disparity of the task (Definition
+// 2): it enumerates all chains in 𝒫 ending at the task, bounds every
+// pair with the method, and maximizes. A task fed by fewer than two
+// chains has disparity 0.
+//
+// Following the paper's evaluation, the two methods differ in how much
+// shared structure they see. PDiff applies Theorem 1 to the full chains,
+// treating them as completely independent — including any common suffix.
+// SDiff exploits the fork-join structure: each pair is first reduced to
+// its last joint task ("we can consider the last joint task of them as
+// the analyzed task") and then bounded with Theorem 2's common-task
+// recursion. This is what makes S-diff strictly more precise on forked
+// graphs, as in Fig. 6(a).
+//
+// maxChains caps the enumeration (≤ 0 selects chains.DefaultMaxChains).
+func (a *Analysis) Disparity(task model.TaskID, m Method, maxChains int) (*TaskDisparity, error) {
+	ps, err := chains.Enumerate(a.g, task, maxChains)
+	if err != nil {
+		return nil, err
+	}
+	td := &TaskDisparity{Task: task, ArgMax: -1}
+	for _, idx := range chains.Pairs(len(ps)) {
+		la, nu := ps[idx[0]], ps[idx[1]]
+		if m == SDiff {
+			la, nu, err = chains.StripCommonSuffix(la, nu)
+			if err != nil {
+				return nil, err
+			}
+		}
+		pb, err := a.PairDisparity(la, nu, m)
+		if err != nil {
+			return nil, err
+		}
+		td.Pairs = append(td.Pairs, pb)
+		if pb.Bound > td.Bound || td.ArgMax < 0 {
+			td.Bound = pb.Bound
+			td.ArgMax = len(td.Pairs) - 1
+		}
+	}
+	return td, nil
+}

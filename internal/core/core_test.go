@@ -1,0 +1,296 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/backward"
+	"repro/internal/model"
+	"repro/internal/sched"
+	"repro/internal/timeu"
+)
+
+const ms = timeu.Millisecond
+
+func fig2Analysis(t *testing.T) (*model.Graph, *Analysis) {
+	t.Helper()
+	g := model.Fig2Graph()
+	a, err := New(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g, a
+}
+
+func chainByNames(t *testing.T, g *model.Graph, names ...string) model.Chain {
+	t.Helper()
+	c := make(model.Chain, len(names))
+	for i, n := range names {
+		task, ok := g.TaskByName(n)
+		if !ok {
+			t.Fatalf("no task %q", n)
+		}
+		c[i] = task.ID
+	}
+	return c
+}
+
+// Hand-computed ground truth for the Fig. 2 fixture (see the derivations
+// in the test bodies):
+//
+//	R(t3)=7ms R(t4)=10ms R(t5)=16ms R(t6)=14ms
+//	WCBT/BCBT: t1-t3-t5-t6: 50/−9, t1-t3-t4-t6: 40/−10,
+//	           t2-t3-t5-t6: 55/−9, t2-t3-t4-t6: 45/−10 (ms)
+
+func TestTheorem1SameHead(t *testing.T) {
+	g, a := fig2Analysis(t)
+	la := chainByNames(t, g, "t1", "t3", "t5", "t6")
+	nu := chainByNames(t, g, "t1", "t3", "t4", "t6")
+	pb, err := a.PairDisparity(la, nu, PDiff)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// O = max(|50−(−10)|, |40−(−9)|) = 60; same head T=10 -> ⌊60/10⌋·10 = 60.
+	if pb.Bound != 60*ms {
+		t.Errorf("P-diff = %v, want 60ms", pb.Bound)
+	}
+	if !pb.SameHead {
+		t.Error("same head not flagged")
+	}
+	if pb.WindowLambda != (backward.Window{Lo: -50 * ms, Hi: 9 * ms}) {
+		t.Errorf("window λ = %v", pb.WindowLambda)
+	}
+	if pb.WindowNu != (backward.Window{Lo: -40 * ms, Hi: 10 * ms}) {
+		t.Errorf("window ν = %v", pb.WindowNu)
+	}
+}
+
+func TestTheorem1DifferentHeads(t *testing.T) {
+	g, a := fig2Analysis(t)
+	// Stripped pair {t1,t3} vs {t2,t3}: W=10/B=−6 and W=15/B=−6.
+	la := chainByNames(t, g, "t1", "t3")
+	nu := chainByNames(t, g, "t2", "t3")
+	pb, err := a.PairDisparity(la, nu, PDiff)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// O = max(|10−(−6)|, |15−(−6)|) = 21; different heads: no flooring.
+	if pb.Bound != 21*ms {
+		t.Errorf("P-diff = %v, want 21ms", pb.Bound)
+	}
+	if pb.SameHead {
+		t.Error("different heads flagged as same")
+	}
+}
+
+func TestTheorem2SameHead(t *testing.T) {
+	g, a := fig2Analysis(t)
+	la := chainByNames(t, g, "t1", "t3", "t5", "t6")
+	nu := chainByNames(t, g, "t1", "t3", "t4", "t6")
+	pb, err := a.PairDisparity(la, nu, SDiff)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Decomposition: common {t3, t6}; α1=β1={t1,t3};
+	// α2={t3,t5,t6} (W=40,B=−9), β2={t3,t4,t6} (W=30,B=−10).
+	// x1 = ⌈(−9−30)/10⌉ = −3, y1 = ⌊(40+10)/10⌋ = 5.
+	// O = max(|10−(−6)+30|, |−6−10−50|) = max(46,66) = 66 -> floor to 60.
+	if pb.X1 != -3 || pb.Y1 != 5 {
+		t.Errorf("x1,y1 = %d,%d; want -3,5", pb.X1, pb.Y1)
+	}
+	if pb.Bound != 60*ms {
+		t.Errorf("S-diff = %v, want 60ms", pb.Bound)
+	}
+}
+
+func TestTheorem2DegeneratesToTheorem1(t *testing.T) {
+	// When the only common task is the analyzed one (c = 1), Theorem 2's
+	// recursion is empty (x1 = y1 = 0) and the bound equals Theorem 1's.
+	g, a := fig2Analysis(t)
+	la := chainByNames(t, g, "t1", "t3")
+	nu := chainByNames(t, g, "t2", "t3")
+	p1, err := a.PairDisparity(la, nu, PDiff)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2, err := a.PairDisparity(la, nu, SDiff)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p2.X1 != 0 || p2.Y1 != 0 {
+		t.Errorf("x1,y1 = %d,%d; want 0,0", p2.X1, p2.Y1)
+	}
+	if p1.Bound != p2.Bound {
+		t.Errorf("P-diff %v != S-diff %v for c=1", p1.Bound, p2.Bound)
+	}
+}
+
+func TestTheorem2DifferentHeads(t *testing.T) {
+	g, a := fig2Analysis(t)
+	la := chainByNames(t, g, "t1", "t3", "t4", "t6")
+	nu := chainByNames(t, g, "t2", "t3", "t5", "t6")
+	pb, err := a.PairDisparity(la, nu, SDiff)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// α2={t3,t4,t6} (W=30,B=−10), β2={t3,t5,t6} (W=40,B=−9).
+	// x1 = ⌈(−10−40)/10⌉ = −5, y1 = ⌊(30+9)/10⌋ = 3.
+	// O = max(|15+6+50|, |−6−10−30|) = 71.
+	if pb.X1 != -5 || pb.Y1 != 3 {
+		t.Errorf("x1,y1 = %d,%d; want -5,3", pb.X1, pb.Y1)
+	}
+	if pb.Bound != 71*ms {
+		t.Errorf("S-diff = %v, want 71ms", pb.Bound)
+	}
+	// On this fixture (execution times comparable to periods) S-diff is
+	// looser than P-diff for this pair — both remain sound; S-diff's
+	// advantage appears when response times are small relative to
+	// periods, as in the paper's WATERS workloads.
+	p1, err := a.PairDisparity(la, nu, PDiff)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p1.Bound != 65*ms {
+		t.Errorf("P-diff = %v, want 65ms", p1.Bound)
+	}
+}
+
+func TestPairErrors(t *testing.T) {
+	g, a := fig2Analysis(t)
+	la := chainByNames(t, g, "t1", "t3", "t5", "t6")
+	nu := chainByNames(t, g, "t2", "t3")
+	if _, err := a.PairDisparity(la, nu, PDiff); err == nil {
+		t.Error("different tails accepted")
+	}
+	if _, err := a.PairDisparity(la, la, SDiff); err == nil {
+		t.Error("identical chains accepted")
+	}
+	if _, err := a.PairDisparity(model.Chain{}, nu, PDiff); err == nil {
+		t.Error("empty chain accepted")
+	}
+	if _, err := a.PairDisparity(la, chainByNames(t, g, "t1", "t3", "t4", "t6"), Method(99)); err == nil {
+		t.Error("unknown method accepted")
+	}
+}
+
+func TestDisparityTaskLevel(t *testing.T) {
+	g, a := fig2Analysis(t)
+	t6, _ := g.TaskByName("t6")
+	td, err := a.Disparity(t6.ID, PDiff, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// P-diff pairs on the FULL chains (no suffix stripping):
+	//  (t1t3t4t6, t1t3t5t6): same head, O=max(49,60)=60 -> 60
+	//  (t1t3t4t6, t2t3t4t6): max(50,55) = 55
+	//  (t1t3t4t6, t2t3t5t6): max(49,65) = 65
+	//  (t1t3t5t6, t2t3t4t6): max(60,54) = 60
+	//  (t1t3t5t6, t2t3t5t6): max(59,64) = 64
+	//  (t2t3t4t6, t2t3t5t6): same head T=15, O=max(54,65)=65 -> 60
+	if td.Bound != 65*ms {
+		t.Errorf("P-diff task bound = %v, want 65ms", td.Bound)
+	}
+	if len(td.Pairs) != 6 {
+		t.Errorf("pairs = %d, want 6", len(td.Pairs))
+	}
+	if td.Pairs[td.ArgMax].Bound != td.Bound {
+		t.Error("ArgMax inconsistent")
+	}
+
+	td2, err := a.Disparity(t6.ID, SDiff, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if td2.Bound != 71*ms {
+		t.Errorf("S-diff task bound = %v, want 71ms", td2.Bound)
+	}
+}
+
+func TestDisparityOfSingleChainTaskIsZero(t *testing.T) {
+	g, a := fig2Analysis(t)
+	// t4 is fed by chains from t1 and t2 (two chains); t1 itself has none.
+	t1, _ := g.TaskByName("t1")
+	td, err := a.Disparity(t1.ID, SDiff, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if td.Bound != 0 || len(td.Pairs) != 0 {
+		t.Errorf("source disparity = %v with %d pairs, want 0 and none", td.Bound, len(td.Pairs))
+	}
+}
+
+func TestNewRejectsUnschedulable(t *testing.T) {
+	g := model.NewGraph()
+	ecu := g.AddECU("e", model.Compute)
+	g.AddTask(model.Task{Name: "a", WCET: 5 * ms, BCET: ms, Period: 6 * ms, Prio: 0, ECU: ecu})
+	g.AddTask(model.Task{Name: "b", WCET: 5 * ms, BCET: ms, Period: 10 * ms, Prio: 1, ECU: ecu})
+	if _, err := New(g); err == nil || !strings.Contains(err.Error(), "not schedulable") {
+		t.Errorf("unschedulable graph accepted: %v", err)
+	}
+}
+
+func TestNewWithBackwardDuerr(t *testing.T) {
+	g := model.Fig2Graph()
+	res := sched.Analyze(g, sched.NonPreemptiveFP)
+	du := NewWithBackward(g, backward.NewAnalyzer(g, res, backward.Duerr))
+	np, err := New(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	la := chainByNames(t, g, "t1", "t3", "t5", "t6")
+	nu := chainByNames(t, g, "t1", "t3", "t4", "t6")
+	pd, err := du.PairDisparity(la, nu, PDiff)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pn, err := np.PairDisparity(la, nu, PDiff)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pd.Bound < pn.Bound {
+		t.Errorf("Dürr baseline %v tighter than NP %v", pd.Bound, pn.Bound)
+	}
+	if du.Backward() == np.Backward() {
+		t.Error("Backward accessor returned wrong analyzer")
+	}
+}
+
+func TestMethodString(t *testing.T) {
+	if PDiff.String() != "P-diff" || SDiff.String() != "S-diff" || Method(9).String() != "Method(9)" {
+		t.Error("Method.String broken")
+	}
+}
+
+func TestCheckThreshold(t *testing.T) {
+	g, a := fig2Analysis(t)
+	t6, _ := g.TaskByName("t6")
+
+	// S-diff task bound is 71ms: an 80ms threshold passes.
+	rep, err := a.CheckThreshold(t6.ID, 80*ms, SDiff, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.OK || rep.Margin != 9*ms || len(rep.Violations) != 0 {
+		t.Errorf("80ms check = %+v, want OK with 9ms margin", rep)
+	}
+
+	// A 60ms threshold fails; the 71ms and 66ms pairs violate.
+	rep, err = a.CheckThreshold(t6.ID, 60*ms, SDiff, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.OK || rep.Margin != -11*ms {
+		t.Errorf("60ms check = %+v, want violated with -11ms margin", rep)
+	}
+	if len(rep.Violations) != 2 {
+		t.Fatalf("violations = %d, want 2 (71ms and 66ms pairs)", len(rep.Violations))
+	}
+	for i := 1; i < len(rep.Violations); i++ {
+		if rep.Violations[i-1].Bound < rep.Violations[i].Bound {
+			t.Error("violations not sorted worst-first")
+		}
+	}
+	if rep.Violations[0].Bound != 71*ms {
+		t.Errorf("worst violation = %v, want 71ms", rep.Violations[0].Bound)
+	}
+}

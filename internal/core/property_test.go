@@ -1,0 +1,174 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/chains"
+	"repro/internal/randgraph"
+	"repro/internal/sched"
+	"repro/internal/waters"
+)
+
+// TestPairBoundProperties fuzzes WATERS workloads and checks algebraic
+// properties of the pairwise bounds on every chain pair of the sink:
+//
+//   - bounds are non-negative;
+//   - P-diff is symmetric in its arguments;
+//   - S-diff is symmetric in its arguments (the recursion mirrors);
+//   - with c = 1 and distinct heads, S-diff equals P-diff;
+//   - the alignment range is non-empty (x1 ≤ y1).
+func TestPairBoundProperties(t *testing.T) {
+	rng := rand.New(rand.NewSource(404))
+	trials := 0
+	for trials < 25 {
+		n := 6 + rng.Intn(10)
+		g, err := randgraph.GNM(n, 2*n, randgraph.DefaultConfig(), rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		waters.Populate(g, rng)
+		if res := sched.Analyze(g, sched.NonPreemptiveFP); !res.Schedulable {
+			continue
+		}
+		trials++
+		a, err := New(g)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sink := g.Sinks()[0]
+		cs, err := chains.Enumerate(g, sink, 2048)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, pair := range chains.Pairs(len(cs)) {
+			la, nu := cs[pair[0]], cs[pair[1]]
+			p1, err := a.PairDisparity(la, nu, PDiff)
+			if err != nil {
+				t.Fatal(err)
+			}
+			p2, err := a.PairDisparity(nu, la, PDiff)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if p1.Bound != p2.Bound {
+				t.Fatalf("P-diff asymmetric: %v vs %v", p1.Bound, p2.Bound)
+			}
+			if p1.Bound < 0 {
+				t.Fatalf("negative P-diff %v", p1.Bound)
+			}
+			s1, err := a.PairDisparity(la, nu, SDiff)
+			if err != nil {
+				t.Fatalf("S-diff(%s | %s): %v", la.Format(g), nu.Format(g), err)
+			}
+			s2, err := a.PairDisparity(nu, la, SDiff)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if s1.Bound != s2.Bound {
+				t.Fatalf("S-diff asymmetric on (%s | %s): %v vs %v",
+					la.Format(g), nu.Format(g), s1.Bound, s2.Bound)
+			}
+			if s1.X1 > s1.Y1 {
+				t.Fatalf("empty alignment range x1=%d > y1=%d", s1.X1, s1.Y1)
+			}
+			d, err := chains.Decompose(la, nu)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if d.C() == 1 && !d.SameHead && s1.Bound != p1.Bound {
+				t.Fatalf("c=1 pair: S-diff %v != P-diff %v", s1.Bound, p1.Bound)
+			}
+		}
+	}
+}
+
+// TestDisparityMonotoneInMethodOnFunnels pins the headline property on
+// funnel workloads (shared pipeline tail): the task-level S-diff never
+// exceeds P-diff there, because every pair shares the tail that P-diff
+// pays in full.
+func TestDisparityMonotoneInMethodOnFunnels(t *testing.T) {
+	rng := rand.New(rand.NewSource(505))
+	cfg := randgraph.DefaultConfig()
+	cfg.TailLen = 3
+	checked := 0
+	for checked < 10 {
+		g, err := randgraph.GNM(8+rng.Intn(8), 24, cfg, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		waters.Populate(g, rng)
+		if res := sched.Analyze(g, sched.NonPreemptiveFP); !res.Schedulable {
+			continue
+		}
+		a, err := New(g)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sink := g.Sinks()[0]
+		pd, err := a.Disparity(sink, PDiff, 2048)
+		if err != nil {
+			continue
+		}
+		sd, err := a.Disparity(sink, SDiff, 2048)
+		if err != nil {
+			continue
+		}
+		if len(pd.Pairs) == 0 {
+			continue
+		}
+		checked++
+		if sd.Bound > pd.Bound {
+			t.Errorf("funnel graph: S-diff %v above P-diff %v", sd.Bound, pd.Bound)
+		}
+	}
+}
+
+// TestTheorem3AgreesWithReanalysis checks, on random two-chain
+// workloads, that Theorem 3's predicted bound (S-diff − L) coincides
+// with re-running the S-diff analysis on the graph carrying Algorithm
+// 1's buffer (whose Lemma-6 window shift the backward bounds implement
+// directly). The two derivations are independent paths to the same
+// number.
+func TestTheorem3AgreesWithReanalysis(t *testing.T) {
+	rng := rand.New(rand.NewSource(606))
+	applied := 0
+	for trial := 0; trial < 80 && applied < 25; trial++ {
+		g, la, nu, err := randgraph.TwoChains(2+rng.Intn(8), randgraph.DefaultConfig(), rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		waters.Populate(g, rng)
+		if res := sched.Analyze(g, sched.NonPreemptiveFP); !res.Schedulable {
+			continue
+		}
+		a, err := New(g)
+		if err != nil {
+			continue
+		}
+		plan, err := a.Optimize(la, nu)
+		if err != nil || plan.L == 0 {
+			continue
+		}
+		mod := g.Clone()
+		if err := plan.Apply(mod); err != nil {
+			t.Fatal(err)
+		}
+		a2, err := New(mod)
+		if err != nil {
+			continue
+		}
+		pb2, err := a2.PairDisparity(la, nu, SDiff)
+		if err != nil {
+			t.Fatal(err)
+		}
+		applied++
+		if pb2.Bound != plan.After {
+			t.Errorf("trial %d: Theorem 3 predicts %v, re-analysis yields %v (before %v, L %v)",
+				trial, plan.After, pb2.Bound, plan.Before, plan.L)
+		}
+	}
+	if applied < 10 {
+		t.Fatalf("only %d buffered workloads exercised", applied)
+	}
+}

@@ -1,0 +1,55 @@
+package core
+
+import (
+	"sort"
+
+	"repro/internal/model"
+	"repro/internal/timeu"
+)
+
+// ThresholdReport is the outcome of CheckThreshold: the verification
+// question the paper opens with — "the time disparity … must be in a
+// certain range, so that information from different sensors can be
+// synchronized and fused" — answered for one task.
+type ThresholdReport struct {
+	Task      model.TaskID
+	Threshold timeu.Time
+	// Bound is the verified worst-case time disparity.
+	Bound timeu.Time
+	// OK reports Bound ≤ Threshold.
+	OK bool
+	// Margin is Threshold − Bound (negative when violated).
+	Margin timeu.Time
+	// Violations lists the chain pairs whose bound exceeds the
+	// threshold, worst first. Empty when OK.
+	Violations []*PairBound
+}
+
+// CheckThreshold verifies that the task's worst-case time disparity
+// stays within the threshold under the given method, and reports which
+// chain pairs violate it otherwise — the actionable input for buffer
+// sizing (each violating pair is an Optimize candidate).
+func (a *Analysis) CheckThreshold(task model.TaskID, threshold timeu.Time, m Method, maxChains int) (*ThresholdReport, error) {
+	td, err := a.Disparity(task, m, maxChains)
+	if err != nil {
+		return nil, err
+	}
+	rep := &ThresholdReport{
+		Task:      task,
+		Threshold: threshold,
+		Bound:     td.Bound,
+		OK:        td.Bound <= threshold,
+		Margin:    threshold - td.Bound,
+	}
+	if !rep.OK {
+		for _, pb := range td.Pairs {
+			if pb.Bound > threshold {
+				rep.Violations = append(rep.Violations, pb)
+			}
+		}
+		sort.Slice(rep.Violations, func(i, j int) bool {
+			return rep.Violations[i].Bound > rep.Violations[j].Bound
+		})
+	}
+	return rep, nil
+}

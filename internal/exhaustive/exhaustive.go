@@ -1,0 +1,226 @@
+// Package exhaustive searches the full configuration space of a small
+// cause-effect graph — release offsets on a grid × BCET/WCET corner
+// assignments — for the largest achievable time disparity of a task. The
+// result is a constructive witness: a concrete run attaining it, which
+// lower-bounds the true worst case and certifies how tight the
+// analytical bounds of package core are.
+//
+// The space is exponential (Π offsets/step × 2^scheduled tasks), so the
+// search is only feasible for graphs of a handful of tasks; Config caps
+// the combination count and the search fails loudly beyond it.
+package exhaustive
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/model"
+	"repro/internal/sim"
+	"repro/internal/timeu"
+)
+
+// Config bounds the sweep.
+type Config struct {
+	// OffsetStep is the grid spacing for offsets (required, positive).
+	OffsetStep timeu.Time
+	// MaxCombos caps offsets × exec-corner combinations (default 1e6).
+	MaxCombos int64
+	// WarmupHyperperiods and MeasureHyperperiods size each simulation
+	// (defaults 2 and 4).
+	WarmupHyperperiods, MeasureHyperperiods int
+}
+
+func (c Config) withDefaults() (Config, error) {
+	if c.OffsetStep <= 0 {
+		return c, fmt.Errorf("exhaustive: offset step must be positive")
+	}
+	if c.MaxCombos <= 0 {
+		c.MaxCombos = 1_000_000
+	}
+	if c.WarmupHyperperiods <= 0 {
+		c.WarmupHyperperiods = 2
+	}
+	if c.MeasureHyperperiods <= 0 {
+		c.MeasureHyperperiods = 4
+	}
+	return c, nil
+}
+
+// Result is the witness found by Search.
+type Result struct {
+	// Disparity is the largest observed time disparity of the task.
+	Disparity timeu.Time
+	// Offsets is the witnessing offset assignment (indexed by task ID)
+	// and WCETMask the witnessing execution-time corner (bit i set ⇒
+	// scheduled task Scheduled[i] ran at WCET).
+	Offsets   []timeu.Time
+	WCETMask  uint64
+	Scheduled []model.TaskID
+	// Combos is the number of simulated configurations.
+	Combos int64
+}
+
+// maskExec pins each scheduled task to BCET or WCET per the mask.
+type maskExec struct {
+	bit  map[model.TaskID]uint
+	mask uint64
+}
+
+func (m maskExec) Sample(t *model.Task, _ *rand.Rand) timeu.Time {
+	if b, ok := m.bit[t.ID]; ok && m.mask&(1<<b) != 0 {
+		return t.WCET
+	}
+	return t.BCET
+}
+func (m maskExec) Name() string { return fmt.Sprintf("mask(%b)", m.mask) }
+
+// Search sweeps every offset combination on the grid (the analyzed
+// task's offset is pinned to 0, which is w.l.o.g.: shifting the time
+// origin maps any assignment to one of this form) and every BCET/WCET
+// corner, simulating each, and returns the worst observed disparity with
+// its witness. The graph's offsets are restored afterwards.
+func Search(g *model.Graph, task model.TaskID, cfg Config) (*Result, error) {
+	cfg, err := cfg.withDefaults()
+	if err != nil {
+		return nil, err
+	}
+	if err := g.Validate(); err != nil {
+		return nil, err
+	}
+	if task < 0 || int(task) >= g.NumTasks() {
+		return nil, fmt.Errorf("exhaustive: unknown task %d", task)
+	}
+	for i := 0; i < g.NumTasks(); i++ {
+		if g.Task(model.TaskID(i)).Sporadic() {
+			return nil, fmt.Errorf("exhaustive: sporadic task %s has no finite configuration space", g.Task(model.TaskID(i)).Name)
+		}
+	}
+
+	// Enumerate the space size first.
+	var scheduled []model.TaskID
+	bit := map[model.TaskID]uint{}
+	combos := int64(1)
+	var sweep []model.TaskID // tasks whose offsets vary
+	for i := 0; i < g.NumTasks(); i++ {
+		id := model.TaskID(i)
+		t := g.Task(id)
+		if t.ECU != model.NoECU && t.WCET != t.BCET {
+			bit[id] = uint(len(scheduled))
+			scheduled = append(scheduled, id)
+			if len(scheduled) > 62 {
+				return nil, fmt.Errorf("exhaustive: too many variable-execution tasks")
+			}
+		}
+		if id == task {
+			continue // pinned to offset 0
+		}
+		steps := int64(t.Period / cfg.OffsetStep)
+		if steps < 1 {
+			steps = 1
+		}
+		combos *= steps
+		if combos > cfg.MaxCombos {
+			return nil, fmt.Errorf("exhaustive: %d+ offset combinations exceed the cap %d; coarsen OffsetStep", combos, cfg.MaxCombos)
+		}
+		sweep = append(sweep, id)
+	}
+	combos *= int64(1) << uint(len(scheduled))
+	if combos > cfg.MaxCombos {
+		return nil, fmt.Errorf("exhaustive: %d combinations exceed the cap %d", combos, cfg.MaxCombos)
+	}
+
+	saved := make([]timeu.Time, g.NumTasks())
+	for i := range saved {
+		saved[i] = g.Task(model.TaskID(i)).Offset
+	}
+	defer func() {
+		for i, o := range saved {
+			g.Task(model.TaskID(i)).Offset = o
+		}
+	}()
+	g.Task(task).Offset = 0
+
+	hyper := g.Hyperperiod()
+	warm := timeu.Time(cfg.WarmupHyperperiods) * hyper
+	horizon := warm + timeu.Time(cfg.MeasureHyperperiods)*hyper
+
+	res := &Result{Scheduled: scheduled}
+	var rec func(idx int) error
+	evalMasks := func() error {
+		for mask := uint64(0); mask < 1<<uint(len(scheduled)); mask++ {
+			obs := sim.NewDisparityObserver(warm, task)
+			if _, err := sim.Run(g, sim.Config{
+				Horizon:   horizon,
+				Exec:      maskExec{bit: bit, mask: mask},
+				Observers: []sim.Observer{obs},
+			}); err != nil {
+				return err
+			}
+			res.Combos++
+			if d := obs.Max(task); d > res.Disparity {
+				res.Disparity = d
+				res.WCETMask = mask
+				res.Offsets = make([]timeu.Time, g.NumTasks())
+				for i := range res.Offsets {
+					res.Offsets[i] = g.Task(model.TaskID(i)).Offset
+				}
+			}
+		}
+		return nil
+	}
+	rec = func(idx int) error {
+		if idx == len(sweep) {
+			return evalMasks()
+		}
+		t := g.Task(sweep[idx])
+		for o := timeu.Time(0); o < t.Period; o += cfg.OffsetStep {
+			t.Offset = o
+			if err := rec(idx + 1); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	if err := rec(0); err != nil {
+		return nil, err
+	}
+	return res, nil
+}
+
+// Replay re-simulates a witness (its offsets and execution-time corner)
+// and returns the observed disparity, confirming that the configuration
+// actually attains it. The graph's offsets are restored afterwards.
+func Replay(g *model.Graph, task model.TaskID, witness *Result, cfg Config) (timeu.Time, error) {
+	cfg, err := cfg.withDefaults()
+	if err != nil {
+		return 0, err
+	}
+	if len(witness.Offsets) != g.NumTasks() {
+		return 0, fmt.Errorf("exhaustive: witness has %d offsets for %d tasks", len(witness.Offsets), g.NumTasks())
+	}
+	saved := make([]timeu.Time, g.NumTasks())
+	for i := range saved {
+		saved[i] = g.Task(model.TaskID(i)).Offset
+		g.Task(model.TaskID(i)).Offset = witness.Offsets[i]
+	}
+	defer func() {
+		for i, o := range saved {
+			g.Task(model.TaskID(i)).Offset = o
+		}
+	}()
+	bit := map[model.TaskID]uint{}
+	for i, id := range witness.Scheduled {
+		bit[id] = uint(i)
+	}
+	hyper := g.Hyperperiod()
+	warm := timeu.Time(cfg.WarmupHyperperiods) * hyper
+	obs := sim.NewDisparityObserver(warm, task)
+	if _, err := sim.Run(g, sim.Config{
+		Horizon:   warm + timeu.Time(cfg.MeasureHyperperiods)*hyper,
+		Exec:      maskExec{bit: bit, mask: witness.WCETMask},
+		Observers: []sim.Observer{obs},
+	}); err != nil {
+		return 0, err
+	}
+	return obs.Max(task), nil
+}

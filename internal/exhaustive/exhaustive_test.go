@@ -1,0 +1,97 @@
+package exhaustive
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/model"
+	"repro/internal/timeu"
+)
+
+const ms = timeu.Millisecond
+
+// smallFusion mirrors the integration brute-force fixture:
+// s1(4ms) -> a -> c, s2(6ms) -> b -> c on one ECU.
+func smallFusion(t *testing.T) (*model.Graph, model.TaskID) {
+	t.Helper()
+	g := model.NewGraph()
+	ecu := g.AddECU("e", model.Compute)
+	s1 := g.AddTask(model.Task{Name: "s1", Period: 4 * ms, ECU: model.NoECU})
+	s2 := g.AddTask(model.Task{Name: "s2", Period: 6 * ms, ECU: model.NoECU})
+	a := g.AddTask(model.Task{Name: "a", WCET: 1 * ms, BCET: ms / 2, Period: 4 * ms, Prio: 0, ECU: ecu})
+	b := g.AddTask(model.Task{Name: "b", WCET: 1 * ms, BCET: ms / 2, Period: 6 * ms, Prio: 1, ECU: ecu})
+	c := g.AddTask(model.Task{Name: "c", WCET: 1 * ms, BCET: ms / 2, Period: 6 * ms, Prio: 2, ECU: ecu})
+	for _, e := range [][2]model.TaskID{{s1, a}, {a, c}, {s2, b}, {b, c}} {
+		if err := g.AddEdge(e[0], e[1]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return g, c
+}
+
+func TestSearchFindsTightWitness(t *testing.T) {
+	if testing.Short() {
+		t.Skip("exhaustive sweep skipped in -short mode")
+	}
+	g, fusion := smallFusion(t)
+	a, err := core.New(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sd, err := a.Disparity(fusion, core.SDiff, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Search(g, fusion, Config{OffsetStep: ms})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Disparity > sd.Bound {
+		t.Fatalf("witness %v exceeds the bound %v — unsound somewhere", res.Disparity, sd.Bound)
+	}
+	if float64(res.Disparity) < 0.5*float64(sd.Bound) {
+		t.Errorf("witness %v below half the bound %v; search or bound suspect", res.Disparity, sd.Bound)
+	}
+	if res.Combos == 0 || len(res.Offsets) != g.NumTasks() {
+		t.Errorf("malformed result: %+v", res)
+	}
+
+	// The witness must reproduce: replay the reported offsets and mask.
+	re, err := Replay(g, fusion, res, Config{OffsetStep: ms})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if re != res.Disparity {
+		t.Errorf("witness did not reproduce: %v != %v", re, res.Disparity)
+	}
+}
+
+func TestSearchGuards(t *testing.T) {
+	g, fusion := smallFusion(t)
+	if _, err := Search(g, fusion, Config{}); err == nil {
+		t.Error("missing offset step accepted")
+	}
+	if _, err := Search(g, fusion, Config{OffsetStep: ms, MaxCombos: 10}); err == nil ||
+		!strings.Contains(err.Error(), "exceed the cap") {
+		t.Errorf("combination cap not enforced: %v", err)
+	}
+	if _, err := Search(g, 99, Config{OffsetStep: ms}); err == nil {
+		t.Error("unknown task accepted")
+	}
+	g.Task(2).MaxPeriod = 8 * ms
+	if _, err := Search(g, fusion, Config{OffsetStep: ms}); err == nil {
+		t.Error("sporadic graph accepted")
+	}
+}
+
+func TestSearchRestoresOffsets(t *testing.T) {
+	g, fusion := smallFusion(t)
+	g.Task(0).Offset = 3 * ms
+	if _, err := Search(g, fusion, Config{OffsetStep: 2 * ms, MaxCombos: 1 << 20}); err != nil {
+		t.Fatal(err)
+	}
+	if g.Task(0).Offset != 3*ms {
+		t.Error("offsets not restored after the sweep")
+	}
+}

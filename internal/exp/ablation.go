@@ -1,0 +1,339 @@
+package exp
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/backward"
+	"repro/internal/core"
+	"repro/internal/model"
+	"repro/internal/offsetopt"
+	"repro/internal/randgraph"
+	"repro/internal/sched"
+	"repro/internal/sim"
+	"repro/internal/waters"
+)
+
+// The ablations quantify the reproduction's design choices:
+//
+//   - AblationBackward: how much the paper's non-preemptive backward-time
+//     bounds (Lemmas 4/5) gain over the scheduler-agnostic Dürr-style
+//     baseline, measured on the S-diff task bound;
+//   - AblationTail: how the shared-pipeline-tail length drives the
+//     P-diff/S-diff separation of Fig. 6(a);
+//   - AblationExec: how the simulator's execution-time model affects the
+//     observed disparity (which exec model is the most adversarial);
+//   - AblationSemantics: implicit communication vs LET;
+//   - AblationAdversarial: random vs disparity-maximizing offsets;
+//   - AblationUtilization (utilization.go): the Lemma-4/5 refinement as
+//     load grows;
+//   - AblationPriority / AblationGreedyBuffers (design.go): priority
+//     assignment and multi-pair buffer insertion.
+
+// AblationBackward compares the S-diff task bound computed with the
+// paper's NP-FP backward bounds against the Dürr-style baseline, per
+// task count. Columns (ms): S-diff(NP), S-diff(Dürr).
+func AblationBackward(cfg Config) (*Table, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	tbl := &Table{
+		Title:   "Ablation: NP-FP backward bounds (Lemmas 4/5) vs scheduler-agnostic baseline (ms)",
+		XLabel:  "tasks",
+		Columns: []string{"S-diff(NP)", "S-diff(Duerr)"},
+	}
+	for pi, n := range cfg.Points {
+		var nps, dus []float64
+		for gi := 0; gi < cfg.GraphsPerPoint; gi++ {
+			g := genForPoint(cfg, n, pi, gi)
+			if g == nil {
+				continue
+			}
+			res := sched.Analyze(g, sched.NonPreemptiveFP)
+			sink := g.Sinks()[0]
+
+			np := core.NewWithBackward(g, backward.NewAnalyzer(g, res, backward.NonPreemptive))
+			du := core.NewWithBackward(g, backward.NewAnalyzer(g, res, backward.Duerr))
+			npTd, err := np.Disparity(sink, core.SDiff, cfg.MaxChains)
+			if err != nil {
+				continue
+			}
+			duTd, err := du.Disparity(sink, core.SDiff, cfg.MaxChains)
+			if err != nil {
+				continue
+			}
+			if len(npTd.Pairs) == 0 {
+				continue
+			}
+			nps = append(nps, npTd.Bound.Milliseconds())
+			dus = append(dus, duTd.Bound.Milliseconds())
+		}
+		if len(nps) == 0 {
+			return nil, fmt.Errorf("exp: no usable graphs at n=%d", n)
+		}
+		tbl.AddRow(n, mean(nps), mean(dus))
+		if cfg.Log != nil {
+			fmt.Fprintf(cfg.Log, "ablation-backward n=%d: NP=%.3f Duerr=%.3f (%d graphs)\n",
+				n, mean(nps), mean(dus), len(nps))
+		}
+	}
+	return tbl, nil
+}
+
+// AblationTail sweeps the shared-pipeline-tail length (the X axis) on
+// fixed-size graphs and reports the mean P-diff and S-diff task bounds.
+// It quantifies the workload design decision documented in DESIGN.md:
+// with no tail the two bounds coincide; the separation grows with the
+// shared suffix.
+func AblationTail(cfg Config, totalTasks int) (*Table, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	tbl := &Table{
+		Title:   fmt.Sprintf("Ablation: shared tail length on %d-task graphs (ms)", totalTasks),
+		XLabel:  "tail",
+		Columns: []string{"P-diff", "S-diff"},
+	}
+	for pi, tail := range cfg.Points {
+		if totalTasks-tail < 5 {
+			return nil, fmt.Errorf("exp: tail %d leaves fewer than 5 random tasks", tail)
+		}
+		var pds, sds []float64
+		for gi := 0; gi < cfg.GraphsPerPoint; gi++ {
+			sub := cfg
+			sub.TailLen = tail
+			g := genForPoint(sub, totalTasks, pi, gi)
+			if g == nil {
+				continue
+			}
+			a, err := core.New(g)
+			if err != nil {
+				continue
+			}
+			sink := g.Sinks()[0]
+			pd, err := a.Disparity(sink, core.PDiff, cfg.MaxChains)
+			if err != nil {
+				continue
+			}
+			sd, err := a.Disparity(sink, core.SDiff, cfg.MaxChains)
+			if err != nil || len(pd.Pairs) == 0 {
+				continue
+			}
+			pds = append(pds, pd.Bound.Milliseconds())
+			sds = append(sds, sd.Bound.Milliseconds())
+		}
+		if len(pds) == 0 {
+			return nil, fmt.Errorf("exp: no usable graphs at tail=%d", tail)
+		}
+		tbl.AddRow(tail, mean(pds), mean(sds))
+	}
+	return tbl, nil
+}
+
+// AblationExec compares the maximum disparity observed under the four
+// execution-time models against the S-diff bound, per task count.
+// Columns (ms): Sim-wcet, Sim-bcet, Sim-uniform, Sim-extremes, S-diff.
+func AblationExec(cfg Config) (*Table, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	models := []sim.ExecModel{sim.WCETExec{}, sim.BCETExec{}, sim.UniformExec{}, sim.ExtremesExec{P: 0.5}}
+	tbl := &Table{
+		Title:   "Ablation: execution-time models vs the S-diff bound (ms)",
+		XLabel:  "tasks",
+		Columns: []string{"Sim-wcet", "Sim-bcet", "Sim-uniform", "Sim-extremes", "S-diff"},
+	}
+	for pi, n := range cfg.Points {
+		sums := make([][]float64, len(models))
+		var sds []float64
+		for gi := 0; gi < cfg.GraphsPerPoint; gi++ {
+			g := genForPoint(cfg, n, pi, gi)
+			if g == nil {
+				continue
+			}
+			a, err := core.New(g)
+			if err != nil {
+				continue
+			}
+			sink := g.Sinks()[0]
+			sd, err := a.Disparity(sink, core.SDiff, cfg.MaxChains)
+			if err != nil || len(sd.Pairs) == 0 {
+				continue
+			}
+			sds = append(sds, sd.Bound.Milliseconds())
+			rng := rand.New(rand.NewSource(cfg.Seed + int64(pi*31+gi)))
+			for mi, m := range models {
+				sub := cfg
+				sub.Exec = m
+				v := simulateMaxDisparity(sub, g, sink, rng)
+				sums[mi] = append(sums[mi], v.Milliseconds())
+			}
+		}
+		if len(sds) == 0 {
+			return nil, fmt.Errorf("exp: no usable graphs at n=%d", n)
+		}
+		tbl.AddRow(n, mean(sums[0]), mean(sums[1]), mean(sums[2]), mean(sums[3]), mean(sds))
+	}
+	return tbl, nil
+}
+
+// AblationSemantics compares implicit communication against LET on the
+// same workloads: the S-diff bound and the observed disparity under
+// each, per task count. Columns (ms): S-diff(impl), Sim(impl),
+// S-diff(LET), Sim(LET). LET removes sampling jitter but pays one full
+// producer period per hop, so its bounds typically sit higher while its
+// observed disparity is deterministic.
+func AblationSemantics(cfg Config) (*Table, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	tbl := &Table{
+		Title:   "Ablation: implicit communication vs LET (ms)",
+		XLabel:  "tasks",
+		Columns: []string{"S-diff(impl)", "Sim(impl)", "S-diff(LET)", "Sim(LET)"},
+	}
+	for pi, n := range cfg.Points {
+		var sdI, simI, sdL, simL []float64
+		for gi := 0; gi < cfg.GraphsPerPoint; gi++ {
+			g := genForPoint(cfg, n, pi, gi)
+			if g == nil {
+				continue
+			}
+			sink := g.Sinks()[0]
+			rng := rand.New(rand.NewSource(cfg.Seed + int64(pi*37+gi)))
+			evalOne := func(gr *model.Graph) (bound, simv float64, ok bool) {
+				a, err := core.New(gr)
+				if err != nil {
+					return 0, 0, false
+				}
+				sd, err := a.Disparity(sink, core.SDiff, cfg.MaxChains)
+				if err != nil || len(sd.Pairs) == 0 {
+					return 0, 0, false
+				}
+				v := simulateMaxDisparity(cfg, gr, sink, rng)
+				return sd.Bound.Milliseconds(), v.Milliseconds(), true
+			}
+			bi, si, ok := evalOne(g)
+			if !ok {
+				continue
+			}
+			let := g.Clone()
+			for i := 0; i < let.NumTasks(); i++ {
+				let.Task(model.TaskID(i)).Sem = model.LET
+			}
+			bl, sl, ok := evalOne(let)
+			if !ok {
+				continue
+			}
+			sdI = append(sdI, bi)
+			simI = append(simI, si)
+			sdL = append(sdL, bl)
+			simL = append(simL, sl)
+		}
+		if len(sdI) == 0 {
+			return nil, fmt.Errorf("exp: no usable graphs at n=%d", n)
+		}
+		tbl.AddRow(n, mean(sdI), mean(simI), mean(sdL), mean(simL))
+	}
+	return tbl, nil
+}
+
+// AblationAdversarial quantifies how much of the Fig. 6(c) bound-vs-Sim
+// gap is an artifact of random offsets: per two-chain length it reports
+// the S-diff bound, the random-offset Sim (the paper's procedure), and
+// an adversarial Sim where release offsets are searched to MAXIMIZE the
+// observed disparity. Columns (ms): Sim(random), Sim(adversarial),
+// S-diff.
+func AblationAdversarial(cfg Config) (*Table, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	tbl := &Table{
+		Title:   "Ablation: random vs adversarial offsets on two-chain graphs (ms)",
+		XLabel:  "chainlen",
+		Columns: []string{"Sim(random)", "Sim(adv)", "S-diff"},
+	}
+	for pi, n := range cfg.Points {
+		var rnds, advs, sds []float64
+		for gi := 0; gi < cfg.GraphsPerPoint; gi++ {
+			rng := rand.New(rand.NewSource(cfg.Seed + 43 + int64(pi)*1_000_003 + int64(gi)*7_919))
+			gcfg := randgraph.Config{ECUs: cfg.ECUs, StimulusSources: true}
+			var g *model.Graph
+			var la model.Chain
+			for attempt := 0; attempt < 60; attempt++ {
+				gg, l, _, err := randgraph.TwoChains(n, gcfg, rng)
+				if err != nil {
+					continue
+				}
+				waters.Populate(gg, rng)
+				if res := sched.Analyze(gg, sched.NonPreemptiveFP); !res.Schedulable {
+					continue
+				}
+				g, la = gg, l
+				break
+			}
+			if g == nil {
+				continue
+			}
+			sink := la.Tail()
+			a, err := core.New(g)
+			if err != nil {
+				continue
+			}
+			sd, err := a.Disparity(sink, core.SDiff, cfg.MaxChains)
+			if err != nil {
+				continue
+			}
+			random := simulateMaxDisparity(cfg, g, sink, rng)
+			adv, err := offsetopt.RandomRestarts(g, sink, offsetopt.Config{
+				Direction: offsetopt.Maximize,
+				Steps:     6,
+				Rounds:    2,
+				Exec:      cfg.Exec,
+				Seeds:     2,
+			}, 2, cfg.Seed+int64(gi))
+			if err != nil {
+				continue
+			}
+			rnds = append(rnds, random.Milliseconds())
+			advs = append(advs, adv.After.Milliseconds())
+			sds = append(sds, sd.Bound.Milliseconds())
+		}
+		if len(rnds) == 0 {
+			return nil, fmt.Errorf("exp: no usable graphs at chain length %d", n)
+		}
+		tbl.AddRow(n, mean(rnds), mean(advs), mean(sds))
+		if cfg.Log != nil {
+			fmt.Fprintf(cfg.Log, "adversarial len=%d: rand=%.3f adv=%.3f bound=%.3f\n",
+				n, mean(rnds), mean(advs), mean(sds))
+		}
+	}
+	return tbl, nil
+}
+
+// genForPoint generates one schedulable WATERS GNM workload with the
+// config's tail policy, or nil after repeated failures.
+func genForPoint(cfg Config, n, pi, gi int) *model.Graph {
+	rng := rand.New(rand.NewSource(cfg.Seed + 29 + int64(pi)*1_000_003 + int64(gi)*7_919))
+	tail := cfg.TailLen
+	if n-tail < 5 {
+		tail = n - 5
+	}
+	if tail < 0 {
+		tail = 0
+	}
+	gcfg := randgraph.Config{ECUs: cfg.ECUs, StimulusSources: true, TailLen: tail}
+	for attempt := 0; attempt < 60; attempt++ {
+		randPart := n - tail
+		g, err := randgraph.GNM(randPart, int(cfg.EdgeFactor*float64(randPart)), gcfg, rng)
+		if err != nil {
+			continue
+		}
+		waters.Populate(g, rng)
+		if res := sched.Analyze(g, sched.NonPreemptiveFP); !res.Schedulable {
+			continue
+		}
+		return g
+	}
+	return nil
+}

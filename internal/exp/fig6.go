@@ -1,0 +1,415 @@
+package exp
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"math/rand"
+	"runtime"
+	"sync"
+
+	"repro/internal/core"
+	"repro/internal/model"
+	"repro/internal/randgraph"
+	"repro/internal/sched"
+	"repro/internal/sim"
+	"repro/internal/timeu"
+	"repro/internal/waters"
+)
+
+// Config parameterizes the Fig. 6 experiments. The zero value is not
+// usable; start from Defaults or PaperScale.
+type Config struct {
+	// Points is the X axis: task counts for Fig. 6(a)/(b), per-chain task
+	// counts for Fig. 6(c)/(d).
+	Points []int
+	// GraphsPerPoint is how many random graphs are averaged per point.
+	GraphsPerPoint int
+	// OffsetsPerGraph is how many random offset assignments each graph is
+	// simulated with; the per-graph Sim value is the maximum over them
+	// (the tightest achievable lower bound the runs exhibit).
+	OffsetsPerGraph int
+	// Horizon is the simulated time per run.
+	Horizon timeu.Time
+	// Warmup discards early jobs so buffered channels reach steady state.
+	Warmup timeu.Time
+	// EdgeFactor sets m = EdgeFactor·n edges for the GNM graphs. The
+	// paper does not state its m; 2.0 gives the moderately dense DAGs its
+	// description implies.
+	EdgeFactor float64
+	// TailLen reserves that many of each graph's n tasks for a shared
+	// pipeline tail after the last fusion point (clamped so the random
+	// part keeps at least 5 tasks; 0 disables). The paper's generation
+	// is "GNM with a single sink"; without a shared tail, such
+	// multi-source graphs always contain a structure-free worst pair and
+	// P-diff equals S-diff at the task level, flattening Fig. 6(a)'s
+	// separation. The tail reproduces the motivating architecture
+	// (fusion → planning → control, Fig. 1) where the separation shows.
+	TailLen int
+	// ECUs is the number of compute ECUs.
+	ECUs int
+	// Exec draws job execution times during simulation.
+	Exec sim.ExecModel
+	// Seed makes the whole experiment deterministic.
+	Seed int64
+	// MaxChains caps path enumeration per graph; graphs exceeding it are
+	// regenerated (exponential-path GNM outliers).
+	MaxChains int
+	// Workers bounds concurrent graph evaluations (0 = GOMAXPROCS).
+	Workers int
+	// Log, when non-nil, receives one progress line per point.
+	Log io.Writer
+}
+
+// Defaults returns a configuration sized for interactive runs and tests:
+// the paper's topology parameters with a shorter simulation horizon.
+func Defaults() Config {
+	return Config{
+		Points:          []int{5, 10, 15, 20, 25, 30, 35},
+		GraphsPerPoint:  10,
+		OffsetsPerGraph: 10,
+		Horizon:         5 * timeu.Second,
+		Warmup:          timeu.Second,
+		EdgeFactor:      2.0,
+		TailLen:         3,
+		ECUs:            4,
+		Exec:            sim.ExtremesExec{P: 0.5},
+		Seed:            1,
+		MaxChains:       1 << 14,
+	}
+}
+
+// PaperScale returns the full evaluation setup of the paper: 10 graphs ×
+// 10 offset runs × 10 simulated minutes per configuration. Expect long
+// wall-clock times.
+func PaperScale() Config {
+	cfg := Defaults()
+	cfg.Horizon = 10 * timeu.Minute
+	return cfg
+}
+
+func (cfg *Config) workers() int {
+	if cfg.Workers > 0 {
+		return cfg.Workers
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+func (cfg *Config) validate() error {
+	if len(cfg.Points) == 0 {
+		return errors.New("exp: no points")
+	}
+	if cfg.GraphsPerPoint < 1 || cfg.OffsetsPerGraph < 1 {
+		return errors.New("exp: need at least one graph and one offset run per point")
+	}
+	if cfg.Horizon <= 0 {
+		return errors.New("exp: non-positive horizon")
+	}
+	if cfg.Exec == nil {
+		return errors.New("exp: nil exec model")
+	}
+	return nil
+}
+
+// graphResult carries the per-graph metrics of Fig. 6(a)/(b).
+type graphResult struct {
+	sim, pdiff, sdiff float64 // milliseconds
+	ok                bool
+}
+
+// Fig6a runs the Fig. 6(a) experiment and returns the absolute series
+// (milliseconds): Sim, P-diff, S-diff versus task count.
+func Fig6a(cfg Config) (*Table, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	tbl := &Table{
+		Title:   "Fig 6(a): worst-case time disparity vs number of tasks (ms)",
+		XLabel:  "tasks",
+		Columns: []string{"Sim", "P-diff", "S-diff"},
+	}
+	ratios := &Table{}
+	if err := runFig6ab(cfg, tbl, ratios); err != nil {
+		return nil, err
+	}
+	return tbl, nil
+}
+
+// Fig6b runs the same experiment as Fig6a but returns the incremental
+// ratios (bound − Sim)/Sim of P-diff and S-diff.
+func Fig6b(cfg Config) (*Table, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	abs := &Table{}
+	tbl := &Table{
+		Title:   "Fig 6(b): incremental ratio vs number of tasks",
+		XLabel:  "tasks",
+		Columns: []string{"P-diff", "S-diff"},
+	}
+	if err := runFig6ab(cfg, abs, tbl); err != nil {
+		return nil, err
+	}
+	return tbl, nil
+}
+
+// Fig6ab runs the shared experiment once and returns both views,
+// avoiding double work when a caller wants the full panel.
+func Fig6ab(cfg Config) (abs, ratio *Table, err error) {
+	if err := cfg.validate(); err != nil {
+		return nil, nil, err
+	}
+	abs = &Table{
+		Title:   "Fig 6(a): worst-case time disparity vs number of tasks (ms)",
+		XLabel:  "tasks",
+		Columns: []string{"Sim", "P-diff", "S-diff"},
+	}
+	ratio = &Table{
+		Title:   "Fig 6(b): incremental ratio vs number of tasks",
+		XLabel:  "tasks",
+		Columns: []string{"P-diff", "S-diff"},
+	}
+	if err := runFig6ab(cfg, abs, ratio); err != nil {
+		return nil, nil, err
+	}
+	return abs, ratio, nil
+}
+
+func runFig6ab(cfg Config, abs, ratio *Table) error {
+	if len(abs.Columns) == 0 {
+		abs.Columns = []string{"Sim", "P-diff", "S-diff"}
+		abs.XLabel = "tasks"
+	}
+	if len(ratio.Columns) == 0 {
+		ratio.Columns = []string{"P-diff", "S-diff"}
+		ratio.XLabel = "tasks"
+	}
+	for pi, n := range cfg.Points {
+		results := make([]graphResult, cfg.GraphsPerPoint)
+		var wg sync.WaitGroup
+		sem := make(chan struct{}, cfg.workers())
+		for gi := 0; gi < cfg.GraphsPerPoint; gi++ {
+			wg.Add(1)
+			sem <- struct{}{}
+			go func(gi int) {
+				defer func() { <-sem; wg.Done() }()
+				results[gi] = evalGNMGraph(cfg, n, pi, gi)
+			}(gi)
+		}
+		wg.Wait()
+		var sims, pds, sds, prs, srs []float64
+		for _, r := range results {
+			if !r.ok {
+				continue
+			}
+			sims = append(sims, r.sim)
+			pds = append(pds, r.pdiff)
+			sds = append(sds, r.sdiff)
+			if r.sim > 0 {
+				prs = append(prs, (r.pdiff-r.sim)/r.sim)
+				srs = append(srs, (r.sdiff-r.sim)/r.sim)
+			}
+		}
+		if len(sims) == 0 {
+			return fmt.Errorf("exp: no usable graphs at point n=%d", n)
+		}
+		abs.AddRow(n, mean(sims), mean(pds), mean(sds))
+		ratio.AddRow(n, mean(prs), mean(srs))
+		if cfg.Log != nil {
+			fmt.Fprintf(cfg.Log, "n=%d: Sim=%.3fms P-diff=%.3fms S-diff=%.3fms (%d graphs)\n",
+				n, mean(sims), mean(pds), mean(sds), len(sims))
+		}
+	}
+	return nil
+}
+
+// evalGNMGraph generates the gi-th graph for point n and evaluates it:
+// analysis bounds at the sink plus the max simulated disparity over the
+// offset runs. ok=false marks graphs abandoned after repeated failures.
+func evalGNMGraph(cfg Config, n, pi, gi int) graphResult {
+	rng := rand.New(rand.NewSource(cfg.Seed + int64(pi)*1_000_003 + int64(gi)*7_919))
+	tail := cfg.TailLen
+	if n-tail < 5 {
+		tail = n - 5
+	}
+	if tail < 0 {
+		tail = 0
+	}
+	gcfg := randgraph.Config{ECUs: cfg.ECUs, StimulusSources: true, TailLen: tail}
+	for attempt := 0; attempt < 60; attempt++ {
+		randPart := n - tail // total tasks = n as plotted
+		g, err := randgraph.GNM(randPart, int(cfg.EdgeFactor*float64(randPart)), gcfg, rng)
+		if err != nil {
+			continue
+		}
+		waters.Populate(g, rng)
+		if res := sched.Analyze(g, sched.NonPreemptiveFP); !res.Schedulable {
+			continue
+		}
+		a, err := core.New(g)
+		if err != nil {
+			continue
+		}
+		sink := g.Sinks()[0]
+		pd, err := a.Disparity(sink, core.PDiff, cfg.MaxChains)
+		if err != nil {
+			continue // e.g. too many chains: regenerate
+		}
+		sd, err := a.Disparity(sink, core.SDiff, cfg.MaxChains)
+		if err != nil {
+			continue
+		}
+		if len(pd.Pairs) == 0 {
+			continue // single-source graph: disparity is trivially 0
+		}
+		simMax := simulateMaxDisparity(cfg, g, sink, rng)
+		return graphResult{
+			sim:   simMax.Milliseconds(),
+			pdiff: pd.Bound.Milliseconds(),
+			sdiff: sd.Bound.Milliseconds(),
+			ok:    true,
+		}
+	}
+	return graphResult{}
+}
+
+// simulateMaxDisparity runs cfg.OffsetsPerGraph simulations with fresh
+// random offsets and returns the maximum observed disparity of the task.
+func simulateMaxDisparity(cfg Config, g *model.Graph, task model.TaskID, rng *rand.Rand) timeu.Time {
+	var worst timeu.Time
+	for run := 0; run < cfg.OffsetsPerGraph; run++ {
+		waters.RandomOffsets(g, rng)
+		obs := sim.NewDisparityObserver(cfg.Warmup, task)
+		if _, err := sim.Run(g, sim.Config{
+			Horizon:   cfg.Horizon,
+			Exec:      cfg.Exec,
+			Seed:      rng.Int63(),
+			Observers: []sim.Observer{obs},
+		}); err != nil {
+			// A validation failure here is a programming error upstream;
+			// surface it loudly rather than skewing results silently.
+			panic(err)
+		}
+		worst = timeu.Max(worst, obs.Max(task))
+	}
+	return worst
+}
+
+// Fig6c runs the Fig. 6(c) experiment: two independent chains merged at a
+// sink, with and without Algorithm 1's buffers. Columns (ms): Sim,
+// S-diff, Sim-B, S-diff-B versus per-chain task count.
+func Fig6c(cfg Config) (*Table, error) {
+	abs, _, err := fig6cd(cfg)
+	return abs, err
+}
+
+// Fig6d returns the incremental-ratio view of Fig6c: (S-diff − Sim)/Sim
+// and (S-diff-B − Sim-B)/Sim-B.
+func Fig6d(cfg Config) (*Table, error) {
+	_, ratio, err := fig6cd(cfg)
+	return ratio, err
+}
+
+// Fig6cd runs the Fig. 6(c)/(d) experiment once and returns both views.
+func Fig6cd(cfg Config) (abs, ratio *Table, err error) {
+	return fig6cd(cfg)
+}
+
+type twoChainResult struct {
+	sim, sdiff, simB, sdiffB float64
+	ok                       bool
+}
+
+func fig6cd(cfg Config) (*Table, *Table, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, nil, err
+	}
+	abs := &Table{
+		Title:   "Fig 6(c): two-chain disparity with buffer optimization (ms)",
+		XLabel:  "chainlen",
+		Columns: []string{"Sim", "S-diff", "Sim-B", "S-diff-B"},
+	}
+	ratio := &Table{
+		Title:   "Fig 6(d): incremental ratio with buffer optimization",
+		XLabel:  "chainlen",
+		Columns: []string{"S-diff", "S-diff-B"},
+	}
+	for pi, n := range cfg.Points {
+		results := make([]twoChainResult, cfg.GraphsPerPoint)
+		var wg sync.WaitGroup
+		sem := make(chan struct{}, cfg.workers())
+		for gi := 0; gi < cfg.GraphsPerPoint; gi++ {
+			wg.Add(1)
+			sem <- struct{}{}
+			go func(gi int) {
+				defer func() { <-sem; wg.Done() }()
+				results[gi] = evalTwoChains(cfg, n, pi, gi)
+			}(gi)
+		}
+		wg.Wait()
+		var sims, sds, simBs, sdBs, rs, rbs []float64
+		for _, r := range results {
+			if !r.ok {
+				continue
+			}
+			sims = append(sims, r.sim)
+			sds = append(sds, r.sdiff)
+			simBs = append(simBs, r.simB)
+			sdBs = append(sdBs, r.sdiffB)
+			if r.sim > 0 {
+				rs = append(rs, (r.sdiff-r.sim)/r.sim)
+			}
+			if r.simB > 0 {
+				rbs = append(rbs, (r.sdiffB-r.simB)/r.simB)
+			}
+		}
+		if len(sims) == 0 {
+			return nil, nil, fmt.Errorf("exp: no usable graphs at chain length %d", n)
+		}
+		abs.AddRow(n, mean(sims), mean(sds), mean(simBs), mean(sdBs))
+		ratio.AddRow(n, mean(rs), mean(rbs))
+		if cfg.Log != nil {
+			fmt.Fprintf(cfg.Log, "len=%d: Sim=%.3f S-diff=%.3f Sim-B=%.3f S-diff-B=%.3f (ms, %d graphs)\n",
+				n, mean(sims), mean(sds), mean(simBs), mean(sdBs), len(sims))
+		}
+	}
+	return abs, ratio, nil
+}
+
+func evalTwoChains(cfg Config, n, pi, gi int) twoChainResult {
+	rng := rand.New(rand.NewSource(cfg.Seed + 17 + int64(pi)*1_000_003 + int64(gi)*7_919))
+	gcfg := randgraph.Config{ECUs: cfg.ECUs, StimulusSources: true}
+	for attempt := 0; attempt < 60; attempt++ {
+		g, la, nu, err := randgraph.TwoChains(n, gcfg, rng)
+		if err != nil {
+			continue
+		}
+		waters.Populate(g, rng)
+		if res := sched.Analyze(g, sched.NonPreemptiveFP); !res.Schedulable {
+			continue
+		}
+		a, err := core.New(g)
+		if err != nil {
+			continue
+		}
+		plan, err := a.Optimize(la, nu)
+		if err != nil {
+			continue
+		}
+		sink := la.Tail()
+		simPlain := simulateMaxDisparity(cfg, g, sink, rng)
+		buffered := g.Clone()
+		if err := plan.Apply(buffered); err != nil {
+			continue
+		}
+		simBuf := simulateMaxDisparity(cfg, buffered, sink, rng)
+		return twoChainResult{
+			sim:    simPlain.Milliseconds(),
+			sdiff:  plan.Before.Milliseconds(),
+			simB:   simBuf.Milliseconds(),
+			sdiffB: plan.After.Milliseconds(),
+			ok:     true,
+		}
+	}
+	return twoChainResult{}
+}

@@ -1,0 +1,204 @@
+// Package gantt renders simulation traces as Gantt charts — one row per
+// task, one box per job from start to finish, with release markers — as
+// either SVG (for reports) or ASCII (for terminals). It consumes the
+// records produced by package trace.
+package gantt
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+
+	"repro/internal/model"
+	"repro/internal/timeu"
+	"repro/internal/trace"
+)
+
+// Chart is a renderable view of a trace window.
+type Chart struct {
+	g       *model.Graph
+	records []trace.Record
+	// From and To bound the rendered window; zero values auto-fit to the
+	// records.
+	From, To timeu.Time
+}
+
+// New builds a chart over the records (typically trace.Recorder.Records).
+func New(g *model.Graph, records []trace.Record) *Chart {
+	return &Chart{g: g, records: records}
+}
+
+// Window restricts rendering to [from, to].
+func (c *Chart) Window(from, to timeu.Time) *Chart {
+	c.From, c.To = from, to
+	return c
+}
+
+// bounds returns the effective window.
+func (c *Chart) bounds() (timeu.Time, timeu.Time, error) {
+	from, to := c.From, c.To
+	if from == 0 && to == 0 {
+		if len(c.records) == 0 {
+			return 0, 0, fmt.Errorf("gantt: no records")
+		}
+		from, to = c.records[0].Release, c.records[0].Finish
+		for _, r := range c.records {
+			from = timeu.Min(from, r.Release)
+			to = timeu.Max(to, r.Finish)
+		}
+	}
+	if to <= from {
+		return 0, 0, fmt.Errorf("gantt: empty window [%v, %v]", from, to)
+	}
+	return from, to, nil
+}
+
+// rows groups the visible records per task, task-ID ordered.
+func (c *Chart) rows(from, to timeu.Time) []model.TaskID {
+	seen := map[model.TaskID]bool{}
+	for _, r := range c.records {
+		if r.Finish < from || r.Release > to {
+			continue
+		}
+		seen[r.Task] = true
+	}
+	out := make([]model.TaskID, 0, len(seen))
+	for id := range seen {
+		out = append(out, id)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// palette cycles fill colors per task row.
+var palette = []string{
+	"#4e79a7", "#f28e2b", "#e15759", "#76b7b2", "#59a14f",
+	"#edc948", "#b07aa1", "#ff9da7", "#9c755f", "#bab0ac",
+}
+
+// WriteSVG renders the chart as a standalone SVG document.
+func (c *Chart) WriteSVG(w io.Writer) error {
+	from, to, err := c.bounds()
+	if err != nil {
+		return err
+	}
+	tasks := c.rows(from, to)
+	if len(tasks) == 0 {
+		return fmt.Errorf("gantt: no jobs inside the window")
+	}
+	const (
+		rowH    = 28
+		boxH    = 18
+		labelW  = 140
+		chartW  = 900
+		headerH = 30
+	)
+	span := float64(to - from)
+	x := func(t timeu.Time) float64 {
+		return labelW + float64(t-from)/span*(chartW-labelW-10)
+	}
+	height := headerH + rowH*len(tasks) + 10
+
+	var b strings.Builder
+	fmt.Fprintf(&b, `<svg xmlns="http://www.w3.org/2000/svg" width="%d" height="%d" font-family="monospace" font-size="12">`+"\n", chartW, height)
+	fmt.Fprintf(&b, `<text x="%d" y="18">window %v .. %v</text>`+"\n", labelW, from, to)
+	for ri, id := range tasks {
+		y := headerH + ri*rowH
+		name := c.g.Task(id).Name
+		fmt.Fprintf(&b, `<text x="4" y="%d">%s</text>`+"\n", y+boxH-4, escape(name))
+		fmt.Fprintf(&b, `<line x1="%d" y1="%d" x2="%d" y2="%d" stroke="#ddd"/>`+"\n",
+			labelW, y+boxH, chartW-10, y+boxH)
+		color := palette[ri%len(palette)]
+		for _, r := range c.records {
+			if r.Task != id || r.Finish < from || r.Release > to {
+				continue
+			}
+			x0, x1 := x(timeu.Max(r.Start, from)), x(timeu.Min(r.Finish, to))
+			if x1 < x0 {
+				continue
+			}
+			wBox := x1 - x0
+			if wBox < 1 {
+				wBox = 1
+			}
+			fmt.Fprintf(&b, `<rect x="%.1f" y="%d" width="%.1f" height="%d" fill="%s"><title>%s job %d r=%v s=%v f=%v disparity=%v</title></rect>`+"\n",
+				x0, y, wBox, boxH, color, escape(c.g.Task(id).Name), r.K, r.Release, r.Start, r.Finish, r.Disparity)
+			// Release marker.
+			if r.Release >= from && r.Release <= to {
+				rx := x(r.Release)
+				fmt.Fprintf(&b, `<line x1="%.1f" y1="%d" x2="%.1f" y2="%d" stroke="#333"/>`+"\n",
+					rx, y-2, rx, y+boxH+2)
+			}
+		}
+	}
+	b.WriteString("</svg>\n")
+	_, err = io.WriteString(w, b.String())
+	return err
+}
+
+// WriteASCII renders the chart as text, one row per task, width columns
+// across the window. Execution is drawn with '#', the release instant
+// with '|' (or '+' when it coincides with execution).
+func (c *Chart) WriteASCII(w io.Writer, width int) error {
+	if width < 10 {
+		return fmt.Errorf("gantt: width %d too small", width)
+	}
+	from, to, err := c.bounds()
+	if err != nil {
+		return err
+	}
+	tasks := c.rows(from, to)
+	if len(tasks) == 0 {
+		return fmt.Errorf("gantt: no jobs inside the window")
+	}
+	nameW := 0
+	for _, id := range tasks {
+		if n := len(c.g.Task(id).Name); n > nameW {
+			nameW = n
+		}
+	}
+	span := to - from
+	col := func(t timeu.Time) int {
+		cidx := int(int64(t-from) * int64(width-1) / int64(span))
+		if cidx < 0 {
+			cidx = 0
+		}
+		if cidx >= width {
+			cidx = width - 1
+		}
+		return cidx
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%*s  %v%*s%v\n", nameW, "", from, width-len(from.String())-len(to.String()), "", to)
+	for _, id := range tasks {
+		row := make([]byte, width)
+		for i := range row {
+			row[i] = '.'
+		}
+		for _, r := range c.records {
+			if r.Task != id || r.Finish < from || r.Release > to {
+				continue
+			}
+			for i := col(timeu.Max(r.Start, from)); i <= col(timeu.Min(r.Finish, to)); i++ {
+				row[i] = '#'
+			}
+			if r.Release >= from && r.Release <= to {
+				i := col(r.Release)
+				if row[i] == '#' {
+					row[i] = '+'
+				} else {
+					row[i] = '|'
+				}
+			}
+		}
+		fmt.Fprintf(&b, "%*s  %s\n", nameW, c.g.Task(id).Name, row)
+	}
+	_, err = io.WriteString(w, b.String())
+	return err
+}
+
+func escape(s string) string {
+	r := strings.NewReplacer("&", "&amp;", "<", "&lt;", ">", "&gt;", `"`, "&quot;")
+	return r.Replace(s)
+}

@@ -1,0 +1,104 @@
+package gantt
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/model"
+	"repro/internal/sim"
+	"repro/internal/timeu"
+	"repro/internal/trace"
+)
+
+const ms = timeu.Millisecond
+
+func fixture(t *testing.T) (*model.Graph, []trace.Record) {
+	t.Helper()
+	g := model.Fig2Graph()
+	rec := trace.NewRecorder()
+	if _, err := sim.Run(g, sim.Config{Horizon: 100 * ms, Observers: []sim.Observer{rec}}); err != nil {
+		t.Fatal(err)
+	}
+	return g, rec.Records
+}
+
+func TestWriteSVG(t *testing.T) {
+	g, records := fixture(t)
+	var buf strings.Builder
+	if err := New(g, records).WriteSVG(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"<svg", "</svg>", "t3", "t6", "<rect", "<title>"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("SVG missing %q", want)
+		}
+	}
+	// A row per task that executed.
+	if got := strings.Count(out, "<text"); got < 5 {
+		t.Errorf("only %d text elements", got)
+	}
+}
+
+func TestWriteSVGWindow(t *testing.T) {
+	g, records := fixture(t)
+	var buf strings.Builder
+	if err := New(g, records).Window(20*ms, 60*ms).WriteSVG(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "window 20ms .. 60ms") {
+		t.Error("window header missing")
+	}
+}
+
+func TestWriteASCII(t *testing.T) {
+	g, records := fixture(t)
+	var buf strings.Builder
+	if err := New(g, records).WriteASCII(&buf, 80); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	// Header plus one row per scheduled task plus sources that "ran".
+	if len(lines) < 5 {
+		t.Fatalf("only %d lines:\n%s", len(lines), out)
+	}
+	if !strings.Contains(out, "#") {
+		t.Error("no execution marks")
+	}
+	if !strings.Contains(out, "|") && !strings.Contains(out, "+") {
+		t.Error("no release marks")
+	}
+	// Deterministic for a deterministic trace.
+	var buf2 strings.Builder
+	if err := New(g, records).WriteASCII(&buf2, 80); err != nil {
+		t.Fatal(err)
+	}
+	if buf.String() != buf2.String() {
+		t.Error("ASCII rendering not deterministic")
+	}
+}
+
+func TestErrors(t *testing.T) {
+	g, records := fixture(t)
+	var buf strings.Builder
+	if err := New(g, nil).WriteSVG(&buf); err == nil {
+		t.Error("empty records accepted")
+	}
+	if err := New(g, records).Window(50*ms, 50*ms).WriteSVG(&buf); err == nil {
+		t.Error("empty window accepted")
+	}
+	if err := New(g, records).Window(90*ms, 91*ms).WriteASCII(&buf, 5); err == nil {
+		t.Error("tiny width accepted")
+	}
+	// Window with no jobs inside.
+	if err := New(g, records).Window(500*ms, 600*ms).WriteSVG(&buf); err == nil {
+		t.Error("jobless window accepted")
+	}
+}
+
+func TestEscape(t *testing.T) {
+	if escape(`a<b>&"c`) != "a&lt;b&gt;&amp;&quot;c" {
+		t.Errorf("escape = %q", escape(`a<b>&"c`))
+	}
+}

@@ -1,0 +1,193 @@
+package integration
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/backward"
+	"repro/internal/core"
+	"repro/internal/exhaustive"
+	"repro/internal/model"
+	"repro/internal/sched"
+	"repro/internal/sim"
+	"repro/internal/timeu"
+)
+
+const ms = timeu.Millisecond
+
+// maskExec pins every task to BCET or WCET according to a bitmask,
+// enumerating the extreme corners of the execution-time space.
+type maskExec struct{ wcet map[model.TaskID]bool }
+
+func (m maskExec) Sample(t *model.Task, _ *rand.Rand) timeu.Time {
+	if m.wcet[t.ID] {
+		return t.WCET
+	}
+	return t.BCET
+}
+func (m maskExec) Name() string { return "mask" }
+
+// bruteGraph builds the small fusion graph for exhaustive search:
+// s1(4ms) -> a -> c, s2(6ms) -> b -> c, all scheduled tasks on one ECU.
+func bruteGraph() (*model.Graph, model.TaskID, model.Chain, model.Chain) {
+	g := model.NewGraph()
+	ecu := g.AddECU("e", model.Compute)
+	s1 := g.AddTask(model.Task{Name: "s1", Period: 4 * ms, ECU: model.NoECU})
+	s2 := g.AddTask(model.Task{Name: "s2", Period: 6 * ms, ECU: model.NoECU})
+	a := g.AddTask(model.Task{Name: "a", WCET: 1 * ms, BCET: ms / 2, Period: 4 * ms, Prio: 0, ECU: ecu})
+	b := g.AddTask(model.Task{Name: "b", WCET: 1 * ms, BCET: ms / 2, Period: 6 * ms, Prio: 1, ECU: ecu})
+	c := g.AddTask(model.Task{Name: "c", WCET: 1 * ms, BCET: ms / 2, Period: 6 * ms, Prio: 2, ECU: ecu})
+	for _, e := range [][2]model.TaskID{{s1, a}, {a, c}, {s2, b}, {b, c}} {
+		if err := g.AddEdge(e[0], e[1]); err != nil {
+			panic(err)
+		}
+	}
+	return g, c, model.Chain{s1, a, c}, model.Chain{s2, b, c}
+}
+
+// TestBruteForceDisparitySound sweeps every offset combination on a 1 ms
+// grid and every BCET/WCET corner assignment, simulating several
+// hyperperiods each, and checks that no achieved disparity exceeds the
+// analytical bounds. It also reports (via the tightness guard) that the
+// search actually exercises a non-trivial fraction of the bound.
+func TestBruteForceDisparitySound(t *testing.T) {
+	if testing.Short() {
+		t.Skip("exhaustive sweep skipped in -short mode")
+	}
+	g, fusion, la, nu := bruteGraph()
+	if res := sched.Analyze(g, sched.NonPreemptiveFP); !res.Schedulable {
+		t.Fatal("brute-force fixture must be schedulable")
+	}
+	a, err := core.New(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pd, err := a.Disparity(fusion, core.PDiff, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sd, err := a.Disparity(fusion, core.SDiff, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	scheduled := []model.TaskID{}
+	for i := 0; i < g.NumTasks(); i++ {
+		if g.Task(model.TaskID(i)).ECU != model.NoECU {
+			scheduled = append(scheduled, model.TaskID(i))
+		}
+	}
+	hyper := g.Hyperperiod() // 12 ms
+	var worst timeu.Time
+	combos := 0
+	// Fixing the fusion task's offset to 0 is WLOG: shifting the time
+	// origin maps any offset assignment onto one with c's offset 0.
+	for o1 := timeu.Time(0); o1 < 4*ms; o1 += ms {
+		for o2 := timeu.Time(0); o2 < 6*ms; o2 += ms {
+			for oa := timeu.Time(0); oa < 4*ms; oa += ms {
+				for ob := timeu.Time(0); ob < 6*ms; ob += ms {
+					g.Task(0).Offset = o1
+					g.Task(1).Offset = o2
+					g.Task(2).Offset = oa
+					g.Task(3).Offset = ob
+					g.Task(4).Offset = 0
+					for mask := 0; mask < 1<<len(scheduled); mask++ {
+						wcet := map[model.TaskID]bool{}
+						for bit, id := range scheduled {
+							wcet[id] = mask&(1<<bit) != 0
+						}
+						obs := sim.NewDisparityObserver(2*hyper, fusion)
+						if _, err := sim.Run(g, sim.Config{
+							Horizon:   6 * hyper,
+							Exec:      maskExec{wcet: wcet},
+							Observers: []sim.Observer{obs},
+						}); err != nil {
+							t.Fatal(err)
+						}
+						combos++
+						d := obs.Max(fusion)
+						if d > worst {
+							worst = d
+						}
+						if d > sd.Bound || d > pd.Bound {
+							t.Fatalf("offsets (%v,%v,%v,%v) mask %b: disparity %v exceeds S-diff %v / P-diff %v",
+								o1, o2, oa, ob, mask, d, sd.Bound, pd.Bound)
+						}
+					}
+				}
+			}
+		}
+	}
+	t.Logf("brute force: %d combos, worst achieved %v vs S-diff %v (%.0f%%)",
+		combos, worst, sd.Bound, 100*float64(worst)/float64(sd.Bound))
+	if worst <= 0 {
+		t.Error("exhaustive sweep never produced a positive disparity")
+	}
+	if float64(worst) < 0.25*float64(sd.Bound) {
+		t.Errorf("achieved disparity %v below 25%% of the bound %v; bound suspiciously loose", worst, sd.Bound)
+	}
+
+	// Differential check: the exhaustive package sweeps the same space
+	// (1 ms grid, pinned sink offset, exec corners, 2+4 hyperperiods)
+	// and must find exactly the same maximum.
+	for i := 0; i < g.NumTasks(); i++ {
+		g.Task(model.TaskID(i)).Offset = 0
+	}
+	pkgRes, err := exhaustive.Search(g, fusion, exhaustive.Config{OffsetStep: ms})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pkgRes.Disparity != worst {
+		t.Errorf("exhaustive.Search found %v, hand-rolled sweep found %v", pkgRes.Disparity, worst)
+	}
+	_ = la
+	_ = nu
+}
+
+// TestBruteForceBackwardSound does the same sweep for one chain's
+// backward times against [BCBT, WCBT].
+func TestBruteForceBackwardSound(t *testing.T) {
+	if testing.Short() {
+		t.Skip("exhaustive sweep skipped in -short mode")
+	}
+	g, fusion, la, _ := bruteGraph()
+	res := sched.Analyze(g, sched.NonPreemptiveFP)
+	an := backward.NewAnalyzer(g, res, backward.NonPreemptive)
+	wcbt, bcbt := an.WCBT(la), an.BCBT(la)
+	hyper := g.Hyperperiod()
+
+	var obsMin, obsMax timeu.Time = timeu.Infinity, -timeu.Infinity
+	for o1 := timeu.Time(0); o1 < 4*ms; o1 += ms {
+		for oa := timeu.Time(0); oa < 4*ms; oa += ms {
+			for mask := 0; mask < 8; mask++ {
+				g.Task(0).Offset = o1
+				g.Task(2).Offset = oa
+				wcet := map[model.TaskID]bool{
+					2: mask&1 != 0, 3: mask&2 != 0, 4: mask&4 != 0,
+				}
+				bo := sim.NewBackwardObserver(fusion, la.Head(), 2*hyper)
+				if _, err := sim.Run(g, sim.Config{
+					Horizon:   6 * hyper,
+					Exec:      maskExec{wcet: wcet},
+					Observers: []sim.Observer{bo},
+				}); err != nil {
+					t.Fatal(err)
+				}
+				lo, hi, ok := bo.Range()
+				if !ok {
+					continue
+				}
+				if lo < bcbt || hi > wcbt {
+					t.Fatalf("offsets (%v,%v) mask %b: backward [%v,%v] outside [%v,%v]",
+						o1, oa, mask, lo, hi, bcbt, wcbt)
+				}
+				obsMin = timeu.Min(obsMin, lo)
+				obsMax = timeu.Max(obsMax, hi)
+			}
+		}
+	}
+	t.Logf("backward sweep: observed [%v, %v] within analytical [%v, %v]", obsMin, obsMax, bcbt, wcbt)
+	if obsMax <= 0 {
+		t.Error("no positive backward time observed")
+	}
+}

@@ -1,0 +1,145 @@
+package integration
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/backward"
+	"repro/internal/core"
+	"repro/internal/model"
+	"repro/internal/randgraph"
+	"repro/internal/sched"
+	"repro/internal/sim"
+	"repro/internal/timeu"
+	"repro/internal/waters"
+)
+
+// TestSporadicBoundsContainSimulation randomizes two-chain workloads
+// whose sensors (and some processing tasks) release sporadically with
+// bounded inter-arrival times, and checks that simulated disparities and
+// backward times stay within the sporadic-aware bounds.
+func TestSporadicBoundsContainSimulation(t *testing.T) {
+	rng := rand.New(rand.NewSource(707))
+	checked := 0
+	for trial := 0; checked < 8 && trial < 60; trial++ {
+		g, la, nu, err := randgraph.TwoChains(3+rng.Intn(4), randgraph.DefaultConfig(), rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		waters.Populate(g, rng)
+		// Make the sensors (and a random interior task) sporadic with up
+		// to 2.5× inter-arrival drift.
+		for _, s := range g.Sources() {
+			task := g.Task(s)
+			task.MaxPeriod = task.Period * timeu.Time(2+rng.Intn(2)) / 1
+		}
+		mid := la[1+rng.Intn(la.Len()-2)]
+		g.Task(mid).MaxPeriod = g.Task(mid).Period * 2
+		if err := g.Validate(); err != nil {
+			t.Fatal(err)
+		}
+		if res := sched.Analyze(g, sched.NonPreemptiveFP); !res.Schedulable {
+			continue
+		}
+		waters.RandomOffsets(g, rng)
+		a, err := core.New(g)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sink := la.Tail()
+		pd, err := a.Disparity(sink, core.PDiff, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sd, err := a.Disparity(sink, core.SDiff, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		checked++
+
+		res := sched.Analyze(g, sched.NonPreemptiveFP)
+		an := backward.NewAnalyzer(g, res, backward.NonPreemptive)
+		wcbt, bcbt := an.WCBT(la), an.BCBT(la)
+
+		do := sim.NewDisparityObserver(timeu.Second, sink)
+		bo := sim.NewBackwardObserver(sink, la.Head(), timeu.Second)
+		if _, err := sim.Run(g, sim.Config{
+			Horizon:   simHorizon,
+			Exec:      execModels[trial%len(execModels)],
+			Seed:      int64(trial),
+			Observers: []sim.Observer{do, bo},
+		}); err != nil {
+			t.Fatal(err)
+		}
+		if got := do.Max(sink); got > pd.Bound || got > sd.Bound {
+			t.Errorf("trial %d: sporadic Sim %v exceeds bounds P=%v S=%v", trial, got, pd.Bound, sd.Bound)
+		}
+		if lo, hi, ok := bo.Range(); ok {
+			if lo < bcbt || hi > wcbt {
+				t.Errorf("trial %d: sporadic backward [%v,%v] outside [%v,%v]", trial, lo, hi, bcbt, wcbt)
+			}
+		}
+		_ = nu
+	}
+	if checked == 0 {
+		t.Fatal("no schedulable sporadic workloads generated")
+	}
+}
+
+// TestSporadicDisablesFlooring pins the fallback rules: a sporadic shared
+// head must not be floored to period multiples, and sporadic common
+// tasks push S-diff back to the Theorem-1 value.
+func TestSporadicDisablesFlooring(t *testing.T) {
+	// Same-head pair on Fig. 2 with t1 sporadic.
+	g := model.Fig2Graph()
+	t1, _ := g.TaskByName("t1")
+	t1.MaxPeriod = 25 * timeu.Millisecond
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	a, err := core.New(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t3, _ := g.TaskByName("t3")
+	t5, _ := g.TaskByName("t5")
+	t4, _ := g.TaskByName("t4")
+	t6, _ := g.TaskByName("t6")
+	la := model.Chain{t1.ID, t3.ID, t5.ID, t6.ID}
+	nu := model.Chain{t1.ID, t3.ID, t4.ID, t6.ID}
+
+	p1, err := a.PairDisparity(la, nu, core.PDiff)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// With a periodic t1 the same-head case floors the bound; sporadic t1
+	// must use the raw O (which itself grew: W uses MaxPeriod 25 on the
+	// head hop).
+	if p1.Bound%(10*timeu.Millisecond) == 0 && p1.Bound != 0 {
+		// Flooring to 10ms multiples would be a coincidence here; compute
+		// the unfloored O directly to be sure.
+		wl, bl, _ := wcbtBcbt(t, g, la)
+		wn, bn, _ := wcbtBcbt(t, g, nu)
+		o := timeu.Max(timeu.Abs(wl-bn), timeu.Abs(wn-bl))
+		if p1.Bound != o {
+			t.Errorf("sporadic same-head pair floored: bound %v, raw O %v", p1.Bound, o)
+		}
+	}
+
+	s1, err := a.PairDisparity(la, nu, core.SDiff)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// t3 (common, periodic) is fine, but the shared head t1 is sporadic:
+	// S-diff must equal the Theorem-1 fallback.
+	if s1.Bound != p1.Bound {
+		t.Errorf("S-diff %v != P-diff fallback %v for sporadic head", s1.Bound, p1.Bound)
+	}
+}
+
+func wcbtBcbt(t *testing.T, g *model.Graph, pi model.Chain) (timeu.Time, timeu.Time, error) {
+	t.Helper()
+	res := sched.Analyze(g, sched.NonPreemptiveFP)
+	an := backward.NewAnalyzer(g, res, backward.NonPreemptive)
+	return an.WCBT(pi), an.BCBT(pi), nil
+}

@@ -1,0 +1,167 @@
+// Package letanalysis computes EXACT time disparities for all-LET graphs.
+//
+// Under the Logical Execution Time paradigm every job reads its inputs at
+// its release and publishes its output precisely at its deadline, so the
+// data flow is a closed-form function of periods, offsets and buffer
+// capacities — no scheduling, no execution times. This package resolves
+// the immediate backward job chains analytically and maximizes over one
+// hyperperiod, yielding the true worst-case time disparity of a task for
+// a concrete offset assignment (whereas package core bounds the worst
+// case over ALL offset assignments).
+//
+// The closed forms:
+//
+//   - a scheduled LET producer p publishes its k-th output at
+//     o_p + (k+1)·T_p;
+//   - an unscheduled stimulus publishes its k-th output at o_p + k·T_p;
+//   - a consumer job released at r reading through a capacity-c channel
+//     receives the token of the producer job with
+//     k = ⌊(r − firstPublish)/T_p⌋ − (c−1)
+//     where firstPublish is o_p + T_p (LET) or o_p (stimulus); k < 0
+//     means the channel has not warmed up yet.
+package letanalysis
+
+import (
+	"fmt"
+
+	"repro/internal/chains"
+	"repro/internal/model"
+	"repro/internal/timeu"
+)
+
+// ErrNotLET is returned for graphs with scheduled non-LET tasks.
+var ErrNotLET = fmt.Errorf("letanalysis: graph has scheduled non-LET tasks")
+
+// ErrColdChannel is returned when a resolution hits a channel that has
+// not yet received enough tokens (analysis before warm-up).
+var ErrColdChannel = fmt.Errorf("letanalysis: channel not warmed up")
+
+// checkLET verifies the graph qualifies for exact analysis: all
+// scheduled tasks on LET and everything strictly periodic (sporadic
+// releases make the data flow non-deterministic).
+func checkLET(g *model.Graph) error {
+	for i := 0; i < g.NumTasks(); i++ {
+		t := g.Task(model.TaskID(i))
+		if t.ECU != model.NoECU && t.Sem != model.LET {
+			return fmt.Errorf("%w: task %s", ErrNotLET, t.Name)
+		}
+		if t.Sporadic() {
+			return fmt.Errorf("%w: task %s is sporadic", ErrNotLET, t.Name)
+		}
+	}
+	return nil
+}
+
+// producerRelease resolves the release time of the producer job whose
+// token a consumer reading at time r receives through the edge from
+// producer p with the given channel capacity.
+func producerRelease(g *model.Graph, p model.TaskID, capacity int, r timeu.Time) (timeu.Time, error) {
+	t := g.Task(p)
+	first := t.Offset // stimulus publishes at release
+	if t.ECU != model.NoECU {
+		first += t.Period // LET publishes at the deadline
+	}
+	if r < first {
+		return 0, fmt.Errorf("%w: nothing published on %s before %v", ErrColdChannel, t.Name, r)
+	}
+	k := timeu.FloorDiv(r-first, t.Period) - int64(capacity-1)
+	if k < 0 {
+		// The FIFO has not filled yet; its head is still the very first
+		// token (the simulator's channels evict only on overflow).
+		k = 0
+	}
+	return t.Offset + timeu.Time(k)*t.Period, nil
+}
+
+// SourceTimestamp resolves the exact timestamp of the source data that
+// the job of pi's tail released at r consumes along the chain pi: the
+// release time of the originating source job (t(J) = r(J)).
+func SourceTimestamp(g *model.Graph, pi model.Chain, r timeu.Time) (timeu.Time, error) {
+	if err := checkLET(g); err != nil {
+		return 0, err
+	}
+	if err := pi.ValidIn(g); err != nil {
+		return 0, err
+	}
+	cur := r
+	for i := pi.Len() - 1; i > 0; i-- {
+		prod := pi[i-1]
+		rel, err := producerRelease(g, prod, g.Buffer(prod, pi[i]), cur)
+		if err != nil {
+			return 0, err
+		}
+		cur = rel
+	}
+	return cur, nil
+}
+
+// Result is the exact disparity of one task under its current offsets.
+type Result struct {
+	Task model.TaskID
+	// Disparity is the exact worst-case time disparity over all steady-
+	// state jobs.
+	Disparity timeu.Time
+	// WorstRelease is a release time of a job attaining it.
+	WorstRelease timeu.Time
+	// Chains is |𝒫|, the number of source chains resolved per job.
+	Chains int
+}
+
+// Exact computes the exact worst-case time disparity of the task for the
+// graph's concrete offsets, by resolving every chain of 𝒫 for each job
+// released within one hyperperiod after warm-up, and maximizing.
+// maxChains caps enumeration as in package chains.
+func Exact(g *model.Graph, task model.TaskID, maxChains int) (*Result, error) {
+	if err := checkLET(g); err != nil {
+		return nil, err
+	}
+	if err := g.Validate(); err != nil {
+		return nil, err
+	}
+	ps, err := chains.Enumerate(g, task, maxChains)
+	if err != nil {
+		return nil, err
+	}
+	res := &Result{Task: task, Chains: len(ps)}
+	if len(ps) < 2 {
+		return res, nil
+	}
+	// Warm-up: along any chain, each hop reaches at most
+	// (capacity+1) producer periods into the past; start after the
+	// worst-case total plus every offset.
+	var warm timeu.Time
+	for _, pi := range ps {
+		var depth timeu.Time
+		for i := 0; i+1 < pi.Len(); i++ {
+			t := g.Task(pi[i])
+			depth += timeu.Time(g.Buffer(pi[i], pi[i+1])+1) * t.Period
+			depth += t.Offset
+		}
+		warm = timeu.Max(warm, depth)
+	}
+	tail := g.Task(task)
+	warm += tail.Offset + tail.Period
+
+	hyper := g.Hyperperiod()
+	start := tail.Offset + timeu.CeilTo(warm-tail.Offset, tail.Period)
+	for r := start; r < start+hyper; r += tail.Period {
+		var lo, hi timeu.Time = timeu.Infinity, -timeu.Infinity
+		for _, pi := range ps {
+			ts, err := SourceTimestamp(g, pi, r)
+			if err != nil {
+				return nil, err
+			}
+			lo = timeu.Min(lo, ts)
+			hi = timeu.Max(hi, ts)
+		}
+		if d := hi - lo; d > res.Disparity {
+			res.Disparity = d
+			res.WorstRelease = r
+		}
+	}
+	return res, nil
+}
+
+// AllLET reports whether every scheduled task of the graph uses LET, the
+// precondition for exact analysis.
+func AllLET(g *model.Graph) bool { return checkLET(g) == nil }

@@ -1,0 +1,79 @@
+package model
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Chain is a cause-effect chain: a path in the graph, listed from head
+// (usually a source/sensor task) to tail (the task whose output is
+// analyzed). A chain with fewer than one task is invalid.
+type Chain []TaskID
+
+// Head returns the first task of the chain.
+func (c Chain) Head() TaskID { return c[0] }
+
+// Tail returns the last task of the chain.
+func (c Chain) Tail() TaskID { return c[len(c)-1] }
+
+// Len returns the number of tasks on the chain.
+func (c Chain) Len() int { return len(c) }
+
+// Contains reports whether the chain passes through the task.
+func (c Chain) Contains(id TaskID) bool { return c.Index(id) >= 0 }
+
+// Index returns the position of the task on the chain, or -1.
+func (c Chain) Index(id TaskID) int {
+	for i, t := range c {
+		if t == id {
+			return i
+		}
+	}
+	return -1
+}
+
+// Sub returns the sub-chain c[from..to] inclusive.
+func (c Chain) Sub(from, to int) Chain { return c[from : to+1] }
+
+// Equal reports whether two chains consist of the same task sequence.
+func (c Chain) Equal(d Chain) bool {
+	if len(c) != len(d) {
+		return false
+	}
+	for i := range c {
+		if c[i] != d[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Format renders the chain with task names from the graph, e.g.
+// "camera -> filter -> fusion".
+func (c Chain) Format(g *Graph) string {
+	names := make([]string, len(c))
+	for i, id := range c {
+		names[i] = g.Task(id).Name
+	}
+	return strings.Join(names, " -> ")
+}
+
+// ValidIn checks that the chain is a path of g: every consecutive pair is
+// connected by an edge.
+func (c Chain) ValidIn(g *Graph) error {
+	if len(c) == 0 {
+		return fmt.Errorf("model: empty chain")
+	}
+	for _, id := range c {
+		if id < 0 || int(id) >= g.NumTasks() {
+			return fmt.Errorf("model: chain references unknown task %d", id)
+		}
+	}
+	for i := 0; i+1 < len(c); i++ {
+		if !g.HasEdge(c[i], c[i+1]) {
+			return fmt.Errorf("model: chain step %s -> %s is not an edge",
+				g.Task(c[i]).Name, g.Task(c[i+1]).Name)
+		}
+	}
+	return nil
+}

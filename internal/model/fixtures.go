@@ -1,0 +1,57 @@
+package model
+
+import "repro/internal/timeu"
+
+// The fixtures below reconstruct the running examples of the paper. The
+// full text of the paper does not include the numeric labels of its
+// figures, so the WCET/BCET values are chosen to be representative while
+// matching every structural property the text states (sources with
+// W = B = 0, τ5's 30 ms period in Fig. 4, the 30 ms vs 10 ms choice for
+// τ3, and the fork-join shape of Fig. 2).
+
+// Fig2Graph builds the six-task example of Fig. 2(a): two sources τ1, τ2
+// feeding τ3, which forks to τ4 and τ5, both joining at the sink τ6. All
+// scheduled tasks share one ECU with rate-monotonic-ish priorities.
+func Fig2Graph() *Graph {
+	g := NewGraph()
+	ecu := g.AddECU("ecu0", Compute)
+	ms := timeu.Millisecond
+	t1 := g.AddTask(Task{Name: "t1", Period: 10 * ms, ECU: NoECU})
+	t2 := g.AddTask(Task{Name: "t2", Period: 15 * ms, ECU: NoECU})
+	t3 := g.AddTask(Task{Name: "t3", WCET: 2 * ms, BCET: 1 * ms, Period: 10 * ms, Prio: 0, ECU: ecu})
+	t4 := g.AddTask(Task{Name: "t4", WCET: 3 * ms, BCET: 1 * ms, Period: 20 * ms, Prio: 1, ECU: ecu})
+	t5 := g.AddTask(Task{Name: "t5", WCET: 4 * ms, BCET: 2 * ms, Period: 30 * ms, Prio: 2, ECU: ecu})
+	t6 := g.AddTask(Task{Name: "t6", WCET: 5 * ms, BCET: 2 * ms, Period: 30 * ms, Prio: 3, ECU: ecu})
+	mustEdge(g, t1, t3)
+	mustEdge(g, t2, t3)
+	mustEdge(g, t3, t4)
+	mustEdge(g, t3, t5)
+	mustEdge(g, t4, t6)
+	mustEdge(g, t5, t6)
+	return g
+}
+
+// Fig4Graph builds the frequency-design example of §IV: two sensor chains
+// τ1→τ3→τ5 and τ2→τ4→τ5 joining at τ5 (period 30 ms). t3Period selects
+// the design choice discussed in the paper: 30 ms or 10 ms for τ3.
+func Fig4Graph(t3Period timeu.Time) *Graph {
+	g := NewGraph()
+	ecu := g.AddECU("ecu0", Compute)
+	ms := timeu.Millisecond
+	t1 := g.AddTask(Task{Name: "t1", Period: 10 * ms, ECU: NoECU})
+	t2 := g.AddTask(Task{Name: "t2", Period: 30 * ms, ECU: NoECU})
+	t3 := g.AddTask(Task{Name: "t3", WCET: 2 * ms, BCET: 1 * ms, Period: t3Period, Prio: 0, ECU: ecu})
+	t4 := g.AddTask(Task{Name: "t4", WCET: 3 * ms, BCET: 1 * ms, Period: 30 * ms, Prio: 1, ECU: ecu})
+	t5 := g.AddTask(Task{Name: "t5", WCET: 4 * ms, BCET: 2 * ms, Period: 30 * ms, Prio: 2, ECU: ecu})
+	mustEdge(g, t1, t3)
+	mustEdge(g, t2, t4)
+	mustEdge(g, t3, t5)
+	mustEdge(g, t4, t5)
+	return g
+}
+
+func mustEdge(g *Graph, src, dst TaskID) {
+	if err := g.AddEdge(src, dst); err != nil {
+		panic(err)
+	}
+}

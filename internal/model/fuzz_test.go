@@ -1,0 +1,38 @@
+package model
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzReadJSON hardens the graph loader: arbitrary bytes must either
+// produce an error or a graph that validates and survives a write/read
+// round trip.
+func FuzzReadJSON(f *testing.F) {
+	var fig2 strings.Builder
+	if err := Fig2Graph().WriteJSON(&fig2); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(fig2.String())
+	f.Add(`{"tasks":[{"name":"a","period":"5ms"}],"edges":[]}`)
+	f.Add(`{"tasks":[],"edges":[]}`)
+	f.Add(`{`)
+	f.Add(`{"ecus":[{"name":"e","kind":"bus"}],"tasks":[{"name":"a","wcet":"1ms","bcet":"1ms","period":"5ms","ecu":"e","sem":"let"}],"edges":[]}`)
+
+	f.Fuzz(func(t *testing.T, data string) {
+		g, err := ReadJSON(strings.NewReader(data))
+		if err != nil {
+			return
+		}
+		if err := g.Validate(); err != nil {
+			t.Fatalf("ReadJSON accepted an invalid graph: %v", err)
+		}
+		var buf strings.Builder
+		if err := g.WriteJSON(&buf); err != nil {
+			t.Fatalf("WriteJSON failed on an accepted graph: %v", err)
+		}
+		if _, err := ReadJSON(strings.NewReader(buf.String())); err != nil {
+			t.Fatalf("round trip failed: %v", err)
+		}
+	})
+}

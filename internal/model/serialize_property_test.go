@@ -1,0 +1,114 @@
+package model
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"repro/internal/timeu"
+)
+
+// randomGraph builds a random valid graph directly on the model layer
+// (randgraph depends on model, so the fuzz lives here without it).
+func randomGraph(rng *rand.Rand) *Graph {
+	g := NewGraph()
+	numECUs := 1 + rng.Intn(3)
+	ecus := make([]ECUID, numECUs)
+	for i := range ecus {
+		kind := Compute
+		if rng.Intn(4) == 0 {
+			kind = Bus
+		}
+		ecus[i] = g.AddECU("", kind)
+	}
+	// Name ECUs after creation (AddECU takes a name; build with one).
+	n := 3 + rng.Intn(8)
+	periods := []timeu.Time{1, 2, 5, 10, 20} // ms below
+	for i := 0; i < n; i++ {
+		period := periods[rng.Intn(len(periods))] * timeu.Millisecond
+		wcet := timeu.Time(rng.Int63n(int64(period)/2) + 1)
+		bcet := timeu.Time(rng.Int63n(int64(wcet)) + 1)
+		sem := Implicit
+		if rng.Intn(3) == 0 {
+			sem = LET
+		}
+		var deadline timeu.Time
+		if rng.Intn(3) == 0 {
+			deadline = wcet + timeu.Time(rng.Int63n(int64(period-wcet)+1))
+		}
+		var maxPeriod timeu.Time
+		if rng.Intn(4) == 0 {
+			maxPeriod = period + timeu.Time(rng.Int63n(int64(period)))
+		}
+		g.AddTask(Task{
+			WCET: wcet, BCET: bcet, Period: period,
+			Deadline: deadline, MaxPeriod: maxPeriod,
+			Offset: timeu.Time(rng.Int63n(int64(period))),
+			Prio:   i,
+			ECU:    ecus[rng.Intn(numECUs)],
+			Sem:    sem,
+		})
+	}
+	// Random forward edges (low -> high ID keeps it acyclic).
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			if rng.Intn(3) == 0 {
+				capacity := 1 + rng.Intn(3)
+				if err := g.AddBufferedEdge(TaskID(i), TaskID(j), capacity); err != nil {
+					panic(err)
+				}
+			}
+		}
+	}
+	// Sources must be stimuli or have exec time; make sources stimuli
+	// half the time.
+	for _, s := range g.Sources() {
+		if rng.Intn(2) == 0 {
+			t := g.Task(s)
+			t.ECU = NoECU
+			t.WCET, t.BCET = 0, 0
+		}
+	}
+	return g
+}
+
+// TestJSONRoundTripProperty fuzzes random graphs through WriteJSON /
+// ReadJSON and demands full structural equality.
+func TestJSONRoundTripProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	for trial := 0; trial < 120; trial++ {
+		g := randomGraph(rng)
+		if err := g.Validate(); err != nil {
+			// Offsets etc. are constructed valid; a failure here is a
+			// generator bug worth knowing about.
+			t.Fatalf("trial %d: generator produced invalid graph: %v", trial, err)
+		}
+		var buf strings.Builder
+		if err := g.WriteJSON(&buf); err != nil {
+			t.Fatalf("trial %d: WriteJSON: %v", trial, err)
+		}
+		got, err := ReadJSON(strings.NewReader(buf.String()))
+		if err != nil {
+			t.Fatalf("trial %d: ReadJSON: %v\n%s", trial, err, buf.String())
+		}
+		if got.NumTasks() != g.NumTasks() || got.NumEdges() != g.NumEdges() || got.NumECUs() != g.NumECUs() {
+			t.Fatalf("trial %d: shape mismatch", trial)
+		}
+		for i := 0; i < g.NumTasks(); i++ {
+			a, b := g.Task(TaskID(i)), got.Task(TaskID(i))
+			if *a != *b {
+				t.Fatalf("trial %d: task %d mismatch:\n%+v\n%+v", trial, i, a, b)
+			}
+		}
+		for _, e := range g.Edges() {
+			if got.Buffer(e.Src, e.Dst) != e.Cap {
+				t.Fatalf("trial %d: edge (%d,%d) capacity mismatch", trial, e.Src, e.Dst)
+			}
+		}
+		for i := 0; i < g.NumECUs(); i++ {
+			if g.ECU(ECUID(i)).Kind != got.ECU(ECUID(i)).Kind {
+				t.Fatalf("trial %d: ECU %d kind mismatch", trial, i)
+			}
+		}
+	}
+}

@@ -1,0 +1,218 @@
+// Package offsetopt assigns release offsets to reduce the time disparity
+// a task actually exhibits. It complements the paper's buffer-sizing
+// optimization (§IV): buffers shift a sampling window by whole source
+// periods, offsets shift it continuously.
+//
+// The analytical bounds of package core hold for arbitrary offsets, so
+// offset choices cannot improve them; what offsets do improve is the
+// achieved disparity. Under LET semantics the data flow is fully
+// deterministic given the offsets, so evaluating a candidate assignment
+// by simulating warm-up plus one hyperperiod is exact; under implicit
+// communication the same evaluation is a sampled estimate (execution
+// times perturb the schedule) and the search is a heuristic.
+package offsetopt
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/letanalysis"
+	"repro/internal/model"
+	"repro/internal/sim"
+	"repro/internal/timeu"
+)
+
+// Direction selects the search objective.
+type Direction int
+
+const (
+	// Minimize tunes offsets to reduce the achieved disparity (the
+	// design use case).
+	Minimize Direction = iota
+	// Maximize tunes offsets to increase it — an adversarial witness
+	// search that probes how tight the analytical bounds are. The
+	// maximum found is an achievable lower bound on the true worst case,
+	// usually far above what random offsets exhibit.
+	Maximize
+)
+
+// Config parameterizes the search.
+type Config struct {
+	// Direction defaults to Minimize.
+	Direction Direction
+	// Steps is the number of candidate offsets tried per task and round
+	// (a uniform grid over [0, T)). Default 8.
+	Steps int
+	// Rounds caps the coordinate-descent sweeps. Default 4.
+	Rounds int
+	// Exec evaluates candidates (irrelevant under LET). Default WCET.
+	Exec sim.ExecModel
+	// Seeds is the number of simulation seeds averaged per evaluation
+	// for implicit graphs. Default 1 (sufficient and exact for LET).
+	Seeds int
+	// WarmupHyperperiods and MeasureHyperperiods size the evaluation
+	// window. Defaults 2 and 2.
+	WarmupHyperperiods, MeasureHyperperiods int
+}
+
+func (c Config) withDefaults() Config {
+	if c.Steps <= 0 {
+		c.Steps = 8
+	}
+	if c.Rounds <= 0 {
+		c.Rounds = 4
+	}
+	if c.Exec == nil {
+		c.Exec = sim.WCETExec{}
+	}
+	if c.Seeds <= 0 {
+		c.Seeds = 1
+	}
+	if c.WarmupHyperperiods <= 0 {
+		c.WarmupHyperperiods = 2
+	}
+	if c.MeasureHyperperiods <= 0 {
+		c.MeasureHyperperiods = 2
+	}
+	return c
+}
+
+// Result reports the search outcome.
+type Result struct {
+	// Offsets is the found assignment, indexed by task ID.
+	Offsets []timeu.Time
+	// Before and After are the evaluated disparities of the initial and
+	// final assignments.
+	Before, After timeu.Time
+	// Evaluations counts simulation runs spent.
+	Evaluations int
+}
+
+// Optimize searches offsets optimizing the evaluated disparity of the
+// task in cfg.Direction (minimize by default), by coordinate descent
+// over a per-task offset grid. The graph's offsets are modified in place
+// to the best assignment found (which is never worse than the initial
+// one under the evaluation).
+func Optimize(g *model.Graph, task model.TaskID, cfg Config) (*Result, error) {
+	cfg = cfg.withDefaults()
+	if err := g.Validate(); err != nil {
+		return nil, err
+	}
+	if task < 0 || int(task) >= g.NumTasks() {
+		return nil, fmt.Errorf("offsetopt: unknown task %d", task)
+	}
+	hyper := g.Hyperperiod()
+	warm := timeu.Time(cfg.WarmupHyperperiods) * hyper
+	horizon := warm + timeu.Time(cfg.MeasureHyperperiods)*hyper
+
+	res := &Result{}
+	var eval func() timeu.Time
+	if letanalysis.AllLET(g) {
+		// Fast exact oracle: one closed-form hyperperiod per candidate.
+		eval = func() timeu.Time {
+			r, err := letanalysis.Exact(g, task, 0)
+			if err != nil {
+				panic(err)
+			}
+			res.Evaluations++
+			return r.Disparity
+		}
+	} else {
+		eval = func() timeu.Time {
+			var worst timeu.Time
+			for s := 0; s < cfg.Seeds; s++ {
+				obs := sim.NewDisparityObserver(warm, task)
+				if _, err := sim.Run(g, sim.Config{
+					Horizon:   horizon,
+					Exec:      cfg.Exec,
+					Seed:      int64(s) + 1,
+					Observers: []sim.Observer{obs},
+				}); err != nil {
+					// The graph validated above; a failure here is a bug.
+					panic(err)
+				}
+				worst = timeu.Max(worst, obs.Max(task))
+			}
+			res.Evaluations++
+			return worst
+		}
+	}
+
+	better := func(v, cur timeu.Time) bool {
+		if cfg.Direction == Maximize {
+			return v > cur
+		}
+		return v < cur
+	}
+	best := eval()
+	res.Before = best
+	improvedAny := true
+	for round := 0; round < cfg.Rounds && improvedAny; round++ {
+		improvedAny = false
+		for i := 0; i < g.NumTasks(); i++ {
+			t := g.Task(model.TaskID(i))
+			orig := t.Offset
+			bestOffset := orig
+			step := t.Period / timeu.Time(cfg.Steps)
+			if step <= 0 {
+				step = 1
+			}
+			for o := timeu.Time(0); o < t.Period; o += step {
+				if o == orig {
+					continue
+				}
+				t.Offset = o
+				if v := eval(); better(v, best) {
+					best, bestOffset = v, o
+					improvedAny = true
+				}
+			}
+			t.Offset = bestOffset
+		}
+	}
+	res.After = best
+	res.Offsets = make([]timeu.Time, g.NumTasks())
+	for i := 0; i < g.NumTasks(); i++ {
+		res.Offsets[i] = g.Task(model.TaskID(i)).Offset
+	}
+	return res, nil
+}
+
+// RandomRestarts runs Optimize from several random initial assignments
+// and keeps the best, a standard remedy for coordinate descent's local
+// minima. The graph ends up with the best assignment found.
+func RandomRestarts(g *model.Graph, task model.TaskID, cfg Config, restarts int, seed int64) (*Result, error) {
+	if restarts < 1 {
+		restarts = 1
+	}
+	rng := rand.New(rand.NewSource(seed))
+	var best *Result
+	var bestOffsets []timeu.Time
+	originalBefore := timeu.Time(-1)
+	for r := 0; r < restarts; r++ {
+		if r > 0 {
+			for i := 0; i < g.NumTasks(); i++ {
+				t := g.Task(model.TaskID(i))
+				t.Offset = timeu.Time(rng.Int63n(int64(t.Period)))
+			}
+		}
+		res, err := Optimize(g, task, cfg)
+		if err != nil {
+			return nil, err
+		}
+		if originalBefore < 0 {
+			originalBefore = res.Before
+		}
+		if best == nil ||
+			(cfg.Direction == Minimize && res.After < best.After) ||
+			(cfg.Direction == Maximize && res.After > best.After) {
+			best = res
+			bestOffsets = res.Offsets
+		}
+	}
+	for i, o := range bestOffsets {
+		g.Task(model.TaskID(i)).Offset = o
+	}
+	best.Before = originalBefore
+	return best, nil
+}

@@ -1,0 +1,95 @@
+package randgraph
+
+import (
+	"fmt"
+
+	"repro/internal/model"
+)
+
+// AutomotiveConfig shapes the Automotive generator.
+type AutomotiveConfig struct {
+	// Sensors is the number of sensor pipelines (camera, LiDAR, radar,
+	// …). Must be ≥ 2 for a non-trivial disparity.
+	Sensors int
+	// ProcDepth is the number of per-sensor processing tasks between the
+	// stimulus and the fusion task (e.g. debayer → detect). Must be ≥ 1.
+	ProcDepth int
+	// TailLen is the shared pipeline after fusion (planning → control).
+	TailLen int
+	// ZoneECUs assigns each sensor pipeline to its own ECU (zonal
+	// architecture) when true; otherwise everything shares the central
+	// ECU.
+	ZoneECUs bool
+}
+
+// DefaultAutomotive mirrors the perception stack of the paper's Fig. 1:
+// three sensors, two processing stages each, fusion, and a two-stage
+// planning/control tail on a zonal platform.
+func DefaultAutomotive() AutomotiveConfig {
+	return AutomotiveConfig{Sensors: 3, ProcDepth: 2, TailLen: 2, ZoneECUs: true}
+}
+
+// Automotive builds a sensing → fusion → planning → control architecture:
+// each of cfg.Sensors stimuli feeds its own processing chain, all chains
+// join at a fusion task, and a shared tail follows. Task parameters are
+// placeholders for a populator (e.g. waters.Populate). The fusion task's
+// ID is returned alongside the graph.
+func Automotive(cfg AutomotiveConfig) (*model.Graph, model.TaskID, error) {
+	if cfg.Sensors < 2 {
+		return nil, 0, fmt.Errorf("randgraph: automotive needs ≥ 2 sensors, got %d", cfg.Sensors)
+	}
+	if cfg.ProcDepth < 1 {
+		return nil, 0, fmt.Errorf("randgraph: automotive needs ≥ 1 processing stage")
+	}
+	if cfg.TailLen < 0 {
+		return nil, 0, fmt.Errorf("randgraph: negative tail length")
+	}
+	g := model.NewGraph()
+	central := g.AddECU("central", model.Compute)
+	prio := 0
+	mkTask := func(name string, ecu model.ECUID) model.TaskID {
+		id := g.AddTask(model.Task{
+			Name:   name,
+			Period: placeholderPeriod,
+			WCET:   1, BCET: 1,
+			Prio: prio,
+			ECU:  ecu,
+		})
+		prio++
+		return id
+	}
+
+	var lastStage []model.TaskID
+	for s := 0; s < cfg.Sensors; s++ {
+		ecu := central
+		if cfg.ZoneECUs {
+			ecu = g.AddECU(fmt.Sprintf("zone%d", s), model.Compute)
+		}
+		sensor := g.AddTask(model.Task{
+			Name:   fmt.Sprintf("sensor%d", s),
+			Period: placeholderPeriod,
+			ECU:    model.NoECU,
+		})
+		prev := sensor
+		for d := 0; d < cfg.ProcDepth; d++ {
+			id := mkTask(fmt.Sprintf("proc%d_%d", s, d), ecu)
+			mustEdge(g, prev, id)
+			prev = id
+		}
+		lastStage = append(lastStage, prev)
+	}
+	fusion := mkTask("fusion", central)
+	for _, id := range lastStage {
+		mustEdge(g, id, fusion)
+	}
+	prev := fusion
+	for i := 0; i < cfg.TailLen; i++ {
+		id := mkTask(fmt.Sprintf("stage%d", i), central)
+		mustEdge(g, prev, id)
+		prev = id
+	}
+	if err := g.Validate(); err != nil {
+		return nil, 0, fmt.Errorf("randgraph: automotive graph invalid: %w", err)
+	}
+	return g, fusion, nil
+}

@@ -1,0 +1,272 @@
+// Package randgraph generates the random cause-effect graph topologies of
+// the paper's evaluation.
+//
+// Fig. 6 (a)/(b) uses graphs from NetworkX's dense_gnm_random_graph —
+// n-vertex, m-edge uniform random graphs — post-processed to a DAG with a
+// single sink. Fig. 6 (c)/(d) uses two independent chains merged at one
+// sink task. The generators here build topology only; task parameters come
+// from package waters (or any other populator).
+package randgraph
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/model"
+	"repro/internal/timeu"
+)
+
+// placeholder gives freshly generated tasks a valid parameter set until a
+// populator overwrites it.
+const placeholderPeriod = 10 * timeu.Millisecond
+
+// Config shapes random topology generation.
+type Config struct {
+	// ECUs is the number of compute ECUs tasks are spread over
+	// (round-robin in ID order after a random shuffle). Must be ≥ 1.
+	ECUs int
+	// StimulusSources, when true, detaches every source task from its
+	// ECU (W = B = 0 external stimuli), matching the paper's model where
+	// sources are sensors.
+	StimulusSources bool
+	// TailLen appends a shared linear pipeline of that many tasks after
+	// the single sink — the fusion → planning → control tail of the
+	// paper's motivating architecture (Fig. 1). All chains then share
+	// this suffix, which is exactly the structure where Theorem 2's
+	// "last joint task" reduction beats Theorem 1: without a shared
+	// tail, random multi-source DAGs always contain a chain pair with no
+	// common structure, and the two bounds coincide at the task level.
+	TailLen int
+}
+
+// DefaultConfig matches the evaluation setup: a small multi-ECU platform
+// with sensor stimuli.
+func DefaultConfig() Config { return Config{ECUs: 4, StimulusSources: true} }
+
+// GNM builds a DAG from a uniform random m-edge graph on n vertices
+// (NetworkX dense_gnm_random_graph): each of the m distinct vertex pairs
+// is chosen uniformly, edges are oriented from lower to higher index (the
+// standard DAG-ization), and the graph is then condensed to a single sink
+// by wiring every other sink to the largest-index sink.
+//
+// m is clamped to the maximum n(n−1)/2. n must be ≥ 2.
+func GNM(n, m int, cfg Config, rng *rand.Rand) (*model.Graph, error) {
+	if n < 2 {
+		return nil, fmt.Errorf("randgraph: GNM needs n ≥ 2, got %d", n)
+	}
+	if cfg.ECUs < 1 {
+		return nil, fmt.Errorf("randgraph: need at least one ECU")
+	}
+	maxM := n * (n - 1) / 2
+	if m > maxM {
+		m = maxM
+	}
+	g := model.NewGraph()
+	ecus := addECUs(g, cfg.ECUs)
+	ids := make([]model.TaskID, n)
+	for i := 0; i < n; i++ {
+		ids[i] = g.AddTask(model.Task{
+			Name:   fmt.Sprintf("v%d", i),
+			Period: placeholderPeriod,
+			WCET:   1, BCET: 1,
+			Prio: i,
+			ECU:  ecus[i%len(ecus)],
+		})
+	}
+	// Uniform m distinct pairs, as dense_gnm_random_graph: walk all pairs
+	// and keep each with the hypergeometric-style probability
+	// (#needed / #remaining), which yields a uniform m-subset.
+	remaining := maxM
+	needed := m
+	for i := 0; i < n && needed > 0; i++ {
+		for j := i + 1; j < n && needed > 0; j++ {
+			if rng.Intn(remaining) < needed {
+				if err := g.AddEdge(ids[i], ids[j]); err != nil {
+					return nil, err
+				}
+				needed--
+			}
+			remaining--
+		}
+	}
+	condenseSinks(g)
+	appendTail(g, cfg, ecus)
+	finalize(g, cfg)
+	if err := g.Validate(); err != nil {
+		return nil, fmt.Errorf("randgraph: generated graph invalid: %w", err)
+	}
+	return g, nil
+}
+
+// TwoChains builds the Fig. 6 (c)/(d) topology: two independent chains of
+// chainLen tasks each, merged at a shared sink task (so the graph has
+// 2·chainLen + 1 tasks). Each chain starts at its own source.
+func TwoChains(chainLen int, cfg Config, rng *rand.Rand) (*model.Graph, model.Chain, model.Chain, error) {
+	if chainLen < 1 {
+		return nil, nil, nil, fmt.Errorf("randgraph: chain length must be ≥ 1, got %d", chainLen)
+	}
+	if cfg.ECUs < 1 {
+		return nil, nil, nil, fmt.Errorf("randgraph: need at least one ECU")
+	}
+	g := model.NewGraph()
+	ecus := addECUs(g, cfg.ECUs)
+	prio := 0
+	mkChain := func(label string) model.Chain {
+		c := make(model.Chain, chainLen)
+		for i := 0; i < chainLen; i++ {
+			c[i] = g.AddTask(model.Task{
+				Name:   fmt.Sprintf("%s%d", label, i),
+				Period: placeholderPeriod,
+				WCET:   1, BCET: 1,
+				Prio: prio,
+				ECU:  ecus[prio%len(ecus)],
+			})
+			prio++
+			if i > 0 {
+				mustEdge(g, c[i-1], c[i])
+			}
+		}
+		return c
+	}
+	la := mkChain("a")
+	nu := mkChain("b")
+	sink := g.AddTask(model.Task{
+		Name:   "sink",
+		Period: placeholderPeriod,
+		WCET:   1, BCET: 1,
+		Prio: prio,
+		ECU:  ecus[prio%len(ecus)],
+	})
+	mustEdge(g, la.Tail(), sink)
+	mustEdge(g, nu.Tail(), sink)
+	la = append(la, sink)
+	nu = append(nu, sink)
+	finalize(g, cfg)
+	if err := g.Validate(); err != nil {
+		return nil, nil, nil, fmt.Errorf("randgraph: generated graph invalid: %w", err)
+	}
+	return g, la, nu, nil
+}
+
+// Layered builds a layered DAG: layers of the given widths, with each
+// task wired to fanout random tasks of the next layer (at least one, so
+// no task is orphaned), and all last-layer tasks joined at a sink.
+// Layered graphs mimic the sensing → fusion → planning stages of
+// automotive pipelines.
+func Layered(widths []int, fanout int, cfg Config, rng *rand.Rand) (*model.Graph, error) {
+	if len(widths) == 0 {
+		return nil, fmt.Errorf("randgraph: no layers")
+	}
+	if fanout < 1 {
+		return nil, fmt.Errorf("randgraph: fanout must be ≥ 1")
+	}
+	if cfg.ECUs < 1 {
+		return nil, fmt.Errorf("randgraph: need at least one ECU")
+	}
+	g := model.NewGraph()
+	ecus := addECUs(g, cfg.ECUs)
+	prio := 0
+	var prev []model.TaskID
+	for li, w := range widths {
+		if w < 1 {
+			return nil, fmt.Errorf("randgraph: layer %d has width %d", li, w)
+		}
+		layer := make([]model.TaskID, w)
+		for i := range layer {
+			layer[i] = g.AddTask(model.Task{
+				Name:   fmt.Sprintf("l%d_%d", li, i),
+				Period: placeholderPeriod,
+				WCET:   1, BCET: 1,
+				Prio: prio,
+				ECU:  ecus[prio%len(ecus)],
+			})
+			prio++
+		}
+		for _, src := range prev {
+			// fanout distinct targets (or all of the layer if smaller).
+			perm := rng.Perm(w)
+			k := fanout
+			if k > w {
+				k = w
+			}
+			for _, t := range perm[:k] {
+				mustEdge(g, src, layer[t])
+			}
+		}
+		// Ensure every non-first-layer task has an input.
+		if len(prev) > 0 {
+			for _, dst := range layer {
+				if len(g.Predecessors(dst)) == 0 {
+					mustEdge(g, prev[rng.Intn(len(prev))], dst)
+				}
+			}
+		}
+		prev = layer
+	}
+	condenseSinks(g)
+	appendTail(g, cfg, ecus)
+	finalize(g, cfg)
+	if err := g.Validate(); err != nil {
+		return nil, fmt.Errorf("randgraph: generated graph invalid: %w", err)
+	}
+	return g, nil
+}
+
+// appendTail extends the single sink with cfg.TailLen pipeline tasks.
+func appendTail(g *model.Graph, cfg Config, ecus []model.ECUID) {
+	if cfg.TailLen <= 0 {
+		return
+	}
+	prev := g.Sinks()[0]
+	base := g.NumTasks()
+	for i := 0; i < cfg.TailLen; i++ {
+		id := g.AddTask(model.Task{
+			Name:   fmt.Sprintf("tail%d", i),
+			Period: placeholderPeriod,
+			WCET:   1, BCET: 1,
+			Prio: base + i,
+			ECU:  ecus[(base+i)%len(ecus)],
+		})
+		mustEdge(g, prev, id)
+		prev = id
+	}
+}
+
+func addECUs(g *model.Graph, n int) []model.ECUID {
+	out := make([]model.ECUID, n)
+	for i := range out {
+		out[i] = g.AddECU(fmt.Sprintf("ecu%d", i), model.Compute)
+	}
+	return out
+}
+
+// condenseSinks wires every sink except the largest-index one into the
+// largest-index sink, producing the single-sink graphs of the evaluation.
+func condenseSinks(g *model.Graph) {
+	sinks := g.Sinks()
+	if len(sinks) <= 1 {
+		return
+	}
+	last := sinks[len(sinks)-1]
+	for _, s := range sinks[:len(sinks)-1] {
+		mustEdge(g, s, last)
+	}
+}
+
+// finalize detaches stimulus sources if configured.
+func finalize(g *model.Graph, cfg Config) {
+	if !cfg.StimulusSources {
+		return
+	}
+	for _, s := range g.Sources() {
+		t := g.Task(s)
+		t.ECU = model.NoECU
+		t.WCET, t.BCET = 0, 0
+	}
+}
+
+func mustEdge(g *model.Graph, src, dst model.TaskID) {
+	if err := g.AddEdge(src, dst); err != nil {
+		panic(err)
+	}
+}

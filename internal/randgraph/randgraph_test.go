@@ -1,0 +1,298 @@
+package randgraph
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/chains"
+	"repro/internal/model"
+)
+
+func TestGNMShape(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for trial := 0; trial < 50; trial++ {
+		n := 5 + rng.Intn(31)
+		m := 2 * n
+		g, err := GNM(n, m, DefaultConfig(), rng)
+		if err != nil {
+			t.Fatalf("GNM(%d,%d): %v", n, m, err)
+		}
+		if g.NumTasks() != n {
+			t.Fatalf("tasks = %d, want %d", g.NumTasks(), n)
+		}
+		if len(g.Sinks()) != 1 {
+			t.Fatalf("sinks = %v, want exactly one", g.Sinks())
+		}
+		if err := g.Validate(); err != nil {
+			t.Fatal(err)
+		}
+		// Stimulus sources have no ECU and no execution time.
+		for _, s := range g.Sources() {
+			task := g.Task(s)
+			if task.ECU != model.NoECU || task.WCET != 0 {
+				t.Fatalf("source %s not a stimulus", task.Name)
+			}
+		}
+	}
+}
+
+func TestGNMEdgeCountWithoutCondensing(t *testing.T) {
+	// With a complete m = max and no extra sink edges possible, the count
+	// is exact; with smaller m the condensing step may add sink edges, so
+	// check edges ≥ m.
+	rng := rand.New(rand.NewSource(3))
+	n := 10
+	g, err := GNM(n, 2*n, DefaultConfig(), rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumEdges() < 2*n {
+		t.Errorf("edges = %d, want ≥ %d", g.NumEdges(), 2*n)
+	}
+	// m beyond the maximum is clamped.
+	g2, err := GNM(5, 1000, DefaultConfig(), rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g2.NumEdges() != 5*4/2 {
+		t.Errorf("clamped edges = %d, want 10", g2.NumEdges())
+	}
+}
+
+func TestGNMTail(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	cfg := DefaultConfig()
+	cfg.TailLen = 4
+	g, err := GNM(10, 20, cfg, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumTasks() != 14 {
+		t.Fatalf("tasks = %d, want 10 + 4 tail", g.NumTasks())
+	}
+	sinks := g.Sinks()
+	if len(sinks) != 1 {
+		t.Fatalf("sinks = %v", sinks)
+	}
+	// The tail is a linear pipeline: walking back from the sink, 4 tasks
+	// each with exactly one predecessor.
+	cur := sinks[0]
+	for i := 0; i < 4; i++ {
+		preds := g.Predecessors(cur)
+		if len(preds) != 1 {
+			t.Fatalf("tail task %d has %d predecessors", cur, len(preds))
+		}
+		if succs := g.Successors(cur); i > 0 && len(succs) != 1 {
+			t.Fatalf("tail task %d has %d successors", cur, len(succs))
+		}
+		cur = preds[0]
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLayeredTail(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	cfg := DefaultConfig()
+	cfg.TailLen = 2
+	g, err := Layered([]int{2, 3}, 2, cfg, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(g.Sinks()) != 1 {
+		t.Fatal("not single-sink")
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGNMErrors(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	if _, err := GNM(1, 1, DefaultConfig(), rng); err == nil {
+		t.Error("n=1 accepted")
+	}
+	if _, err := GNM(5, 5, Config{ECUs: 0}, rng); err == nil {
+		t.Error("zero ECUs accepted")
+	}
+}
+
+func TestTwoChains(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for _, n := range []int{1, 5, 30} {
+		g, la, nu, err := TwoChains(n, DefaultConfig(), rng)
+		if err != nil {
+			t.Fatalf("TwoChains(%d): %v", n, err)
+		}
+		if g.NumTasks() != 2*n+1 {
+			t.Fatalf("tasks = %d, want %d", g.NumTasks(), 2*n+1)
+		}
+		if la.Len() != n+1 || nu.Len() != n+1 {
+			t.Fatalf("chain lengths %d/%d, want %d", la.Len(), nu.Len(), n+1)
+		}
+		if la.Tail() != nu.Tail() {
+			t.Fatal("chains do not share the sink")
+		}
+		if err := la.ValidIn(g); err != nil {
+			t.Fatal(err)
+		}
+		if err := nu.ValidIn(g); err != nil {
+			t.Fatal(err)
+		}
+		// The only common task is the sink.
+		d, err := chains.Decompose(la, nu)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if d.C() != 1 {
+			t.Fatalf("c = %d, want 1 (independent chains)", d.C())
+		}
+		// Exactly the two chains feed the sink.
+		all, err := chains.Enumerate(g, la.Tail(), 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(all) != 2 {
+			t.Fatalf("enumerated %d chains, want 2", len(all))
+		}
+	}
+	if _, _, _, err := TwoChains(0, DefaultConfig(), rng); err == nil {
+		t.Error("chainLen=0 accepted")
+	}
+	if _, _, _, err := TwoChains(3, Config{}, rng); err == nil {
+		t.Error("zero ECUs accepted")
+	}
+}
+
+func TestLayered(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	g, err := Layered([]int{3, 4, 2}, 2, DefaultConfig(), rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if len(g.Sinks()) != 1 {
+		t.Fatalf("sinks = %v, want one", g.Sinks())
+	}
+	// Every non-source task has at least one predecessor by construction.
+	for i := 0; i < g.NumTasks(); i++ {
+		id := model.TaskID(i)
+		if g.IsSource(id) {
+			continue
+		}
+		if len(g.Predecessors(id)) == 0 {
+			t.Errorf("task %d orphaned", id)
+		}
+	}
+	for _, bad := range [][]int{{}, {0}, {2, 0}} {
+		if _, err := Layered(bad, 1, DefaultConfig(), rng); err == nil {
+			t.Errorf("widths %v accepted", bad)
+		}
+	}
+	if _, err := Layered([]int{2, 2}, 0, DefaultConfig(), rng); err == nil {
+		t.Error("fanout 0 accepted")
+	}
+	if _, err := Layered([]int{2}, 1, Config{}, rng); err == nil {
+		t.Error("zero ECUs accepted")
+	}
+}
+
+func TestGNMDeterministicForSeed(t *testing.T) {
+	a, err := GNM(12, 24, DefaultConfig(), rand.New(rand.NewSource(42)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := GNM(12, 24, DefaultConfig(), rand.New(rand.NewSource(42)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.NumEdges() != b.NumEdges() {
+		t.Fatal("same seed produced different graphs")
+	}
+	for i, e := range a.Edges() {
+		if b.Edges()[i] != e {
+			t.Fatal("same seed produced different edges")
+		}
+	}
+}
+
+func TestGNMEdgeDistributionUniform(t *testing.T) {
+	// Every pair (i<j) should be picked with probability m / maxM.
+	rng := rand.New(rand.NewSource(7))
+	const n, m, trials = 6, 5, 4000
+	maxM := n * (n - 1) / 2
+	counts := map[[2]model.TaskID]int{}
+	for trial := 0; trial < trials; trial++ {
+		g, err := GNM(n, m, Config{ECUs: 1}, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		seen := 0
+		for _, e := range g.Edges() {
+			// Skip sink-condensing edges (they duplicate pairs at most).
+			if seen++; seen > m {
+				break
+			}
+			counts[[2]model.TaskID{e.Src, e.Dst}]++
+		}
+	}
+	want := float64(m) / float64(maxM)
+	for pair, c := range counts {
+		got := float64(c) / trials
+		if got < want*0.7 && got > want*1.3 {
+			t.Errorf("pair %v frequency %.3f, want ≈ %.3f", pair, got, want)
+		}
+	}
+}
+
+func TestAutomotive(t *testing.T) {
+	g, fusion, err := Automotive(DefaultAutomotive())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 3 sensors + 3×2 processing + fusion + 2 tail = 12 tasks.
+	if g.NumTasks() != 12 {
+		t.Fatalf("tasks = %d, want 12", g.NumTasks())
+	}
+	if got := len(g.Predecessors(fusion)); got != 3 {
+		t.Errorf("fusion has %d inputs, want 3", got)
+	}
+	if len(g.Sinks()) != 1 {
+		t.Error("not single-sink")
+	}
+	// Zonal platform: central + 3 zone ECUs.
+	if g.NumECUs() != 4 {
+		t.Errorf("ECUs = %d, want 4", g.NumECUs())
+	}
+	cs, err := chains.Enumerate(g, g.Sinks()[0], 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cs) != 3 {
+		t.Errorf("chains = %d, want 3", len(cs))
+	}
+
+	// Single-ECU variant.
+	cfg := DefaultAutomotive()
+	cfg.ZoneECUs = false
+	g2, _, err := Automotive(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g2.NumECUs() != 1 {
+		t.Errorf("ECUs = %d, want 1", g2.NumECUs())
+	}
+
+	for _, bad := range []AutomotiveConfig{
+		{Sensors: 1, ProcDepth: 1},
+		{Sensors: 2, ProcDepth: 0},
+		{Sensors: 2, ProcDepth: 1, TailLen: -1},
+	} {
+		if _, _, err := Automotive(bad); err == nil {
+			t.Errorf("config %+v accepted", bad)
+		}
+	}
+}

@@ -1,0 +1,101 @@
+package report
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/model"
+	"repro/internal/timeu"
+)
+
+const ms = timeu.Millisecond
+
+func render(t *testing.T, g *model.Graph, opts Options) string {
+	t.Helper()
+	var b strings.Builder
+	if err := Write(&b, g, opts); err != nil {
+		t.Fatal(err)
+	}
+	return b.String()
+}
+
+func TestFullReport(t *testing.T) {
+	g := model.Fig2Graph()
+	out := render(t, g, Options{Optimize: true, Title: "Fig2 report"})
+	for _, want := range []string{
+		"# Fig2 report",
+		"## Platform",
+		"hyperperiod 60ms",
+		"| ecu0 | compute | 4 |",
+		"## Tasks",
+		"| t3 | ecu0 | implicit | 0 | 2ms | 1ms | 10ms |",
+		"## Task t6",
+		"### Chains",
+		"t1 -> t3 -> t5 -> t6",
+		"### Worst-case time disparity",
+		"P-diff (Theorem 1) | 65ms",
+		"S-diff (Theorem 2) | 71ms",
+		"### Algorithm 1 recommendation",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("report missing %q", want)
+		}
+	}
+}
+
+func TestReportDefaultsToSinks(t *testing.T) {
+	g := model.Fig2Graph()
+	out := render(t, g, Options{})
+	if !strings.Contains(out, "## Task t6") {
+		t.Error("sink t6 not analyzed by default")
+	}
+	if strings.Contains(out, "## Task t3") {
+		t.Error("non-sink analyzed without being requested")
+	}
+}
+
+func TestReportExplicitTask(t *testing.T) {
+	g := model.Fig2Graph()
+	t3, _ := g.TaskByName("t3")
+	out := render(t, g, Options{Tasks: []model.TaskID{t3.ID}})
+	if !strings.Contains(out, "## Task t3") {
+		t.Error("requested task missing")
+	}
+}
+
+func TestReportSingleChainTask(t *testing.T) {
+	g := model.NewGraph()
+	ecu := g.AddECU("e", model.Compute)
+	s := g.AddTask(model.Task{Name: "s", Period: 10 * ms, ECU: model.NoECU})
+	a := g.AddTask(model.Task{Name: "a", WCET: ms, BCET: ms, Period: 10 * ms, Prio: 0, ECU: ecu})
+	if err := g.AddEdge(s, a); err != nil {
+		t.Fatal(err)
+	}
+	out := render(t, g, Options{})
+	if !strings.Contains(out, "trivially 0") {
+		t.Error("single-chain note missing")
+	}
+}
+
+func TestReportUnschedulable(t *testing.T) {
+	g := model.NewGraph()
+	ecu := g.AddECU("e", model.Compute)
+	g.AddTask(model.Task{Name: "a", WCET: 5 * ms, BCET: ms, Period: 6 * ms, Prio: 0, ECU: ecu})
+	g.AddTask(model.Task{Name: "b", WCET: 5 * ms, BCET: ms, Period: 10 * ms, Prio: 1, ECU: ecu})
+	out := render(t, g, Options{})
+	if !strings.Contains(out, "not schedulable") {
+		t.Error("unschedulability note missing")
+	}
+	if strings.Contains(out, "### Worst-case time disparity") {
+		t.Error("disparity section present despite unschedulability")
+	}
+}
+
+func TestReportInvalidGraph(t *testing.T) {
+	g := model.NewGraph()
+	g.AddTask(model.Task{Name: "x", Period: 0})
+	var b strings.Builder
+	if err := Write(&b, g, Options{}); err == nil {
+		t.Error("invalid graph accepted")
+	}
+}

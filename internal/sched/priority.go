@@ -1,0 +1,124 @@
+package sched
+
+import (
+	"sort"
+
+	"repro/internal/model"
+)
+
+// AssignRateMonotonic assigns priorities per ECU by increasing period
+// (shorter period = higher priority = smaller Prio value), breaking ties
+// by task ID. It overwrites the Prio field of every scheduled task.
+func AssignRateMonotonic(g *model.Graph) {
+	assignByOrder(g, func(a, b *model.Task) bool {
+		if a.Period != b.Period {
+			return a.Period < b.Period
+		}
+		return a.ID < b.ID
+	})
+}
+
+// AssignDeadlineMonotonic assigns priorities per ECU by increasing
+// effective deadline (shorter deadline = higher priority), the optimal
+// fixed-priority order for constrained-deadline tasks under preemptive
+// scheduling and the usual heuristic under NP-FP. Ties break by task ID.
+func AssignDeadlineMonotonic(g *model.Graph) {
+	assignByOrder(g, func(a, b *model.Task) bool {
+		da, db := a.EffectiveDeadline(), b.EffectiveDeadline()
+		if da != db {
+			return da < db
+		}
+		return a.ID < b.ID
+	})
+}
+
+// AssignByID assigns priorities per ECU by task ID (insertion order),
+// useful for deterministic fixtures.
+func AssignByID(g *model.Graph) {
+	assignByOrder(g, func(a, b *model.Task) bool { return a.ID < b.ID })
+}
+
+// AssignTopological assigns priorities per ECU by topological position:
+// producers outrank their (same-ECU) consumers. Under Lemma 4 every
+// same-ECU hop of every chain then falls into the cheap
+// π^i ∈ hp(π^{i+1}) case (θ = T(π^i) instead of
+// T(π^i) + R(π^i) − W(π^i) − B(π^{i+1})), tightening the backward-time
+// and disparity bounds — at the price of ignoring rate-monotonic
+// schedulability heuristics, so re-check schedulability afterwards.
+// Returns an error only if the graph is cyclic.
+func AssignTopological(g *model.Graph) error {
+	order, err := g.TopoOrder()
+	if err != nil {
+		return err
+	}
+	pos := make(map[model.TaskID]int, len(order))
+	for i, id := range order {
+		pos[id] = i
+	}
+	assignByOrder(g, func(a, b *model.Task) bool { return pos[a.ID] < pos[b.ID] })
+	return nil
+}
+
+func assignByOrder(g *model.Graph, less func(a, b *model.Task) bool) {
+	for _, ecu := range g.ECUs() {
+		ids := g.TasksOnECU(ecu.ID)
+		sort.Slice(ids, func(i, j int) bool { return less(g.Task(ids[i]), g.Task(ids[j])) })
+		for rank, id := range ids {
+			g.Task(id).Prio = rank
+		}
+	}
+}
+
+// AssignAudsley searches for a priority assignment that makes every ECU
+// schedulable under non-preemptive fixed priority, using Audsley's
+// optimal priority assignment: repeatedly find a task that is schedulable
+// at the lowest unassigned priority level. It returns false if no
+// assignment exists under this analysis (the test is sufficient, not
+// exact, so false negatives are possible). On success the graph's Prio
+// fields hold the found assignment.
+func AssignAudsley(g *model.Graph) bool {
+	work := g.Clone()
+	for _, ecu := range work.ECUs() {
+		ids := work.TasksOnECU(ecu.ID)
+		if !audsleyECU(work, ids) {
+			return false
+		}
+	}
+	// Copy the successful assignment back.
+	for i := 0; i < g.NumTasks(); i++ {
+		g.Task(model.TaskID(i)).Prio = work.Task(model.TaskID(i)).Prio
+	}
+	return true
+}
+
+func audsleyECU(g *model.Graph, ids []model.TaskID) bool {
+	unassigned := append([]model.TaskID(nil), ids...)
+	// Assign levels from lowest (len-1) upward.
+	for level := len(ids) - 1; level >= 0; level-- {
+		placed := false
+		for i, cand := range unassigned {
+			// Tentatively: cand at this level, all other unassigned tasks
+			// above it. Audsley's argument only needs the relative order
+			// "cand below the rest"; give the rest arbitrary distinct
+			// higher priorities.
+			g.Task(cand).Prio = level
+			rank := 0
+			for _, other := range unassigned {
+				if other == cand {
+					continue
+				}
+				g.Task(other).Prio = rank
+				rank++
+			}
+			if r, ok := npResponseTime(g, cand); ok && r <= g.Task(cand).EffectiveDeadline() {
+				unassigned = append(unassigned[:i], unassigned[i+1:]...)
+				placed = true
+				break
+			}
+		}
+		if !placed {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,412 @@
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"math/rand"
+
+	"repro/internal/model"
+	"repro/internal/timeu"
+)
+
+// Job is one execution instance of a task. Observers receive the job
+// after it finishes, with all fields filled in.
+type Job struct {
+	Task    model.TaskID
+	K       int64 // job index, 0-based
+	Release timeu.Time
+	Start   timeu.Time
+	Finish  timeu.Time
+	// Out is the token the job wrote to its output channels (also set for
+	// sink tasks, which write nowhere). Its stamps were assembled from
+	// the input channels when the job started.
+	Out *Token
+	// EmptyInputs counts input channels that were empty at start; data
+	// from those predecessors is missing from Out (warm-up effect).
+	EmptyInputs int
+
+	// let marks the ECU-execution half of a LET job, which publishes
+	// nothing itself (the publish event does).
+	let bool
+}
+
+// Observer is notified as the simulation progresses. Implementations
+// must not retain Job pointers beyond the call (jobs are pooled).
+type Observer interface {
+	JobFinished(j *Job)
+}
+
+// StartObserver is an optional extension for observers that also need
+// start events (e.g. trace capture).
+type StartObserver interface {
+	JobStarted(j *Job)
+}
+
+// ReleaseObserver is an optional extension for release events.
+type ReleaseObserver interface {
+	JobReleased(task model.TaskID, k int64, release timeu.Time)
+}
+
+// Config parameterizes a simulation run.
+type Config struct {
+	// Horizon is the simulated time span; events at t ≤ Horizon are
+	// processed. Must be positive.
+	Horizon timeu.Time
+	// Exec draws job execution times; defaults to WCETExec.
+	Exec ExecModel
+	// Seed seeds the run's private random source.
+	Seed int64
+	// Observers receive job completions.
+	Observers []Observer
+}
+
+// Stats summarizes a finished run.
+type Stats struct {
+	// Jobs counts finished jobs (source stimuli included).
+	Jobs int64
+	// Overruns counts releases that occurred while a previous job of the
+	// same task was still pending or running. A schedulable system under
+	// the paper's assumptions has none.
+	Overruns int64
+	// End is the time of the last processed event.
+	End timeu.Time
+	// Channels reports per-edge token flow, in the graph's edge order.
+	// Lost tokens (evicted before any read) quantify §IV's observation
+	// that oversampling wastes computation: a producer faster than its
+	// consumer drops most of its outputs.
+	Channels []ChannelStats
+}
+
+// ChannelStats is the token flow of one edge during a run.
+type ChannelStats struct {
+	Edge model.Edge
+	// Writes and Reads count write and head-read operations; Lost counts
+	// tokens evicted without ever having been read.
+	Writes, Reads, Lost int64
+}
+
+// event kinds, ordered so that releases at time t are processed after
+// finishes at time t: a job finishing exactly when another is released
+// makes its output visible to that release (finish writes happen first).
+const (
+	evFinish = iota
+	evPublish
+	evRelease
+)
+
+type event struct {
+	time timeu.Time
+	kind int
+	seq  int64 // FIFO tie-break for determinism
+	task model.TaskID
+	ecu  model.ECUID
+}
+
+type eventHeap []event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].time != h[j].time {
+		return h[i].time < h[j].time
+	}
+	if h[i].kind != h[j].kind {
+		return h[i].kind < h[j].kind
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(event)) }
+func (h *eventHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}
+
+// readyHeap orders pending jobs of one ECU by (priority, release, task,
+// job index).
+type readyJob struct {
+	job  *Job
+	prio int
+}
+
+type readyHeap []readyJob
+
+func (h readyHeap) Len() int { return len(h) }
+func (h readyHeap) Less(i, j int) bool {
+	a, b := h[i], h[j]
+	if a.prio != b.prio {
+		return a.prio < b.prio
+	}
+	if a.job.Release != b.job.Release {
+		return a.job.Release < b.job.Release
+	}
+	if a.job.Task != b.job.Task {
+		return a.job.Task < b.job.Task
+	}
+	return a.job.K < b.job.K
+}
+func (h readyHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *readyHeap) Push(x interface{}) { *h = append(*h, x.(readyJob)) }
+func (h *readyHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}
+
+type ecuState struct {
+	running *Job
+	ready   readyHeap
+}
+
+type engine struct {
+	g   *model.Graph
+	cfg Config
+	rng *rand.Rand
+
+	events eventHeap
+	seq    int64
+
+	ecus []ecuState
+	// chans lists all channels in edge order; ins and outs index them
+	// per task.
+	chans     []*channel
+	ins, outs [][]*channel
+	// pendingCount tracks queued-or-running jobs per task for overrun
+	// detection.
+	pendingCount []int
+	nextK        []int64
+	// pubQueue holds, per LET task, the tokens awaiting their publish
+	// instants (FIFO: publish events fire in release order).
+	pubQueue [][]pendingPublish
+
+	stats Stats
+}
+
+// Run simulates the graph for cfg.Horizon of simulated time and returns
+// aggregate statistics. Observers in cfg collect everything else.
+func Run(g *model.Graph, cfg Config) (*Stats, error) {
+	if err := g.Validate(); err != nil {
+		return nil, err
+	}
+	if cfg.Horizon <= 0 {
+		return nil, fmt.Errorf("sim: non-positive horizon %v", cfg.Horizon)
+	}
+	if cfg.Exec == nil {
+		cfg.Exec = WCETExec{}
+	}
+	e := &engine{
+		g:            g,
+		cfg:          cfg,
+		rng:          rand.New(rand.NewSource(cfg.Seed)),
+		ecus:         make([]ecuState, g.NumECUs()),
+		ins:          make([][]*channel, g.NumTasks()),
+		outs:         make([][]*channel, g.NumTasks()),
+		pendingCount: make([]int, g.NumTasks()),
+		nextK:        make([]int64, g.NumTasks()),
+		pubQueue:     make([][]pendingPublish, g.NumTasks()),
+	}
+	for _, edge := range g.Edges() {
+		ch := newChannel(edge.Cap)
+		e.chans = append(e.chans, ch)
+		e.outs[edge.Src] = append(e.outs[edge.Src], ch)
+		e.ins[edge.Dst] = append(e.ins[edge.Dst], ch)
+	}
+	for i := 0; i < g.NumTasks(); i++ {
+		t := g.Task(model.TaskID(i))
+		e.push(event{time: t.Offset, kind: evRelease, task: t.ID})
+	}
+	e.loop()
+	for i, ch := range e.chans {
+		e.stats.Channels = append(e.stats.Channels, ChannelStats{
+			Edge:   g.Edges()[i],
+			Writes: ch.writes,
+			Reads:  ch.reads,
+			Lost:   ch.lost,
+		})
+	}
+	return &e.stats, nil
+}
+
+func (e *engine) push(ev event) {
+	ev.seq = e.seq
+	e.seq++
+	heap.Push(&e.events, ev)
+}
+
+// loop processes events in batches per time instant: all finishes first
+// (outputs become visible and ECUs turn idle), then all releases (jobs
+// enqueue, stimuli publish), then one dispatch pass per ECU. This makes
+// priority — not event insertion order — decide among jobs released at
+// the same instant, and lets a job starting at t read every token written
+// at or before t. Zero execution times can produce new finish events at
+// the same instant; the inner loop re-batches until the instant drains.
+func (e *engine) loop() {
+	for len(e.events) > 0 {
+		now := e.events[0].time
+		if now > e.cfg.Horizon {
+			return
+		}
+		e.stats.End = now
+		for len(e.events) > 0 && e.events[0].time == now {
+			for len(e.events) > 0 && e.events[0].time == now {
+				ev := heap.Pop(&e.events).(event)
+				switch ev.kind {
+				case evRelease:
+					e.release(ev.task, now)
+				case evFinish:
+					e.finish(ev.ecu, now)
+				case evPublish:
+					e.letPublish(ev.task, now)
+				}
+			}
+			for i := range e.ecus {
+				e.dispatch(model.ECUID(i), now)
+			}
+		}
+	}
+}
+
+func (e *engine) release(task model.TaskID, now timeu.Time) {
+	t := e.g.Task(task)
+	k := e.nextK[task]
+	e.nextK[task]++
+	next := t.Period
+	if t.Sporadic() {
+		// Bounded sporadic arrivals: the next release falls uniformly in
+		// [Period, MaxPeriod].
+		next += timeu.Time(e.rng.Int63n(int64(t.MaxPeriod-t.Period) + 1))
+	}
+	e.push(event{time: now + next, kind: evRelease, task: task})
+
+	for _, obs := range e.cfg.Observers {
+		if ro, ok := obs.(ReleaseObserver); ok {
+			ro.JobReleased(task, k, now)
+		}
+	}
+
+	if t.ECU == model.NoECU {
+		// External stimulus: produces its token instantly at release.
+		j := &Job{Task: task, K: k, Release: now, Start: now, Finish: now}
+		j.Out = &Token{Stamps: []Stamp{{Task: task, Min: now, Max: now}}}
+		e.publish(j)
+		return
+	}
+
+	if e.pendingCount[task] > 0 {
+		e.stats.Overruns++
+	}
+	e.pendingCount[task]++
+	j := &Job{Task: task, K: k, Release: now}
+	if t.Sem == model.LET {
+		// LET: inputs are read at release and the output is published at
+		// the deadline, regardless of when the job executes.
+		j.let = true
+		tok := e.assembleToken(j)
+		e.pubQueue[task] = append(e.pubQueue[task], pendingPublish{job: Job{
+			Task: task, K: k, Release: now, Start: now, Finish: now + t.Period, Out: tok,
+			EmptyInputs: j.EmptyInputs,
+		}})
+		e.push(event{time: now + t.Period, kind: evPublish, task: task})
+	}
+	es := &e.ecus[t.ECU]
+	heap.Push(&es.ready, readyJob{job: j, prio: t.Prio})
+}
+
+// pendingPublish is a fully-formed LET job awaiting its publish instant.
+type pendingPublish struct {
+	job Job
+}
+
+// letPublish fires a LET task's deadline: the token assembled at release
+// becomes visible and observers see the completed logical job.
+func (e *engine) letPublish(task model.TaskID, now timeu.Time) {
+	q := e.pubQueue[task]
+	if len(q) == 0 {
+		panic("sim: publish event without pending token")
+	}
+	e.pubQueue[task] = q[1:]
+	j := q[0].job
+	if j.Finish != now {
+		panic("sim: publish event out of order")
+	}
+	e.publish(&j)
+}
+
+// assembleToken reads the job's input channels (implicit: at start; LET:
+// at release) and builds the output token.
+func (e *engine) assembleToken(j *Job) *Token {
+	if e.g.IsSource(j.Task) {
+		// A source stamps its output with its release time (t(J) = r(J)).
+		return &Token{Stamps: []Stamp{{Task: j.Task, Min: j.Release, Max: j.Release}}}
+	}
+	tokens := make([]*Token, 0, len(e.ins[j.Task]))
+	for _, ch := range e.ins[j.Task] {
+		if tk := ch.read(); tk != nil {
+			tokens = append(tokens, tk)
+		} else {
+			j.EmptyInputs++
+		}
+	}
+	return &Token{Stamps: mergeStamps(tokens)}
+}
+
+// dispatch starts the highest-priority ready job if the ECU is idle.
+func (e *engine) dispatch(ecu model.ECUID, now timeu.Time) {
+	es := &e.ecus[ecu]
+	if es.running != nil || es.ready.Len() == 0 {
+		return
+	}
+	rj := heap.Pop(&es.ready).(readyJob)
+	j := rj.job
+	t := e.g.Task(j.Task)
+	j.Start = now
+
+	// Implicit communication reads all input channels now; a LET job
+	// already read them at release and only occupies the processor here.
+	if !j.let {
+		j.Out = e.assembleToken(j)
+	}
+
+	for _, obs := range e.cfg.Observers {
+		if so, ok := obs.(StartObserver); ok {
+			so.JobStarted(j)
+		}
+	}
+
+	exec := e.cfg.Exec.Sample(t, e.rng)
+	if exec < t.BCET || exec > t.WCET {
+		panic(fmt.Sprintf("sim: exec model %s returned %v outside [%v,%v] for %s",
+			e.cfg.Exec.Name(), exec, t.BCET, t.WCET, t.Name))
+	}
+	j.Finish = j.Start + exec
+	es.running = j
+	e.push(event{time: j.Finish, kind: evFinish, ecu: ecu})
+}
+
+func (e *engine) finish(ecu model.ECUID, now timeu.Time) {
+	es := &e.ecus[ecu]
+	j := es.running
+	es.running = nil
+	e.pendingCount[j.Task]--
+	if j.let {
+		// The logical job completes at its publish instant, not here.
+		return
+	}
+	e.publish(j)
+}
+
+// publish writes the job's token to all output channels and notifies
+// observers.
+func (e *engine) publish(j *Job) {
+	for _, ch := range e.outs[j.Task] {
+		ch.write(j.Out)
+	}
+	e.stats.Jobs++
+	for _, obs := range e.cfg.Observers {
+		obs.JobFinished(j)
+	}
+}

@@ -1,0 +1,334 @@
+package sim
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/model"
+	"repro/internal/timeu"
+)
+
+const ms = timeu.Millisecond
+
+func newTestRand() *rand.Rand { return rand.New(rand.NewSource(1)) }
+
+// pipeline builds src(T=10) -> a(W=2,B=1,T=10) -> b(W=3,B=1,T=20) on one ECU.
+func pipeline(t *testing.T) (*model.Graph, model.TaskID, model.TaskID, model.TaskID) {
+	t.Helper()
+	g := model.NewGraph()
+	ecu := g.AddECU("e", model.Compute)
+	src := g.AddTask(model.Task{Name: "src", Period: 10 * ms, ECU: model.NoECU})
+	a := g.AddTask(model.Task{Name: "a", WCET: 2 * ms, BCET: ms, Period: 10 * ms, Prio: 0, ECU: ecu})
+	b := g.AddTask(model.Task{Name: "b", WCET: 3 * ms, BCET: ms, Period: 20 * ms, Prio: 1, ECU: ecu})
+	for _, e := range [][2]model.TaskID{{src, a}, {a, b}} {
+		if err := g.AddEdge(e[0], e[1]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	return g, src, a, b
+}
+
+func TestRunValidation(t *testing.T) {
+	g, _, _, _ := pipeline(t)
+	if _, err := Run(g, Config{Horizon: 0}); err == nil {
+		t.Error("zero horizon accepted")
+	}
+	bad := model.NewGraph()
+	bad.AddTask(model.Task{Name: "x", Period: 0})
+	if _, err := Run(bad, Config{Horizon: ms}); err == nil {
+		t.Error("invalid graph accepted")
+	}
+}
+
+func TestRunCountsJobs(t *testing.T) {
+	g, _, _, _ := pipeline(t)
+	stats, err := Run(g, Config{Horizon: 100 * ms})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// src: releases at 0,10,...,100 → 11 jobs (all finish instantly).
+	// a: 11 releases, the one at 100 finishes at 102 > horizon: 10 finish.
+	// b: releases 0,20,...,100: 6, the one at 100 unfinished: 5 finish.
+	if stats.Jobs != 11+10+5 {
+		t.Errorf("Jobs = %d, want 26", stats.Jobs)
+	}
+	if stats.Overruns != 0 {
+		t.Errorf("Overruns = %d, want 0", stats.Overruns)
+	}
+	if stats.End > 100*ms {
+		t.Errorf("End = %v beyond horizon", stats.End)
+	}
+}
+
+func TestTimestampPropagationWCET(t *testing.T) {
+	// With synchronous releases and WCET execution the data flow is fully
+	// deterministic; check the stamps on b's outputs.
+	g, src, a, b := pipeline(t)
+	_ = a
+	var got []*Job
+	obs := FuncObserver(func(j *Job) {
+		if j.Task == b {
+			cp := *j
+			got = append(got, &cp)
+		}
+	})
+	if _, err := Run(g, Config{Horizon: 60 * ms, Observers: []Observer{obs}}); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) < 3 {
+		t.Fatalf("observed %d jobs of b", len(got))
+	}
+	// Job 0 of b: released 0, but a0 starts at 0 too: a0 reads src@0,
+	// finishes at 2; b0 starts at 2 and reads a's token (src@0).
+	j0 := got[0]
+	if s, ok := j0.Out.Stamp(src); !ok || s.Min != 0 || s.Max != 0 {
+		t.Errorf("b job0 stamp = %+v, want src@0", j0.Out)
+	}
+	if j0.Start != 2*ms || j0.Finish != 5*ms {
+		t.Errorf("b job0 start/finish = %v/%v, want 2ms/5ms", j0.Start, j0.Finish)
+	}
+	// Job 1 of b: released 20; a's job released 20 starts 20 (a has
+	// higher priority; ECU idle at 20), finishes 22; b starts at 22 and
+	// reads a's latest token: src@20.
+	j1 := got[1]
+	if s, ok := j1.Out.Stamp(src); !ok || s.Min != 20*ms {
+		t.Errorf("b job1 stamp = %v, want src@20ms", j1.Out)
+	}
+}
+
+func TestEmptyInputsAtStartup(t *testing.T) {
+	// Delay the stimulus so a's first job reads an empty channel.
+	g, src, a, _ := pipeline(t)
+	g.Task(src).Offset = 5 * ms
+	var first *Job
+	obs := FuncObserver(func(j *Job) {
+		if j.Task == a && first == nil {
+			cp := *j
+			first = &cp
+		}
+	})
+	if _, err := Run(g, Config{Horizon: 30 * ms, Observers: []Observer{obs}}); err != nil {
+		t.Fatal(err)
+	}
+	if first == nil {
+		t.Fatal("no job of a observed")
+	}
+	if first.EmptyInputs != 1 || len(first.Out.Stamps) != 0 {
+		t.Errorf("first job of a should see an empty channel: %+v", first)
+	}
+}
+
+func TestNonPreemptiveBlocking(t *testing.T) {
+	// lo starts just before hi is released; hi must wait for lo to finish.
+	g := model.NewGraph()
+	ecu := g.AddECU("e", model.Compute)
+	hi := g.AddTask(model.Task{Name: "hi", WCET: 2 * ms, BCET: 2 * ms, Period: 10 * ms, Prio: 0, ECU: ecu, Offset: 1 * ms})
+	lo := g.AddTask(model.Task{Name: "lo", WCET: 5 * ms, BCET: 5 * ms, Period: 20 * ms, Prio: 1, ECU: ecu})
+	var hiStart, loStart timeu.Time = -1, -1
+	obs := FuncObserver(func(j *Job) {
+		if j.Task == hi && hiStart < 0 {
+			hiStart = j.Start
+		}
+		if j.Task == lo && loStart < 0 {
+			loStart = j.Start
+		}
+	})
+	if _, err := Run(g, Config{Horizon: 40 * ms, Observers: []Observer{obs}}); err != nil {
+		t.Fatal(err)
+	}
+	if loStart != 0 {
+		t.Errorf("lo starts at %v, want 0", loStart)
+	}
+	if hiStart != 5*ms {
+		t.Errorf("hi starts at %v, want 5ms (blocked by non-preemptable lo)", hiStart)
+	}
+}
+
+func TestPriorityOrderAtDispatch(t *testing.T) {
+	// Both ready at t=5 (after a blocking job finishes): hi runs first.
+	g := model.NewGraph()
+	ecu := g.AddECU("e", model.Compute)
+	blk := g.AddTask(model.Task{Name: "blk", WCET: 5 * ms, BCET: 5 * ms, Period: 100 * ms, Prio: 2, ECU: ecu})
+	hi := g.AddTask(model.Task{Name: "hi", WCET: ms, BCET: ms, Period: 100 * ms, Prio: 0, ECU: ecu, Offset: ms})
+	lo := g.AddTask(model.Task{Name: "lo", WCET: ms, BCET: ms, Period: 100 * ms, Prio: 1, ECU: ecu, Offset: ms})
+	_ = blk
+	var order []model.TaskID
+	obs := FuncObserver(func(j *Job) { order = append(order, j.Task) })
+	if _, err := Run(g, Config{Horizon: 50 * ms, Observers: []Observer{obs}}); err != nil {
+		t.Fatal(err)
+	}
+	if len(order) != 3 || order[0] != blk || order[1] != hi || order[2] != lo {
+		t.Errorf("finish order = %v, want [blk hi lo]", order)
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	g := model.Fig2Graph()
+	run := func() timeu.Time {
+		obs := NewDisparityObserver(0)
+		_, err := Run(g, Config{Horizon: 2 * timeu.Second, Seed: 7, Exec: UniformExec{}, Observers: []Observer{obs}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		t6, _ := g.TaskByName("t6")
+		return obs.Max(t6.ID)
+	}
+	if a, b := run(), run(); a != b {
+		t.Errorf("same seed produced different disparities: %v vs %v", a, b)
+	}
+}
+
+func TestOverrunDetection(t *testing.T) {
+	// An (intentionally) overloaded ECU: two tasks each needing 80% of
+	// the processor. Validate() passes (WCET ≤ T) but jobs pile up.
+	g := model.NewGraph()
+	ecu := g.AddECU("e", model.Compute)
+	g.AddTask(model.Task{Name: "a", WCET: 8 * ms, BCET: 8 * ms, Period: 10 * ms, Prio: 0, ECU: ecu})
+	g.AddTask(model.Task{Name: "b", WCET: 8 * ms, BCET: 8 * ms, Period: 10 * ms, Prio: 1, ECU: ecu})
+	stats, err := Run(g, Config{Horizon: 200 * ms})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Overruns == 0 {
+		t.Error("overloaded system reported no overruns")
+	}
+}
+
+func TestReleaseAndStartObservers(t *testing.T) {
+	g, _, a, _ := pipeline(t)
+	type rec struct {
+		releases int
+		starts   int
+	}
+	var r rec
+	obs := &fullObserver{
+		onRelease: func(task model.TaskID, k int64, rel timeu.Time) {
+			if task == a {
+				r.releases++
+			}
+		},
+		onStart: func(j *Job) {
+			if j.Task == a {
+				r.starts++
+			}
+		},
+	}
+	if _, err := Run(g, Config{Horizon: 95 * ms, Observers: []Observer{obs}}); err != nil {
+		t.Fatal(err)
+	}
+	if r.releases != 10 || r.starts != 10 {
+		t.Errorf("releases/starts = %d/%d, want 10/10", r.releases, r.starts)
+	}
+}
+
+type fullObserver struct {
+	onRelease func(model.TaskID, int64, timeu.Time)
+	onStart   func(*Job)
+}
+
+func (f *fullObserver) JobFinished(*Job) {}
+func (f *fullObserver) JobStarted(j *Job) {
+	if f.onStart != nil {
+		f.onStart(j)
+	}
+}
+func (f *fullObserver) JobReleased(task model.TaskID, k int64, rel timeu.Time) {
+	if f.onRelease != nil {
+		f.onRelease(task, k, rel)
+	}
+}
+
+func TestBufferedChannelDelaysData(t *testing.T) {
+	// src -> a with a capacity-3 buffer: in steady state a reads data
+	// (3−1) source periods old.
+	g, src, a, _ := pipeline(t)
+	if err := g.SetBuffer(src, a, 3); err != nil {
+		t.Fatal(err)
+	}
+	bo := NewBackwardObserver(a, src, 50*ms)
+	if _, err := Run(g, Config{Horizon: 500 * ms, Observers: []Observer{bo}}); err != nil {
+		t.Fatal(err)
+	}
+	min, max, ok := bo.Range()
+	if !ok {
+		t.Fatal("no data observed")
+	}
+	// Unbuffered, a released at t reads src@t (starts immediately, reads
+	// the token released at t): backward time 0... with WCET exec and
+	// priorities, a starts at its release (highest prio, but can be
+	// blocked by b for up to 3ms): backward ∈ [0, 10). Buffered: +20ms.
+	if min < 20*ms || max >= 30*ms+10*ms {
+		t.Errorf("buffered backward time range [%v, %v] outside expectation", min, max)
+	}
+	if max-min >= 20*ms {
+		t.Errorf("range [%v,%v] suspiciously wide", min, max)
+	}
+}
+
+func TestExecModelPanicOnBadSample(t *testing.T) {
+	g, _, _, _ := pipeline(t)
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic for out-of-range sample")
+		}
+	}()
+	_, _ = Run(g, Config{Horizon: 20 * ms, Exec: badExec{}})
+}
+
+type badExec struct{}
+
+func (badExec) Sample(task *model.Task, _ *rand.Rand) timeu.Time { return task.WCET + 1 }
+func (badExec) Name() string                                     { return "bad" }
+
+// TestChannelStatsQuantifyOversampling reproduces §IV's resource-waste
+// observation numerically: with a 10ms producer feeding a 30ms consumer,
+// two-thirds of the produced tokens are evicted unread.
+func TestChannelStatsQuantifyOversampling(t *testing.T) {
+	g := model.NewGraph()
+	ecu := g.AddECU("e", model.Compute)
+	src := g.AddTask(model.Task{Name: "src", Period: 10 * ms, ECU: model.NoECU})
+	slow := g.AddTask(model.Task{Name: "slow", WCET: ms, BCET: ms, Period: 30 * ms, Prio: 0, ECU: ecu})
+	if err := g.AddEdge(src, slow); err != nil {
+		t.Fatal(err)
+	}
+	stats, err := Run(g, Config{Horizon: 3 * timeu.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(stats.Channels) != 1 {
+		t.Fatalf("channel stats = %v", stats.Channels)
+	}
+	cs := stats.Channels[0]
+	if cs.Edge.Src != src || cs.Edge.Dst != slow {
+		t.Errorf("edge mismatch: %+v", cs.Edge)
+	}
+	if cs.Writes < 250 || cs.Reads < 90 {
+		t.Errorf("implausible counts: %+v", cs)
+	}
+	lossRate := float64(cs.Lost) / float64(cs.Writes)
+	if lossRate < 0.6 || lossRate > 0.72 {
+		t.Errorf("loss rate %.3f, want ≈ 2/3 (10ms producer, 30ms consumer)", lossRate)
+	}
+}
+
+// TestChannelStatsNoLossWhenMatched: equal rates lose nothing after the
+// first tokens.
+func TestChannelStatsNoLossWhenMatched(t *testing.T) {
+	g, src, a, _ := pipeline(t)
+	_ = src
+	_ = a
+	stats, err := Run(g, Config{Horizon: timeu.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, cs := range stats.Channels {
+		if cs.Edge.Src == src && cs.Edge.Dst == a {
+			if float64(cs.Lost) > 0.05*float64(cs.Writes) {
+				t.Errorf("matched-rate edge lost %d of %d tokens", cs.Lost, cs.Writes)
+			}
+		}
+	}
+}

@@ -1,0 +1,104 @@
+package sim
+
+import (
+	"repro/internal/model"
+	"repro/internal/timeu"
+)
+
+// DisparityObserver records, per observed task, the maximum time
+// disparity (Definition 2) among all finished jobs: the span of the
+// output token's source timestamps. It implements Observer.
+type DisparityObserver struct {
+	watch map[model.TaskID]bool // nil = watch everything
+	max   map[model.TaskID]timeu.Time
+	warm  timeu.Time
+	// CompleteOnly skips jobs with missing inputs anywhere upstream is
+	// not tracked; it skips jobs whose own reads hit an empty channel.
+	CompleteOnly bool
+}
+
+// NewDisparityObserver watches the given tasks (all tasks if none are
+// given). Jobs finishing before warmup are ignored, letting buffered
+// channels reach their steady state first (Lemma 6 is a long-term
+// statement).
+func NewDisparityObserver(warmup timeu.Time, tasks ...model.TaskID) *DisparityObserver {
+	o := &DisparityObserver{max: make(map[model.TaskID]timeu.Time), warm: warmup}
+	if len(tasks) > 0 {
+		o.watch = make(map[model.TaskID]bool, len(tasks))
+		for _, t := range tasks {
+			o.watch[t] = true
+		}
+	}
+	return o
+}
+
+// JobFinished implements Observer.
+func (o *DisparityObserver) JobFinished(j *Job) {
+	if j.Finish < o.warm {
+		return
+	}
+	if o.watch != nil && !o.watch[j.Task] {
+		return
+	}
+	if o.CompleteOnly && j.EmptyInputs > 0 {
+		return
+	}
+	span := j.Out.Span()
+	if cur, ok := o.max[j.Task]; !ok || span > cur {
+		o.max[j.Task] = span
+	}
+}
+
+// Max returns the maximum observed disparity of the task (0 if no job of
+// the task finished after warm-up).
+func (o *DisparityObserver) Max(task model.TaskID) timeu.Time { return o.max[task] }
+
+// BackwardObserver records, per (tail task, source task) pair, the range
+// of observed backward times: r(job) − timestamp of the source data the
+// job consumed. For a chain-shaped graph this is exactly len(⃖π) of the
+// immediate backward job chain; on DAGs the min/max aggregate over all
+// paths from the source.
+type BackwardObserver struct {
+	tail   model.TaskID
+	source model.TaskID
+	warm   timeu.Time
+
+	seen     bool
+	min, max timeu.Time
+}
+
+// NewBackwardObserver watches jobs of tail consuming data originating at
+// source, ignoring jobs finishing before warmup.
+func NewBackwardObserver(tail, source model.TaskID, warmup timeu.Time) *BackwardObserver {
+	return &BackwardObserver{tail: tail, source: source, warm: warmup}
+}
+
+// JobFinished implements Observer.
+func (o *BackwardObserver) JobFinished(j *Job) {
+	if j.Task != o.tail || j.Finish < o.warm {
+		return
+	}
+	s, ok := j.Out.Stamp(o.source)
+	if !ok {
+		return
+	}
+	lo, hi := j.Release-s.Max, j.Release-s.Min
+	if !o.seen {
+		o.min, o.max, o.seen = lo, hi, true
+		return
+	}
+	o.min = timeu.Min(o.min, lo)
+	o.max = timeu.Max(o.max, hi)
+}
+
+// Range returns the observed [min, max] backward time; ok is false if no
+// job carried data from the source.
+func (o *BackwardObserver) Range() (min, max timeu.Time, ok bool) {
+	return o.min, o.max, o.seen
+}
+
+// FuncObserver adapts a function to the Observer interface.
+type FuncObserver func(j *Job)
+
+// JobFinished implements Observer.
+func (f FuncObserver) JobFinished(j *Job) { f(j) }

@@ -1,0 +1,123 @@
+package sim
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/model"
+	"repro/internal/timeu"
+)
+
+// genTokens builds a random token set from quick-generated raw values.
+func genTokens(raw []uint8, times []int16) []*Token {
+	var tokens []*Token
+	cur := &Token{}
+	ti := 0
+	for _, r := range raw {
+		if r%5 == 0 && len(cur.Stamps) > 0 {
+			tokens = append(tokens, cur)
+			cur = &Token{}
+			continue
+		}
+		task := model.TaskID(r % 7)
+		var at timeu.Time
+		if ti < len(times) {
+			at = timeu.Time(times[ti])
+			ti++
+		}
+		// Keep stamps sorted and unique per token, as the engine does.
+		idx := sort.Search(len(cur.Stamps), func(i int) bool { return cur.Stamps[i].Task >= task })
+		if idx < len(cur.Stamps) && cur.Stamps[idx].Task == task {
+			cur.Stamps[idx].Min = timeu.Min(cur.Stamps[idx].Min, at)
+			cur.Stamps[idx].Max = timeu.Max(cur.Stamps[idx].Max, at)
+			continue
+		}
+		cur.Stamps = append(cur.Stamps, Stamp{})
+		copy(cur.Stamps[idx+1:], cur.Stamps[idx:])
+		cur.Stamps[idx] = Stamp{Task: task, Min: at, Max: at}
+	}
+	if len(cur.Stamps) > 0 {
+		tokens = append(tokens, cur)
+	}
+	return tokens
+}
+
+// TestMergeStampsProperties checks, on random token sets, that the merge
+// is order-insensitive, covers exactly the union of tasks, and that each
+// merged stamp spans exactly the per-task min/max of the inputs.
+func TestMergeStampsProperties(t *testing.T) {
+	prop := func(raw []uint8, times []int16, seed int64) bool {
+		tokens := genTokens(raw, times)
+		merged := mergeStamps(tokens)
+
+		// Sortedness and uniqueness.
+		for i := 1; i < len(merged); i++ {
+			if merged[i-1].Task >= merged[i].Task {
+				return false
+			}
+		}
+		// Exact per-task envelopes.
+		want := map[model.TaskID][2]timeu.Time{}
+		for _, tk := range tokens {
+			for _, s := range tk.Stamps {
+				if cur, ok := want[s.Task]; ok {
+					want[s.Task] = [2]timeu.Time{timeu.Min(cur[0], s.Min), timeu.Max(cur[1], s.Max)}
+				} else {
+					want[s.Task] = [2]timeu.Time{s.Min, s.Max}
+				}
+			}
+		}
+		if len(want) != len(merged) {
+			return false
+		}
+		for _, s := range merged {
+			w, ok := want[s.Task]
+			if !ok || s.Min != w[0] || s.Max != w[1] {
+				return false
+			}
+		}
+		// Order insensitivity.
+		shuffled := append([]*Token(nil), tokens...)
+		rng := rand.New(rand.NewSource(seed))
+		rng.Shuffle(len(shuffled), func(i, j int) { shuffled[i], shuffled[j] = shuffled[j], shuffled[i] })
+		remerged := mergeStamps(shuffled)
+		if len(remerged) != len(merged) {
+			return false
+		}
+		for i := range merged {
+			if merged[i] != remerged[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestSpanMatchesDefinition checks Span against the direct computation.
+func TestSpanMatchesDefinition(t *testing.T) {
+	prop := func(raw []uint8, times []int16) bool {
+		for _, tk := range genTokens(raw, times) {
+			lo, hi := timeu.Infinity, -timeu.Infinity
+			for _, s := range tk.Stamps {
+				lo = timeu.Min(lo, s.Min)
+				hi = timeu.Max(hi, s.Max)
+			}
+			want := hi - lo
+			if len(tk.Stamps) == 0 {
+				want = 0
+			}
+			if tk.Span() != want {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,168 @@
+// Package sim is a discrete-event simulator for the run-time semantics of
+// §II-B of the paper: periodic job releases with offsets, non-preemptive
+// fixed-priority scheduling per ECU, implicit communication (inputs read
+// at job start, outputs written at job finish), bounded FIFO channels that
+// drop their oldest element when full, and source-timestamp propagation.
+//
+// The simulator serves two purposes in the reproduction:
+//
+//   - it produces the "Sim" series of the paper's evaluation — the actual
+//     maximum time disparity observed during a run, an achievable lower
+//     bound on the worst case that the analytical bounds must dominate;
+//   - it validates the backward-time lemmas: observed backward times must
+//     lie within [ℬ(π), 𝒲(π)].
+package sim
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/model"
+	"repro/internal/timeu"
+)
+
+// Stamp summarizes the data from one source task that flowed into a
+// token: the earliest and latest timestamps among all tokens of that
+// source merged along the way. A fresh source token has Min = Max =
+// release time.
+type Stamp struct {
+	Task     model.TaskID
+	Min, Max timeu.Time
+}
+
+// Token is a data element in a channel. Stamps is sorted by task ID and
+// immutable once the token is published; channels share token pointers.
+type Token struct {
+	Stamps []Stamp
+}
+
+// Span returns the maximum difference among the token's source
+// timestamps — the time disparity an output consisting of exactly this
+// token would have (Definition 2). A token with no stamps has span 0.
+func (t *Token) Span() timeu.Time {
+	if len(t.Stamps) == 0 {
+		return 0
+	}
+	lo, hi := t.Stamps[0].Min, t.Stamps[0].Max
+	for _, s := range t.Stamps[1:] {
+		lo = timeu.Min(lo, s.Min)
+		hi = timeu.Max(hi, s.Max)
+	}
+	return hi - lo
+}
+
+// Stamp returns the stamp for one source task.
+func (t *Token) Stamp(task model.TaskID) (Stamp, bool) {
+	i := sort.Search(len(t.Stamps), func(i int) bool { return t.Stamps[i].Task >= task })
+	if i < len(t.Stamps) && t.Stamps[i].Task == task {
+		return t.Stamps[i], true
+	}
+	return Stamp{}, false
+}
+
+// String renders the token's stamps for debugging.
+func (t *Token) String() string {
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, s := range t.Stamps {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		if s.Min == s.Max {
+			fmt.Fprintf(&b, "T%d@%v", s.Task, s.Min)
+		} else {
+			fmt.Fprintf(&b, "T%d@[%v,%v]", s.Task, s.Min, s.Max)
+		}
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// mergeStamps unions the stamps of several tokens: per task, the min of
+// mins and max of maxes. Inputs are sorted by task; the output is too.
+func mergeStamps(tokens []*Token) []Stamp {
+	switch len(tokens) {
+	case 0:
+		return nil
+	case 1:
+		return tokens[0].Stamps
+	}
+	// k-way merge over small k; a simple index walk suffices.
+	idx := make([]int, len(tokens))
+	var out []Stamp
+	for {
+		best := model.TaskID(-1)
+		for i, tk := range tokens {
+			if idx[i] < len(tk.Stamps) {
+				if t := tk.Stamps[idx[i]].Task; best < 0 || t < best {
+					best = t
+				}
+			}
+		}
+		if best < 0 {
+			return out
+		}
+		merged := Stamp{Task: best, Min: timeu.Infinity, Max: -timeu.Infinity}
+		for i, tk := range tokens {
+			if idx[i] < len(tk.Stamps) && tk.Stamps[idx[i]].Task == best {
+				s := tk.Stamps[idx[i]]
+				merged.Min = timeu.Min(merged.Min, s.Min)
+				merged.Max = timeu.Max(merged.Max, s.Max)
+				idx[i]++
+			}
+		}
+		out = append(out, merged)
+	}
+}
+
+// channel is a bounded FIFO with the paper's semantics: writes enqueue
+// and evict the oldest element when full; reads peek at the oldest
+// element without consuming it (register semantics for capacity 1).
+// The channel also keeps the propagation statistics behind §IV's
+// resource-waste discussion: how many tokens were evicted without ever
+// having been read.
+type channel struct {
+	buf     []*Token // ring buffer storage, len = capacity
+	wasRead []bool   // per slot: head-read since written
+	head    int      // index of the oldest element
+	count   int
+	writes  int64
+	reads   int64
+	lost    int64 // evicted before any read
+}
+
+func newChannel(capacity int) *channel {
+	return &channel{buf: make([]*Token, capacity), wasRead: make([]bool, capacity)}
+}
+
+// write enqueues a token, evicting the oldest when full.
+func (c *channel) write(t *Token) {
+	if c.count == len(c.buf) {
+		// Drop the head.
+		if !c.wasRead[c.head] {
+			c.lost++
+		}
+		c.buf[c.head] = nil
+		c.head = (c.head + 1) % len(c.buf)
+		c.count--
+	}
+	slot := (c.head + c.count) % len(c.buf)
+	c.buf[slot] = t
+	c.wasRead[slot] = false
+	c.count++
+	c.writes++
+}
+
+// read peeks at the oldest element; nil if the channel is empty.
+func (c *channel) read() *Token {
+	if c.count == 0 {
+		return nil
+	}
+	c.wasRead[c.head] = true
+	c.reads++
+	return c.buf[c.head]
+}
+
+// full reports whether the buffer holds capacity elements.
+func (c *channel) full() bool { return c.count == len(c.buf) }

@@ -1,0 +1,159 @@
+package sim
+
+import (
+	"testing"
+
+	"repro/internal/model"
+	"repro/internal/timeu"
+)
+
+func TestTokenSpan(t *testing.T) {
+	empty := &Token{}
+	if empty.Span() != 0 {
+		t.Error("empty token span != 0")
+	}
+	tk := &Token{Stamps: []Stamp{{Task: 0, Min: 5, Max: 7}, {Task: 2, Min: 1, Max: 9}}}
+	if got := tk.Span(); got != 8 {
+		t.Errorf("Span = %d, want 8", got)
+	}
+	single := &Token{Stamps: []Stamp{{Task: 1, Min: 4, Max: 4}}}
+	if single.Span() != 0 {
+		t.Error("fresh single-stamp token span != 0")
+	}
+}
+
+func TestTokenStampLookup(t *testing.T) {
+	tk := &Token{Stamps: []Stamp{{Task: 1, Min: 1, Max: 2}, {Task: 5, Min: 3, Max: 4}}}
+	if s, ok := tk.Stamp(5); !ok || s.Min != 3 {
+		t.Errorf("Stamp(5) = %v,%v", s, ok)
+	}
+	if _, ok := tk.Stamp(3); ok {
+		t.Error("Stamp(3) should miss")
+	}
+}
+
+func TestTokenString(t *testing.T) {
+	tk := &Token{Stamps: []Stamp{{Task: 1, Min: timeu.Millisecond, Max: timeu.Millisecond}, {Task: 2, Min: 0, Max: timeu.Millisecond}}}
+	if got := tk.String(); got != "{T1@1ms, T2@[0ms,1ms]}" {
+		t.Errorf("String = %q", got)
+	}
+}
+
+func TestMergeStamps(t *testing.T) {
+	a := &Token{Stamps: []Stamp{{Task: 0, Min: 10, Max: 10}, {Task: 2, Min: 5, Max: 8}}}
+	b := &Token{Stamps: []Stamp{{Task: 1, Min: 3, Max: 3}, {Task: 2, Min: 6, Max: 9}}}
+	got := mergeStamps([]*Token{a, b})
+	want := []Stamp{{Task: 0, Min: 10, Max: 10}, {Task: 1, Min: 3, Max: 3}, {Task: 2, Min: 5, Max: 9}}
+	if len(got) != len(want) {
+		t.Fatalf("merged = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("stamp %d = %v, want %v", i, got[i], want[i])
+		}
+	}
+	if out := mergeStamps(nil); out != nil {
+		t.Error("merge of nothing should be nil")
+	}
+	if out := mergeStamps([]*Token{a}); &out[0] != &a.Stamps[0] {
+		t.Error("single-token merge should alias, not copy")
+	}
+}
+
+func TestChannelRegisterSemantics(t *testing.T) {
+	ch := newChannel(1)
+	if ch.read() != nil {
+		t.Error("empty channel read != nil")
+	}
+	t1 := &Token{Stamps: []Stamp{{Task: 0, Min: 1, Max: 1}}}
+	t2 := &Token{Stamps: []Stamp{{Task: 0, Min: 2, Max: 2}}}
+	ch.write(t1)
+	if ch.read() != t1 {
+		t.Error("read != written")
+	}
+	// Reads do not consume.
+	if ch.read() != t1 {
+		t.Error("second read differs")
+	}
+	ch.write(t2)
+	if ch.read() != t2 {
+		t.Error("capacity-1 channel must overwrite")
+	}
+}
+
+func TestChannelFIFOSemantics(t *testing.T) {
+	ch := newChannel(3)
+	mk := func(v timeu.Time) *Token { return &Token{Stamps: []Stamp{{Task: 0, Min: v, Max: v}}} }
+	a, b, c, d := mk(1), mk(2), mk(3), mk(4)
+	ch.write(a)
+	ch.write(b)
+	if ch.full() {
+		t.Error("not full yet")
+	}
+	if ch.read() != a {
+		t.Error("head should be the oldest")
+	}
+	ch.write(c)
+	if !ch.full() {
+		t.Error("should be full")
+	}
+	if ch.read() != a {
+		t.Error("head still oldest before eviction")
+	}
+	ch.write(d) // evicts a
+	if ch.read() != b {
+		t.Error("eviction should drop the oldest")
+	}
+	ch.write(mk(5)) // evicts b
+	ch.write(mk(6)) // evicts c
+	if ch.read() != d {
+		t.Error("ring wrap broken")
+	}
+}
+
+func TestChannelSteadyStateAge(t *testing.T) {
+	// After warm-up, the head of a capacity-n channel written periodically
+	// is (n−1) writes old — the intuition of Lemma 6.
+	const n = 4
+	ch := newChannel(n)
+	for i := 0; i < 20; i++ {
+		ch.write(&Token{Stamps: []Stamp{{Task: 0, Min: timeu.Time(i), Max: timeu.Time(i)}}})
+		if i >= n-1 {
+			head := ch.read().Stamps[0].Min
+			if want := timeu.Time(i - (n - 1)); head != want {
+				t.Fatalf("after write %d head = %v, want %v", i, head, want)
+			}
+		}
+	}
+}
+
+func TestExecModels(t *testing.T) {
+	task := &model.Task{BCET: 10, WCET: 20}
+	fixed := &model.Task{BCET: 7, WCET: 7}
+	if (WCETExec{}).Sample(task, nil) != 20 || (BCETExec{}).Sample(task, nil) != 10 {
+		t.Error("fixed exec models broken")
+	}
+	if WCETExec.Name(WCETExec{}) != "wcet" || (BCETExec{}).Name() != "bcet" || (UniformExec{}).Name() != "uniform" {
+		t.Error("names broken")
+	}
+	if (ExtremesExec{P: 0.5}).Name() != "extremes(0.50)" {
+		t.Error("extremes name broken")
+	}
+	rng := newTestRand()
+	for i := 0; i < 200; i++ {
+		if got := (UniformExec{}).Sample(task, rng); got < 10 || got > 20 {
+			t.Fatalf("uniform sample %v out of range", got)
+		}
+		if got := (UniformExec{}).Sample(fixed, rng); got != 7 {
+			t.Fatalf("uniform on degenerate range = %v", got)
+		}
+		got := (ExtremesExec{P: 0.3}).Sample(task, rng)
+		if got != 10 && got != 20 {
+			t.Fatalf("extremes sample %v not an extreme", got)
+		}
+	}
+	// P=1 and P=0 are deterministic.
+	if (ExtremesExec{P: 1}).Sample(task, rng) != 20 || (ExtremesExec{P: 0}).Sample(task, rng) != 10 {
+		t.Error("extremes with degenerate P broken")
+	}
+}

@@ -1,0 +1,28 @@
+package timeu
+
+import "testing"
+
+// FuzzParse hardens the time parser against arbitrary input: it must
+// never panic, and on success the value must re-render and re-parse to
+// itself (canonical fixed point).
+func FuzzParse(f *testing.F) {
+	for _, seed := range []string{
+		"5ms", "4.75us", "-3ms", "0.000000001s", "10min", "", "ms",
+		"1.2.3ms", "9223372036854775807ns", "1e3ms", " 42 us ", ".5s",
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, s string) {
+		d, err := Parse(s)
+		if err != nil {
+			return
+		}
+		round, err := Parse(d.String())
+		if err != nil {
+			t.Fatalf("Parse(%q) = %v, but its String %q does not re-parse: %v", s, d, d.String(), err)
+		}
+		if round != d {
+			t.Fatalf("Parse(%q) = %v, round-trips to %v", s, d, round)
+		}
+	})
+}

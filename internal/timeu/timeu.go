@@ -1,0 +1,247 @@
+// Package timeu provides the exact integer time arithmetic underlying the
+// time-disparity analysis.
+//
+// All analysis in this repository is performed on an integer timeline so
+// that the floor/ceiling expressions of Theorem 2 and Algorithm 1 of the
+// paper are exact. Time values are signed 64-bit nanosecond counts, which
+// covers simulated horizons of roughly ±292 years — far beyond the
+// hyperperiods that occur in automotive task sets.
+package timeu
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Time is a point on, or a distance along, the discrete simulation
+// timeline, in nanoseconds. Negative values are meaningful: the analysis
+// places the release of the job under analysis at 0 and reasons about
+// source timestamps in the past, and the best-case backward time of a
+// chain may itself be negative (Lemma 5 of the paper).
+type Time int64
+
+// Common spans, as multiples of a nanosecond.
+const (
+	Nanosecond  Time = 1
+	Microsecond      = 1000 * Nanosecond
+	Millisecond      = 1000 * Microsecond
+	Second           = 1000 * Millisecond
+	Minute           = 60 * Second
+)
+
+// Infinity is a sentinel upper bound larger than any horizon used in
+// practice. It is not saturating: callers must not add to it repeatedly.
+const Infinity Time = 1<<62 - 1
+
+// Milliseconds returns d expressed in milliseconds as a float64.
+func (d Time) Milliseconds() float64 { return float64(d) / float64(Millisecond) }
+
+// Microseconds returns d expressed in microseconds as a float64.
+func (d Time) Microseconds() float64 { return float64(d) / float64(Microsecond) }
+
+// Seconds returns d expressed in seconds as a float64.
+func (d Time) Seconds() float64 { return float64(d) / float64(Second) }
+
+// String renders the time with a unit chosen for readability: exact
+// integral milliseconds or microseconds when possible, fractional
+// milliseconds above 1 ms, fractional microseconds below. Rendering is
+// exact (integer-based), so String/Parse round-trips for every value.
+func (d Time) String() string {
+	switch {
+	case d == Infinity:
+		return "inf"
+	case d%Millisecond == 0:
+		return strconv.FormatInt(int64(d/Millisecond), 10) + "ms"
+	case d >= Millisecond || d <= -Millisecond:
+		return formatFrac(d, Millisecond, 6, "ms")
+	case d%Microsecond == 0:
+		return strconv.FormatInt(int64(d/Microsecond), 10) + "us"
+	default:
+		return formatFrac(d, Microsecond, 3, "us")
+	}
+}
+
+// formatFrac renders d as a decimal number of the given unit with up to
+// `digits` fractional digits (trailing zeros trimmed), exactly.
+func formatFrac(d, unit Time, digits int, suffix string) string {
+	neg := d < 0
+	if neg {
+		d = -d
+	}
+	intPart := strconv.FormatInt(int64(d/unit), 10)
+	frac := strconv.FormatInt(int64(d%unit), 10)
+	for len(frac) < digits {
+		frac = "0" + frac
+	}
+	frac = strings.TrimRight(frac, "0")
+	out := intPart + "." + frac + suffix
+	if neg {
+		out = "-" + out
+	}
+	return out
+}
+
+// Parse parses a time written as a decimal number followed by one of the
+// units "ns", "us", "ms", "s", or "min". A bare number is rejected so that
+// configuration files are always explicit about units.
+func Parse(s string) (Time, error) {
+	s = strings.TrimSpace(s)
+	unit := Time(0)
+	var suffix string
+	for _, u := range []struct {
+		suffix string
+		unit   Time
+	}{{"min", Minute}, {"ns", Nanosecond}, {"us", Microsecond}, {"ms", Millisecond}, {"s", Second}} {
+		if strings.HasSuffix(s, u.suffix) {
+			unit, suffix = u.unit, u.suffix
+			break
+		}
+	}
+	if unit == 0 {
+		return 0, fmt.Errorf("timeu: %q has no unit suffix (ns/us/ms/s/min)", s)
+	}
+	num := strings.TrimSpace(strings.TrimSuffix(s, suffix))
+	if num == "" {
+		return 0, fmt.Errorf("timeu: %q has no numeric part", s)
+	}
+	if i, err := strconv.ParseInt(num, 10, 64); err == nil {
+		return Time(i) * unit, nil
+	}
+	// Exact decimal parsing: "4.75us" must be exactly 4750 ns regardless
+	// of float rounding. Split at the decimal point and scale the
+	// fractional digits by the unit.
+	neg := strings.HasPrefix(num, "-")
+	body := strings.TrimPrefix(num, "-")
+	intPart, fracPart, found := strings.Cut(body, ".")
+	if !found {
+		return 0, fmt.Errorf("timeu: cannot parse %q", s)
+	}
+	if intPart == "" {
+		intPart = "0"
+	}
+	ip, err := strconv.ParseInt(intPart, 10, 64)
+	if err != nil {
+		return 0, fmt.Errorf("timeu: cannot parse %q: %v", s, err)
+	}
+	total := Time(ip) * unit
+	scale := unit
+	for _, digit := range fracPart {
+		if digit < '0' || digit > '9' {
+			return 0, fmt.Errorf("timeu: cannot parse %q", s)
+		}
+		if scale%10 != 0 {
+			return 0, fmt.Errorf("timeu: %q has more precision than a nanosecond", s)
+		}
+		scale /= 10
+		total += Time(digit-'0') * scale
+	}
+	if neg {
+		total = -total
+	}
+	return total, nil
+}
+
+// MustParse is Parse for trusted literals; it panics on error.
+func MustParse(s string) Time {
+	d, err := Parse(s)
+	if err != nil {
+		panic(err)
+	}
+	return d
+}
+
+// FloorDiv returns ⌊a/b⌋ with mathematical (round-toward-negative-infinity)
+// semantics for negative a. b must be positive. Go's native integer
+// division truncates toward zero, which is wrong for the negative
+// numerators produced by Theorem 2's recursion.
+func FloorDiv(a, b Time) int64 {
+	if b <= 0 {
+		panic("timeu: FloorDiv with non-positive divisor")
+	}
+	q := int64(a / b)
+	if a%b != 0 && a < 0 {
+		q--
+	}
+	return q
+}
+
+// CeilDiv returns ⌈a/b⌉ with mathematical semantics for negative a.
+// b must be positive.
+func CeilDiv(a, b Time) int64 {
+	if b <= 0 {
+		panic("timeu: CeilDiv with non-positive divisor")
+	}
+	q := int64(a / b)
+	if a%b != 0 && a > 0 {
+		q++
+	}
+	return q
+}
+
+// FloorTo rounds a down to the nearest multiple of b (b positive).
+func FloorTo(a, b Time) Time { return Time(FloorDiv(a, b)) * b }
+
+// CeilTo rounds a up to the nearest multiple of b (b positive).
+func CeilTo(a, b Time) Time { return Time(CeilDiv(a, b)) * b }
+
+// Abs returns |d|.
+func Abs(d Time) Time {
+	if d < 0 {
+		return -d
+	}
+	return d
+}
+
+// Max returns the larger of a and b.
+func Max(a, b Time) Time {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// Min returns the smaller of a and b.
+func Min(a, b Time) Time {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// GCD returns the greatest common divisor of a and b. GCD(0, x) = x.
+func GCD(a, b Time) Time {
+	a, b = Abs(a), Abs(b)
+	for b != 0 {
+		a, b = b, a%b
+	}
+	return a
+}
+
+// LCM returns the least common multiple of a and b, or panics on overflow.
+// LCM(0, x) = 0.
+func LCM(a, b Time) Time {
+	if a == 0 || b == 0 {
+		return 0
+	}
+	g := GCD(a, b)
+	q := a / g
+	r := q * b
+	if r/b != q {
+		panic("timeu: LCM overflow")
+	}
+	return Abs(r)
+}
+
+// Hyperperiod returns the least common multiple of all periods, the length
+// of the cyclic schedule window of a periodic task set.
+func Hyperperiod(periods []Time) Time {
+	h := Time(1)
+	for _, p := range periods {
+		if p <= 0 {
+			panic("timeu: Hyperperiod with non-positive period")
+		}
+		h = LCM(h, p)
+	}
+	return h
+}

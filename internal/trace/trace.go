@@ -1,0 +1,191 @@
+// Package trace captures simulation event streams for offline inspection:
+// Gantt-style job records (release/start/finish per job) and per-job
+// disparity samples, exportable as CSV or JSON and summarizable into
+// response-time and disparity statistics.
+package trace
+
+import (
+	"encoding/csv"
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+
+	"repro/internal/model"
+	"repro/internal/sim"
+	"repro/internal/timeu"
+)
+
+// Record is one completed job.
+type Record struct {
+	Task      model.TaskID `json:"task"`
+	K         int64        `json:"k"`
+	Release   timeu.Time   `json:"release"`
+	Start     timeu.Time   `json:"start"`
+	Finish    timeu.Time   `json:"finish"`
+	Disparity timeu.Time   `json:"disparity"`
+	// Incomplete marks jobs that read at least one empty channel.
+	Incomplete bool `json:"incomplete,omitempty"`
+}
+
+// Response returns the job's response time.
+func (r *Record) Response() timeu.Time { return r.Finish - r.Release }
+
+// Recorder collects job records during a simulation run. It implements
+// sim.Observer. Use Limit to cap memory on long runs (0 = unlimited);
+// once the cap is hit, further jobs are counted but not stored.
+type Recorder struct {
+	watch   map[model.TaskID]bool // nil = all
+	Limit   int
+	Records []Record
+	Dropped int64
+}
+
+// NewRecorder records jobs of the given tasks (all tasks if none given).
+func NewRecorder(tasks ...model.TaskID) *Recorder {
+	r := &Recorder{}
+	if len(tasks) > 0 {
+		r.watch = make(map[model.TaskID]bool, len(tasks))
+		for _, t := range tasks {
+			r.watch[t] = true
+		}
+	}
+	return r
+}
+
+// JobFinished implements sim.Observer.
+func (r *Recorder) JobFinished(j *sim.Job) {
+	if r.watch != nil && !r.watch[j.Task] {
+		return
+	}
+	if r.Limit > 0 && len(r.Records) >= r.Limit {
+		r.Dropped++
+		return
+	}
+	r.Records = append(r.Records, Record{
+		Task: j.Task, K: j.K,
+		Release: j.Release, Start: j.Start, Finish: j.Finish,
+		Disparity:  j.Out.Span(),
+		Incomplete: j.EmptyInputs > 0,
+	})
+}
+
+// WriteCSV emits the records with a header row. Times are nanoseconds.
+func (r *Recorder) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"task", "k", "release_ns", "start_ns", "finish_ns", "disparity_ns", "incomplete"}); err != nil {
+		return err
+	}
+	for i := range r.Records {
+		rec := &r.Records[i]
+		row := []string{
+			strconv.Itoa(int(rec.Task)),
+			strconv.FormatInt(rec.K, 10),
+			strconv.FormatInt(int64(rec.Release), 10),
+			strconv.FormatInt(int64(rec.Start), 10),
+			strconv.FormatInt(int64(rec.Finish), 10),
+			strconv.FormatInt(int64(rec.Disparity), 10),
+			strconv.FormatBool(rec.Incomplete),
+		}
+		if err := cw.Write(row); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// WriteJSON emits the records as a JSON array.
+func (r *Recorder) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	return enc.Encode(r.Records)
+}
+
+// ReadCSV parses a stream produced by WriteCSV.
+func ReadCSV(rd io.Reader) ([]Record, error) {
+	cr := csv.NewReader(rd)
+	rows, err := cr.ReadAll()
+	if err != nil {
+		return nil, fmt.Errorf("trace: reading CSV: %w", err)
+	}
+	if len(rows) == 0 {
+		return nil, fmt.Errorf("trace: empty CSV")
+	}
+	var out []Record
+	for i, row := range rows[1:] {
+		if len(row) != 7 {
+			return nil, fmt.Errorf("trace: row %d has %d fields, want 7", i+2, len(row))
+		}
+		var rec Record
+		var task int
+		parse := []struct {
+			dst *int64
+			s   string
+		}{
+			{&rec.K, row[1]},
+			{(*int64)(&rec.Release), row[2]},
+			{(*int64)(&rec.Start), row[3]},
+			{(*int64)(&rec.Finish), row[4]},
+			{(*int64)(&rec.Disparity), row[5]},
+		}
+		if task, err = strconv.Atoi(row[0]); err != nil {
+			return nil, fmt.Errorf("trace: row %d task: %w", i+2, err)
+		}
+		rec.Task = model.TaskID(task)
+		for _, p := range parse {
+			v, err := strconv.ParseInt(p.s, 10, 64)
+			if err != nil {
+				return nil, fmt.Errorf("trace: row %d: %w", i+2, err)
+			}
+			*p.dst = v
+		}
+		if rec.Incomplete, err = strconv.ParseBool(row[6]); err != nil {
+			return nil, fmt.Errorf("trace: row %d incomplete: %w", i+2, err)
+		}
+		out = append(out, rec)
+	}
+	return out, nil
+}
+
+// TaskStats summarizes the records of one task.
+type TaskStats struct {
+	Task          model.TaskID
+	Jobs          int
+	MaxResponse   timeu.Time
+	MinResponse   timeu.Time
+	MaxDisparity  timeu.Time
+	MeanResponse  timeu.Time
+	MeanDisparity timeu.Time
+}
+
+// Summarize aggregates records per task, sorted by task ID.
+func Summarize(records []Record) []TaskStats {
+	byTask := map[model.TaskID]*TaskStats{}
+	sumResp := map[model.TaskID]int64{}
+	sumDisp := map[model.TaskID]int64{}
+	for i := range records {
+		rec := &records[i]
+		st := byTask[rec.Task]
+		if st == nil {
+			st = &TaskStats{Task: rec.Task, MinResponse: timeu.Infinity}
+			byTask[rec.Task] = st
+		}
+		st.Jobs++
+		resp := rec.Response()
+		st.MaxResponse = timeu.Max(st.MaxResponse, resp)
+		st.MinResponse = timeu.Min(st.MinResponse, resp)
+		st.MaxDisparity = timeu.Max(st.MaxDisparity, rec.Disparity)
+		sumResp[rec.Task] += int64(resp)
+		sumDisp[rec.Task] += int64(rec.Disparity)
+	}
+	out := make([]TaskStats, 0, len(byTask))
+	for id, st := range byTask {
+		st.MeanResponse = timeu.Time(sumResp[id] / int64(st.Jobs))
+		st.MeanDisparity = timeu.Time(sumDisp[id] / int64(st.Jobs))
+		out = append(out, *st)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Task < out[j].Task })
+	return out
+}

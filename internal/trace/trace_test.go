@@ -1,0 +1,134 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/model"
+	"repro/internal/sched"
+	"repro/internal/sim"
+	"repro/internal/timeu"
+)
+
+const ms = timeu.Millisecond
+
+func record(t *testing.T, g *model.Graph, horizon timeu.Time, tasks ...model.TaskID) *Recorder {
+	t.Helper()
+	r := NewRecorder(tasks...)
+	if _, err := sim.Run(g, sim.Config{Horizon: horizon, Observers: []sim.Observer{r}}); err != nil {
+		t.Fatal(err)
+	}
+	return r
+}
+
+func TestRecorderCapturesJobs(t *testing.T) {
+	g := model.Fig2Graph()
+	t6, _ := g.TaskByName("t6")
+	r := record(t, g, 200*ms, t6.ID)
+	if len(r.Records) == 0 {
+		t.Fatal("no records")
+	}
+	for _, rec := range r.Records {
+		if rec.Task != t6.ID {
+			t.Errorf("record for unwatched task %d", rec.Task)
+		}
+		if rec.Start < rec.Release || rec.Finish < rec.Start {
+			t.Errorf("incoherent record %+v", rec)
+		}
+		if rec.Response() != rec.Finish-rec.Release {
+			t.Error("Response broken")
+		}
+	}
+}
+
+func TestRecorderLimit(t *testing.T) {
+	g := model.Fig2Graph()
+	r := NewRecorder()
+	r.Limit = 5
+	if _, err := sim.Run(g, sim.Config{Horizon: 500 * ms, Observers: []sim.Observer{r}}); err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Records) != 5 {
+		t.Errorf("records = %d, want 5", len(r.Records))
+	}
+	if r.Dropped == 0 {
+		t.Error("no drops counted")
+	}
+}
+
+func TestCSVRoundTrip(t *testing.T) {
+	g := model.Fig2Graph()
+	r := record(t, g, 120*ms)
+	var buf strings.Builder
+	if err := r.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadCSV(strings.NewReader(buf.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(r.Records) {
+		t.Fatalf("round trip %d records, want %d", len(got), len(r.Records))
+	}
+	for i := range got {
+		if got[i] != r.Records[i] {
+			t.Fatalf("record %d mismatch: %+v vs %+v", i, got[i], r.Records[i])
+		}
+	}
+}
+
+func TestReadCSVErrors(t *testing.T) {
+	cases := []string{
+		"",
+		"task,k\n1,2,3",
+		"h1,h2,h3,h4,h5,h6,h7\nx,0,0,0,0,0,false",
+		"h1,h2,h3,h4,h5,h6,h7\n1,y,0,0,0,0,false",
+		"h1,h2,h3,h4,h5,h6,h7\n1,0,0,0,0,0,maybe",
+	}
+	for _, in := range cases {
+		if _, err := ReadCSV(strings.NewReader(in)); err == nil {
+			t.Errorf("ReadCSV(%q): expected error", in)
+		}
+	}
+}
+
+func TestWriteJSON(t *testing.T) {
+	g := model.Fig2Graph()
+	r := record(t, g, 60*ms)
+	var buf strings.Builder
+	if err := r.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), `"release"`) {
+		t.Error("JSON output missing fields")
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	g := model.Fig2Graph()
+	r := record(t, g, timeu.Second)
+	stats := Summarize(r.Records)
+	if len(stats) != g.NumTasks() {
+		t.Fatalf("stats for %d tasks, want %d", len(stats), g.NumTasks())
+	}
+	res := sched.Analyze(g, sched.NonPreemptiveFP)
+	for _, st := range stats {
+		if st.Jobs == 0 {
+			t.Errorf("task %d has no jobs", st.Task)
+		}
+		if st.MinResponse > st.MeanResponse || st.MeanResponse > st.MaxResponse {
+			t.Errorf("task %d response stats incoherent: %+v", st.Task, st)
+		}
+		// Observed response times must respect the WCRT analysis.
+		if st.MaxResponse > res.R(st.Task) {
+			t.Errorf("task %d observed response %v exceeds WCRT bound %v",
+				st.Task, st.MaxResponse, res.R(st.Task))
+		}
+		if st.MeanDisparity > st.MaxDisparity {
+			t.Errorf("task %d disparity stats incoherent", st.Task)
+		}
+	}
+	if out := Summarize(nil); len(out) != 0 {
+		t.Error("Summarize(nil) should be empty")
+	}
+}

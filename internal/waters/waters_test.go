@@ -1,0 +1,177 @@
+package waters
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/model"
+	"repro/internal/timeu"
+)
+
+func TestTableValid(t *testing.T) {
+	if err := Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSampleInvariants(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	valid := map[timeu.Time]bool{}
+	for _, s := range Table {
+		valid[s.Period] = true
+	}
+	for i := 0; i < 5000; i++ {
+		p := Sample(rng)
+		if !valid[p.Period] {
+			t.Fatalf("period %v not in the benchmark set", p.Period)
+		}
+		if p.BCET <= 0 || p.BCET > p.WCET {
+			t.Fatalf("invalid execution bounds [%v, %v]", p.BCET, p.WCET)
+		}
+		if p.WCET > p.Period {
+			t.Fatalf("WCET %v exceeds period %v", p.WCET, p.Period)
+		}
+	}
+}
+
+func TestSampleDistribution(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	const n = 200000
+	counts := map[timeu.Time]int{}
+	for i := 0; i < n; i++ {
+		counts[Sample(rng).Period]++
+	}
+	var total float64
+	for _, s := range Table {
+		total += s.Share
+	}
+	for _, s := range Table {
+		want := s.Share / total
+		got := float64(counts[s.Period]) / n
+		if got < want*0.85-0.005 || got > want*1.15+0.005 {
+			t.Errorf("period %v: share %.4f, want ≈ %.4f", s.Period, got, want)
+		}
+	}
+}
+
+func TestSampleBCETWCETRanges(t *testing.T) {
+	// With factors clamped, WCET/ACET must stay within the class range
+	// (upper end possibly clamped by the period).
+	rng := rand.New(rand.NewSource(11))
+	for i := 0; i < 2000; i++ {
+		p := Sample(rng)
+		var spec *PeriodSpec
+		for j := range Table {
+			if Table[j].Period == p.Period {
+				spec = &Table[j]
+				break
+			}
+		}
+		acet := float64(spec.ACET)
+		if f := float64(p.BCET) / acet; f < spec.BCETFactor[0]*0.999 || f > spec.BCETFactor[1]*1.001 {
+			t.Fatalf("BCET factor %.3f outside %v", f, spec.BCETFactor)
+		}
+		fw := float64(p.WCET) / acet
+		if fw > spec.WCETFactor[1]*1.001 {
+			t.Fatalf("WCET factor %.3f above %v", fw, spec.WCETFactor)
+		}
+	}
+}
+
+func TestPopulate(t *testing.T) {
+	g := model.NewGraph()
+	ecu := g.AddECU("e", model.Compute)
+	src := g.AddTask(model.Task{Name: "src", Period: timeu.Millisecond, ECU: model.NoECU})
+	a := g.AddTask(model.Task{Name: "a", Period: timeu.Millisecond, WCET: 1, BCET: 1, ECU: ecu})
+	b := g.AddTask(model.Task{Name: "b", Period: timeu.Millisecond, WCET: 1, BCET: 1, ECU: ecu})
+	if err := g.AddEdge(src, a); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.AddEdge(a, b); err != nil {
+		t.Fatal(err)
+	}
+	Populate(g, rand.New(rand.NewSource(5)))
+	if err := g.Validate(); err != nil {
+		t.Fatalf("populated graph invalid: %v", err)
+	}
+	if g.Task(src).WCET != 0 || g.Task(src).BCET != 0 {
+		t.Error("stimulus kept execution time")
+	}
+	// Priorities must be rate-monotonic on the ECU.
+	ta, tb := g.Task(a), g.Task(b)
+	if ta.Period < tb.Period && ta.Prio > tb.Prio {
+		t.Error("RM violated")
+	}
+	if ta.Period > tb.Period && ta.Prio < tb.Prio {
+		t.Error("RM violated")
+	}
+}
+
+func TestRandomOffsets(t *testing.T) {
+	g := model.Fig2Graph()
+	RandomOffsets(g, rand.New(rand.NewSource(9)))
+	for i := 0; i < g.NumTasks(); i++ {
+		task := g.Task(model.TaskID(i))
+		if task.Offset < 0 || task.Offset >= task.Period {
+			t.Errorf("offset %v outside [0, %v)", task.Offset, task.Period)
+		}
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPopulateUtilizationIsLow(t *testing.T) {
+	// The benchmark's µs-scale execution times against ms-scale periods
+	// keep per-ECU utilization low — the regime where the paper's
+	// schedulability assumption holds for moderate task counts.
+	g := model.NewGraph()
+	ecu := g.AddECU("e", model.Compute)
+	prev := g.AddTask(model.Task{Name: "s", Period: timeu.Millisecond, ECU: model.NoECU})
+	for i := 0; i < 20; i++ {
+		id := g.AddTask(model.Task{Period: timeu.Millisecond, WCET: 1, BCET: 1, ECU: ecu})
+		if err := g.AddEdge(prev, id); err != nil {
+			t.Fatal(err)
+		}
+		prev = id
+	}
+	Populate(g, rand.New(rand.NewSource(13)))
+	var u float64
+	for i := 0; i < g.NumTasks(); i++ {
+		task := g.Task(model.TaskID(i))
+		if task.ECU == model.NoECU {
+			continue
+		}
+		u += float64(task.WCET) / float64(task.Period)
+	}
+	if u > 1.0 {
+		t.Errorf("20-task utilization %.3f implausibly high for WATERS parameters", u)
+	}
+}
+
+func TestValidateCatchesCorruptTables(t *testing.T) {
+	// Mutate a copy-restore of the embedded table and check each
+	// invariant trips.
+	backup := make([]PeriodSpec, len(Table))
+	copy(backup, Table)
+	restore := func() { copy(Table, backup) }
+	defer restore()
+
+	cases := []func(){
+		func() { Table[0].Period = 0 },
+		func() { Table[0].ACET = 0 },
+		func() { Table[0].BCETFactor = [2]float64{0.9, 0.1} },
+		func() { Table[0].WCETFactor = [2]float64{5, 2} },
+		func() { Table[0].BCETFactor = [2]float64{0.5, 1.5} },
+		func() { Table[0].WCETFactor = [2]float64{0.5, 2} },
+		func() { Table[0].Share = 0 },
+		func() { Table[0].Share = 1.5 },
+	}
+	for i, mutate := range cases {
+		restore()
+		mutate()
+		if err := Validate(); err == nil {
+			t.Errorf("case %d: corrupt table accepted", i)
+		}
+	}
+}
