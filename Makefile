@@ -1,0 +1,27 @@
+# Verification tiers. `make check` is the full recipe CI should run.
+#
+#   build  - compile everything
+#   test   - tier 1: the plain test suite
+#   race   - tier 2: vet + the suite (incl. the differential harness
+#            in internal/integration) under the race detector
+#   bench  - compile-and-smoke every benchmark (one iteration each)
+#   check  - all of the above
+
+GO ?= go
+
+.PHONY: build test race bench check
+
+build:
+	$(GO) build ./...
+
+test: build
+	$(GO) test ./...
+
+race:
+	$(GO) vet ./...
+	$(GO) test -race ./...
+
+bench:
+	$(GO) test -run='^$$' -bench=. -benchtime=1x ./...
+
+check: build test race bench

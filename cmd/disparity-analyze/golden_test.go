@@ -1,0 +1,91 @@
+package main
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+func checkGolden(t *testing.T, name, got string) {
+	t.Helper()
+	path := filepath.Join("testdata", name+".golden")
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden file (run go test -update): %v", err)
+	}
+	if got != string(want) {
+		t.Errorf("output differs from %s:\n--- got ---\n%s\n--- want ---\n%s", path, got, want)
+	}
+}
+
+// TestGoldenAnalyzeFig2 pins the full report for the paper's Fig. 2
+// example: schedulability table, per-chain backward bounds, both
+// disparity methods with the pair breakdown, and Algorithm 1's plan.
+func TestGoldenAnalyzeFig2(t *testing.T) {
+	path := writeFixture(t)
+	var buf bytes.Buffer
+	if err := run([]string{"-graph", path, "-pairs", "-optimize"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	checkGolden(t, "fig2_report", buf.String())
+}
+
+// TestAnalyzeMetricsFlag checks the default-off metrics dump and that
+// the cache actually backs the report (the backward memo and the shared
+// WCRT fixed point must show activity).
+func TestAnalyzeMetricsFlag(t *testing.T) {
+	path := writeFixture(t)
+	var plain bytes.Buffer
+	if err := run([]string{"-graph", path}, &plain); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(plain.String(), "metrics:") {
+		t.Error("metrics dumped without -metrics")
+	}
+	var buf bytes.Buffer
+	if err := run([]string{"-graph", path, "-pairs", "-optimize", "-metrics"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, name := range []string{
+		"metrics:",
+		"cache.backward.hits",
+		"cache.sched.hits",
+		"sched.analyses",
+		"core.pairs.bounded",
+	} {
+		if !strings.Contains(out, name) {
+			t.Errorf("metrics dump missing %q", name)
+		}
+	}
+}
+
+// TestAnalyzePprofFlag checks that -pprof writes a non-empty profile.
+func TestAnalyzePprofFlag(t *testing.T) {
+	graph := writeFixture(t)
+	prof := filepath.Join(t.TempDir(), "cpu.out")
+	if err := run([]string{"-graph", graph, "-pprof", prof}, new(bytes.Buffer)); err != nil {
+		t.Fatal(err)
+	}
+	info, err := os.Stat(prof)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Size() == 0 {
+		t.Error("empty CPU profile")
+	}
+}

@@ -7,30 +7,36 @@
 //
 //	disparity-analyze -graph g.json [-task fusion] [-optimize] [-pairs] [-dot out.dot]
 //
-// Without -task, the single sink of the graph is analyzed.
+// Without -task, the single sink of the graph is analyzed. The WCRT
+// analysis, backward bounds, and disparity bounds all share one
+// AnalysisCache, so each fixed point and chain suffix is computed once;
+// -metrics shows the resulting hit counts, -pprof writes a CPU profile.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
+	"runtime/pprof"
 	"text/tabwriter"
 
 	disparity "repro"
 	"repro/internal/backward"
 	exhaustivepkg "repro/internal/exhaustive"
+	"repro/internal/metrics"
 	"repro/internal/model"
 	"repro/internal/sched"
 )
 
 func main() {
-	if err := run(os.Args[1:]); err != nil {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
 		fmt.Fprintln(os.Stderr, "disparity-analyze:", err)
 		os.Exit(1)
 	}
 }
 
-func run(args []string) error {
+func run(args []string, stdout io.Writer) error {
 	fs := flag.NewFlagSet("disparity-analyze", flag.ContinueOnError)
 	graphPath := fs.String("graph", "", "path to the graph JSON (required)")
 	taskName := fs.String("task", "", "task to analyze (default: the sink)")
@@ -40,12 +46,25 @@ func run(args []string) error {
 	exhaustive := fs.Bool("exhaustive", false, "sweep offsets × exec corners for a worst-case witness (small graphs only)")
 	exStep := fs.String("exhaustive-step", "1ms", "offset grid for -exhaustive")
 	dotPath := fs.String("dot", "", "also write the graph in Graphviz DOT format")
+	dumpMetrics := fs.Bool("metrics", false, "dump internal counters and timers after the run")
+	pprofPath := fs.String("pprof", "", "write a CPU profile of the run to this file")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	if *graphPath == "" {
 		fs.Usage()
 		return fmt.Errorf("-graph is required")
+	}
+	if *pprofPath != "" {
+		f, err := os.Create(*pprofPath)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			return err
+		}
+		defer pprof.StopCPUProfile()
 	}
 	f, err := os.Open(*graphPath)
 	if err != nil {
@@ -75,9 +94,14 @@ func run(args []string) error {
 		return err
 	}
 
+	// One cache backs everything below: the schedulability report, the
+	// per-chain backward bounds, and the disparity analysis share the
+	// WCRT fixed point and the suffix memos.
+	cache := disparity.NewAnalysisCache()
+
 	// Schedulability report.
-	res := sched.Analyze(g, sched.NonPreemptiveFP)
-	tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	res := cache.Sched(g, sched.NonPreemptiveFP)
+	tw := tabwriter.NewWriter(stdout, 2, 4, 2, ' ', 0)
 	fmt.Fprintln(tw, "task\tecu\tprio\tW\tB\tT\tR\tok")
 	for i := 0; i < g.NumTasks(); i++ {
 		t := g.Task(model.TaskID(i))
@@ -104,13 +128,14 @@ func run(args []string) error {
 	if err != nil {
 		return err
 	}
-	an := backward.NewAnalyzer(g, res, backward.NonPreemptive)
-	fmt.Printf("\nchains ending at %s:\n", g.Task(task).Name)
+	an := backward.NewAnalyzer(g, res, backward.NonPreemptive).
+		WithMemo(cache.BackwardMemo(backward.NonPreemptive))
+	fmt.Fprintf(stdout, "\nchains ending at %s:\n", g.Task(task).Name)
 	for _, c := range cs {
-		fmt.Printf("  %-50s WCBT=%v BCBT=%v\n", c.Format(g), an.WCBT(c), an.BCBT(c))
+		fmt.Fprintf(stdout, "  %-50s WCBT=%v BCBT=%v\n", c.Format(g), an.WCBT(c), an.BCBT(c))
 	}
 
-	a, err := disparity.Analyze(g)
+	a, err := disparity.AnalyzeWithCache(g, cache)
 	if err != nil {
 		return err
 	}
@@ -119,10 +144,10 @@ func run(args []string) error {
 		if err != nil {
 			return err
 		}
-		fmt.Printf("\n%s worst-case time disparity of %s: %v\n", m, g.Task(task).Name, td.Bound)
+		fmt.Fprintf(stdout, "\n%s worst-case time disparity of %s: %v\n", m, g.Task(task).Name, td.Bound)
 		if *pairs {
 			for _, pb := range td.Pairs {
-				fmt.Printf("  %v | %v: %v (x1=%d y1=%d)\n",
+				fmt.Fprintf(stdout, "  %v | %v: %v (x1=%d y1=%d)\n",
 					pb.Lambda.Format(g), pb.Nu.Format(g), pb.Bound, pb.X1, pb.Y1)
 			}
 		}
@@ -145,7 +170,7 @@ func run(args []string) error {
 		if sd.Bound > 0 {
 			pct = 100 * float64(res.Disparity) / float64(sd.Bound)
 		}
-		fmt.Printf("\nexhaustive witness: disparity %v over %d configurations (%.0f%% of S-diff)\n",
+		fmt.Fprintf(stdout, "\nexhaustive witness: disparity %v over %d configurations (%.0f%% of S-diff)\n",
 			res.Disparity, res.Combos, pct)
 	}
 
@@ -155,9 +180,15 @@ func run(args []string) error {
 			return err
 		}
 		src, dst := g.Task(plan.Edge.Src).Name, g.Task(plan.Edge.Dst).Name
-		fmt.Printf("\nAlgorithm 1: set buffer %s -> %s to capacity %d (shift L=%v)\n",
+		fmt.Fprintf(stdout, "\nAlgorithm 1: set buffer %s -> %s to capacity %d (shift L=%v)\n",
 			src, dst, plan.Cap, plan.L)
-		fmt.Printf("Theorem 3 bound: %v -> %v\n", plan.Before, plan.After)
+		fmt.Fprintf(stdout, "Theorem 3 bound: %v -> %v\n", plan.Before, plan.After)
+	}
+	if *dumpMetrics {
+		fmt.Fprintln(stdout, "\nmetrics:")
+		if err := metrics.Fprint(stdout); err != nil {
+			return err
+		}
 	}
 	return nil
 }

@@ -1,6 +1,7 @@
 package main
 
 import (
+	"io"
 	"os"
 	"path/filepath"
 	"strings"
@@ -29,7 +30,7 @@ func writeFixture(t *testing.T) string {
 func TestRunAnalyze(t *testing.T) {
 	path := writeFixture(t)
 	dot := filepath.Join(filepath.Dir(path), "g.dot")
-	if err := run([]string{"-graph", path, "-optimize", "-pairs", "-dot", dot}); err != nil {
+	if err := run([]string{"-graph", path, "-optimize", "-pairs", "-dot", dot}, io.Discard); err != nil {
 		t.Fatal(err)
 	}
 	data, err := os.ReadFile(dot)
@@ -43,26 +44,26 @@ func TestRunAnalyze(t *testing.T) {
 
 func TestRunAnalyzeNamedTask(t *testing.T) {
 	path := writeFixture(t)
-	if err := run([]string{"-graph", path, "-task", "t5"}); err != nil {
+	if err := run([]string{"-graph", path, "-task", "t5"}, io.Discard); err != nil {
 		t.Fatal(err)
 	}
-	if err := run([]string{"-graph", path, "-task", "nope"}); err == nil {
+	if err := run([]string{"-graph", path, "-task", "nope"}, io.Discard); err == nil {
 		t.Error("unknown task accepted")
 	}
 }
 
 func TestRunAnalyzeErrors(t *testing.T) {
-	if err := run([]string{}); err == nil {
+	if err := run([]string{}, io.Discard); err == nil {
 		t.Error("missing -graph accepted")
 	}
-	if err := run([]string{"-graph", "/nonexistent.json"}); err == nil {
+	if err := run([]string{"-graph", "/nonexistent.json"}, io.Discard); err == nil {
 		t.Error("missing file accepted")
 	}
 	bad := filepath.Join(t.TempDir(), "bad.json")
 	if err := os.WriteFile(bad, []byte("not json"), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	if err := run([]string{"-graph", bad}); err == nil {
+	if err := run([]string{"-graph", bad}, io.Discard); err == nil {
 		t.Error("bad JSON accepted")
 	}
 }
@@ -94,11 +95,11 @@ func TestRunAnalyzeExhaustive(t *testing.T) {
 		t.Fatal(err)
 	}
 	f.Close()
-	if err := run([]string{"-graph", path, "-exhaustive", "-exhaustive-step", "10ms"}); err != nil {
+	if err := run([]string{"-graph", path, "-exhaustive", "-exhaustive-step", "10ms"}, io.Discard); err != nil {
 		t.Fatal(err)
 	}
 	// A too-fine grid trips the combination cap.
-	if err := run([]string{"-graph", path, "-exhaustive", "-exhaustive-step", "1us"}); err == nil {
+	if err := run([]string{"-graph", path, "-exhaustive", "-exhaustive-step", "1us"}, io.Discard); err == nil {
 		t.Error("combination explosion not caught")
 	}
 }

@@ -8,6 +8,7 @@
 //	disparity-exp -fig 6b            # incremental ratios of (a)
 //	disparity-exp -fig 6c            # two-chain buffering experiment
 //	disparity-exp -fig 6d            # incremental ratios of (c)
+//	disparity-exp -fig bounds        # analysis-only bounds (no simulation)
 //	disparity-exp -fig all           # everything
 //	disparity-exp -fig 6a -paper     # the paper's full 10-minute horizons
 //	disparity-exp -fig 6a -csv out.csv
@@ -17,28 +18,37 @@
 //	disparity-exp -fig ablation-backward   # Lemma 4/5 vs baseline bounds
 //	disparity-exp -fig ablation-tail       # shared-tail length sweep
 //	disparity-exp -fig ablation-exec       # execution-time models vs bound
+//
+// Observability:
+//
+//	disparity-exp -fig 6a -metrics         # dump internal counters/timers
+//	disparity-exp -fig 6a -pprof cpu.out   # write a CPU profile
+//	disparity-exp -fig 6a -no-cache        # disable the memoization layer
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
+	"runtime/pprof"
 	"strings"
 
 	"repro/internal/exp"
+	"repro/internal/metrics"
 	"repro/internal/timeu"
 )
 
 func main() {
-	if err := run(os.Args[1:]); err != nil {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
 		fmt.Fprintln(os.Stderr, "disparity-exp:", err)
 		os.Exit(1)
 	}
 }
 
-func run(args []string) error {
+func run(args []string, stdout io.Writer) error {
 	fs := flag.NewFlagSet("disparity-exp", flag.ContinueOnError)
-	fig := fs.String("fig", "all", "which panel: 6a|6b|6c|6d|all")
+	fig := fs.String("fig", "all", "which panel: 6a|6b|6c|6d|bounds|all")
 	paper := fs.Bool("paper", false, "use the paper's full scale (10-minute horizons)")
 	horizonStr := fs.String("horizon", "", "override simulation horizon (e.g. 30s)")
 	graphs := fs.Int("graphs", 0, "override graphs per point")
@@ -48,8 +58,24 @@ func run(args []string) error {
 	workers := fs.Int("workers", 0, "parallel graph evaluations (0 = all cores)")
 	csvPath := fs.String("csv", "", "also write the tables as CSV (one file per panel, suffixing the name)")
 	quiet := fs.Bool("quiet", false, "suppress progress logging")
+	progress := fs.Bool("progress", false, "log per-graph progress to stderr")
+	noCache := fs.Bool("no-cache", false, "disable the per-graph analysis cache (results are identical; for benchmarking)")
+	dumpMetrics := fs.Bool("metrics", false, "dump internal counters and timers after the run")
+	pprofPath := fs.String("pprof", "", "write a CPU profile of the run to this file")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+
+	if *pprofPath != "" {
+		f, err := os.Create(*pprofPath)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			return err
+		}
+		defer pprof.StopCPUProfile()
 	}
 
 	cfg := exp.Defaults()
@@ -84,8 +110,12 @@ func run(args []string) error {
 		cfg.Seed = *seed
 	}
 	cfg.Workers = *workers
+	cfg.DisableCache = *noCache
 	if !*quiet {
 		cfg.Log = os.Stderr
+	}
+	if *progress {
+		cfg.Progress = os.Stderr
 	}
 
 	var tables []*exp.Table
@@ -110,6 +140,12 @@ func run(args []string) error {
 		tables = append(tables, t)
 	case "6d":
 		t, err := exp.Fig6d(cfg)
+		if err != nil {
+			return err
+		}
+		tables = append(tables, t)
+	case "bounds":
+		t, err := exp.BoundsSweep(cfg)
 		if err != nil {
 			return err
 		}
@@ -199,9 +235,9 @@ func run(args []string) error {
 
 	for i, t := range tables {
 		if i > 0 {
-			fmt.Println()
+			fmt.Fprintln(stdout)
 		}
-		if err := t.WriteText(os.Stdout); err != nil {
+		if err := t.WriteText(stdout); err != nil {
 			return err
 		}
 		if *csvPath != "" {
@@ -220,6 +256,13 @@ func run(args []string) error {
 			if err := f.Close(); err != nil {
 				return err
 			}
+		}
+	}
+	if *dumpMetrics {
+		fmt.Fprintln(stdout)
+		fmt.Fprintln(stdout, "metrics:")
+		if err := metrics.Fprint(stdout); err != nil {
+			return err
 		}
 	}
 	return nil

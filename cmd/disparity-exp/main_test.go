@@ -1,6 +1,7 @@
 package main
 
 import (
+	"io"
 	"os"
 	"path/filepath"
 	"testing"
@@ -16,20 +17,20 @@ func tinyArgs(extra ...string) []string {
 
 func TestRunEachFigure(t *testing.T) {
 	for _, fig := range []string{"6a", "6b", "6c", "6d"} {
-		if err := run(tinyArgs("-fig", fig)); err != nil {
+		if err := run(tinyArgs("-fig", fig), io.Discard); err != nil {
 			t.Errorf("fig %s: %v", fig, err)
 		}
 	}
 }
 
 func TestRunAblations(t *testing.T) {
-	if err := run(tinyArgs("-fig", "ablation-backward")); err != nil {
+	if err := run(tinyArgs("-fig", "ablation-backward"), io.Discard); err != nil {
 		t.Errorf("ablation-backward: %v", err)
 	}
-	if err := run([]string{"-fig", "ablation-tail", "-graphs", "1", "-offsets", "1", "-horizon", "300ms", "-quiet"}); err != nil {
+	if err := run([]string{"-fig", "ablation-tail", "-graphs", "1", "-offsets", "1", "-horizon", "300ms", "-quiet"}, io.Discard); err != nil {
 		t.Errorf("ablation-tail: %v", err)
 	}
-	if err := run(tinyArgs("-fig", "ablation-exec")); err != nil {
+	if err := run(tinyArgs("-fig", "ablation-exec"), io.Discard); err != nil {
 		t.Errorf("ablation-exec: %v", err)
 	}
 }
@@ -37,7 +38,7 @@ func TestRunAblations(t *testing.T) {
 func TestRunAllWithCSV(t *testing.T) {
 	dir := t.TempDir()
 	csv := filepath.Join(dir, "out.csv")
-	if err := run(tinyArgs("-fig", "all", "-csv", csv, "-seed", "9")); err != nil {
+	if err := run(tinyArgs("-fig", "all", "-csv", csv, "-seed", "9"), io.Discard); err != nil {
 		t.Fatal(err)
 	}
 	// Four panels: suffixed files.
@@ -57,13 +58,13 @@ func TestRunAllWithCSV(t *testing.T) {
 }
 
 func TestRunErrors(t *testing.T) {
-	if err := run([]string{"-fig", "bogus"}); err == nil {
+	if err := run([]string{"-fig", "bogus"}, io.Discard); err == nil {
 		t.Error("unknown figure accepted")
 	}
-	if err := run([]string{"-points", "x,y"}); err == nil {
+	if err := run([]string{"-points", "x,y"}, io.Discard); err == nil {
 		t.Error("bad points accepted")
 	}
-	if err := run([]string{"-horizon", "bogus"}); err == nil {
+	if err := run([]string{"-horizon", "bogus"}, io.Discard); err == nil {
 		t.Error("bad horizon accepted")
 	}
 }

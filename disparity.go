@@ -165,6 +165,26 @@ func Analyze(g *Graph) (*Analysis, error) {
 	return core.New(g)
 }
 
+// AnalysisCache interns the intermediate results of the analysis of one
+// graph: the WCRT fixed point per scheduling policy, backward-time
+// bounds per chain suffix, and pairwise/task-level disparity bounds.
+// Cached results are bit-identical to uncached ones; the cache must not
+// be shared across graphs.
+type AnalysisCache = core.AnalysisCache
+
+// NewAnalysisCache returns an empty cache for one graph.
+func NewAnalysisCache() *AnalysisCache { return core.NewAnalysisCache() }
+
+// AnalyzeWithCache is Analyze backed by a memoization cache: repeated
+// bound queries (and the schedulability analysis, when the cache has
+// already run it via AnalysisCache.Sched) are computed once per graph.
+func AnalyzeWithCache(g *Graph, cache *AnalysisCache) (*Analysis, error) {
+	if err := g.Validate(); err != nil {
+		return nil, err
+	}
+	return core.NewCached(g, cache)
+}
+
 // EnumerateChains lists every chain from a source task of g to the given
 // task — the set 𝒫 of the paper. maxChains ≤ 0 applies a safe default cap.
 func EnumerateChains(g *Graph, task TaskID, maxChains int) ([]Chain, error) {

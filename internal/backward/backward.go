@@ -55,6 +55,9 @@ type Analyzer struct {
 	g      *model.Graph
 	wcrt   *sched.Result
 	method Method
+	// memo, when non-nil, interns per-suffix partial bounds (see
+	// memo.go); results are bit-identical with the direct computation.
+	memo *Memo
 }
 
 // NewAnalyzer returns an Analyzer using the given response-time analysis
@@ -106,6 +109,15 @@ func (a *Analyzer) theta(from, to model.TaskID) timeu.Time {
 // tasks are not supported (see CheckChain) and panic.
 func (a *Analyzer) WCBT(pi model.Chain) timeu.Time {
 	a.mustUniform(pi)
+	if a.memo != nil {
+		return a.wcbtMemo(pi)
+	}
+	return a.wcbtDirect(pi)
+}
+
+// wcbtDirect is the uninterned Lemma-4 sum; the memo stores its results
+// verbatim, which is what makes cached bounds bit-identical.
+func (a *Analyzer) wcbtDirect(pi model.Chain) timeu.Time {
 	var w timeu.Time
 	for i := 0; i+1 < pi.Len(); i++ {
 		w += a.theta(pi[i], pi[i+1])
@@ -120,6 +132,14 @@ func (a *Analyzer) WCBT(pi model.Chain) timeu.Time {
 // every scheduled hop delays by at least one full producer period.
 func (a *Analyzer) BCBT(pi model.Chain) timeu.Time {
 	a.mustUniform(pi)
+	if a.memo != nil {
+		return a.bcbtMemo(pi)
+	}
+	return a.bcbtDirect(pi)
+}
+
+// bcbtDirect is the uninterned Lemma-5 (or LET / baseline) sum.
+func (a *Analyzer) bcbtDirect(pi model.Chain) timeu.Time {
 	var b timeu.Time
 	switch {
 	case a.chainLET(pi):

@@ -1,0 +1,103 @@
+package backward
+
+import (
+	"sync"
+
+	"repro/internal/chains"
+	"repro/internal/metrics"
+	"repro/internal/model"
+	"repro/internal/timeu"
+)
+
+var (
+	memoHits   = metrics.C("cache.backward.hits")
+	memoMisses = metrics.C("cache.backward.misses")
+)
+
+// Memo interns backward-time bounds per chain-suffix key: 𝒲 and ℬ are
+// per-hop sums over the chain, and package core's pair bounds evaluate
+// them over the same chains (full enumerated chains, their stripped
+// reductions, and the Alpha/Beta sub-chains of Theorem-2 decompositions
+// — all suffix slices of enumerated chains) again and again. Interning
+// makes each bound a single map probe after its first evaluation —
+// computed once per (graph, WCRT result, method), since the sums are
+// fully determined by those three.
+//
+// A memo stores exactly what the direct evaluation returns (wcbtDirect /
+// bcbtDirect), so memoized and direct results are bit-identical — no
+// re-association of the integer sums is involved. The lookup path is
+// allocation-free: keys are built in a stack scratch buffer and probed
+// via m[string(key)], which the compiler evaluates without copying the
+// bytes; only a miss pays the key-string allocation when it stores the
+// freshly computed value.
+//
+// A Memo is safe for concurrent use and must only be shared between
+// Analyzers with identical (graph, WCRT result, method) — in practice:
+// attach it via Analyzer.WithMemo, once, per analyzed graph. Concurrent
+// misses on one key may race to compute the value, but both compute the
+// same integer, so last-write-wins is harmless.
+type Memo struct {
+	mu   sync.RWMutex
+	wcbt map[string]timeu.Time
+	bcbt map[string]timeu.Time
+}
+
+// NewMemo returns an empty memo.
+func NewMemo() *Memo {
+	return &Memo{
+		wcbt: make(map[string]timeu.Time),
+		bcbt: make(map[string]timeu.Time),
+	}
+}
+
+// WithMemo attaches a memo to the analyzer and returns it (chainable).
+// A nil memo leaves the analyzer uncached.
+func (a *Analyzer) WithMemo(m *Memo) *Analyzer {
+	a.memo = m
+	return a
+}
+
+// Memo returns the attached memo (nil when uncached).
+func (a *Analyzer) Memo() *Memo { return a.memo }
+
+// memoScratch sizes the stack buffer for key building; chains longer
+// than ~60 tasks spill to the heap, which is correct, merely slower.
+const memoScratch = 128
+
+func (a *Analyzer) wcbtMemo(pi model.Chain) timeu.Time {
+	var arr [memoScratch]byte
+	key := chains.AppendKey(arr[:0], pi)
+	m := a.memo
+	m.mu.RLock()
+	v, ok := m.wcbt[string(key)]
+	m.mu.RUnlock()
+	if ok {
+		memoHits.Inc()
+		return v
+	}
+	memoMisses.Inc()
+	v = a.wcbtDirect(pi)
+	m.mu.Lock()
+	m.wcbt[string(key)] = v
+	m.mu.Unlock()
+	return v
+}
+
+func (a *Analyzer) bcbtMemo(pi model.Chain) timeu.Time {
+	var arr [memoScratch]byte
+	key := chains.AppendKey(arr[:0], pi)
+	m := a.memo
+	m.mu.RLock()
+	v, ok := m.bcbt[string(key)]
+	m.mu.RUnlock()
+	if ok {
+		memoHits.Inc()
+		return v
+	}
+	memoMisses.Inc()
+	v = a.bcbtDirect(pi)
+	m.mu.Lock()
+	m.bcbt[string(key)] = v
+	m.mu.Unlock()
+	return v
+}

@@ -10,8 +10,11 @@ package chains
 import (
 	"fmt"
 
+	"repro/internal/metrics"
 	"repro/internal/model"
 )
+
+var chainsEnumerated = metrics.C("chains.enumerated")
 
 // DefaultMaxChains caps path enumeration. Random DAGs can have
 // exponentially many source→sink paths; analyses that would exceed the cap
@@ -61,6 +64,7 @@ func Enumerate(g *model.Graph, task model.TaskID, maxChains int) ([]model.Chain,
 	if err := rec(task); err != nil {
 		return nil, err
 	}
+	chainsEnumerated.Add(int64(len(out)))
 	return out, nil
 }
 

@@ -1,0 +1,44 @@
+package chains
+
+import (
+	"encoding/binary"
+
+	"repro/internal/model"
+)
+
+// AppendKey appends a collision-free map key for a chain to dst and
+// returns the extended slice: the length followed by every task ID, each
+// as an unsigned varint. Varints are self-delimiting and the leading
+// length makes concatenations of keys unambiguous, so distinct chains
+// (and distinct sequences of chains, as in AppendPairKey) always produce
+// distinct keys. The memoization caches of the analysis engine index
+// backward-time bounds, decompositions, and pair bounds by these keys; a
+// collision would silently corrupt bounds, which is why the property is
+// quick-checked in the core package's tests.
+//
+// Taking a destination slice lets hot paths build keys into a
+// stack-allocated scratch buffer and probe maps via m[string(key)] —
+// which the compiler compiles without copying the bytes — so a cache hit
+// performs no allocation at all.
+func AppendKey(dst []byte, c model.Chain) []byte {
+	dst = binary.AppendUvarint(dst, uint64(len(c)))
+	for _, id := range c {
+		dst = binary.AppendUvarint(dst, uint64(id))
+	}
+	return dst
+}
+
+// Key returns AppendKey's result as a string.
+func Key(c model.Chain) string {
+	return string(AppendKey(make([]byte, 0, 2+2*len(c)), c))
+}
+
+// AppendPairKey appends a collision-free key for an ordered chain pair.
+func AppendPairKey(dst []byte, lambda, nu model.Chain) []byte {
+	return AppendKey(AppendKey(dst, lambda), nu)
+}
+
+// PairKey returns AppendPairKey's result as a string.
+func PairKey(lambda, nu model.Chain) string {
+	return string(AppendPairKey(make([]byte, 0, 4+2*len(lambda)+2*len(nu)), lambda, nu))
+}

@@ -1,0 +1,325 @@
+// Memoization layer of the analysis engine.
+//
+// Everything the disparity analysis computes is a pure function of the
+// graph: the WCRT fixed point depends on (task, policy), the
+// backward-time bounds on a chain suffix, the Theorem-2 decomposition
+// and the pairwise bound on an (ordered) chain pair, and the task-level
+// disparity on (task, method, enumeration cap). A sweep recomputes all
+// of them many times — every chain pair re-derives the WCBT/BCBT of
+// largely shared sub-chains, every method call re-enumerates 𝒫, and
+// Algorithm 1 re-analyzes the worst pair it was handed. AnalysisCache
+// interns each of these sub-results once per graph. Because the
+// analysis is deterministic and all arithmetic is exact (int64
+// nanoseconds), a cached value is bit-identical to a recomputed one;
+// the differential harness in internal/integration enforces exactly
+// that.
+//
+// The lookup paths are engineered to cost less than what they save:
+// reads take an RWMutex read lock, and the string-keyed tables build
+// their keys in stack scratch buffers probed via m[string(key)] so a
+// hit allocates nothing (see chains.AppendKey). The greedy optimizer
+// additionally seeds each buffered clone's cache with every parent
+// result that a single capacity change provably cannot affect
+// (seedForBufferChange).
+package core
+
+import (
+	"sync"
+
+	"repro/internal/backward"
+	"repro/internal/chains"
+	"repro/internal/metrics"
+	"repro/internal/model"
+	"repro/internal/sched"
+)
+
+var (
+	cacheSchedHits    = metrics.C("cache.sched.hits")
+	cacheSchedMisses  = metrics.C("cache.sched.misses")
+	cacheEnumHits     = metrics.C("cache.enum.hits")
+	cacheEnumMisses   = metrics.C("cache.enum.misses")
+	cacheDecompHits   = metrics.C("cache.decomp.hits")
+	cacheDecompMisses = metrics.C("cache.decomp.misses")
+	cachePairHits     = metrics.C("cache.pair.hits")
+	cachePairMisses   = metrics.C("cache.pair.misses")
+	cacheTaskHits     = metrics.C("cache.task.hits")
+	cacheTaskMisses   = metrics.C("cache.task.misses")
+	cachePairsSeeded  = metrics.C("cache.pairs.seeded")
+	pairsBounded      = metrics.C("core.pairs.bounded")
+)
+
+// keyScratch sizes the stack buffers for pair-key building; longer keys
+// spill to the heap, which is correct, merely slower.
+const keyScratch = 192
+
+// AnalysisCache interns the intermediate results of the disparity
+// analysis of ONE graph. It is safe for concurrent use; concurrent
+// lookups of the same key may race to compute the value, but since
+// every cached function is deterministic the value stored is unique, so
+// last-write-wins is harmless.
+//
+// The cache is bound to the first graph it is used with and must not be
+// shared across graphs (or across mutations of one graph — clone the
+// graph instead, as the optimizer does). Construct with
+// NewAnalysisCache, attach with NewCached.
+type AnalysisCache struct {
+	mu sync.RWMutex
+	g  *model.Graph
+	// sched interns the WCRT fixed-point result per scheduling policy
+	// (the per-task results live inside sched.Result).
+	sched map[sched.Policy]*sched.Result
+	// memo interns per-suffix backward-time bounds, per method.
+	memo map[backward.Method]*backward.Memo
+	// enum interns chain enumerations per (task, effective cap).
+	enum map[enumKey][]model.Chain
+	// decomp interns Theorem-2 decompositions per ordered pair
+	// (chains.AppendPairKey of the pair).
+	decomp map[string]*chains.Decomposition
+	// pair interns pairwise bounds per ordered pair, one table per
+	// method (indexed by PDiff / SDiff).
+	pair [2]map[string]*PairBound
+	// task interns task-level disparities per (task, method, cap).
+	task map[taskKey]*TaskDisparity
+}
+
+type enumKey struct {
+	task model.TaskID
+	max  int
+}
+
+type taskKey struct {
+	task   model.TaskID
+	method Method
+	max    int
+}
+
+// NewAnalysisCache returns an empty cache for one graph.
+func NewAnalysisCache() *AnalysisCache {
+	return &AnalysisCache{
+		sched:  make(map[sched.Policy]*sched.Result),
+		memo:   make(map[backward.Method]*backward.Memo),
+		enum:   make(map[enumKey][]model.Chain),
+		decomp: make(map[string]*chains.Decomposition),
+		pair: [2]map[string]*PairBound{
+			PDiff: make(map[string]*PairBound),
+			SDiff: make(map[string]*PairBound),
+		},
+		task: make(map[taskKey]*TaskDisparity),
+	}
+}
+
+// bind pins the cache to a graph on first use and panics on a mismatch:
+// cached values are only valid for the graph they were computed on.
+func (c *AnalysisCache) bind(g *model.Graph) {
+	c.mu.RLock()
+	bound := c.g
+	c.mu.RUnlock()
+	if bound == nil {
+		c.mu.Lock()
+		if c.g == nil {
+			c.g = g
+		}
+		bound = c.g
+		c.mu.Unlock()
+	}
+	if bound != g {
+		panic("core: AnalysisCache shared across different graphs")
+	}
+}
+
+// Sched returns the interned WCRT analysis of the graph under the
+// policy, computing it on first use. The same pointer is returned to
+// every caller, so the fixed point runs once per (graph, policy).
+func (c *AnalysisCache) Sched(g *model.Graph, policy sched.Policy) *sched.Result {
+	c.bind(g)
+	c.mu.RLock()
+	res, ok := c.sched[policy]
+	c.mu.RUnlock()
+	if ok {
+		cacheSchedHits.Inc()
+		return res
+	}
+	cacheSchedMisses.Inc()
+	res = sched.Analyze(g, policy)
+	c.mu.Lock()
+	// Keep the first stored result so all callers share one pointer.
+	if prev, ok := c.sched[policy]; ok {
+		res = prev
+	} else {
+		c.sched[policy] = res
+	}
+	c.mu.Unlock()
+	return res
+}
+
+// BackwardMemo returns the per-suffix backward-bound memo for one
+// backward method, creating it on first use.
+func (c *AnalysisCache) BackwardMemo(m backward.Method) *backward.Memo {
+	c.mu.RLock()
+	memo, ok := c.memo[m]
+	c.mu.RUnlock()
+	if ok {
+		return memo
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if memo, ok := c.memo[m]; ok {
+		return memo
+	}
+	memo = backward.NewMemo()
+	c.memo[m] = memo
+	return memo
+}
+
+// enumerate is the caching counterpart of chains.Enumerate.
+func (c *AnalysisCache) enumerate(g *model.Graph, task model.TaskID, maxChains int) ([]model.Chain, error) {
+	if maxChains <= 0 {
+		maxChains = chains.DefaultMaxChains
+	}
+	key := enumKey{task, maxChains}
+	c.mu.RLock()
+	ps, ok := c.enum[key]
+	c.mu.RUnlock()
+	if ok {
+		cacheEnumHits.Inc()
+		return ps, nil
+	}
+	cacheEnumMisses.Inc()
+	ps, err := chains.Enumerate(g, task, maxChains)
+	if err != nil {
+		return nil, err
+	}
+	c.mu.Lock()
+	c.enum[key] = ps
+	c.mu.Unlock()
+	return ps, nil
+}
+
+// decompose is the caching counterpart of chains.Decompose.
+func (c *AnalysisCache) decompose(lambda, nu model.Chain) (*chains.Decomposition, error) {
+	var arr [keyScratch]byte
+	key := chains.AppendPairKey(arr[:0], lambda, nu)
+	c.mu.RLock()
+	d, ok := c.decomp[string(key)]
+	c.mu.RUnlock()
+	if ok {
+		cacheDecompHits.Inc()
+		return d, nil
+	}
+	cacheDecompMisses.Inc()
+	d, err := chains.Decompose(lambda, nu)
+	if err != nil {
+		return nil, err
+	}
+	c.mu.Lock()
+	c.decomp[string(key)] = d
+	c.mu.Unlock()
+	return d, nil
+}
+
+// pairBound returns the interned bound for (method, lambda, nu), or
+// computes and interns it via compute. Callers must treat the returned
+// PairBound as immutable — it is shared.
+func (c *AnalysisCache) pairBound(m Method, lambda, nu model.Chain, compute func() (*PairBound, error)) (*PairBound, error) {
+	var arr [keyScratch]byte
+	key := chains.AppendPairKey(arr[:0], lambda, nu)
+	tbl := c.pair[m]
+	c.mu.RLock()
+	pb, ok := tbl[string(key)]
+	c.mu.RUnlock()
+	if ok {
+		cachePairHits.Inc()
+		return pb, nil
+	}
+	cachePairMisses.Inc()
+	pb, err := compute()
+	if err != nil {
+		return nil, err
+	}
+	c.mu.Lock()
+	tbl[string(key)] = pb
+	c.mu.Unlock()
+	return pb, nil
+}
+
+// taskDisparity returns the interned task-level result, or computes and
+// interns it. The returned TaskDisparity is shared — treat as immutable.
+func (c *AnalysisCache) taskDisparity(task model.TaskID, m Method, maxChains int, compute func() (*TaskDisparity, error)) (*TaskDisparity, error) {
+	if maxChains <= 0 {
+		maxChains = chains.DefaultMaxChains
+	}
+	key := taskKey{task, m, maxChains}
+	c.mu.RLock()
+	td, ok := c.task[key]
+	c.mu.RUnlock()
+	if ok {
+		cacheTaskHits.Inc()
+		return td, nil
+	}
+	cacheTaskMisses.Inc()
+	td, err := compute()
+	if err != nil {
+		return nil, err
+	}
+	c.mu.Lock()
+	c.task[key] = td
+	c.mu.Unlock()
+	return td, nil
+}
+
+// chainUsesEdge reports whether (from → to) is a hop of the chain.
+func chainUsesEdge(c model.Chain, from, to model.TaskID) bool {
+	for i := 0; i+1 < len(c); i++ {
+		if c[i] == from && c[i+1] == to {
+			return true
+		}
+	}
+	return false
+}
+
+// seedForBufferChange copies into c (a fresh cache for a clone of src's
+// graph) every interned result of src that changing the capacity of the
+// (from → to) channel provably cannot affect:
+//
+//   - the WCRT fixed point: buffer capacities never enter the
+//     response-time analysis (package sched reads WCET, priority, and
+//     ECU assignment only);
+//   - chain enumerations and Theorem-2 decompositions: pure functions
+//     of the graph's topology, which a capacity change preserves;
+//   - pairwise bounds whose two chains do not traverse the modified
+//     edge: a pair bound reads the graph only through the backward
+//     bounds of its own chains (whose Lemma-6 shift terms touch only
+//     the chains' own hops) and through the periods of tasks on those
+//     chains, all unchanged.
+//
+// Task-level disparities and the backward memos are NOT copied: the
+// former maximize over pairs that may include the modified edge, and
+// the latter are cheap to refill on demand. Seeding is what makes each
+// greedy optimization round cost only the pairs the new buffer actually
+// touches instead of a full re-analysis; the differential harness
+// checks the resulting bounds stay bit-identical to the uncached
+// engine's.
+func (c *AnalysisCache) seedForBufferChange(src *AnalysisCache, from, to model.TaskID) {
+	src.mu.RLock()
+	defer src.mu.RUnlock()
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for policy, res := range src.sched {
+		c.sched[policy] = res
+	}
+	for key, ps := range src.enum {
+		c.enum[key] = ps
+	}
+	for key, d := range src.decomp {
+		c.decomp[key] = d
+	}
+	for m, tbl := range src.pair {
+		for key, pb := range tbl {
+			if chainUsesEdge(pb.Lambda, from, to) || chainUsesEdge(pb.Nu, from, to) {
+				continue
+			}
+			c.pair[m][key] = pb
+			cachePairsSeeded.Inc()
+		}
+	}
+}

@@ -1,0 +1,239 @@
+package core
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+
+	"repro/internal/chains"
+	"repro/internal/model"
+	"repro/internal/randgraph"
+	"repro/internal/sched"
+	"repro/internal/waters"
+)
+
+// TestChainKeyCollisionFree quick-checks the memoization key scheme:
+// distinct chains (and distinct ordered chain pairs) must map to
+// distinct keys — a collision would silently intern one suffix's bound
+// under another's, corrupting every analysis that touches it.
+func TestChainKeyCollisionFree(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	randChain := func() model.Chain {
+		// Lengths 1..12, IDs crossing the varint one-byte boundary
+		// (127/128) and beyond, plus adjacent IDs that would collide
+		// under naive delimiter-based encodings.
+		c := make(model.Chain, 1+rng.Intn(12))
+		for i := range c {
+			c[i] = model.TaskID(rng.Intn(400))
+		}
+		return c
+	}
+	seen := make(map[string]model.Chain)
+	for trial := 0; trial < 20000; trial++ {
+		c := randChain()
+		key := chains.Key(c)
+		if prev, ok := seen[key]; ok && !prev.Equal(c) {
+			t.Fatalf("key collision: %v and %v both map to %q", prev, c, key)
+		}
+		seen[key] = c
+	}
+	// Ordered pairs: concatenation must stay unambiguous (a suffix of
+	// one chain must not leak into the head of the other).
+	type pair struct{ a, b model.Chain }
+	seenPairs := make(map[string]pair)
+	for trial := 0; trial < 20000; trial++ {
+		p := pair{randChain(), randChain()}
+		key := chains.PairKey(p.a, p.b)
+		if prev, ok := seenPairs[key]; ok && (!prev.a.Equal(p.a) || !prev.b.Equal(p.b)) {
+			t.Fatalf("pair key collision: (%v,%v) and (%v,%v) both map to %q",
+				prev.a, prev.b, p.a, p.b, key)
+		}
+		seenPairs[key] = p
+	}
+	// Deliberate near-misses: splitting one task sequence differently
+	// across the pair boundary must change the key.
+	a, b := model.Chain{1, 2, 3}, model.Chain{4, 5}
+	c, d := model.Chain{1, 2}, model.Chain{3, 4, 5}
+	if chains.PairKey(a, b) == chains.PairKey(c, d) {
+		t.Error("pair key ambiguous across the chain boundary")
+	}
+}
+
+// cachedWorkload builds one schedulable multi-chain WATERS workload and
+// returns it with its sink.
+func cachedWorkload(t *testing.T, seed int64) (*model.Graph, model.TaskID) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	for attempt := 0; attempt < 200; attempt++ {
+		n := 8 + rng.Intn(8)
+		g, err := randgraph.GNM(n, 2*n, randgraph.DefaultConfig(), rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		waters.Populate(g, rng)
+		if res := sched.Analyze(g, sched.NonPreemptiveFP); !res.Schedulable {
+			continue
+		}
+		sink := g.Sinks()[0]
+		ps, err := chains.Enumerate(g, sink, 0)
+		if err != nil || len(ps) < 2 {
+			continue
+		}
+		return g, sink
+	}
+	t.Fatal("no usable workload found")
+	return nil, 0
+}
+
+// TestCacheConcurrentLookupsMatchSequential hammers one shared cached
+// Analysis from many goroutines with interleaved task-level, pairwise,
+// and backward-bound lookups, and checks every returned value against
+// the sequential uncached analysis. Run under -race this is the
+// cache-correctness property test of the memoization layer.
+func TestCacheConcurrentLookupsMatchSequential(t *testing.T) {
+	g, sink := cachedWorkload(t, 1234)
+	cached, err := NewCached(g, NewAnalysisCache())
+	if err != nil {
+		t.Fatal(err)
+	}
+	plain, err := New(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ps, err := chains.Enumerate(g, sink, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Sequential ground truth, computed before any concurrent access.
+	wantP, err := plain.Disparity(sink, PDiff, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantS, err := plain.Disparity(sink, SDiff, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const goroutines = 8
+	var wg sync.WaitGroup
+	errc := make(chan error, goroutines)
+	for w := 0; w < goroutines; w++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed))
+			for iter := 0; iter < 40; iter++ {
+				switch rng.Intn(4) {
+				case 0:
+					td, err := cached.Disparity(sink, PDiff, 0)
+					if err != nil {
+						errc <- err
+						return
+					}
+					if td.Bound != wantP.Bound || len(td.Pairs) != len(wantP.Pairs) {
+						t.Errorf("concurrent PDiff = %v (%d pairs), want %v (%d pairs)",
+							td.Bound, len(td.Pairs), wantP.Bound, len(wantP.Pairs))
+					}
+				case 1:
+					td, err := cached.Disparity(sink, SDiff, 0)
+					if err != nil {
+						errc <- err
+						return
+					}
+					if td.Bound != wantS.Bound {
+						t.Errorf("concurrent SDiff = %v, want %v", td.Bound, wantS.Bound)
+					}
+				case 2:
+					i, j := rng.Intn(len(ps)), rng.Intn(len(ps))
+					if i == j {
+						continue
+					}
+					pb, err := cached.PairDisparity(ps[i], ps[j], PDiff)
+					if err != nil {
+						errc <- err
+						return
+					}
+					want, err := plain.pairTheorem1(ps[i], ps[j])
+					if err != nil {
+						errc <- err
+						return
+					}
+					if pb.Bound != want.Bound {
+						t.Errorf("concurrent pair bound %v, want %v", pb.Bound, want.Bound)
+					}
+				default:
+					pi := ps[rng.Intn(len(ps))]
+					if w, want := cached.Backward().WCBT(pi), plain.Backward().WCBT(pi); w != want {
+						t.Errorf("concurrent WCBT = %v, want %v", w, want)
+					}
+					if b, want := cached.Backward().BCBT(pi), plain.Backward().BCBT(pi); b != want {
+						t.Errorf("concurrent BCBT = %v, want %v", b, want)
+					}
+				}
+			}
+		}(int64(w + 1))
+	}
+	wg.Wait()
+	close(errc)
+	for err := range errc {
+		t.Fatal(err)
+	}
+}
+
+// TestCacheRejectsGraphSharing documents the per-graph contract.
+func TestCacheRejectsGraphSharing(t *testing.T) {
+	g1, _ := cachedWorkload(t, 5)
+	g2 := g1.Clone()
+	cache := NewAnalysisCache()
+	if _, err := NewCached(g1, cache); err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("sharing a cache across graphs did not panic")
+		}
+	}()
+	if _, err := NewCached(g2, cache); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestCachedMatchesUncachedOptimize covers Algorithm 1 and the greedy
+// loop through the cache.
+func TestCachedMatchesUncachedOptimize(t *testing.T) {
+	for seed := int64(0); seed < 6; seed++ {
+		g, sink := cachedWorkload(t, 100+seed)
+		cached, err := NewCached(g, NewAnalysisCache())
+		if err != nil {
+			t.Fatal(err)
+		}
+		plain, err := New(g)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pc, tdc, errC := cached.OptimizeTask(sink, 0)
+		pp, tdp, errP := plain.OptimizeTask(sink, 0)
+		if (errC == nil) != (errP == nil) {
+			t.Fatalf("seed %d: optimize errors diverge: %v vs %v", seed, errC, errP)
+		}
+		if errC != nil {
+			continue
+		}
+		if pc.Cap != pp.Cap || pc.L != pp.L || pc.Before != pp.Before || pc.After != pp.After || pc.Edge != pp.Edge {
+			t.Errorf("seed %d: cached plan %+v != uncached %+v", seed, pc, pp)
+		}
+		if tdc.Bound != tdp.Bound {
+			t.Errorf("seed %d: cached disparity %v != uncached %v", seed, tdc.Bound, tdp.Bound)
+		}
+		gc, errC2 := cached.OptimizeTaskGreedy(sink, 0, 4)
+		gp, errP2 := plain.OptimizeTaskGreedy(sink, 0, 4)
+		if (errC2 == nil) != (errP2 == nil) {
+			t.Fatalf("seed %d: greedy errors diverge: %v vs %v", seed, errC2, errP2)
+		}
+		if errC2 == nil && (gc.Before != gp.Before || gc.After != gp.After || len(gc.Plans) != len(gp.Plans)) {
+			t.Errorf("seed %d: cached greedy (%v→%v, %d plans) != uncached (%v→%v, %d plans)",
+				seed, gc.Before, gc.After, len(gc.Plans), gp.Before, gp.After, len(gp.Plans))
+		}
+	}
+}

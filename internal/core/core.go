@@ -54,11 +54,15 @@ func (m Method) String() string {
 	}
 }
 
-// Analysis bounds time disparities on one graph. Construct with New; the
-// zero value is not usable.
+// Analysis bounds time disparities on one graph. Construct with New (or
+// NewCached for the memoized engine); the zero value is not usable.
 type Analysis struct {
 	g  *model.Graph
 	bw *backward.Analyzer
+	// cache, when non-nil, interns every deterministic sub-result of
+	// the analysis (see cache.go). Cached and uncached analyses return
+	// bit-identical bounds.
+	cache *AnalysisCache
 }
 
 // New builds an Analysis for the graph using the paper's non-preemptive
@@ -70,6 +74,17 @@ type Analysis struct {
 // rejected: the closed-form backward bounds do not compose across a
 // mixed chain.
 func New(g *model.Graph) (*Analysis, error) {
+	return NewCached(g, nil)
+}
+
+// NewCached builds an Analysis whose deterministic sub-results — the
+// WCRT fixed point, per-suffix backward-time bounds, chain
+// enumerations, Theorem-2 decompositions, pairwise and task-level
+// bounds — are interned in the given per-graph cache. A nil cache
+// yields the plain uncached analysis (New). The returned bounds are
+// bit-identical either way; only the work is shared. The cache must be
+// dedicated to this graph (it binds to the first graph it sees).
+func NewCached(g *model.Graph, cache *AnalysisCache) (*Analysis, error) {
 	seen := false
 	var sem model.Semantics
 	for i := 0; i < g.NumTasks(); i++ {
@@ -83,7 +98,12 @@ func New(g *model.Graph) (*Analysis, error) {
 			return nil, fmt.Errorf("core: graph mixes %v and %v tasks; the analysis needs uniform semantics", sem, t.Sem)
 		}
 	}
-	res := sched.Analyze(g, sched.NonPreemptiveFP)
+	var res *sched.Result
+	if cache != nil {
+		res = cache.Sched(g, sched.NonPreemptiveFP)
+	} else {
+		res = sched.Analyze(g, sched.NonPreemptiveFP)
+	}
 	if !res.Schedulable {
 		names := make([]string, len(res.Unschedulable))
 		for i, id := range res.Unschedulable {
@@ -91,7 +111,11 @@ func New(g *model.Graph) (*Analysis, error) {
 		}
 		return nil, fmt.Errorf("core: graph is not schedulable under NP-FP: %v", names)
 	}
-	return &Analysis{g: g, bw: backward.NewAnalyzer(g, res, backward.NonPreemptive)}, nil
+	bw := backward.NewAnalyzer(g, res, backward.NonPreemptive)
+	if cache != nil {
+		bw.WithMemo(cache.BackwardMemo(backward.NonPreemptive))
+	}
+	return &Analysis{g: g, bw: bw, cache: cache}, nil
 }
 
 // NewWithBackward builds an Analysis on a caller-supplied backward-time
@@ -102,6 +126,9 @@ func NewWithBackward(g *model.Graph, bw *backward.Analyzer) *Analysis {
 
 // Backward exposes the underlying backward-time analyzer.
 func (a *Analysis) Backward() *backward.Analyzer { return a.bw }
+
+// Cache exposes the attached memoization cache (nil when uncached).
+func (a *Analysis) Cache() *AnalysisCache { return a.cache }
 
 // PairBound reports the bound for one chain pair together with the
 // intermediate quantities, for inspection and for Algorithm 1.
@@ -127,14 +154,20 @@ type PairBound struct {
 // that want the "last joint task" tightening should strip the common
 // suffix first (TaskDisparity does).
 func (a *Analysis) PairDisparity(lambda, nu model.Chain, m Method) (*PairBound, error) {
-	switch m {
-	case PDiff:
-		return a.pairTheorem1(lambda, nu)
-	case SDiff:
-		return a.pairTheorem2(lambda, nu)
-	default:
-		return nil, fmt.Errorf("core: unknown method %d", int(m))
+	compute := func() (*PairBound, error) {
+		switch m {
+		case PDiff:
+			return a.pairTheorem1(lambda, nu)
+		case SDiff:
+			return a.pairTheorem2(lambda, nu)
+		default:
+			return nil, fmt.Errorf("core: unknown method %d", int(m))
+		}
 	}
+	if a.cache != nil && (m == PDiff || m == SDiff) {
+		return a.cache.pairBound(m, lambda, nu, compute)
+	}
+	return compute()
 }
 
 // pairTheorem1 implements Theorem 1.
@@ -142,6 +175,7 @@ func (a *Analysis) pairTheorem1(lambda, nu model.Chain) (*PairBound, error) {
 	if err := checkPair(lambda, nu); err != nil {
 		return nil, err
 	}
+	pairsBounded.Inc()
 	wl, bl := a.bw.WCBT(lambda), a.bw.BCBT(lambda)
 	wn, bn := a.bw.WCBT(nu), a.bw.BCBT(nu)
 	o := timeu.Max(timeu.Abs(wl-bn), timeu.Abs(wn-bl))
@@ -168,7 +202,15 @@ func (a *Analysis) pairTheorem2(lambda, nu model.Chain) (*PairBound, error) {
 	if err := checkPair(lambda, nu); err != nil {
 		return nil, err
 	}
-	d, err := chains.Decompose(lambda, nu)
+	var (
+		d   *chains.Decomposition
+		err error
+	)
+	if a.cache != nil {
+		d, err = a.cache.decompose(lambda, nu)
+	} else {
+		d, err = chains.Decompose(lambda, nu)
+	}
 	if err != nil {
 		return nil, err
 	}
@@ -184,6 +226,7 @@ func (a *Analysis) pairTheorem2(lambda, nu model.Chain) (*PairBound, error) {
 	if d.SameHead && a.g.Task(lambda.Head()).Sporadic() {
 		return a.pairTheorem1(lambda, nu)
 	}
+	pairsBounded.Inc()
 	x1, y1, err := a.alignment(d)
 	if err != nil {
 		return nil, err
@@ -276,7 +319,27 @@ type TaskDisparity struct {
 //
 // maxChains caps the enumeration (≤ 0 selects chains.DefaultMaxChains).
 func (a *Analysis) Disparity(task model.TaskID, m Method, maxChains int) (*TaskDisparity, error) {
-	ps, err := chains.Enumerate(a.g, task, maxChains)
+	if a.cache != nil {
+		return a.cache.taskDisparity(task, m, maxChains, func() (*TaskDisparity, error) {
+			return a.disparity(task, m, maxChains)
+		})
+	}
+	return a.disparity(task, m, maxChains)
+}
+
+// disparity is the uninterned body of Disparity; with a cache attached
+// the enumeration, suffix stripping, and pair bounds still intern their
+// own sub-results, so even a cold task-level call shares work.
+func (a *Analysis) disparity(task model.TaskID, m Method, maxChains int) (*TaskDisparity, error) {
+	var (
+		ps  []model.Chain
+		err error
+	)
+	if a.cache != nil {
+		ps, err = a.cache.enumerate(a.g, task, maxChains)
+	} else {
+		ps, err = chains.Enumerate(a.g, task, maxChains)
+	}
 	if err != nil {
 		return nil, err
 	}
@@ -284,6 +347,9 @@ func (a *Analysis) Disparity(task model.TaskID, m Method, maxChains int) (*TaskD
 	for _, idx := range chains.Pairs(len(ps)) {
 		la, nu := ps[idx[0]], ps[idx[1]]
 		if m == SDiff {
+			// Stripping is not interned: the task-level cache already
+			// limits it to once per pair per graph, so a cache layer here
+			// would only ever miss (measured via the cache.* metrics).
 			la, nu, err = chains.StripCommonSuffix(la, nu)
 			if err != nil {
 				return nil, err

@@ -155,7 +155,18 @@ func (a *Analysis) OptimizeTaskGreedy(task model.TaskID, maxChains, maxRounds in
 		if err := plan.Apply(next); err != nil {
 			return nil, err
 		}
-		nextA, err := New(next)
+		// A clone is a different graph: it needs its own cache (if the
+		// round is kept, all later rounds analyze this clone). Seed it
+		// with everything the capacity change cannot affect — WCRT,
+		// enumerations, decompositions, and the pair bounds of chains
+		// that avoid the modified edge — so re-analyzing the clone only
+		// pays for the pairs the new buffer touches.
+		var nextCache *AnalysisCache
+		if a.cache != nil {
+			nextCache = NewAnalysisCache()
+			nextCache.seedForBufferChange(cur.cache, plan.Edge.Src, plan.Edge.Dst)
+		}
+		nextA, err := NewCached(next, nextCache)
 		if err != nil {
 			break
 		}

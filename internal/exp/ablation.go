@@ -1,6 +1,7 @@
 package exp
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 
@@ -165,7 +166,10 @@ func AblationExec(cfg Config) (*Table, error) {
 			for mi, m := range models {
 				sub := cfg
 				sub.Exec = m
-				v := simulateMaxDisparity(sub, g, sink, rng)
+				v, err := simulateMaxDisparity(context.Background(), sub, g, sink, rng)
+				if err != nil {
+					return nil, err
+				}
 				sums[mi] = append(sums[mi], v.Milliseconds())
 			}
 		}
@@ -201,19 +205,25 @@ func AblationSemantics(cfg Config) (*Table, error) {
 			}
 			sink := g.Sinks()[0]
 			rng := rand.New(rand.NewSource(cfg.Seed + int64(pi*37+gi)))
-			evalOne := func(gr *model.Graph) (bound, simv float64, ok bool) {
+			evalOne := func(gr *model.Graph) (bound, simv float64, ok bool, err error) {
 				a, err := core.New(gr)
 				if err != nil {
-					return 0, 0, false
+					return 0, 0, false, nil
 				}
 				sd, err := a.Disparity(sink, core.SDiff, cfg.MaxChains)
 				if err != nil || len(sd.Pairs) == 0 {
-					return 0, 0, false
+					return 0, 0, false, nil
 				}
-				v := simulateMaxDisparity(cfg, gr, sink, rng)
-				return sd.Bound.Milliseconds(), v.Milliseconds(), true
+				v, err := simulateMaxDisparity(context.Background(), cfg, gr, sink, rng)
+				if err != nil {
+					return 0, 0, false, err
+				}
+				return sd.Bound.Milliseconds(), v.Milliseconds(), true, nil
 			}
-			bi, si, ok := evalOne(g)
+			bi, si, ok, err := evalOne(g)
+			if err != nil {
+				return nil, err
+			}
 			if !ok {
 				continue
 			}
@@ -221,7 +231,10 @@ func AblationSemantics(cfg Config) (*Table, error) {
 			for i := 0; i < let.NumTasks(); i++ {
 				let.Task(model.TaskID(i)).Sem = model.LET
 			}
-			bl, sl, ok := evalOne(let)
+			bl, sl, ok, err := evalOne(let)
+			if err != nil {
+				return nil, err
+			}
 			if !ok {
 				continue
 			}
@@ -284,7 +297,10 @@ func AblationAdversarial(cfg Config) (*Table, error) {
 			if err != nil {
 				continue
 			}
-			random := simulateMaxDisparity(cfg, g, sink, rng)
+			random, err := simulateMaxDisparity(context.Background(), cfg, g, sink, rng)
+			if err != nil {
+				return nil, err
+			}
 			adv, err := offsetopt.RandomRestarts(g, sink, offsetopt.Config{
 				Direction: offsetopt.Maximize,
 				Steps:     6,

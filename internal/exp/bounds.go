@@ -1,0 +1,122 @@
+package exp
+
+import (
+	"context"
+	"fmt"
+
+	"repro/internal/core"
+)
+
+// boundsResult carries the per-graph analysis bounds of BoundsSweep.
+type boundsResult struct {
+	pdiff, sdiff, sdiffB float64 // milliseconds
+	ok                   bool
+}
+
+// BoundsSweep runs the analysis side of the Fig. 6(a) experiment without
+// any simulation: per point it generates the same GNM workloads as Fig6a
+// (same seeds, same graphs) and reports the mean P-diff and S-diff task
+// bounds plus S-diff-B, the S-diff bound after greedy Algorithm-1 buffer
+// insertion. Columns are milliseconds.
+//
+// This is the pure-analysis workload the memoization layer targets: the
+// simulation that dominates Fig6a's wall clock is absent, so cached vs
+// uncached (Config.DisableCache) differences here measure the analysis
+// engine itself. Both settings produce bit-identical tables.
+func BoundsSweep(cfg Config) (*Table, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	tbl := &Table{
+		Title:   "Bounds sweep: analysis-only disparity bounds vs number of tasks (ms)",
+		XLabel:  "tasks",
+		Columns: []string{"P-diff", "S-diff", "S-diff-B"},
+	}
+	ctx := context.Background()
+	for pi, n := range cfg.Points {
+		results := make([]boundsResult, cfg.GraphsPerPoint)
+		err := cfg.runner(n).Run(ctx, cfg.GraphsPerPoint, func(ctx context.Context, gi int) error {
+			r, err := evalGNMBounds(ctx, cfg, n, pi, gi)
+			if err != nil {
+				return fmt.Errorf("point n=%d graph %d: %w", n, gi, err)
+			}
+			results[gi] = r
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+		var pds, sds, sbs []float64
+		for _, r := range results {
+			if !r.ok {
+				continue
+			}
+			pds = append(pds, r.pdiff)
+			sds = append(sds, r.sdiff)
+			sbs = append(sbs, r.sdiffB)
+		}
+		if len(pds) == 0 {
+			return nil, fmt.Errorf("exp: no usable graphs at point n=%d", n)
+		}
+		tbl.AddRow(n, mean(pds), mean(sds), mean(sbs))
+		if cfg.Log != nil {
+			fmt.Fprintf(cfg.Log, "n=%d: P-diff=%.3fms S-diff=%.3fms S-diff-B=%.3fms (%d graphs)\n",
+				n, mean(pds), mean(sds), mean(sbs), len(pds))
+		}
+	}
+	return tbl, nil
+}
+
+// evalGNMBounds mirrors evalGNMGraph's generation (identical rng stream:
+// the simulation draws it skips all happen after generation) but stops
+// at the analysis: P-diff, S-diff, and the greedy-buffered S-diff.
+func evalGNMBounds(ctx context.Context, cfg Config, n, pi, gi int) (boundsResult, error) {
+	if failGraphHook != nil {
+		if err := failGraphHook(pi, gi); err != nil {
+			return boundsResult{}, err
+		}
+	}
+	rng := newGraphRNG(cfg.Seed, pi, gi)
+	for attempt := 0; attempt < 60; attempt++ {
+		if err := ctx.Err(); err != nil {
+			return boundsResult{}, err
+		}
+		g := generateGNM(cfg, n, rng)
+		if g == nil {
+			continue
+		}
+		stop := analysisTimer.Start()
+		a, ok, err := cfg.newAnalysis(g)
+		if err != nil || !ok {
+			stop()
+			if err != nil {
+				return boundsResult{}, err
+			}
+			continue
+		}
+		sink := g.Sinks()[0]
+		pd, err := a.Disparity(sink, core.PDiff, cfg.MaxChains)
+		if err != nil {
+			stop()
+			continue // e.g. too many chains: regenerate
+		}
+		sd, err := a.Disparity(sink, core.SDiff, cfg.MaxChains)
+		if err != nil || len(pd.Pairs) == 0 {
+			stop()
+			continue
+		}
+		greedy, err := a.OptimizeTaskGreedy(sink, cfg.MaxChains, 8)
+		stop()
+		if err != nil {
+			continue
+		}
+		graphsUsed.Inc()
+		return boundsResult{
+			pdiff:  pd.Bound.Milliseconds(),
+			sdiff:  sd.Bound.Milliseconds(),
+			sdiffB: greedy.After.Milliseconds(),
+			ok:     true,
+		}, nil
+	}
+	return boundsResult{}, nil
+}

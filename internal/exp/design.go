@@ -1,6 +1,7 @@
 package exp
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 
@@ -112,8 +113,14 @@ func AblationGreedyBuffers(cfg Config) (*Table, error) {
 				continue
 			}
 			rng := rand.New(rand.NewSource(cfg.Seed + int64(pi*41+gi)))
-			simPlain := simulateMaxDisparity(cfg, g, sink, rng)
-			simGreedy := simulateMaxDisparity(cfg, greedy.Graph, sink, rng)
+			simPlain, err := simulateMaxDisparity(context.Background(), cfg, g, sink, rng)
+			if err != nil {
+				return nil, err
+			}
+			simGreedy, err := simulateMaxDisparity(context.Background(), cfg, greedy.Graph, sink, rng)
+			if err != nil {
+				return nil, err
+			}
 
 			sds = append(sds, td.Bound.Milliseconds())
 			// A single application's After bounds only the optimized pair;

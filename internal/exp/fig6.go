@@ -1,21 +1,36 @@
 package exp
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"io"
 	"math/rand"
 	"runtime"
-	"sync"
 
 	"repro/internal/core"
+	"repro/internal/metrics"
 	"repro/internal/model"
+	"repro/internal/par"
 	"repro/internal/randgraph"
 	"repro/internal/sched"
 	"repro/internal/sim"
 	"repro/internal/timeu"
 	"repro/internal/waters"
 )
+
+var (
+	graphsGenerated = metrics.C("exp.graphs.generated")
+	graphsUsed      = metrics.C("exp.graphs.used")
+	genTimer        = metrics.T("exp.stage.generate")
+	analysisTimer   = metrics.T("exp.stage.analysis")
+	simTimer        = metrics.T("exp.stage.simulate")
+)
+
+// failGraphHook, when non-nil, is called at the start of every graph
+// evaluation; a non-nil return aborts the sweep with that error. Test
+// seam for the error-propagation path (see fig6_errors_test.go).
+var failGraphHook func(point, gi int) error
 
 // Config parameterizes the Fig. 6 experiments. The zero value is not
 // usable; start from Defaults or PaperScale.
@@ -57,8 +72,16 @@ type Config struct {
 	MaxChains int
 	// Workers bounds concurrent graph evaluations (0 = GOMAXPROCS).
 	Workers int
-	// Log, when non-nil, receives one progress line per point.
+	// DisableCache turns off the per-graph AnalysisCache, recomputing
+	// every intermediate result from scratch. Results are bit-identical
+	// either way; the switch exists for benchmarking the memoization
+	// layer and for differential testing.
+	DisableCache bool
+	// Log, when non-nil, receives one summary line per point.
 	Log io.Writer
+	// Progress, when non-nil, receives one line per finished graph
+	// ("n=15: graphs 7/10"), for coarse live progress on long sweeps.
+	Progress io.Writer
 }
 
 // Defaults returns a configuration sized for interactive runs and tests:
@@ -109,6 +132,43 @@ func (cfg *Config) validate() error {
 		return errors.New("exp: nil exec model")
 	}
 	return nil
+}
+
+// runner builds the shared bounded-worker runner for one sweep point.
+func (cfg *Config) runner(n int) par.Runner {
+	r := par.Runner{Workers: cfg.workers()}
+	if cfg.Progress != nil {
+		r.OnProgress = func(done, total int) {
+			fmt.Fprintf(cfg.Progress, "n=%d: graphs %d/%d\n", n, done, total)
+		}
+	}
+	return r
+}
+
+// newAnalysis runs the schedulability check and builds the analysis for
+// one generated graph, sharing the WCRT fixed point between the two
+// through the per-graph cache (unless disabled). ok=false means the
+// graph is unschedulable and should be regenerated.
+func (cfg *Config) newAnalysis(g *model.Graph) (a *core.Analysis, ok bool, err error) {
+	var res *sched.Result
+	if cfg.DisableCache {
+		res = sched.Analyze(g, sched.NonPreemptiveFP)
+		if !res.Schedulable {
+			return nil, false, nil
+		}
+		a, err = core.New(g)
+	} else {
+		cache := core.NewAnalysisCache()
+		res = cache.Sched(g, sched.NonPreemptiveFP)
+		if !res.Schedulable {
+			return nil, false, nil
+		}
+		a, err = core.NewCached(g, cache)
+	}
+	if err != nil {
+		return nil, false, nil // analysis rejects the graph: regenerate
+	}
+	return a, true, nil
 }
 
 // graphResult carries the per-graph metrics of Fig. 6(a)/(b).
@@ -184,19 +244,20 @@ func runFig6ab(cfg Config, abs, ratio *Table) error {
 		ratio.Columns = []string{"P-diff", "S-diff"}
 		ratio.XLabel = "tasks"
 	}
+	ctx := context.Background()
 	for pi, n := range cfg.Points {
 		results := make([]graphResult, cfg.GraphsPerPoint)
-		var wg sync.WaitGroup
-		sem := make(chan struct{}, cfg.workers())
-		for gi := 0; gi < cfg.GraphsPerPoint; gi++ {
-			wg.Add(1)
-			sem <- struct{}{}
-			go func(gi int) {
-				defer func() { <-sem; wg.Done() }()
-				results[gi] = evalGNMGraph(cfg, n, pi, gi)
-			}(gi)
+		err := cfg.runner(n).Run(ctx, cfg.GraphsPerPoint, func(ctx context.Context, gi int) error {
+			r, err := evalGNMGraph(ctx, cfg, n, pi, gi)
+			if err != nil {
+				return fmt.Errorf("point n=%d graph %d: %w", n, gi, err)
+			}
+			results[gi] = r
+			return nil
+		})
+		if err != nil {
+			return err
 		}
-		wg.Wait()
 		var sims, pds, sds, prs, srs []float64
 		for _, r := range results {
 			if !r.ok {
@@ -223,11 +284,16 @@ func runFig6ab(cfg Config, abs, ratio *Table) error {
 	return nil
 }
 
-// evalGNMGraph generates the gi-th graph for point n and evaluates it:
-// analysis bounds at the sink plus the max simulated disparity over the
-// offset runs. ok=false marks graphs abandoned after repeated failures.
-func evalGNMGraph(cfg Config, n, pi, gi int) graphResult {
-	rng := rand.New(rand.NewSource(cfg.Seed + int64(pi)*1_000_003 + int64(gi)*7_919))
+// newGraphRNG seeds the per-graph stream shared by the Fig. 6(a)/(b)
+// sweep and BoundsSweep — both must draw identical graphs.
+func newGraphRNG(seed int64, pi, gi int) *rand.Rand {
+	return rand.New(rand.NewSource(seed + int64(pi)*1_000_003 + int64(gi)*7_919))
+}
+
+// generateGNM draws the next candidate graph from the per-graph rng
+// stream. A nil graph means the draw failed and should be retried.
+func generateGNM(cfg Config, n int, rng *rand.Rand) *model.Graph {
+	defer genTimer.Start()()
 	tail := cfg.TailLen
 	if n-tail < 5 {
 		tail = n - 5
@@ -236,48 +302,86 @@ func evalGNMGraph(cfg Config, n, pi, gi int) graphResult {
 		tail = 0
 	}
 	gcfg := randgraph.Config{ECUs: cfg.ECUs, StimulusSources: true, TailLen: tail}
+	randPart := n - tail // total tasks = n as plotted
+	g, err := randgraph.GNM(randPart, int(cfg.EdgeFactor*float64(randPart)), gcfg, rng)
+	if err != nil {
+		return nil
+	}
+	waters.Populate(g, rng)
+	graphsGenerated.Inc()
+	return g
+}
+
+// evalGNMGraph generates the gi-th graph for point n and evaluates it:
+// analysis bounds at the sink plus the max simulated disparity over the
+// offset runs. ok=false marks graphs abandoned after repeated retries
+// (unschedulable or degenerate draws); a non-nil error is a genuine
+// failure that aborts the sweep.
+func evalGNMGraph(ctx context.Context, cfg Config, n, pi, gi int) (graphResult, error) {
+	if failGraphHook != nil {
+		if err := failGraphHook(pi, gi); err != nil {
+			return graphResult{}, err
+		}
+	}
+	rng := newGraphRNG(cfg.Seed, pi, gi)
 	for attempt := 0; attempt < 60; attempt++ {
-		randPart := n - tail // total tasks = n as plotted
-		g, err := randgraph.GNM(randPart, int(cfg.EdgeFactor*float64(randPart)), gcfg, rng)
-		if err != nil {
+		if err := ctx.Err(); err != nil {
+			return graphResult{}, err
+		}
+		g := generateGNM(cfg, n, rng)
+		if g == nil {
 			continue
 		}
-		waters.Populate(g, rng)
-		if res := sched.Analyze(g, sched.NonPreemptiveFP); !res.Schedulable {
-			continue
-		}
-		a, err := core.New(g)
-		if err != nil {
+		stop := analysisTimer.Start()
+		a, ok, err := cfg.newAnalysis(g)
+		if err != nil || !ok {
+			stop()
+			if err != nil {
+				return graphResult{}, err
+			}
 			continue
 		}
 		sink := g.Sinks()[0]
 		pd, err := a.Disparity(sink, core.PDiff, cfg.MaxChains)
 		if err != nil {
+			stop()
 			continue // e.g. too many chains: regenerate
 		}
 		sd, err := a.Disparity(sink, core.SDiff, cfg.MaxChains)
+		stop()
 		if err != nil {
 			continue
 		}
 		if len(pd.Pairs) == 0 {
 			continue // single-source graph: disparity is trivially 0
 		}
-		simMax := simulateMaxDisparity(cfg, g, sink, rng)
+		simMax, err := simulateMaxDisparity(ctx, cfg, g, sink, rng)
+		if err != nil {
+			return graphResult{}, err
+		}
+		graphsUsed.Inc()
 		return graphResult{
 			sim:   simMax.Milliseconds(),
 			pdiff: pd.Bound.Milliseconds(),
 			sdiff: sd.Bound.Milliseconds(),
 			ok:    true,
-		}
+		}, nil
 	}
-	return graphResult{}
+	return graphResult{}, nil
 }
 
 // simulateMaxDisparity runs cfg.OffsetsPerGraph simulations with fresh
 // random offsets and returns the maximum observed disparity of the task.
-func simulateMaxDisparity(cfg Config, g *model.Graph, task model.TaskID, rng *rand.Rand) timeu.Time {
+// A simulator validation failure is a programming error upstream; it is
+// returned (not swallowed) so the sweep aborts loudly instead of skewing
+// results silently.
+func simulateMaxDisparity(ctx context.Context, cfg Config, g *model.Graph, task model.TaskID, rng *rand.Rand) (timeu.Time, error) {
+	defer simTimer.Start()()
 	var worst timeu.Time
 	for run := 0; run < cfg.OffsetsPerGraph; run++ {
+		if err := ctx.Err(); err != nil {
+			return 0, err
+		}
 		waters.RandomOffsets(g, rng)
 		obs := sim.NewDisparityObserver(cfg.Warmup, task)
 		if _, err := sim.Run(g, sim.Config{
@@ -286,13 +390,11 @@ func simulateMaxDisparity(cfg Config, g *model.Graph, task model.TaskID, rng *ra
 			Seed:      rng.Int63(),
 			Observers: []sim.Observer{obs},
 		}); err != nil {
-			// A validation failure here is a programming error upstream;
-			// surface it loudly rather than skewing results silently.
-			panic(err)
+			return 0, fmt.Errorf("exp: simulation of task %s's graph failed: %w", g.Task(task).Name, err)
 		}
 		worst = timeu.Max(worst, obs.Max(task))
 	}
-	return worst
+	return worst, nil
 }
 
 // Fig6c runs the Fig. 6(c) experiment: two independent chains merged at a
@@ -334,19 +436,20 @@ func fig6cd(cfg Config) (*Table, *Table, error) {
 		XLabel:  "chainlen",
 		Columns: []string{"S-diff", "S-diff-B"},
 	}
+	ctx := context.Background()
 	for pi, n := range cfg.Points {
 		results := make([]twoChainResult, cfg.GraphsPerPoint)
-		var wg sync.WaitGroup
-		sem := make(chan struct{}, cfg.workers())
-		for gi := 0; gi < cfg.GraphsPerPoint; gi++ {
-			wg.Add(1)
-			sem <- struct{}{}
-			go func(gi int) {
-				defer func() { <-sem; wg.Done() }()
-				results[gi] = evalTwoChains(cfg, n, pi, gi)
-			}(gi)
+		err := cfg.runner(n).Run(ctx, cfg.GraphsPerPoint, func(ctx context.Context, gi int) error {
+			r, err := evalTwoChains(ctx, cfg, n, pi, gi)
+			if err != nil {
+				return fmt.Errorf("point len=%d graph %d: %w", n, gi, err)
+			}
+			results[gi] = r
+			return nil
+		})
+		if err != nil {
+			return nil, nil, err
 		}
-		wg.Wait()
 		var sims, sds, simBs, sdBs, rs, rbs []float64
 		for _, r := range results {
 			if !r.ok {
@@ -376,40 +479,62 @@ func fig6cd(cfg Config) (*Table, *Table, error) {
 	return abs, ratio, nil
 }
 
-func evalTwoChains(cfg Config, n, pi, gi int) twoChainResult {
+func evalTwoChains(ctx context.Context, cfg Config, n, pi, gi int) (twoChainResult, error) {
+	if failGraphHook != nil {
+		if err := failGraphHook(pi, gi); err != nil {
+			return twoChainResult{}, err
+		}
+	}
 	rng := rand.New(rand.NewSource(cfg.Seed + 17 + int64(pi)*1_000_003 + int64(gi)*7_919))
 	gcfg := randgraph.Config{ECUs: cfg.ECUs, StimulusSources: true}
 	for attempt := 0; attempt < 60; attempt++ {
+		if err := ctx.Err(); err != nil {
+			return twoChainResult{}, err
+		}
+		stopGen := genTimer.Start()
 		g, la, nu, err := randgraph.TwoChains(n, gcfg, rng)
 		if err != nil {
+			stopGen()
 			continue
 		}
 		waters.Populate(g, rng)
-		if res := sched.Analyze(g, sched.NonPreemptiveFP); !res.Schedulable {
-			continue
-		}
-		a, err := core.New(g)
-		if err != nil {
+		graphsGenerated.Inc()
+		stopGen()
+		stop := analysisTimer.Start()
+		a, ok, err := cfg.newAnalysis(g)
+		if err != nil || !ok {
+			stop()
+			if err != nil {
+				return twoChainResult{}, err
+			}
 			continue
 		}
 		plan, err := a.Optimize(la, nu)
+		stop()
 		if err != nil {
 			continue
 		}
 		sink := la.Tail()
-		simPlain := simulateMaxDisparity(cfg, g, sink, rng)
+		simPlain, err := simulateMaxDisparity(ctx, cfg, g, sink, rng)
+		if err != nil {
+			return twoChainResult{}, err
+		}
 		buffered := g.Clone()
 		if err := plan.Apply(buffered); err != nil {
 			continue
 		}
-		simBuf := simulateMaxDisparity(cfg, buffered, sink, rng)
+		simBuf, err := simulateMaxDisparity(ctx, cfg, buffered, sink, rng)
+		if err != nil {
+			return twoChainResult{}, err
+		}
+		graphsUsed.Inc()
 		return twoChainResult{
 			sim:    simPlain.Milliseconds(),
 			sdiff:  plan.Before.Milliseconds(),
 			simB:   simBuf.Milliseconds(),
 			sdiffB: plan.After.Milliseconds(),
 			ok:     true,
-		}
+		}, nil
 	}
-	return twoChainResult{}
+	return twoChainResult{}, nil
 }

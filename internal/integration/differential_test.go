@@ -1,0 +1,273 @@
+package integration
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/backward"
+	"repro/internal/chains"
+	"repro/internal/core"
+	"repro/internal/exhaustive"
+	"repro/internal/model"
+	"repro/internal/sched"
+	"repro/internal/sim"
+	"repro/internal/timeu"
+	"repro/internal/waters"
+)
+
+// The differential harness validates the memoization layer's contract:
+// a cached analysis is BIT-IDENTICAL to an uncached one — not close, not
+// within epsilon, equal. All analysis arithmetic is exact int64
+// nanoseconds and every cached function is a pure function of the graph,
+// so a single differing bit means a cache key collided or a stale value
+// leaked. Each graph is checked twice against the cached analysis (the
+// second pass reads every value out of the memo).
+
+// comparePair checks one cached pair result against the uncached truth.
+func comparePair(t *testing.T, trial int, label string, got, want *core.PairBound) {
+	t.Helper()
+	if got.Bound != want.Bound || got.X1 != want.X1 || got.Y1 != want.Y1 ||
+		got.SameHead != want.SameHead ||
+		got.WindowLambda != want.WindowLambda || got.WindowNu != want.WindowNu {
+		t.Errorf("trial %d %s: cached pair %v|%v = {B=%v x=%d y=%d Wλ=%v Wν=%v}, uncached {B=%v x=%d y=%d Wλ=%v Wν=%v}",
+			trial, label, got.Lambda, got.Nu,
+			got.Bound, got.X1, got.Y1, got.WindowLambda, got.WindowNu,
+			want.Bound, want.X1, want.Y1, want.WindowLambda, want.WindowNu)
+	}
+}
+
+// compareTask checks one cached task-level result field by field.
+func compareTask(t *testing.T, trial int, label string, got, want *core.TaskDisparity) {
+	t.Helper()
+	if got.Bound != want.Bound {
+		t.Errorf("trial %d %s: cached bound %v, uncached %v", trial, label, got.Bound, want.Bound)
+	}
+	if len(got.Pairs) != len(want.Pairs) {
+		t.Errorf("trial %d %s: cached %d pairs, uncached %d", trial, label, len(got.Pairs), len(want.Pairs))
+		return
+	}
+	if got.ArgMax != want.ArgMax {
+		t.Errorf("trial %d %s: cached argmax %d, uncached %d", trial, label, got.ArgMax, want.ArgMax)
+	}
+	for i := range got.Pairs {
+		comparePair(t, trial, label, got.Pairs[i], want.Pairs[i])
+	}
+}
+
+// TestDifferentialCachedVsUncached sweeps hundreds of seeded WATERS
+// workloads and checks every analysis product — per-suffix WCBT/BCBT for
+// both backward methods, P-diff and S-diff task analyses with their full
+// pair breakdowns, and Algorithm 1 (single and greedy) — for exact
+// equality between the cached and uncached engines. Run it under -race:
+// the second cached pass races nothing, but the harness doubles as the
+// cache's concurrency smoke test when the package runs in parallel.
+func TestDifferentialCachedVsUncached(t *testing.T) {
+	trials := 200
+	if testing.Short() {
+		trials = 60
+	}
+	rng := rand.New(rand.NewSource(77))
+	for trial := 0; trial < trials; trial++ {
+		g := genWaters(t, rng, 6+rng.Intn(9))
+		if trial%5 == 1 { // vary semantics and buffers across the corpus
+			for i := 0; i < g.NumTasks(); i++ {
+				g.Task(model.TaskID(i)).Sem = model.LET
+			}
+		}
+		if trial%7 == 2 {
+			for _, e := range g.Edges() {
+				if rng.Intn(3) == 0 {
+					if err := g.SetBuffer(e.Src, e.Dst, 1+rng.Intn(3)); err != nil {
+						t.Fatal(err)
+					}
+				}
+			}
+		}
+		plain, err := core.New(g)
+		if err != nil {
+			continue // analysis rejects the graph equally in both modes
+		}
+		cached, err := core.NewCached(g, core.NewAnalysisCache())
+		if err != nil {
+			t.Fatalf("trial %d: cached constructor failed where uncached succeeded: %v", trial, err)
+		}
+		sink := g.Sinks()[0]
+		all, err := chains.Enumerate(g, sink, 0)
+		if err != nil {
+			continue
+		}
+
+		// Backward bounds per chain suffix, both methods.
+		res := sched.Analyze(g, sched.NonPreemptiveFP)
+		for _, method := range []backward.Method{backward.NonPreemptive, backward.Duerr} {
+			direct := backward.NewAnalyzer(g, res, method)
+			memo := backward.NewAnalyzer(g, res, method).WithMemo(backward.NewMemo())
+			for _, pi := range all {
+				for from := 0; from < pi.Len(); from++ {
+					sub := pi[from:]
+					for pass := 0; pass < 2; pass++ {
+						if got, want := memo.WCBT(sub), direct.WCBT(sub); got != want {
+							t.Errorf("trial %d: memo WCBT(%v) = %v, direct %v", trial, sub, got, want)
+						}
+						if got, want := memo.BCBT(sub), direct.BCBT(sub); got != want {
+							t.Errorf("trial %d: memo BCBT(%v) = %v, direct %v", trial, sub, got, want)
+						}
+					}
+				}
+			}
+		}
+
+		// Task-level analyses, both methods, cached pass run twice.
+		for _, m := range []core.Method{core.PDiff, core.SDiff} {
+			want, errW := plain.Disparity(sink, m, 0)
+			for pass := 0; pass < 2; pass++ {
+				got, errG := cached.Disparity(sink, m, 0)
+				if (errG == nil) != (errW == nil) {
+					t.Fatalf("trial %d method %v: cached err %v, uncached err %v", trial, m, errG, errW)
+				}
+				if errW == nil {
+					compareTask(t, trial, m.String(), got, want)
+				}
+			}
+		}
+
+		// Algorithm 1 on the worst pair, and the greedy extension.
+		planC, tdC, errC := cached.OptimizeTask(sink, 0)
+		planP, tdP, errP := plain.OptimizeTask(sink, 0)
+		if (errC == nil) != (errP == nil) {
+			t.Fatalf("trial %d: cached optimize err %v, uncached %v", trial, errC, errP)
+		}
+		if errC == nil {
+			if *planC != *planP {
+				t.Errorf("trial %d: cached plan %+v, uncached %+v", trial, planC, planP)
+			}
+			compareTask(t, trial, "optimize", tdC, tdP)
+		}
+		gC, errGC := cached.OptimizeTaskGreedy(sink, 0, 4)
+		gP, errGP := plain.OptimizeTaskGreedy(sink, 0, 4)
+		if (errGC == nil) != (errGP == nil) {
+			t.Fatalf("trial %d: cached greedy err %v, uncached %v", trial, errGC, errGP)
+		}
+		if errGC == nil {
+			if gC.Before != gP.Before || gC.After != gP.After || len(gC.Plans) != len(gP.Plans) {
+				t.Errorf("trial %d: cached greedy (%v→%v, %d plans), uncached (%v→%v, %d plans)",
+					trial, gC.Before, gC.After, len(gC.Plans), gP.Before, gP.After, len(gP.Plans))
+			}
+		}
+	}
+}
+
+// TestDifferentialBoundsContainSimulation simulates a subset of the
+// corpus and checks that the CACHED bounds stay sound: the observed
+// disparity never exceeds min(P-diff, S-diff), and on the greedily
+// buffered graph never exceeds that graph's re-analyzed bound.
+func TestDifferentialBoundsContainSimulation(t *testing.T) {
+	trials := 10
+	if testing.Short() {
+		trials = 4
+	}
+	rng := rand.New(rand.NewSource(78))
+	for trial := 0; trial < trials; trial++ {
+		g := genWaters(t, rng, 6+rng.Intn(9))
+		waters.RandomOffsets(g, rng)
+		cached, err := core.NewCached(g, core.NewAnalysisCache())
+		if err != nil {
+			continue
+		}
+		sink := g.Sinks()[0]
+		pd, err := cached.Disparity(sink, core.PDiff, 0)
+		if err != nil {
+			continue
+		}
+		sd, err := cached.Disparity(sink, core.SDiff, 0)
+		if err != nil || len(pd.Pairs) == 0 {
+			continue
+		}
+		bound := timeu.Min(pd.Bound, sd.Bound)
+		simulate := func(gr *model.Graph) timeu.Time {
+			obs := sim.NewDisparityObserver(timeu.Second, sink)
+			if _, err := sim.Run(gr, sim.Config{
+				Horizon:   simHorizon,
+				Exec:      execModels[trial%len(execModels)],
+				Seed:      int64(trial) * 13,
+				Observers: []sim.Observer{obs},
+			}); err != nil {
+				t.Fatal(err)
+			}
+			return obs.Max(sink)
+		}
+		if got := simulate(g); got > bound {
+			t.Errorf("trial %d: observed disparity %v exceeds cached bound %v", trial, got, bound)
+		}
+		greedy, err := cached.OptimizeTaskGreedy(sink, 0, 4)
+		if err != nil || len(greedy.Plans) == 0 {
+			continue
+		}
+		if got := simulate(greedy.Graph); got > greedy.After {
+			t.Errorf("trial %d: buffered disparity %v exceeds Theorem-3 bound %v", trial, got, greedy.After)
+		}
+	}
+}
+
+// smallFusion is the exhaustive-search fixture: two sources at ms-scale
+// periods feeding one fusion task on a single ECU — small enough that
+// the full offset × execution-corner grid is enumerable.
+func smallFusion(t *testing.T, p1, p2 timeu.Time) (*model.Graph, model.TaskID) {
+	t.Helper()
+	const ms = timeu.Millisecond
+	g := model.NewGraph()
+	ecu := g.AddECU("e", model.Compute)
+	s1 := g.AddTask(model.Task{Name: "s1", Period: p1, ECU: model.NoECU})
+	s2 := g.AddTask(model.Task{Name: "s2", Period: p2, ECU: model.NoECU})
+	a := g.AddTask(model.Task{Name: "a", WCET: 1 * ms, BCET: ms / 2, Period: p1, Prio: 0, ECU: ecu})
+	b := g.AddTask(model.Task{Name: "b", WCET: 1 * ms, BCET: ms / 2, Period: p2, Prio: 1, ECU: ecu})
+	c := g.AddTask(model.Task{Name: "c", WCET: 1 * ms, BCET: ms / 2, Period: p2, Prio: 2, ECU: ecu})
+	for _, e := range [][2]model.TaskID{{s1, a}, {a, c}, {s2, b}, {b, c}} {
+		if err := g.AddEdge(e[0], e[1]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return g, c
+}
+
+// TestDifferentialExhaustiveWitness closes the loop on small graphs: the
+// exhaustive offset sweep's worst-case witness must stay below the
+// cached S-diff bound, and the cached bound must equal the uncached one.
+func TestDifferentialExhaustiveWitness(t *testing.T) {
+	if testing.Short() {
+		t.Skip("exhaustive sweep skipped in -short mode")
+	}
+	const ms = timeu.Millisecond
+	for _, periods := range [][2]timeu.Time{
+		{4 * ms, 6 * ms},
+		{5 * ms, 7 * ms},
+		{3 * ms, 9 * ms},
+	} {
+		g, fusion := smallFusion(t, periods[0], periods[1])
+		plain, err := core.New(g)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cached, err := core.NewCached(g, core.NewAnalysisCache())
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := plain.Disparity(fusion, core.SDiff, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := cached.Disparity(fusion, core.SDiff, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		compareTask(t, 0, "exhaustive-fixture", got, want)
+		res, err := exhaustive.Search(g, fusion, exhaustive.Config{OffsetStep: ms})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Disparity > got.Bound {
+			t.Errorf("periods %v/%v: exhaustive witness %v exceeds cached S-diff bound %v",
+				periods[0], periods[1], res.Disparity, got.Bound)
+		}
+	}
+}

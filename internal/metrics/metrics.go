@@ -1,0 +1,175 @@
+// Package metrics is a minimal process-wide registry of named counters
+// and timers for the analysis engine and the experiment harness.
+//
+// The instruments are cheap enough to leave enabled unconditionally
+// (atomic adds on the hot paths, one mutex-guarded map lookup at
+// package-variable initialization), deterministic counters plus
+// wall-clock timers, and carry no dependencies, so every layer — the
+// scheduling fixed point, the memoization caches, the sweep workers —
+// can record what it did without threading a context through the whole
+// call tree. CLI frontends dump the registry after a run (behind a
+// default-off flag, keeping golden outputs stable); tests reset it.
+package metrics
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Counter is a monotonically increasing (well, Add accepts any delta)
+// atomic counter.
+type Counter struct {
+	v atomic.Int64
+}
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n.
+func (c *Counter) Add(n int64) { c.v.Add(n) }
+
+// Load returns the current value.
+func (c *Counter) Load() int64 { return c.v.Load() }
+
+// Timer accumulates durations: total nanoseconds and observation count.
+type Timer struct {
+	ns    atomic.Int64
+	count atomic.Int64
+}
+
+// Observe records one duration.
+func (t *Timer) Observe(d time.Duration) {
+	t.ns.Add(int64(d))
+	t.count.Add(1)
+}
+
+// Start begins a measurement; the returned func stops and records it.
+// Usage: defer timer.Start()().
+func (t *Timer) Start() func() {
+	begin := time.Now()
+	return func() { t.Observe(time.Since(begin)) }
+}
+
+// Total returns the accumulated duration.
+func (t *Timer) Total() time.Duration { return time.Duration(t.ns.Load()) }
+
+// Count returns the number of observations.
+func (t *Timer) Count() int64 { return t.count.Load() }
+
+// Registry is a named collection of instruments. The zero value is not
+// usable; use NewRegistry or the package-level Default.
+type Registry struct {
+	mu       sync.Mutex
+	counters map[string]*Counter
+	timers   map[string]*Timer
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters: make(map[string]*Counter),
+		timers:   make(map[string]*Timer),
+	}
+}
+
+// Counter returns the named counter, creating it on first use. The
+// returned pointer is stable; callers should look it up once (package
+// variable) and increment through the pointer.
+func (r *Registry) Counter(name string) *Counter {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	c, ok := r.counters[name]
+	if !ok {
+		c = &Counter{}
+		r.counters[name] = c
+	}
+	return c
+}
+
+// Timer returns the named timer, creating it on first use.
+func (r *Registry) Timer(name string) *Timer {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	t, ok := r.timers[name]
+	if !ok {
+		t = &Timer{}
+		r.timers[name] = t
+	}
+	return t
+}
+
+// Reset zeroes every instrument (the instruments stay registered, so
+// pointers held by callers remain valid).
+func (r *Registry) Reset() {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for _, c := range r.counters {
+		c.v.Store(0)
+	}
+	for _, t := range r.timers {
+		t.ns.Store(0)
+		t.count.Store(0)
+	}
+}
+
+// Entry is one instrument value in a snapshot.
+type Entry struct {
+	Name  string
+	Value int64
+}
+
+// Snapshot returns all instrument values sorted by name. Timers expand
+// to two entries: "<name>.ns" (total nanoseconds) and "<name>.count".
+func (r *Registry) Snapshot() []Entry {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]Entry, 0, len(r.counters)+2*len(r.timers))
+	for name, c := range r.counters {
+		out = append(out, Entry{name, c.Load()})
+	}
+	for name, t := range r.timers {
+		out = append(out,
+			Entry{name + ".count", t.Count()},
+			Entry{name + ".ns", t.ns.Load()},
+		)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// Fprint writes the snapshot as aligned "name value" lines. Timer totals
+// are rendered as durations for readability.
+func (r *Registry) Fprint(w io.Writer) error {
+	for _, e := range r.Snapshot() {
+		var err error
+		if len(e.Name) > 3 && e.Name[len(e.Name)-3:] == ".ns" {
+			_, err = fmt.Fprintf(w, "%-44s %v\n", e.Name[:len(e.Name)-3]+".total", time.Duration(e.Value))
+		} else {
+			_, err = fmt.Fprintf(w, "%-44s %d\n", e.Name, e.Value)
+		}
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Default is the process-wide registry used by the package-level
+// helpers; the analysis packages register their instruments here.
+var Default = NewRegistry()
+
+// C returns a counter from the Default registry.
+func C(name string) *Counter { return Default.Counter(name) }
+
+// T returns a timer from the Default registry.
+func T(name string) *Timer { return Default.Timer(name) }
+
+// Reset zeroes the Default registry (test helper).
+func Reset() { Default.Reset() }
+
+// Fprint dumps the Default registry.
+func Fprint(w io.Writer) error { return Default.Fprint(w) }

@@ -1,0 +1,97 @@
+package metrics
+
+import (
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestCounterAndTimer(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("a.count")
+	c.Inc()
+	c.Add(4)
+	if got := c.Load(); got != 5 {
+		t.Errorf("counter = %d, want 5", got)
+	}
+	if r.Counter("a.count") != c {
+		t.Error("Counter not idempotent")
+	}
+	tm := r.Timer("a.time")
+	tm.Observe(3 * time.Millisecond)
+	tm.Observe(2 * time.Millisecond)
+	if tm.Count() != 2 || tm.Total() != 5*time.Millisecond {
+		t.Errorf("timer = %d obs / %v, want 2 / 5ms", tm.Count(), tm.Total())
+	}
+	stop := tm.Start()
+	stop()
+	if tm.Count() != 3 {
+		t.Errorf("Start/stop did not record: count = %d", tm.Count())
+	}
+}
+
+func TestSnapshotSortedAndReset(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("z").Add(1)
+	r.Counter("a").Add(2)
+	r.Timer("m").Observe(time.Second)
+	snap := r.Snapshot()
+	var names []string
+	for _, e := range snap {
+		names = append(names, e.Name)
+	}
+	want := []string{"a", "m.count", "m.ns", "z"}
+	if len(names) != len(want) {
+		t.Fatalf("snapshot names = %v, want %v", names, want)
+	}
+	for i := range want {
+		if names[i] != want[i] {
+			t.Fatalf("snapshot names = %v, want %v", names, want)
+		}
+	}
+	r.Reset()
+	for _, e := range r.Snapshot() {
+		if e.Value != 0 {
+			t.Errorf("after Reset, %s = %d", e.Name, e.Value)
+		}
+	}
+}
+
+func TestFprint(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("graphs.generated").Add(7)
+	r.Timer("sweep.point").Observe(1500 * time.Millisecond)
+	var sb strings.Builder
+	if err := r.Fprint(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"graphs.generated", "7", "sweep.point.count", "sweep.point.total", "1.5s"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("dump missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestConcurrentUse(t *testing.T) {
+	r := NewRegistry()
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				r.Counter("shared").Inc()
+				r.Timer("shared.time").Observe(time.Nanosecond)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := r.Counter("shared").Load(); got != 8000 {
+		t.Errorf("concurrent counter = %d, want 8000", got)
+	}
+	if got := r.Timer("shared.time").Count(); got != 8000 {
+		t.Errorf("concurrent timer count = %d, want 8000", got)
+	}
+}

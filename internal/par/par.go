@@ -1,0 +1,101 @@
+// Package par runs a fixed number of independent jobs on a bounded
+// worker pool, with context cancellation, first-error abort, and
+// deterministic error aggregation.
+//
+// It replaces the ad-hoc WaitGroup-plus-semaphore loops of the
+// experiment harness, which silently discarded every per-job failure:
+// here the first failing job cancels the context so in-flight workers
+// can stop early, jobs not yet started are skipped, and every error
+// that did occur is reported, joined in job order.
+package par
+
+import (
+	"context"
+	"errors"
+	"runtime"
+	"sync"
+)
+
+// Runner executes jobs with at most Workers running concurrently.
+type Runner struct {
+	// Workers bounds concurrency; ≤ 0 selects GOMAXPROCS.
+	Workers int
+	// OnProgress, when non-nil, is called after every finished or
+	// skipped job with the number of settled jobs and the total. Calls
+	// are serialized; done increases by one per call up to total.
+	OnProgress func(done, total int)
+}
+
+// Run invokes fn(ctx, i) for every i in [0, n). The first error cancels
+// the shared context: running jobs observe ctx.Done(), and jobs that
+// have not started yet are skipped entirely. Run waits for all started
+// jobs, then returns every job error joined in job-index order (nil if
+// none). Cancellation of the parent context aborts the same way and is
+// reported as ctx.Err() when no job failed first.
+func (r Runner) Run(ctx context.Context, n int, fn func(ctx context.Context, i int) error) error {
+	if n <= 0 {
+		return nil
+	}
+	workers := r.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	errs := make([]error, n)
+	var (
+		progressMu sync.Mutex
+		done       int
+	)
+	settle := func() {
+		if r.OnProgress == nil {
+			return
+		}
+		progressMu.Lock()
+		done++
+		r.OnProgress(done, n)
+		progressMu.Unlock()
+	}
+
+	next := make(chan int)
+	go func() {
+		defer close(next)
+		for i := 0; i < n; i++ {
+			select {
+			case next <- i:
+			case <-ctx.Done():
+				return
+			}
+		}
+	}()
+
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				if ctx.Err() != nil {
+					settle()
+					continue
+				}
+				if err := fn(ctx, i); err != nil {
+					errs[i] = err
+					cancel()
+				}
+				settle()
+			}
+		}()
+	}
+	wg.Wait()
+
+	if err := errors.Join(errs...); err != nil {
+		return err
+	}
+	// No job failed; surface external cancellation if any.
+	return context.Cause(ctx)
+}

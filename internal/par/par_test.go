@@ -1,0 +1,170 @@
+package par
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestRunAllJobs(t *testing.T) {
+	var hit [50]atomic.Int64
+	err := Runner{Workers: 4}.Run(context.Background(), len(hit), func(_ context.Context, i int) error {
+		hit[i].Add(1)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range hit {
+		if hit[i].Load() != 1 {
+			t.Fatalf("job %d ran %d times", i, hit[i].Load())
+		}
+	}
+}
+
+func TestBoundedConcurrency(t *testing.T) {
+	const workers = 3
+	var cur, peak atomic.Int64
+	err := Runner{Workers: workers}.Run(context.Background(), 40, func(_ context.Context, i int) error {
+		n := cur.Add(1)
+		for {
+			p := peak.Load()
+			if n <= p || peak.CompareAndSwap(p, n) {
+				break
+			}
+		}
+		time.Sleep(time.Millisecond)
+		cur.Add(-1)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p := peak.Load(); p > workers {
+		t.Errorf("peak concurrency %d exceeds %d workers", p, workers)
+	}
+}
+
+// TestFirstErrorCancels drives jobs through a gate so the schedule is
+// deterministic: job 3 fails while later jobs are still unstarted; the
+// unstarted jobs must be skipped and the error reported.
+func TestFirstErrorCancels(t *testing.T) {
+	boom := errors.New("boom")
+	var ran atomic.Int64
+	err := Runner{Workers: 1}.Run(context.Background(), 10, func(ctx context.Context, i int) error {
+		ran.Add(1)
+		if i == 3 {
+			return fmt.Errorf("job %d: %w", i, boom)
+		}
+		return nil
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want wrapped boom", err)
+	}
+	// Single worker: jobs 0..3 ran, the rest were skipped after cancel.
+	if got := ran.Load(); got != 4 {
+		t.Errorf("ran %d jobs, want 4 (cancellation should skip the rest)", got)
+	}
+}
+
+func TestAllErrorsJoinedInOrder(t *testing.T) {
+	// Every job fails; with one worker they run sequentially until the
+	// first failure cancels the rest — so force all to run by using a
+	// runner-visible error on each started job with workers = n.
+	n := 4
+	var (
+		mu         sync.Mutex
+		started    int
+		allStarted = make(chan struct{})
+	)
+	err := Runner{Workers: n}.Run(context.Background(), n, func(ctx context.Context, i int) error {
+		// Hold every job until all have started, so cancellation from
+		// one failure cannot skip the others.
+		mu.Lock()
+		started++
+		if started == n {
+			close(allStarted)
+		}
+		mu.Unlock()
+		<-allStarted
+		return fmt.Errorf("job-%d-failed", i)
+	})
+	if err == nil {
+		t.Fatal("want joined errors")
+	}
+	msg := err.Error()
+	var idx []int
+	for i := 0; i < n; i++ {
+		p := strings.Index(msg, fmt.Sprintf("job-%d-failed", i))
+		if p < 0 {
+			t.Fatalf("error %d missing from %q", i, msg)
+		}
+		idx = append(idx, p)
+	}
+	for i := 1; i < n; i++ {
+		if idx[i] < idx[i-1] {
+			t.Errorf("errors out of job order in %q", msg)
+		}
+	}
+}
+
+func TestParentCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	var ran atomic.Int64
+	gate := make(chan struct{})
+	done := make(chan error, 1)
+	go func() {
+		done <- Runner{Workers: 2}.Run(ctx, 100, func(ctx context.Context, i int) error {
+			ran.Add(1)
+			<-gate
+			return nil
+		})
+	}()
+	cancel()
+	close(gate)
+	if err := <-done; !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if ran.Load() == 100 {
+		t.Error("cancellation did not skip any job")
+	}
+}
+
+func TestProgressReported(t *testing.T) {
+	var mu sync.Mutex
+	var seen []int
+	err := Runner{
+		Workers: 4,
+		OnProgress: func(done, total int) {
+			mu.Lock()
+			seen = append(seen, done)
+			mu.Unlock()
+			if total != 25 {
+				t.Errorf("total = %d, want 25", total)
+			}
+		},
+	}.Run(context.Background(), 25, func(_ context.Context, i int) error { return nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(seen) != 25 || seen[len(seen)-1] != 25 {
+		t.Errorf("progress calls = %v", seen)
+	}
+	for i, d := range seen {
+		if d != i+1 {
+			t.Errorf("progress not monotone at %d: %v", i, seen)
+			break
+		}
+	}
+}
+
+func TestZeroJobs(t *testing.T) {
+	if err := (Runner{}).Run(context.Background(), 0, nil); err != nil {
+		t.Fatal(err)
+	}
+}

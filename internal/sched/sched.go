@@ -14,8 +14,14 @@ package sched
 import (
 	"fmt"
 
+	"repro/internal/metrics"
 	"repro/internal/model"
 	"repro/internal/timeu"
+)
+
+var (
+	analysesRun = metrics.C("sched.analyses")
+	fpIters     = metrics.C("sched.fixedpoint.iterations")
 )
 
 // Policy selects the response-time analysis variant.
@@ -69,6 +75,7 @@ const maxIterations = 1 << 16
 // the divergent fixed-point value (capped) and listed in
 // Result.Unschedulable, so callers can report all violations at once.
 func Analyze(g *model.Graph, policy Policy) *Result {
+	analysesRun.Inc()
 	res := &Result{
 		WCRT:        make([]timeu.Time, g.NumTasks()),
 		Schedulable: true,
@@ -167,6 +174,8 @@ func npResponseTime(g *model.Graph, id model.TaskID) (timeu.Time, bool) {
 
 	var worst timeu.Time
 	ok := true
+	iters := int64(0)
+	defer func() { fpIters.Add(iters) }()
 	for k := int64(0); k < q; k++ {
 		w := blk + timeu.Time(k)*task.WCET
 		for _, o := range hp {
@@ -174,6 +183,7 @@ func npResponseTime(g *model.Graph, id model.TaskID) (timeu.Time, bool) {
 		}
 		converged := false
 		for iter := 0; iter < maxIterations; iter++ {
+			iters++
 			next := blk + timeu.Time(k)*task.WCET
 			for _, o := range hp {
 				next += timeu.Time(timeu.FloorDiv(w, o.Period)+1) * o.WCET
@@ -205,6 +215,7 @@ func pResponseTime(g *model.Graph, id model.TaskID) (timeu.Time, bool) {
 	hp, _ := interferers(g, id)
 	r := task.WCET
 	for iter := 0; iter < maxIterations; iter++ {
+		fpIters.Inc()
 		next := task.WCET
 		for _, o := range hp {
 			next += timeu.Time(timeu.CeilDiv(r, o.Period)) * o.WCET
