@@ -183,6 +183,13 @@ type engine struct {
 	// instants (FIFO: publish events fire in release order).
 	pubQueue [][]pendingPublish
 
+	// startObs and relObs are the observers that implement the optional
+	// extension interfaces, resolved once at construction; release and
+	// dispatch are per-event hot paths and must not repeat the type
+	// assertions there.
+	startObs []StartObserver
+	relObs   []ReleaseObserver
+
 	stats Stats
 }
 
@@ -208,6 +215,14 @@ func Run(g *model.Graph, cfg Config) (*Stats, error) {
 		pendingCount: make([]int, g.NumTasks()),
 		nextK:        make([]int64, g.NumTasks()),
 		pubQueue:     make([][]pendingPublish, g.NumTasks()),
+	}
+	for _, obs := range cfg.Observers {
+		if so, ok := obs.(StartObserver); ok {
+			e.startObs = append(e.startObs, so)
+		}
+		if ro, ok := obs.(ReleaseObserver); ok {
+			e.relObs = append(e.relObs, ro)
+		}
 	}
 	for _, edge := range g.Edges() {
 		ch := newChannel(edge.Cap)
@@ -282,10 +297,8 @@ func (e *engine) release(task model.TaskID, now timeu.Time) {
 	}
 	e.push(event{time: now + next, kind: evRelease, task: task})
 
-	for _, obs := range e.cfg.Observers {
-		if ro, ok := obs.(ReleaseObserver); ok {
-			ro.JobReleased(task, k, now)
-		}
+	for _, ro := range e.relObs {
+		ro.JobReleased(task, k, now)
 	}
 
 	if t.ECU == model.NoECU {
@@ -371,10 +384,8 @@ func (e *engine) dispatch(ecu model.ECUID, now timeu.Time) {
 		j.Out = e.assembleToken(j)
 	}
 
-	for _, obs := range e.cfg.Observers {
-		if so, ok := obs.(StartObserver); ok {
-			so.JobStarted(j)
-		}
+	for _, so := range e.startObs {
+		so.JobStarted(j)
 	}
 
 	exec := e.cfg.Exec.Sample(t, e.rng)
