@@ -1,15 +1,25 @@
 # Verification tiers. `make check` is the full recipe CI should run.
 #
-#   build  - compile everything
-#   test   - tier 1: the plain test suite
-#   race   - tier 2: vet + the suite (incl. the differential harness
-#            in internal/integration) under the race detector
-#   bench  - compile-and-smoke every benchmark (one iteration each)
-#   check  - all of the above
+#   build       - compile everything
+#   test        - tier 1: the plain test suite
+#   race        - tier 2: vet + the suite (incl. the differential harness
+#                 in internal/integration) under the race detector
+#   bench       - compile-and-smoke every benchmark (one iteration each)
+#   bench-smoke - quick perf tier: the simulator benchmarks (a few real
+#                 iterations, -benchmem) + vet of internal/sim, so a
+#                 regression in the pooled hot path is caught without
+#                 running the full bench suite
+#   bench-json  - run the headline benchmarks and refresh BENCH_sim.json
+#                 (see tools/bench_json.sh; numbers are machine-relative,
+#                 regenerate before/after on the same box)
+#   check       - build + test + race + bench
+#
+# tools/escape_check.sh (not wired into check; advisory) prints sim hot-path
+# values that escape to the heap per `go build -gcflags=-m`.
 
 GO ?= go
 
-.PHONY: build test race bench check
+.PHONY: build test race bench bench-smoke bench-json check
 
 build:
 	$(GO) build ./...
@@ -23,5 +33,12 @@ race:
 
 bench:
 	$(GO) test -run='^$$' -bench=. -benchtime=1x ./...
+
+bench-smoke:
+	$(GO) vet ./internal/sim/...
+	$(GO) test -run='^$$' -bench='BenchmarkSimThroughput|BenchmarkPooledEngine|BenchmarkReferenceEngine' -benchtime=3x -benchmem ./...
+
+bench-json:
+	sh tools/bench_json.sh
 
 check: build test race bench

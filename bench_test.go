@@ -181,6 +181,34 @@ func BenchmarkSimulateSecond(b *testing.B) {
 	}
 }
 
+// BenchmarkSimThroughput measures raw simulator throughput — simulated
+// jobs per wall-clock second — on a fixed schedulable 25-task WATERS
+// workload over a long horizon. It is the pure-engine counterpart of the
+// Fig6* benchmarks: no graph generation, no analysis, just the
+// discrete-event loop. Run with -benchmem; steady-state allocations per
+// job should be ~0 (see internal/sim's alloc regression test).
+func BenchmarkSimThroughput(b *testing.B) {
+	g, _ := benchGraph(b)
+	disparity.RandomOffsets(g, 1)
+	var jobs int64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := disparity.Simulate(g, disparity.SimConfig{
+			Horizon: 10 * timeu.Second,
+			Exec:    disparity.ExecExtremes,
+			Seed:    42,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		jobs += res.Jobs
+	}
+	b.StopTimer()
+	if secs := b.Elapsed().Seconds(); secs > 0 {
+		b.ReportMetric(float64(jobs)/secs, "jobs/s")
+	}
+}
+
 // BenchmarkEnumerateChains times path enumeration on the workload.
 func BenchmarkEnumerateChains(b *testing.B) {
 	g, sink := benchGraph(b)

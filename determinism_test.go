@@ -1,0 +1,62 @@
+package disparity_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"runtime"
+	"testing"
+
+	disparity "repro"
+	"repro/internal/timeu"
+)
+
+// TestSimulateDeterministic pins the simulator's reproducibility
+// contract: the same SimConfig.Seed yields a byte-identical SimResult —
+// including the Channels order and Overruns — across repeated runs and
+// regardless of GOMAXPROCS (the engine is single-goroutine; the
+// parallelism settings of the surrounding process must not leak in).
+// The JSON encoding is the byte-level witness: maps marshal with sorted
+// keys, so any drift in any field changes the bytes.
+func TestSimulateDeterministic(t *testing.T) {
+	g, err := disparity.GenerateGNM(20, 40, disparity.GenConfig{Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	disparity.RandomOffsets(g, 3)
+	cfg := disparity.SimConfig{
+		Horizon: 2 * timeu.Second,
+		Warmup:  200 * timeu.Millisecond,
+		Exec:    disparity.ExecExtremes,
+		Seed:    1234,
+	}
+	encode := func() []byte {
+		t.Helper()
+		res, err := disparity.Simulate(g, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Jobs == 0 || len(res.Channels) == 0 {
+			t.Fatalf("degenerate run: %+v", res)
+		}
+		b, err := json.Marshal(res)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return b
+	}
+
+	prev := runtime.GOMAXPROCS(1)
+	defer runtime.GOMAXPROCS(prev)
+	want := encode()
+	for run := 0; run < 3; run++ {
+		if got := encode(); !bytes.Equal(got, want) {
+			t.Fatalf("run %d at GOMAXPROCS=1 diverged:\n%s\nvs\n%s", run, got, want)
+		}
+	}
+	runtime.GOMAXPROCS(8)
+	for run := 0; run < 3; run++ {
+		if got := encode(); !bytes.Equal(got, want) {
+			t.Fatalf("run %d at GOMAXPROCS=8 diverged:\n%s\nvs\n%s", run, got, want)
+		}
+	}
+}

@@ -115,6 +115,27 @@ func (a *Analyzer) WCBT(pi model.Chain) timeu.Time {
 	return a.wcbtDirect(pi)
 }
 
+// directBoundsLen is the chain length at or below which Bounds skips
+// the memo: both bounds of a short chain are a handful of array
+// lookups and adds, cheaper than building the intern key and taking
+// the read lock. Interning only pays off once the per-hop sum is
+// longer than the probe. Either path returns the exact same integers
+// (the memo stores wcbtDirect/bcbtDirect results verbatim).
+const directBoundsLen = 8
+
+// Bounds returns (𝒲(π), ℬ(π)) together. Pair bounds always need both
+// ends of the window, and fetching them in one call shares the memo key
+// and lock round-trip that separate WCBT + BCBT calls would each pay —
+// the memo probes were a measurable slice of sweep profiles. The values
+// are identical to WCBT(pi) and BCBT(pi).
+func (a *Analyzer) Bounds(pi model.Chain) (wcbt, bcbt timeu.Time) {
+	a.mustUniform(pi)
+	if a.memo != nil && pi.Len() > directBoundsLen {
+		return a.boundsMemo(pi)
+	}
+	return a.wcbtDirect(pi), a.bcbtDirect(pi)
+}
+
 // wcbtDirect is the uninterned Lemma-4 sum; the memo stores its results
 // verbatim, which is what makes cached bounds bit-identical.
 func (a *Analyzer) wcbtDirect(pi model.Chain) timeu.Time {

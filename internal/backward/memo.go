@@ -83,6 +83,42 @@ func (a *Analyzer) wcbtMemo(pi model.Chain) timeu.Time {
 	return v
 }
 
+// boundsMemo probes both tables with one key and one lock round-trip —
+// the batched form behind Analyzer.Bounds. Hits and misses tally per
+// table, so the cache.backward.* metrics stay comparable with the
+// single-bound paths.
+func (a *Analyzer) boundsMemo(pi model.Chain) (wcbt, bcbt timeu.Time) {
+	var arr [memoScratch]byte
+	key := chains.AppendKey(arr[:0], pi)
+	m := a.memo
+	m.mu.RLock()
+	w, wok := m.wcbt[string(key)]
+	b, bok := m.bcbt[string(key)]
+	m.mu.RUnlock()
+	if wok && bok {
+		memoHits.Add(2)
+		return w, b
+	}
+	if wok {
+		memoHits.Inc()
+	} else {
+		memoMisses.Inc()
+		w = a.wcbtDirect(pi)
+	}
+	if bok {
+		memoHits.Inc()
+	} else {
+		memoMisses.Inc()
+		b = a.bcbtDirect(pi)
+	}
+	ks := string(key)
+	m.mu.Lock()
+	m.wcbt[ks] = w
+	m.bcbt[ks] = b
+	m.mu.Unlock()
+	return w, b
+}
+
 func (a *Analyzer) bcbtMemo(pi model.Chain) timeu.Time {
 	var arr [memoScratch]byte
 	key := chains.AppendKey(arr[:0], pi)

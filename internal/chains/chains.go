@@ -141,42 +141,61 @@ func Decompose(lambda, nu model.Chain) (*Decomposition, error) {
 	}
 	d := &Decomposition{SameHead: lambda.Head() == nu.Head()}
 
-	inNu := make(map[model.TaskID]int, nu.Len())
-	for i, id := range nu {
-		inNu[id] = i
-	}
 	// Collect common tasks in λ order; skip a shared head position 0.
+	// Membership in ν is checked by scanning ν directly: chains are short
+	// (a path can't be longer than the task count) and the analysis calls
+	// Decompose once per chain pair per graph, so a per-call lookup map
+	// costs more to build and collect than the quadratic scan it avoids —
+	// Decompose was the single largest allocation site of the Fig. 6
+	// sweeps. The index buffers live on the stack for chains up to 32
+	// common tasks and spill to the heap beyond that, which is correct,
+	// merely slower.
 	prevNuIdx := -1
 	start := 0
 	if d.SameHead {
 		start = 1
 		prevNuIdx = 0
 	}
-	var laIdx []int
-	var nuIdx []int
+	var laArr, nuArr [32]int32
+	laIdx, nuIdx := laArr[:0], nuArr[:0]
 	for i := start; i < lambda.Len(); i++ {
-		j, ok := inNu[lambda[i]]
-		if !ok {
+		// Last occurrence, matching the index map this scan replaced
+		// (duplicates cannot occur on a DAG path; on malformed input the
+		// behavior stays identical).
+		j := -1
+		for k := nu.Len() - 1; k >= 0; k-- {
+			if nu[k] == lambda[i] {
+				j = k
+				break
+			}
+		}
+		if j < 0 {
 			continue
 		}
 		if j <= prevNuIdx {
 			return nil, fmt.Errorf("chains: common tasks out of order (graph not a DAG?)")
 		}
-		d.Common = append(d.Common, lambda[i])
-		laIdx = append(laIdx, i)
-		nuIdx = append(nuIdx, j)
+		laIdx = append(laIdx, int32(i))
+		nuIdx = append(nuIdx, int32(j))
 		prevNuIdx = j
 	}
-	if len(d.Common) == 0 || d.Common[len(d.Common)-1] != lambda.Tail() {
+	c := len(laIdx)
+	if c == 0 || lambda[laIdx[c-1]] != lambda.Tail() {
 		// The tail is on both chains by precondition, so this cannot
 		// happen; keep the check as an internal invariant.
 		return nil, fmt.Errorf("chains: internal error: tail not in common set")
 	}
-	// Slice out α_i and β_i.
-	prevLa, prevNu := 0, 0
-	for k := range d.Common {
-		d.Alpha = append(d.Alpha, lambda.Sub(prevLa, laIdx[k]))
-		d.Beta = append(d.Beta, nu.Sub(prevNu, nuIdx[k]))
+	// Slice out α_i and β_i. Common and the two sub-chain lists are cut
+	// from single exact-size allocations; the sub-chains themselves alias
+	// the input chains (Chain.Sub shares backing).
+	d.Common = make([]model.TaskID, c)
+	ab := make([]model.Chain, 2*c)
+	d.Alpha, d.Beta = ab[:c:c], ab[c:]
+	prevLa, prevNu := int32(0), int32(0)
+	for k := 0; k < c; k++ {
+		d.Common[k] = lambda[laIdx[k]]
+		d.Alpha[k] = lambda.Sub(int(prevLa), int(laIdx[k]))
+		d.Beta[k] = nu.Sub(int(prevNu), int(nuIdx[k]))
 		prevLa, prevNu = laIdx[k], nuIdx[k]
 	}
 	return d, nil

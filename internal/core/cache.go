@@ -34,18 +34,16 @@ import (
 )
 
 var (
-	cacheSchedHits    = metrics.C("cache.sched.hits")
-	cacheSchedMisses  = metrics.C("cache.sched.misses")
-	cacheEnumHits     = metrics.C("cache.enum.hits")
-	cacheEnumMisses   = metrics.C("cache.enum.misses")
-	cacheDecompHits   = metrics.C("cache.decomp.hits")
-	cacheDecompMisses = metrics.C("cache.decomp.misses")
-	cachePairHits     = metrics.C("cache.pair.hits")
-	cachePairMisses   = metrics.C("cache.pair.misses")
-	cacheTaskHits     = metrics.C("cache.task.hits")
-	cacheTaskMisses   = metrics.C("cache.task.misses")
-	cachePairsSeeded  = metrics.C("cache.pairs.seeded")
-	pairsBounded      = metrics.C("core.pairs.bounded")
+	cacheSchedHits   = metrics.C("cache.sched.hits")
+	cacheSchedMisses = metrics.C("cache.sched.misses")
+	cacheEnumHits    = metrics.C("cache.enum.hits")
+	cacheEnumMisses  = metrics.C("cache.enum.misses")
+	cachePairHits    = metrics.C("cache.pair.hits")
+	cachePairMisses  = metrics.C("cache.pair.misses")
+	cacheTaskHits    = metrics.C("cache.task.hits")
+	cacheTaskMisses  = metrics.C("cache.task.misses")
+	cachePairsSeeded = metrics.C("cache.pairs.seeded")
+	pairsBounded     = metrics.C("core.pairs.bounded")
 )
 
 // keyScratch sizes the stack buffers for pair-key building; longer keys
@@ -72,9 +70,6 @@ type AnalysisCache struct {
 	memo map[backward.Method]*backward.Memo
 	// enum interns chain enumerations per (task, effective cap).
 	enum map[enumKey][]model.Chain
-	// decomp interns Theorem-2 decompositions per ordered pair
-	// (chains.AppendPairKey of the pair).
-	decomp map[string]*chains.Decomposition
 	// pair interns pairwise bounds per ordered pair, one table per
 	// method (indexed by PDiff / SDiff).
 	pair [2]map[string]*PairBound
@@ -93,16 +88,19 @@ type taskKey struct {
 	max    int
 }
 
-// NewAnalysisCache returns an empty cache for one graph.
+// NewAnalysisCache returns an empty cache for one graph. The pair
+// tables are pre-sized for a typical sweep graph (hundreds of chain
+// pairs at the sink): a task-level analysis inserts one entry per
+// ordered pair in quick succession, and growing the tables through
+// incremental rehashing was a measurable share of the Fig. 6 sweeps.
 func NewAnalysisCache() *AnalysisCache {
 	return &AnalysisCache{
-		sched:  make(map[sched.Policy]*sched.Result),
-		memo:   make(map[backward.Method]*backward.Memo),
-		enum:   make(map[enumKey][]model.Chain),
-		decomp: make(map[string]*chains.Decomposition),
+		sched: make(map[sched.Policy]*sched.Result),
+		memo:  make(map[backward.Method]*backward.Memo),
+		enum:  make(map[enumKey][]model.Chain),
 		pair: [2]map[string]*PairBound{
-			PDiff: make(map[string]*PairBound),
-			SDiff: make(map[string]*PairBound),
+			PDiff: make(map[string]*PairBound, 512),
+			SDiff: make(map[string]*PairBound, 512),
 		},
 		task: make(map[taskKey]*TaskDisparity),
 	}
@@ -195,28 +193,6 @@ func (c *AnalysisCache) enumerate(g *model.Graph, task model.TaskID, maxChains i
 	return ps, nil
 }
 
-// decompose is the caching counterpart of chains.Decompose.
-func (c *AnalysisCache) decompose(lambda, nu model.Chain) (*chains.Decomposition, error) {
-	var arr [keyScratch]byte
-	key := chains.AppendPairKey(arr[:0], lambda, nu)
-	c.mu.RLock()
-	d, ok := c.decomp[string(key)]
-	c.mu.RUnlock()
-	if ok {
-		cacheDecompHits.Inc()
-		return d, nil
-	}
-	cacheDecompMisses.Inc()
-	d, err := chains.Decompose(lambda, nu)
-	if err != nil {
-		return nil, err
-	}
-	c.mu.Lock()
-	c.decomp[string(key)] = d
-	c.mu.Unlock()
-	return d, nil
-}
-
 // pairBound returns the interned bound for (method, lambda, nu), or
 // computes and interns it via compute. Callers must treat the returned
 // PairBound as immutable — it is shared.
@@ -284,8 +260,9 @@ func chainUsesEdge(c model.Chain, from, to model.TaskID) bool {
 //   - the WCRT fixed point: buffer capacities never enter the
 //     response-time analysis (package sched reads WCET, priority, and
 //     ECU assignment only);
-//   - chain enumerations and Theorem-2 decompositions: pure functions
-//     of the graph's topology, which a capacity change preserves;
+//   - chain enumerations: pure functions of the graph's topology, which
+//     a capacity change preserves (Theorem-2 decompositions are not
+//     interned at all — see pairTheorem2);
 //   - pairwise bounds whose two chains do not traverse the modified
 //     edge: a pair bound reads the graph only through the backward
 //     bounds of its own chains (whose Lemma-6 shift terms touch only
@@ -309,9 +286,6 @@ func (c *AnalysisCache) seedForBufferChange(src *AnalysisCache, from, to model.T
 	}
 	for key, ps := range src.enum {
 		c.enum[key] = ps
-	}
-	for key, d := range src.decomp {
-		c.decomp[key] = d
 	}
 	for m, tbl := range src.pair {
 		for key, pb := range tbl {

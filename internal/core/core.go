@@ -176,8 +176,8 @@ func (a *Analysis) pairTheorem1(lambda, nu model.Chain) (*PairBound, error) {
 		return nil, err
 	}
 	pairsBounded.Inc()
-	wl, bl := a.bw.WCBT(lambda), a.bw.BCBT(lambda)
-	wn, bn := a.bw.WCBT(nu), a.bw.BCBT(nu)
+	wl, bl := a.bw.Bounds(lambda)
+	wn, bn := a.bw.Bounds(nu)
 	o := timeu.Max(timeu.Abs(wl-bn), timeu.Abs(wn-bl))
 	pb := &PairBound{
 		Lambda: lambda, Nu: nu,
@@ -202,15 +202,12 @@ func (a *Analysis) pairTheorem2(lambda, nu model.Chain) (*PairBound, error) {
 	if err := checkPair(lambda, nu); err != nil {
 		return nil, err
 	}
-	var (
-		d   *chains.Decomposition
-		err error
-	)
-	if a.cache != nil {
-		d, err = a.cache.decompose(lambda, nu)
-	} else {
-		d, err = chains.Decompose(lambda, nu)
-	}
+	// Decompositions are deliberately not interned: the pair bound built
+	// from one IS cached (pairBound), so each decomposition is needed at
+	// most once per (graph, pair) and an intern table would only ever
+	// miss — pure key-building and map-growth overhead on the sweep's
+	// hottest analysis path. chains.Decompose itself is allocation-lean.
+	d, err := chains.Decompose(lambda, nu)
 	if err != nil {
 		return nil, err
 	}
@@ -234,8 +231,8 @@ func (a *Analysis) pairTheorem2(lambda, nu model.Chain) (*PairBound, error) {
 	// Lemma 3 on (α₁, β₁): the job of o₁ in ⃖ν is the k-th job released
 	// after the one in ⃖λ with x₁ ≤ k ≤ y₁.
 	to1 := a.g.Task(d.Common[0]).Period
-	wa, ba := a.bw.WCBT(d.Alpha[0]), a.bw.BCBT(d.Alpha[0])
-	wb, bb := a.bw.WCBT(d.Beta[0]), a.bw.BCBT(d.Beta[0])
+	wa, ba := a.bw.Bounds(d.Alpha[0])
+	wb, bb := a.bw.Bounds(d.Beta[0])
 	o := timeu.Max(
 		timeu.Abs(wb-ba-timeu.Time(x1)*to1),
 		timeu.Abs(bb-wa-timeu.Time(y1)*to1),
@@ -265,8 +262,10 @@ func (a *Analysis) alignment(d *chains.Decomposition) (x1, y1 int64, err error) 
 		toJ := a.g.Task(d.Common[j-1]).Period // T(o_j), 1-based o_j = Common[j-1]
 		toJ1 := a.g.Task(d.Common[j]).Period  // T(o_{j+1})
 		alpha, beta := d.Alpha[j], d.Beta[j]  // α_{j+1}, β_{j+1} (0-based index j)
-		nx := timeu.CeilDiv(a.bw.BCBT(alpha)-a.bw.WCBT(beta)+timeu.Time(x)*toJ1, toJ)
-		ny := timeu.FloorDiv(a.bw.WCBT(alpha)-a.bw.BCBT(beta)+timeu.Time(y)*toJ1, toJ)
+		wa, ba := a.bw.Bounds(alpha)
+		wb, bb := a.bw.Bounds(beta)
+		nx := timeu.CeilDiv(ba-wb+timeu.Time(x)*toJ1, toJ)
+		ny := timeu.FloorDiv(wa-bb+timeu.Time(y)*toJ1, toJ)
 		x, y = nx, ny
 		if x > y {
 			// The windows admit no multiple of T(o_j); with sound WCBT/BCBT

@@ -22,6 +22,7 @@ import (
 var (
 	graphsGenerated = metrics.C("exp.graphs.generated")
 	graphsUsed      = metrics.C("exp.graphs.used")
+	simJobs         = metrics.C("exp.sim.jobs")
 	genTimer        = metrics.T("exp.stage.generate")
 	analysisTimer   = metrics.T("exp.stage.analysis")
 	simTimer        = metrics.T("exp.stage.simulate")
@@ -372,11 +373,19 @@ func evalGNMGraph(ctx context.Context, cfg Config, n, pi, gi int) (graphResult, 
 
 // simulateMaxDisparity runs cfg.OffsetsPerGraph simulations with fresh
 // random offsets and returns the maximum observed disparity of the task.
+// One sim.Engine is built per graph and reused across the offset runs —
+// the engine re-reads offsets and resets its pools per Run, so the
+// per-graph setup (channel topology, origin indexing) and the pools'
+// steady-state populations are amortized over the whole sweep.
 // A simulator validation failure is a programming error upstream; it is
 // returned (not swallowed) so the sweep aborts loudly instead of skewing
 // results silently.
 func simulateMaxDisparity(ctx context.Context, cfg Config, g *model.Graph, task model.TaskID, rng *rand.Rand) (timeu.Time, error) {
 	defer simTimer.Start()()
+	eng, err := sim.NewEngine(g)
+	if err != nil {
+		return 0, fmt.Errorf("exp: simulation of task %s's graph failed: %w", g.Task(task).Name, err)
+	}
 	var worst timeu.Time
 	for run := 0; run < cfg.OffsetsPerGraph; run++ {
 		if err := ctx.Err(); err != nil {
@@ -384,14 +393,16 @@ func simulateMaxDisparity(ctx context.Context, cfg Config, g *model.Graph, task 
 		}
 		waters.RandomOffsets(g, rng)
 		obs := sim.NewDisparityObserver(cfg.Warmup, task)
-		if _, err := sim.Run(g, sim.Config{
+		stats, err := eng.Run(sim.Config{
 			Horizon:   cfg.Horizon,
 			Exec:      cfg.Exec,
 			Seed:      rng.Int63(),
 			Observers: []sim.Observer{obs},
-		}); err != nil {
+		})
+		if err != nil {
 			return 0, fmt.Errorf("exp: simulation of task %s's graph failed: %w", g.Task(task).Name, err)
 		}
+		simJobs.Add(stats.Jobs)
 		worst = timeu.Max(worst, obs.Max(task))
 	}
 	return worst, nil

@@ -1,0 +1,85 @@
+package integration
+
+import (
+	"math/rand"
+	"reflect"
+	"runtime"
+	"testing"
+
+	disparity "repro"
+	"repro/internal/model"
+	"repro/internal/sim"
+	"repro/internal/timeu"
+)
+
+// TestSimResultDeterminism pins the simulator's reproducibility
+// contract: the same SimConfig.Seed yields a byte-identical SimResult —
+// including the Channels slice (whose order is the graph's edge order),
+// Overruns, and every disparity value — across repeated runs, across
+// engine reuse (the pools carry state between runs and must reset
+// fully), and independent of GOMAXPROCS. The engine itself is
+// single-goroutine, so the GOMAXPROCS sweep guards against someone
+// adding scheduling-dependent behavior later; run under -race (make
+// race) it also proves the runs share no mutable state.
+func TestSimResultDeterminism(t *testing.T) {
+	rng := rand.New(rand.NewSource(2026))
+	g := genWaters(t, rng, 20)
+	cfg := disparity.SimConfig{
+		Horizon: 2 * timeu.Second,
+		Warmup:  100 * timeu.Millisecond,
+		Exec:    sim.UniformExec{},
+		Seed:    99,
+	}
+
+	ref, err := disparity.Simulate(g, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ref.Jobs == 0 || len(ref.Channels) == 0 {
+		t.Fatalf("degenerate reference run: %d jobs, %d channels", ref.Jobs, len(ref.Channels))
+	}
+
+	defer runtime.GOMAXPROCS(runtime.GOMAXPROCS(0))
+	for _, procs := range []int{1, 8} {
+		runtime.GOMAXPROCS(procs)
+		for rep := 0; rep < 3; rep++ {
+			got, err := disparity.Simulate(g, cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(got, ref) {
+				t.Fatalf("GOMAXPROCS=%d rep %d: SimResult diverged from first run\ngot:  %+v\nwant: %+v",
+					procs, rep, got, ref)
+			}
+		}
+	}
+}
+
+// TestSimResultDeterminismLET repeats the contract under LET semantics,
+// whose publish-at-deadline path exercises the logical-job half of the
+// pooling rules.
+func TestSimResultDeterminismLET(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	g := genWaters(t, rng, 15)
+	for i := 0; i < g.NumTasks(); i++ {
+		g.Task(model.TaskID(i)).Sem = model.LET
+	}
+	cfg := disparity.SimConfig{
+		Horizon: 2 * timeu.Second,
+		Exec:    sim.ExtremesExec{P: 0.5},
+		Seed:    7,
+	}
+	ref, err := disparity.Simulate(g, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for rep := 0; rep < 3; rep++ {
+		got, err := disparity.Simulate(g, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(got, ref) {
+			t.Fatalf("rep %d: LET SimResult diverged\ngot:  %+v\nwant: %+v", rep, got, ref)
+		}
+	}
+}

@@ -1,0 +1,79 @@
+package integration
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/model"
+	"repro/internal/randgraph"
+	"repro/internal/sched"
+	"repro/internal/sim"
+	"repro/internal/timeu"
+	"repro/internal/waters"
+)
+
+// benchWorkload builds the fixed 25-task schedulable WATERS workload
+// both engine benchmarks share, so BenchmarkPooledEngine and
+// BenchmarkReferenceEngine measure the same event sequence. Running
+// the pair in one `go test -bench 'Engine$'` invocation gives a
+// same-machine, same-noise before/after comparison of the engine
+// rewrite (RunReference preserves the pre-rewrite implementation).
+func benchWorkload(b *testing.B) *model.Graph {
+	b.Helper()
+	rng := rand.New(rand.NewSource(7))
+	for attempt := 0; attempt < 50; attempt++ {
+		g, err := randgraph.GNM(25, 50, randgraph.DefaultConfig(), rng)
+		if err != nil {
+			b.Fatal(err)
+		}
+		waters.Populate(g, rng)
+		if res := sched.Analyze(g, sched.NonPreemptiveFP); res.Schedulable {
+			waters.RandomOffsets(g, rng)
+			return g
+		}
+	}
+	b.Fatal("could not generate a schedulable workload in 50 attempts")
+	return nil
+}
+
+func benchCfg() sim.Config {
+	return sim.Config{
+		Horizon: 2 * timeu.Second,
+		Exec:    sim.ExtremesExec{P: 0.5},
+		Seed:    42,
+	}
+}
+
+func BenchmarkPooledEngine(b *testing.B) {
+	g := benchWorkload(b)
+	var jobs int64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		stats, err := sim.Run(g, benchCfg())
+		if err != nil {
+			b.Fatal(err)
+		}
+		jobs += stats.Jobs
+	}
+	b.StopTimer()
+	if secs := b.Elapsed().Seconds(); secs > 0 {
+		b.ReportMetric(float64(jobs)/secs, "jobs/s")
+	}
+}
+
+func BenchmarkReferenceEngine(b *testing.B) {
+	g := benchWorkload(b)
+	var jobs int64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		stats, err := sim.RunReference(g, benchCfg())
+		if err != nil {
+			b.Fatal(err)
+		}
+		jobs += stats.Jobs
+	}
+	b.StopTimer()
+	if secs := b.Elapsed().Seconds(); secs > 0 {
+		b.ReportMetric(float64(jobs)/secs, "jobs/s")
+	}
+}

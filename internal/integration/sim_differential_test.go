@@ -1,0 +1,184 @@
+package integration
+
+import (
+	"fmt"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"repro/internal/model"
+	"repro/internal/sim"
+	"repro/internal/timeu"
+	"repro/internal/waters"
+)
+
+// The pooled simulation engine (sim.Run / sim.Engine) rewrites the seed
+// engine's hot path: value-typed 4-ary heaps instead of container/heap,
+// a release calendar instead of heap-resident release events, pooled
+// jobs and tokens, and flat origin-indexed stamp merging instead of the
+// sorted k-way merge. None of that may change observable behavior. The
+// tests here run both engines on the same seeded workloads and demand
+// bit-identical Stats (including per-channel counters) and identical
+// observer call sequences with identical field values — the strongest
+// equivalence an observer-based consumer could detect.
+
+// simTraceObserver records every release, start, and finish with all
+// job fields and the token's stamps rendered to strings. Values are
+// captured during the callback because jobs and tokens are pooled.
+type simTraceObserver struct {
+	lines []string
+}
+
+func (o *simTraceObserver) JobReleased(task model.TaskID, k int64, release timeu.Time) {
+	o.lines = append(o.lines, fmt.Sprintf("R %d %d %d", task, k, release))
+}
+
+func (o *simTraceObserver) JobStarted(j *sim.Job) {
+	out := "-"
+	if j.Out != nil {
+		out = j.Out.String()
+	}
+	o.lines = append(o.lines, fmt.Sprintf("S %d %d %d %d %d %s", j.Task, j.K, j.Release, j.Start, j.EmptyInputs, out))
+}
+
+func (o *simTraceObserver) JobFinished(j *sim.Job) {
+	o.lines = append(o.lines, fmt.Sprintf("F %d %d %d %d %d %d %s", j.Task, j.K, j.Release, j.Start, j.Finish, j.EmptyInputs, j.Out.String()))
+}
+
+// diffWorkload builds one corpus entry: sizes, semantics, buffering and
+// sporadic-ness vary with the trial index so the sweep crosses every
+// engine code path (LET publish queues, channel eviction, sporadic rng
+// draws, multi-ECU dispatch, zero-ish execution times).
+func diffWorkload(t *testing.T, rng *rand.Rand, trial int) *model.Graph {
+	t.Helper()
+	g := genWaters(t, rng, 6+rng.Intn(14))
+	waters.RandomOffsets(g, rng)
+	switch {
+	case trial%5 == 1:
+		for i := 0; i < g.NumTasks(); i++ {
+			task := g.Task(model.TaskID(i))
+			if task.ECU != model.NoECU {
+				task.Sem = model.LET
+			}
+		}
+	case trial%5 == 3:
+		// Mixed semantics: every other scheduled task uses LET.
+		for i := 0; i < g.NumTasks(); i += 2 {
+			task := g.Task(model.TaskID(i))
+			if task.ECU != model.NoECU {
+				task.Sem = model.LET
+			}
+		}
+	}
+	if trial%7 == 2 {
+		for _, edge := range g.Edges() {
+			if err := g.SetBuffer(edge.Src, edge.Dst, 1+rng.Intn(3)); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	if trial%6 == 4 {
+		for i := 0; i < g.NumTasks(); i++ {
+			task := g.Task(model.TaskID(i))
+			if task.ECU == model.NoECU {
+				task.MaxPeriod = task.Period * 2
+			}
+		}
+	}
+	return g
+}
+
+// TestPooledEngineMatchesReference is the differential harness of the
+// engine rewrite: across ≥200 seeded WATERS workloads and every exec
+// model, the pooled engine and the preserved reference engine must
+// produce identical Stats and identical observer traces.
+func TestPooledEngineMatchesReference(t *testing.T) {
+	const trials = 200
+	horizon := simHorizon / 2
+	if testing.Short() {
+		horizon = timeu.Second
+	}
+	rng := rand.New(rand.NewSource(2024))
+	for trial := 0; trial < trials; trial++ {
+		g := diffWorkload(t, rng, trial)
+		cfg := sim.Config{
+			Horizon: horizon,
+			Exec:    execModels[trial%len(execModels)],
+			Seed:    rng.Int63(),
+		}
+
+		fastObs, refObs := &simTraceObserver{}, &simTraceObserver{}
+		fastCfg := cfg
+		fastCfg.Observers = []sim.Observer{fastObs}
+		refCfg := cfg
+		refCfg.Observers = []sim.Observer{refObs}
+
+		fast, err := sim.Run(g, fastCfg)
+		if err != nil {
+			t.Fatalf("trial %d: pooled engine: %v", trial, err)
+		}
+		ref, err := sim.RunReference(g, refCfg)
+		if err != nil {
+			t.Fatalf("trial %d: reference engine: %v", trial, err)
+		}
+
+		if !reflect.DeepEqual(fast, ref) {
+			t.Fatalf("trial %d (exec %s): stats diverge\npooled:    %+v\nreference: %+v",
+				trial, cfg.Exec.Name(), fast, ref)
+		}
+		if len(fastObs.lines) != len(refObs.lines) {
+			t.Fatalf("trial %d: trace lengths diverge: pooled %d vs reference %d",
+				trial, len(fastObs.lines), len(refObs.lines))
+		}
+		for i := range fastObs.lines {
+			if fastObs.lines[i] != refObs.lines[i] {
+				t.Fatalf("trial %d: traces diverge at event %d:\npooled:    %s\nreference: %s",
+					trial, i, fastObs.lines[i], refObs.lines[i])
+			}
+		}
+	}
+}
+
+// TestEngineReuseMatchesFreshRuns checks the Engine reuse API that
+// internal/exp's offset sweeps rely on: one Engine Run N times — with
+// offsets re-randomized between runs — must equal N fresh reference
+// runs on the same graph states.
+func TestEngineReuseMatchesFreshRuns(t *testing.T) {
+	rng := rand.New(rand.NewSource(77))
+	for trial := 0; trial < 10; trial++ {
+		g := diffWorkload(t, rng, trial)
+		eng, err := sim.NewEngine(g)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for run := 0; run < 5; run++ {
+			waters.RandomOffsets(g, rng)
+			cfg := sim.Config{
+				Horizon: timeu.Second,
+				Exec:    execModels[(trial+run)%len(execModels)],
+				Seed:    rng.Int63(),
+			}
+			fastObs, refObs := &simTraceObserver{}, &simTraceObserver{}
+			fastCfg := cfg
+			fastCfg.Observers = []sim.Observer{fastObs}
+			refCfg := cfg
+			refCfg.Observers = []sim.Observer{refObs}
+
+			fast, err := eng.Run(fastCfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			ref, err := sim.RunReference(g, refCfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(fast, ref) {
+				t.Fatalf("trial %d run %d: reused engine diverges from fresh reference\npooled:    %+v\nreference: %+v",
+					trial, run, fast, ref)
+			}
+			if !reflect.DeepEqual(fastObs.lines, refObs.lines) {
+				t.Fatalf("trial %d run %d: traces diverge", trial, run)
+			}
+		}
+	}
+}

@@ -1,7 +1,6 @@
 package sim
 
 import (
-	"container/heap"
 	"fmt"
 	"math/rand"
 
@@ -31,7 +30,8 @@ type Job struct {
 }
 
 // Observer is notified as the simulation progresses. Implementations
-// must not retain Job pointers beyond the call (jobs are pooled).
+// must not retain Job or Token pointers beyond the call — both are
+// pooled and recycled as soon as the callback returns.
 type Observer interface {
 	JobFinished(j *Job)
 }
@@ -102,73 +102,68 @@ type event struct {
 	ecu  model.ECUID
 }
 
-type eventHeap []event
-
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].time != h[j].time {
-		return h[i].time < h[j].time
-	}
-	if h[i].kind != h[j].kind {
-		return h[i].kind < h[j].kind
-	}
-	return h[i].seq < h[j].seq
-}
-func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
-func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(event)) }
-func (h *eventHeap) Pop() interface{} {
-	old := *h
-	n := len(old)
-	x := old[n-1]
-	*h = old[:n-1]
-	return x
-}
-
-// readyHeap orders pending jobs of one ECU by (priority, release, task,
-// job index).
+// readyJob is one pending job in an ECU's ready queue.
 type readyJob struct {
 	job  *Job
 	prio int
 }
 
-type readyHeap []readyJob
-
-func (h readyHeap) Len() int { return len(h) }
-func (h readyHeap) Less(i, j int) bool {
-	a, b := h[i], h[j]
-	if a.prio != b.prio {
-		return a.prio < b.prio
-	}
-	if a.job.Release != b.job.Release {
-		return a.job.Release < b.job.Release
-	}
-	if a.job.Task != b.job.Task {
-		return a.job.Task < b.job.Task
-	}
-	return a.job.K < b.job.K
-}
-func (h readyHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
-func (h *readyHeap) Push(x interface{}) { *h = append(*h, x.(readyJob)) }
-func (h *readyHeap) Pop() interface{} {
-	old := *h
-	n := len(old)
-	x := old[n-1]
-	*h = old[:n-1]
-	return x
-}
-
 type ecuState struct {
 	running *Job
-	ready   readyHeap
+	ready   readyHeap4
 }
 
-type engine struct {
+// pendingPublish is a fully-formed LET job awaiting its publish instant.
+type pendingPublish struct {
+	job Job
+}
+
+// pubFIFO queues a LET task's pending publishes. Publishes fire in
+// release order, so a head index suffices; draining the queue resets
+// the slice in place, keeping the steady state allocation-free.
+type pubFIFO struct {
+	slots []pendingPublish
+	head  int
+}
+
+// taskInfo flattens the per-task parameters the event loop touches on
+// every release into one cache-friendly record, avoiding the pointer
+// chase into model.Graph per event. Offsets are deliberately absent:
+// they are re-read from the graph at every Run so callers can
+// re-randomize them between runs.
+type taskInfo struct {
+	period timeu.Time
+	// sporadicSpan is MaxPeriod−Period+1 for sporadic tasks (the width
+	// of the uniform inter-arrival draw), 0 for strictly periodic ones.
+	sporadicSpan int64
+	prio         int
+	ecu          model.ECUID
+	let          bool
+	stimulus     bool // ECU == NoECU: publishes instantly at release
+	isSource     bool
+}
+
+// Engine is a reusable simulator instance for one task graph. NewEngine
+// performs the per-graph setup (channel topology, origin indexing, pool
+// priming); Run resets the dynamic state and simulates one configured
+// horizon, so sweeps that simulate the same graph many times — e.g.
+// internal/exp's OffsetsPerGraph loop — amortize the setup and reuse
+// the pools' steady-state populations across runs. Task offsets are
+// re-read from the graph at each Run, so callers may re-randomize them
+// between runs.
+//
+// An Engine is single-goroutine: one Run at a time.
+type Engine struct {
 	g   *model.Graph
 	cfg Config
 	rng *rand.Rand
 
-	events eventHeap
-	seq    int64
+	// events holds only finish and LET-publish events — O(ECUs + LET
+	// tasks) live entries. Releases, which the reference engine also
+	// keeps here, live in the releases calendar (one entry per task).
+	events   eventHeap4
+	releases releaseQueue
+	seq      int64
 
 	ecus []ecuState
 	// chans lists all channels in edge order; ins and outs index them
@@ -181,41 +176,149 @@ type engine struct {
 	nextK        []int64
 	// pubQueue holds, per LET task, the tokens awaiting their publish
 	// instants (FIFO: publish events fire in release order).
-	pubQueue [][]pendingPublish
+	pubQueue []pubFIFO
 
 	// startObs and relObs are the observers that implement the optional
-	// extension interfaces, resolved once at construction; release and
-	// dispatch are per-event hot paths and must not repeat the type
-	// assertions there.
+	// extension interfaces, resolved once per Run; release and dispatch
+	// are per-event hot paths and must not repeat the type assertions
+	// there.
 	startObs []StartObserver
 	relObs   []ReleaseObserver
+
+	jobs jobPool
+	toks tokenPool
+
+	// info caches the static per-task parameters the hot path reads on
+	// every event (see taskInfo).
+	info []taskInfo
+
+	// Flat stamp-merge scratch, indexed by origin slot. origins lists
+	// the tasks that can ever appear in a stamp (external stimuli and
+	// sources) in ascending task order; originIdx maps task ID → origin
+	// slot. Token assembly marks slots seen this merge with a fresh
+	// epoch value instead of clearing the arrays.
+	origins   []model.TaskID
+	originIdx []int32
+	minT      []timeu.Time
+	maxT      []timeu.Time
+	epoch     []uint64
+	curEpoch  uint64
 
 	stats Stats
 }
 
-// Run simulates the graph for cfg.Horizon of simulated time and returns
-// aggregate statistics. Observers in cfg collect everything else.
-func Run(g *model.Graph, cfg Config) (*Stats, error) {
+// NewEngine validates the graph and builds a reusable engine for it.
+func NewEngine(g *model.Graph) (*Engine, error) {
 	if err := g.Validate(); err != nil {
 		return nil, err
 	}
+	e := &Engine{
+		g:            g,
+		ecus:         make([]ecuState, g.NumECUs()),
+		ins:          make([][]*channel, g.NumTasks()),
+		outs:         make([][]*channel, g.NumTasks()),
+		pendingCount: make([]int, g.NumTasks()),
+		nextK:        make([]int64, g.NumTasks()),
+		pubQueue:     make([]pubFIFO, g.NumTasks()),
+		originIdx:    make([]int32, g.NumTasks()),
+		info:         make([]taskInfo, g.NumTasks()),
+	}
+	for i := range e.info {
+		t := g.Task(model.TaskID(i))
+		ti := &e.info[i]
+		ti.period = t.Period
+		if t.Sporadic() {
+			ti.sporadicSpan = int64(t.MaxPeriod-t.Period) + 1
+		}
+		ti.prio = t.Prio
+		ti.ecu = t.ECU
+		ti.let = t.Sem == model.LET
+		ti.stimulus = t.ECU == model.NoECU
+		ti.isSource = g.IsSource(model.TaskID(i))
+	}
+	for _, edge := range g.Edges() {
+		ch := newChannel(edge.Cap)
+		ch.pool = &e.toks
+		e.chans = append(e.chans, ch)
+		e.outs[edge.Src] = append(e.outs[edge.Src], ch)
+		e.ins[edge.Dst] = append(e.ins[edge.Dst], ch)
+	}
+	// Stamps are created only by external stimuli and source tasks, and
+	// merging never introduces new tasks, so these are the only task IDs
+	// a stamp can carry.
+	for i := 0; i < g.NumTasks(); i++ {
+		id := model.TaskID(i)
+		if g.Task(id).ECU == model.NoECU || g.IsSource(id) {
+			e.originIdx[i] = int32(len(e.origins))
+			e.origins = append(e.origins, id)
+		} else {
+			e.originIdx[i] = -1
+		}
+	}
+	e.minT = make([]timeu.Time, len(e.origins))
+	e.maxT = make([]timeu.Time, len(e.origins))
+	e.epoch = make([]uint64, len(e.origins))
+	return e, nil
+}
+
+// Run simulates the graph for cfg.Horizon of simulated time and returns
+// aggregate statistics. Observers in cfg collect everything else. The
+// returned Stats is a fresh value; it stays valid across further Runs.
+func (e *Engine) Run(cfg Config) (*Stats, error) {
 	if cfg.Horizon <= 0 {
 		return nil, fmt.Errorf("sim: non-positive horizon %v", cfg.Horizon)
 	}
 	if cfg.Exec == nil {
 		cfg.Exec = WCETExec{}
 	}
-	e := &engine{
-		g:            g,
-		cfg:          cfg,
-		rng:          rand.New(rand.NewSource(cfg.Seed)),
-		ecus:         make([]ecuState, g.NumECUs()),
-		ins:          make([][]*channel, g.NumTasks()),
-		outs:         make([][]*channel, g.NumTasks()),
-		pendingCount: make([]int, g.NumTasks()),
-		nextK:        make([]int64, g.NumTasks()),
-		pubQueue:     make([][]pendingPublish, g.NumTasks()),
+	e.reset(cfg)
+	e.loop()
+	stats := e.stats
+	stats.Channels = make([]ChannelStats, len(e.chans))
+	for i, ch := range e.chans {
+		stats.Channels[i] = ChannelStats{
+			Edge:   e.g.Edges()[i],
+			Writes: ch.writes,
+			Reads:  ch.reads,
+			Lost:   ch.lost,
+		}
 	}
+	return &stats, nil
+}
+
+// reset clears all dynamic state from a previous run and schedules the
+// initial releases from the graph's current offsets.
+func (e *Engine) reset(cfg Config) {
+	e.cfg = cfg
+	e.rng = rand.New(rand.NewSource(cfg.Seed))
+	e.stats = Stats{}
+	e.seq = 0
+	e.events.clear()
+	e.releases.clear()
+	for i := range e.ecus {
+		e.ecus[i].running = nil
+		e.ecus[i].ready.clear()
+	}
+	for _, ch := range e.chans {
+		ch.reset()
+	}
+	for i := range e.pendingCount {
+		e.pendingCount[i] = 0
+		e.nextK[i] = 0
+	}
+	for i := range e.pubQueue {
+		q := &e.pubQueue[i]
+		for k := q.head; k < len(q.slots); k++ {
+			if out := q.slots[k].job.Out; out != nil {
+				e.toks.release(out)
+				q.slots[k].job.Out = nil
+			}
+		}
+		q.slots = q.slots[:0]
+		q.head = 0
+	}
+	e.startObs = e.startObs[:0]
+	e.relObs = e.relObs[:0]
 	for _, obs := range cfg.Observers {
 		if so, ok := obs.(StartObserver); ok {
 			e.startObs = append(e.startObs, so)
@@ -224,88 +327,117 @@ func Run(g *model.Graph, cfg Config) (*Stats, error) {
 			e.relObs = append(e.relObs, ro)
 		}
 	}
-	for _, edge := range g.Edges() {
-		ch := newChannel(edge.Cap)
-		e.chans = append(e.chans, ch)
-		e.outs[edge.Src] = append(e.outs[edge.Src], ch)
-		e.ins[edge.Dst] = append(e.ins[edge.Dst], ch)
+	// Initial releases consume seq 0..N-1 in task order, exactly like
+	// the reference engine's initial event pushes.
+	for i := 0; i < e.g.NumTasks(); i++ {
+		t := e.g.Task(model.TaskID(i))
+		e.releases.push(relEntry{time: t.Offset, seq: e.seq, task: t.ID})
+		e.seq++
 	}
-	for i := 0; i < g.NumTasks(); i++ {
-		t := g.Task(model.TaskID(i))
-		e.push(event{time: t.Offset, kind: evRelease, task: t.ID})
-	}
-	e.loop()
-	for i, ch := range e.chans {
-		e.stats.Channels = append(e.stats.Channels, ChannelStats{
-			Edge:   g.Edges()[i],
-			Writes: ch.writes,
-			Reads:  ch.reads,
-			Lost:   ch.lost,
-		})
-	}
-	return &e.stats, nil
 }
 
-func (e *engine) push(ev event) {
+// Run simulates the graph for cfg.Horizon of simulated time and returns
+// aggregate statistics — the one-shot convenience form of NewEngine +
+// (*Engine).Run.
+func Run(g *model.Graph, cfg Config) (*Stats, error) {
+	e, err := NewEngine(g)
+	if err != nil {
+		return nil, err
+	}
+	return e.Run(cfg)
+}
+
+func (e *Engine) pushEvent(ev event) {
 	ev.seq = e.seq
 	e.seq++
-	heap.Push(&e.events, ev)
+	e.events.push(ev)
 }
 
 // loop processes events in batches per time instant: all finishes first
-// (outputs become visible and ECUs turn idle), then all releases (jobs
-// enqueue, stimuli publish), then one dispatch pass per ECU. This makes
-// priority — not event insertion order — decide among jobs released at
-// the same instant, and lets a job starting at t read every token written
-// at or before t. Zero execution times can produce new finish events at
-// the same instant; the inner loop re-batches until the instant drains.
-func (e *engine) loop() {
-	for len(e.events) > 0 {
-		now := e.events[0].time
+// (outputs become visible and ECUs turn idle), then LET publishes, then
+// all releases (jobs enqueue, stimuli publish), then one dispatch pass
+// per ECU. This makes priority — not event insertion order — decide
+// among jobs released at the same instant, and lets a job starting at t
+// read every token written at or before t. Zero execution times can
+// produce new finish events at the same instant; the inner loop
+// re-batches until the instant drains.
+//
+// The batch order equals the reference engine's single-heap pop order:
+// event kinds sort finish < publish < release, and handling an event at
+// time t never creates another event at t (periods and LET intervals
+// are positive) — only dispatch can, and both engines dispatch after
+// draining the instant.
+func (e *Engine) loop() {
+	for {
+		var now timeu.Time
+		switch {
+		case e.events.len() > 0 && e.releases.len() > 0:
+			now = timeu.Min(e.events.top().time, e.releases.top().time)
+		case e.events.len() > 0:
+			now = e.events.top().time
+		case e.releases.len() > 0:
+			now = e.releases.top().time
+		default:
+			return
+		}
 		if now > e.cfg.Horizon {
 			return
 		}
 		e.stats.End = now
-		for len(e.events) > 0 && e.events[0].time == now {
-			for len(e.events) > 0 && e.events[0].time == now {
-				ev := heap.Pop(&e.events).(event)
-				switch ev.kind {
-				case evRelease:
-					e.release(ev.task, now)
-				case evFinish:
+		for {
+			for e.events.len() > 0 && e.events.top().time == now {
+				ev := e.events.pop()
+				if ev.kind == evFinish {
 					e.finish(ev.ecu, now)
-				case evPublish:
+				} else {
 					e.letPublish(ev.task, now)
 				}
 			}
+			for e.releases.len() > 0 && e.releases.top().time == now {
+				e.release(now)
+			}
 			for i := range e.ecus {
 				e.dispatch(model.ECUID(i), now)
+			}
+			if e.events.len() == 0 || e.events.top().time != now {
+				break
 			}
 		}
 	}
 }
 
-func (e *engine) release(task model.TaskID, now timeu.Time) {
-	t := e.g.Task(task)
+// release fires the calendar's top entry: the due task's next release.
+func (e *Engine) release(now timeu.Time) {
+	task := e.releases.top().task
+	t := &e.info[task]
 	k := e.nextK[task]
 	e.nextK[task]++
-	next := t.Period
-	if t.Sporadic() {
+	next := t.period
+	if t.sporadicSpan > 0 {
 		// Bounded sporadic arrivals: the next release falls uniformly in
 		// [Period, MaxPeriod].
-		next += timeu.Time(e.rng.Int63n(int64(t.MaxPeriod-t.Period) + 1))
+		next += timeu.Time(e.rng.Int63n(t.sporadicSpan))
 	}
-	e.push(event{time: now + next, kind: evRelease, task: task})
+	// Re-key this task's calendar entry to its next release; consumes a
+	// seq at the same point the reference engine's next-release push
+	// does, keeping event order and rng draws aligned.
+	e.releases.advanceTop(now+next, e.seq)
+	e.seq++
 
 	for _, ro := range e.relObs {
 		ro.JobReleased(task, k, now)
 	}
 
-	if t.ECU == model.NoECU {
+	if t.stimulus {
 		// External stimulus: produces its token instantly at release.
-		j := &Job{Task: task, K: k, Release: now, Start: now, Finish: now}
-		j.Out = &Token{Stamps: []Stamp{{Task: task, Min: now, Max: now}}}
+		j := e.jobs.get()
+		j.Task, j.K, j.Release, j.Start, j.Finish = task, k, now, now, now
+		tok := e.toks.get()
+		tok.Stamps = append(tok.Stamps, Stamp{Task: task, Min: now, Max: now})
+		j.Out = tok
 		e.publish(j)
+		e.toks.release(tok)
+		e.jobs.put(j)
 		return
 	}
 
@@ -313,68 +445,154 @@ func (e *engine) release(task model.TaskID, now timeu.Time) {
 		e.stats.Overruns++
 	}
 	e.pendingCount[task]++
-	j := &Job{Task: task, K: k, Release: now}
-	if t.Sem == model.LET {
+	j := e.jobs.get()
+	j.Task, j.K, j.Release = task, k, now
+	if t.let {
 		// LET: inputs are read at release and the output is published at
 		// the deadline, regardless of when the job executes.
 		j.let = true
 		tok := e.assembleToken(j)
-		e.pubQueue[task] = append(e.pubQueue[task], pendingPublish{job: Job{
-			Task: task, K: k, Release: now, Start: now, Finish: now + t.Period, Out: tok,
+		e.pubQueue[task].slots = append(e.pubQueue[task].slots, pendingPublish{job: Job{
+			Task: task, K: k, Release: now, Start: now, Finish: now + t.period, Out: tok,
 			EmptyInputs: j.EmptyInputs,
 		}})
-		e.push(event{time: now + t.Period, kind: evPublish, task: task})
+		e.pushEvent(event{time: now + t.period, kind: evPublish, task: task})
 	}
-	es := &e.ecus[t.ECU]
-	heap.Push(&es.ready, readyJob{job: j, prio: t.Prio})
-}
-
-// pendingPublish is a fully-formed LET job awaiting its publish instant.
-type pendingPublish struct {
-	job Job
+	e.ecus[t.ecu].ready.push(readyJob{job: j, prio: t.prio})
 }
 
 // letPublish fires a LET task's deadline: the token assembled at release
 // becomes visible and observers see the completed logical job.
-func (e *engine) letPublish(task model.TaskID, now timeu.Time) {
-	q := e.pubQueue[task]
-	if len(q) == 0 {
+func (e *Engine) letPublish(task model.TaskID, now timeu.Time) {
+	q := &e.pubQueue[task]
+	if q.head >= len(q.slots) {
 		panic("sim: publish event without pending token")
 	}
-	e.pubQueue[task] = q[1:]
-	j := q[0].job
+	j := &q.slots[q.head].job
+	q.head++
 	if j.Finish != now {
 		panic("sim: publish event out of order")
 	}
-	e.publish(&j)
+	e.publish(j)
+	e.toks.release(j.Out)
+	j.Out = nil
+	if q.head == len(q.slots) {
+		q.slots = q.slots[:0]
+		q.head = 0
+	}
 }
 
 // assembleToken reads the job's input channels (implicit: at start; LET:
-// at release) and builds the output token.
-func (e *engine) assembleToken(j *Job) *Token {
-	if e.g.IsSource(j.Task) {
+// at release) and builds the output token. Instead of the reference
+// engine's sorted k-way merge, stamps accumulate in flat origin-indexed
+// min/max arrays — O(inputs · stamps + origins) with no sorting and no
+// intermediate slices — and the output lists origins in ascending task
+// order, matching mergeStamps exactly.
+func (e *Engine) assembleToken(j *Job) *Token {
+	if e.info[j.Task].isSource {
 		// A source stamps its output with its release time (t(J) = r(J)).
-		return &Token{Stamps: []Stamp{{Task: j.Task, Min: j.Release, Max: j.Release}}}
+		tok := e.toks.get()
+		tok.Stamps = append(tok.Stamps, Stamp{Task: j.Task, Min: j.Release, Max: j.Release})
+		return tok
 	}
-	tokens := make([]*Token, 0, len(e.ins[j.Task]))
-	for _, ch := range e.ins[j.Task] {
-		if tk := ch.read(); tk != nil {
-			tokens = append(tokens, tk)
-		} else {
+	switch ins := e.ins[j.Task]; len(ins) {
+	case 1:
+		// Single input: the read token is already merged and sorted, and
+		// tokens are immutable once published — share it outright instead
+		// of copying its stamps. The retain makes the job a co-owner; the
+		// token returns to the pool only after every channel slot and the
+		// job itself release it. (The reference engine shares the stamps
+		// slice in this case for the same reason.)
+		tk := ins[0].read()
+		if tk == nil {
 			j.EmptyInputs++
+			return e.toks.get()
+		}
+		e.toks.retain(tk)
+		return tk
+	case 2:
+		tok := e.toks.get()
+		// Two inputs: a direct two-pointer merge beats scattering into
+		// the origin arrays and rescanning them.
+		a, b := ins[0].read(), ins[1].read()
+		if a == nil || b == nil {
+			if a == nil {
+				j.EmptyInputs++
+				a = b
+			} else {
+				j.EmptyInputs++ // b was the empty one
+			}
+			if a == nil {
+				j.EmptyInputs++ // both empty
+				return tok
+			}
+			tok.Stamps = append(tok.Stamps, a.Stamps...)
+			return tok
+		}
+		sa, sb := a.Stamps, b.Stamps
+		ia, ib := 0, 0
+		for ia < len(sa) && ib < len(sb) {
+			switch {
+			case sa[ia].Task < sb[ib].Task:
+				tok.Stamps = append(tok.Stamps, sa[ia])
+				ia++
+			case sa[ia].Task > sb[ib].Task:
+				tok.Stamps = append(tok.Stamps, sb[ib])
+				ib++
+			default:
+				tok.Stamps = append(tok.Stamps, Stamp{
+					Task: sa[ia].Task,
+					Min:  timeu.Min(sa[ia].Min, sb[ib].Min),
+					Max:  timeu.Max(sa[ia].Max, sb[ib].Max),
+				})
+				ia++
+				ib++
+			}
+		}
+		tok.Stamps = append(tok.Stamps, sa[ia:]...)
+		tok.Stamps = append(tok.Stamps, sb[ib:]...)
+		return tok
+	}
+	tok := e.toks.get()
+	e.curEpoch++
+	ep := e.curEpoch
+	for _, ch := range e.ins[j.Task] {
+		tk := ch.read()
+		if tk == nil {
+			j.EmptyInputs++
+			continue
+		}
+		for _, s := range tk.Stamps {
+			oi := e.originIdx[s.Task] // panics if a non-origin task leaks into a stamp
+			if e.epoch[oi] != ep {
+				e.epoch[oi] = ep
+				e.minT[oi] = s.Min
+				e.maxT[oi] = s.Max
+				continue
+			}
+			if s.Min < e.minT[oi] {
+				e.minT[oi] = s.Min
+			}
+			if s.Max > e.maxT[oi] {
+				e.maxT[oi] = s.Max
+			}
 		}
 	}
-	return &Token{Stamps: mergeStamps(tokens)}
+	for oi, id := range e.origins {
+		if e.epoch[oi] == ep {
+			tok.Stamps = append(tok.Stamps, Stamp{Task: id, Min: e.minT[oi], Max: e.maxT[oi]})
+		}
+	}
+	return tok
 }
 
 // dispatch starts the highest-priority ready job if the ECU is idle.
-func (e *engine) dispatch(ecu model.ECUID, now timeu.Time) {
+func (e *Engine) dispatch(ecu model.ECUID, now timeu.Time) {
 	es := &e.ecus[ecu]
-	if es.running != nil || es.ready.Len() == 0 {
+	if es.running != nil || es.ready.len() == 0 {
 		return
 	}
-	rj := heap.Pop(&es.ready).(readyJob)
-	j := rj.job
+	j := es.ready.pop().job
 	t := e.g.Task(j.Task)
 	j.Start = now
 
@@ -395,24 +613,28 @@ func (e *engine) dispatch(ecu model.ECUID, now timeu.Time) {
 	}
 	j.Finish = j.Start + exec
 	es.running = j
-	e.push(event{time: j.Finish, kind: evFinish, ecu: ecu})
+	e.pushEvent(event{time: j.Finish, kind: evFinish, ecu: ecu})
 }
 
-func (e *engine) finish(ecu model.ECUID, now timeu.Time) {
+func (e *Engine) finish(ecu model.ECUID, now timeu.Time) {
 	es := &e.ecus[ecu]
 	j := es.running
 	es.running = nil
 	e.pendingCount[j.Task]--
 	if j.let {
-		// The logical job completes at its publish instant, not here.
+		// The logical job completes at its publish instant, not here; the
+		// ECU half carries no token.
+		e.jobs.put(j)
 		return
 	}
 	e.publish(j)
+	e.toks.release(j.Out)
+	e.jobs.put(j)
 }
 
 // publish writes the job's token to all output channels and notifies
-// observers.
-func (e *engine) publish(j *Job) {
+// observers. The caller still owns its token reference afterwards.
+func (e *Engine) publish(j *Job) {
 	for _, ch := range e.outs[j.Task] {
 		ch.write(j.Out)
 	}

@@ -71,7 +71,9 @@ func TestTimestampPropagationWCET(t *testing.T) {
 	var got []*Job
 	obs := FuncObserver(func(j *Job) {
 		if j.Task == b {
+			// Jobs and tokens are pooled: snapshot both before returning.
 			cp := *j
+			cp.Out = &Token{Stamps: append([]Stamp(nil), j.Out.Stamps...)}
 			got = append(got, &cp)
 		}
 	})
@@ -106,7 +108,9 @@ func TestEmptyInputsAtStartup(t *testing.T) {
 	var first *Job
 	obs := FuncObserver(func(j *Job) {
 		if j.Task == a && first == nil {
+			// Jobs and tokens are pooled: snapshot both before returning.
 			cp := *j
+			cp.Out = &Token{Stamps: append([]Stamp(nil), j.Out.Stamps...)}
 			first = &cp
 		}
 	})

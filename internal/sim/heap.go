@@ -1,0 +1,284 @@
+package sim
+
+import (
+	"math/bits"
+
+	"repro/internal/model"
+	"repro/internal/timeu"
+)
+
+// Value-typed 4-ary heaps for the simulation hot path. container/heap
+// costs an interface boxing allocation per Push and a dynamic dispatch
+// per comparison; these heaps store elements inline with the comparison
+// inlined into the sift loops. The three element types get concrete
+// (non-generic) implementations on purpose: Go's gcshape stenciling
+// calls a type parameter's methods through a dictionary, which keeps
+// tiny comparators like event ordering from inlining — measured at
+// ~30% of the event loop on dense workloads. The arity of 4 halves the
+// tree depth versus a binary heap, trading a few extra sibling
+// comparisons (cheap, cache-local) for fewer levels of moves; sifting
+// moves a hole and places the element once instead of swapping at
+// every level.
+//
+// All three orders — event (time, kind, seq), readyJob (prio, release,
+// task, index), relEntry (time, seq) — are total, so pop order is
+// independent of the internal tree shape and any correct heap yields
+// the same sequence. The differential harness leans on that: the
+// reference engine uses container/heap binary heaps and must pop in
+// the same order.
+
+// lessThan orders events by (time, kind, seq) — the same order the
+// reference engine's container/heap uses.
+func (a event) lessThan(b event) bool {
+	if a.time != b.time {
+		return a.time < b.time
+	}
+	if a.kind != b.kind {
+		return a.kind < b.kind
+	}
+	return a.seq < b.seq
+}
+
+// eventHeap4 is the global queue of finish and LET-publish events.
+type eventHeap4 struct {
+	s []event
+}
+
+func (h *eventHeap4) len() int    { return len(h.s) }
+func (h *eventHeap4) top() *event { return &h.s[0] }
+
+func (h *eventHeap4) clear() {
+	h.s = h.s[:0]
+}
+
+func (h *eventHeap4) push(v event) {
+	h.s = append(h.s, v)
+	s := h.s
+	i := len(s) - 1
+	for i > 0 {
+		p := (i - 1) / 4
+		if !v.lessThan(s[p]) {
+			break
+		}
+		s[i] = s[p]
+		i = p
+	}
+	s[i] = v
+}
+
+func (h *eventHeap4) pop() event {
+	v := h.s[0]
+	n := len(h.s) - 1
+	h.s[0] = h.s[n]
+	h.s = h.s[:n]
+	if n > 1 {
+		h.siftDown()
+	}
+	return v
+}
+
+func (h *eventHeap4) siftDown() {
+	s := h.s
+	n := len(s)
+	v := s[0]
+	i := 0
+	for {
+		c := 4*i + 1
+		if c >= n {
+			break
+		}
+		best := c
+		end := c + 4
+		if end > n {
+			end = n
+		}
+		for j := c + 1; j < end; j++ {
+			if s[j].lessThan(s[best]) {
+				best = j
+			}
+		}
+		if !s[best].lessThan(v) {
+			break
+		}
+		s[i] = s[best]
+		i = best
+	}
+	s[i] = v
+}
+
+// lessThan orders ready jobs by (priority, release, task, job index).
+func (a readyJob) lessThan(b readyJob) bool {
+	if a.prio != b.prio {
+		return a.prio < b.prio
+	}
+	if a.job.Release != b.job.Release {
+		return a.job.Release < b.job.Release
+	}
+	if a.job.Task != b.job.Task {
+		return a.job.Task < b.job.Task
+	}
+	return a.job.K < b.job.K
+}
+
+// readyHeap4 is one ECU's queue of pending jobs.
+type readyHeap4 struct {
+	s []readyJob
+}
+
+func (h *readyHeap4) len() int { return len(h.s) }
+
+func (h *readyHeap4) clear() {
+	for i := range h.s {
+		h.s[i] = readyJob{} // drop job pointers so pooled jobs don't leak
+	}
+	h.s = h.s[:0]
+}
+
+func (h *readyHeap4) push(v readyJob) {
+	h.s = append(h.s, v)
+	s := h.s
+	i := len(s) - 1
+	for i > 0 {
+		p := (i - 1) / 4
+		if !v.lessThan(s[p]) {
+			break
+		}
+		s[i] = s[p]
+		i = p
+	}
+	s[i] = v
+}
+
+func (h *readyHeap4) pop() readyJob {
+	v := h.s[0]
+	n := len(h.s) - 1
+	h.s[0] = h.s[n]
+	h.s[n] = readyJob{}
+	h.s = h.s[:n]
+	if n > 1 {
+		h.siftDown()
+	}
+	return v
+}
+
+func (h *readyHeap4) siftDown() {
+	s := h.s
+	n := len(s)
+	v := s[0]
+	i := 0
+	for {
+		c := 4*i + 1
+		if c >= n {
+			break
+		}
+		best := c
+		end := c + 4
+		if end > n {
+			end = n
+		}
+		for j := c + 1; j < end; j++ {
+			if s[j].lessThan(s[best]) {
+				best = j
+			}
+		}
+		if !s[best].lessThan(v) {
+			break
+		}
+		s[i] = s[best]
+		i = best
+	}
+	s[i] = v
+}
+
+// relEntry is one task's next pending release in the releaseQueue,
+// keyed like an evRelease event: (time, seq). All entries share kind
+// evRelease, so (time, seq) alone reproduces the reference engine's
+// event order among releases.
+type relEntry struct {
+	time timeu.Time
+	seq  int64
+	task model.TaskID
+}
+
+// releaseQueue is the calendar for periodic/sporadic releases: exactly
+// one entry per scheduled task, holding that task's next release. The
+// reference engine keeps every future release in the global event heap;
+// here the global heap shrinks to running-job finishes (≤ #ECUs) plus
+// LET publishes, and releases live in this fixed-size structure.
+//
+// The only mutation after construction is advancing the top entry to
+// the task's following release — the new key is strictly larger (period
+// > 0), so a single siftDown restores the heap. advanceTop is the
+// single hottest queue operation in dense sweeps (one call per job
+// release); its comparisons are fully inlined below.
+type releaseQueue struct {
+	s []relEntry
+}
+
+func (q *releaseQueue) len() int       { return len(q.s) }
+func (q *releaseQueue) top() *relEntry { return &q.s[0] }
+
+func (q *releaseQueue) clear() {
+	q.s = q.s[:0]
+}
+
+func (q *releaseQueue) push(v relEntry) {
+	q.s = append(q.s, v)
+	s := q.s
+	i := len(s) - 1
+	for i > 0 {
+		p := (i - 1) / 4
+		if s[p].time < v.time || (s[p].time == v.time && s[p].seq < v.seq) {
+			break
+		}
+		s[i] = s[p]
+		i = p
+	}
+	s[i] = v
+}
+
+// relLess compares two (time, seq) keys as one 128-bit unsigned number
+// via a borrow chain. Both components are non-negative, so the unsigned
+// comparison matches the lexicographic (time, seq) order — but unlike
+// the naive `a.time < b.time || (a.time == b.time && a.seq < b.seq)`
+// it compiles to straight-line ALU ops with no data-dependent branches.
+// advanceTop runs once per simulated job release and its comparison
+// outcomes are near-random, so the mispredict penalty of the branchy
+// form dominated the event loop in profiles.
+func relLess(at timeu.Time, as int64, bt timeu.Time, bs int64) bool {
+	_, borrow := bits.Sub64(uint64(as), uint64(bs), 0)
+	_, borrow = bits.Sub64(uint64(at), uint64(bt), borrow)
+	return borrow != 0
+}
+
+// advanceTop re-keys the top entry to the task's next release and
+// restores heap order by sinking a hole.
+func (q *releaseQueue) advanceTop(time timeu.Time, seq int64) {
+	s := q.s
+	n := len(s)
+	v := s[0]
+	v.time, v.seq = time, seq
+	i := 0
+	for {
+		c := 4*i + 1
+		if c >= n {
+			break
+		}
+		best := c
+		end := c + 4
+		if end > n {
+			end = n
+		}
+		for j := c + 1; j < end; j++ {
+			if relLess(s[j].time, s[j].seq, s[best].time, s[best].seq) {
+				best = j
+			}
+		}
+		if !relLess(s[best].time, s[best].seq, v.time, v.seq) {
+			break
+		}
+		s[i] = s[best]
+		i = best
+	}
+	s[i] = v
+}

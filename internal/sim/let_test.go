@@ -29,7 +29,9 @@ func TestLETPublishesAtDeadline(t *testing.T) {
 	var jobs []*Job
 	obs := FuncObserver(func(j *Job) {
 		if j.Task == a {
+			// Jobs and tokens are pooled: snapshot both before returning.
 			cp := *j
+			cp.Out = &Token{Stamps: append([]Stamp(nil), j.Out.Stamps...)}
 			jobs = append(jobs, &cp)
 		}
 	})

@@ -8,10 +8,15 @@ import (
 // DisparityObserver records, per observed task, the maximum time
 // disparity (Definition 2) among all finished jobs: the span of the
 // output token's source timestamps. It implements Observer.
+//
+// Task IDs are small dense integers, so the per-task state lives in
+// slices grown on demand rather than maps — JobFinished runs once per
+// simulated job and map hashing dominated it in profiles.
 type DisparityObserver struct {
-	watch map[model.TaskID]bool // nil = watch everything
-	max   map[model.TaskID]timeu.Time
-	warm  timeu.Time
+	watchAll bool
+	watch    []bool       // indexed by task; false = ignore
+	max      []timeu.Time // indexed by task; zero until observed
+	warm     timeu.Time
 	// CompleteOnly skips jobs with missing inputs anywhere upstream is
 	// not tracked; it skips jobs whose own reads hit an empty channel.
 	CompleteOnly bool
@@ -22,12 +27,12 @@ type DisparityObserver struct {
 // channels reach their steady state first (Lemma 6 is a long-term
 // statement).
 func NewDisparityObserver(warmup timeu.Time, tasks ...model.TaskID) *DisparityObserver {
-	o := &DisparityObserver{max: make(map[model.TaskID]timeu.Time), warm: warmup}
-	if len(tasks) > 0 {
-		o.watch = make(map[model.TaskID]bool, len(tasks))
-		for _, t := range tasks {
-			o.watch[t] = true
+	o := &DisparityObserver{warm: warmup, watchAll: len(tasks) == 0}
+	for _, t := range tasks {
+		if int(t) >= len(o.watch) {
+			o.watch = append(o.watch, make([]bool, int(t)+1-len(o.watch))...)
 		}
+		o.watch[t] = true
 	}
 	return o
 }
@@ -37,21 +42,30 @@ func (o *DisparityObserver) JobFinished(j *Job) {
 	if j.Finish < o.warm {
 		return
 	}
-	if o.watch != nil && !o.watch[j.Task] {
+	ti := int(j.Task)
+	if !o.watchAll && (ti >= len(o.watch) || !o.watch[ti]) {
 		return
 	}
 	if o.CompleteOnly && j.EmptyInputs > 0 {
 		return
 	}
 	span := j.Out.Span()
-	if cur, ok := o.max[j.Task]; !ok || span > cur {
-		o.max[j.Task] = span
+	if ti >= len(o.max) {
+		o.max = append(o.max, make([]timeu.Time, ti+1-len(o.max))...)
+	}
+	if span > o.max[ti] {
+		o.max[ti] = span
 	}
 }
 
 // Max returns the maximum observed disparity of the task (0 if no job of
 // the task finished after warm-up).
-func (o *DisparityObserver) Max(task model.TaskID) timeu.Time { return o.max[task] }
+func (o *DisparityObserver) Max(task model.TaskID) timeu.Time {
+	if int(task) >= len(o.max) {
+		return 0
+	}
+	return o.max[task]
+}
 
 // BackwardObserver records, per (tail task, source task) pair, the range
 // of observed backward times: r(job) − timestamp of the source data the

@@ -1,0 +1,65 @@
+package sim
+
+// Free-list pools for the two objects the simulator would otherwise
+// allocate per job: the Job itself and its output Token. Both pools are
+// per-engine (the engine is single-goroutine, so no locking) and reach
+// a steady state after the first few instants: the live population is
+// bounded by queued jobs and buffered tokens, not by the horizon, so a
+// longer run performs no additional allocations.
+//
+// Pooling rules (see also DESIGN.md):
+//
+//   - Observers must not retain *Job or *Token beyond the callback —
+//     the engine recycles both immediately after the observer returns.
+//   - A Job returns to the pool when its lifecycle ends: stimulus jobs
+//     right after publish, implicit-semantics jobs at finish, and the
+//     ECU half of a LET job at finish (its logical half lives in the
+//     task's publish FIFO, not in the pool).
+//   - Tokens are reference-counted because channels share them: the
+//     producing job holds one reference from assembly until after
+//     publish, and every channel slot holds one from write until
+//     eviction. The count hitting zero recycles the token.
+
+type jobPool struct {
+	free []*Job
+}
+
+func (p *jobPool) get() *Job {
+	if n := len(p.free); n > 0 {
+		j := p.free[n-1]
+		p.free = p.free[:n-1]
+		*j = Job{}
+		return j
+	}
+	return &Job{}
+}
+
+func (p *jobPool) put(j *Job) {
+	p.free = append(p.free, j)
+}
+
+type tokenPool struct {
+	free []*Token
+}
+
+// get returns a token with no stamps and one reference (the caller's).
+func (p *tokenPool) get() *Token {
+	if n := len(p.free); n > 0 {
+		t := p.free[n-1]
+		p.free = p.free[:n-1]
+		t.Stamps = t.Stamps[:0]
+		t.refs = 1
+		return t
+	}
+	return &Token{refs: 1}
+}
+
+func (p *tokenPool) retain(t *Token) { t.refs++ }
+
+// release drops one reference; the last reference recycles the token.
+func (p *tokenPool) release(t *Token) {
+	t.refs--
+	if t.refs == 0 {
+		p.free = append(p.free, t)
+	}
+}

@@ -1,0 +1,94 @@
+package sim
+
+import (
+	"testing"
+
+	"repro/internal/model"
+	"repro/internal/timeu"
+)
+
+// TestChannelEvictionAccounting pins the §IV wasted-computation
+// bookkeeping on a cap-1 edge with a fast producer and slow consumer,
+// where eviction happens on almost every write. Every written token
+// ends up in exactly one of three states — read then evicted, evicted
+// unread (Lost), or still queued unread — so Writes = Reads + Lost +
+// queuedUnread as long as no token is read twice (the producer is
+// strictly faster, so the head is always fresh at each read).
+func TestChannelEvictionAccounting(t *testing.T) {
+	g := model.NewGraph()
+	ecu := g.AddECU("e", model.Compute)
+	src := g.AddTask(model.Task{Name: "src", Period: ms, ECU: model.NoECU})
+	cons := g.AddTask(model.Task{Name: "cons", WCET: ms, BCET: ms, Period: 5 * ms, Prio: 0, ECU: ecu})
+	if err := g.AddEdge(src, cons); err != nil {
+		t.Fatal(err)
+	}
+	stats, err := Run(g, Config{Horizon: 100 * ms})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cs := stats.Channels[0]
+	// Producer releases at 0..100ms: 101 writes. Consumer dispatches at
+	// 0,5,...,100ms: 21 reads, each of a token written at that instant
+	// (finish/release/dispatch ordering makes the write visible). The
+	// 100 evictions drop the 20 already-read tokens plus 80 unread ones;
+	// the final token (written and read at 100ms) stays queued.
+	if cs.Writes != 101 || cs.Reads != 21 || cs.Lost != 80 {
+		t.Fatalf("writes/reads/lost = %d/%d/%d, want 101/21/80", cs.Writes, cs.Reads, cs.Lost)
+	}
+	if queuedUnread := cs.Writes - cs.Reads - cs.Lost; queuedUnread != 0 {
+		t.Errorf("accounting drift: writes - reads - lost = %d, want 0 (every token read, lost, or both)", queuedUnread)
+	}
+}
+
+// TestChannelRereadAccounting is the mirrored case: a slow producer and
+// fast consumer re-read the head token (register semantics), so Reads
+// exceeds Writes and nothing is ever lost.
+func TestChannelRereadAccounting(t *testing.T) {
+	g := model.NewGraph()
+	ecu := g.AddECU("e", model.Compute)
+	src := g.AddTask(model.Task{Name: "src", Period: 5 * ms, ECU: model.NoECU})
+	cons := g.AddTask(model.Task{Name: "cons", WCET: ms, BCET: ms, Period: ms, Prio: 0, ECU: ecu})
+	if err := g.AddEdge(src, cons); err != nil {
+		t.Fatal(err)
+	}
+	stats, err := Run(g, Config{Horizon: 100 * ms})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cs := stats.Channels[0]
+	if cs.Writes != 21 || cs.Reads != 101 {
+		t.Fatalf("writes/reads = %d/%d, want 21/101", cs.Writes, cs.Reads)
+	}
+	if cs.Lost != 0 {
+		t.Errorf("lost = %d, want 0 (every token is read before eviction)", cs.Lost)
+	}
+}
+
+// TestSteadyStateAllocsPerJob pins the tentpole's allocation claim: a
+// warmed, reused engine simulates with ~zero allocations per job. The
+// small per-run constant (rng, returned Stats, observer slices) is
+// amortized over thousands of jobs.
+func TestSteadyStateAllocsPerJob(t *testing.T) {
+	g, _, _, _ := pipeline(t)
+	eng, err := NewEngine(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := Config{Horizon: 10 * timeu.Second, Exec: ExtremesExec{P: 0.5}, Seed: 9}
+	res, err := eng.Run(cfg) // warm the pools and heaps
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Jobs < 1000 {
+		t.Fatalf("workload too small to measure: %d jobs", res.Jobs)
+	}
+	allocs := testing.AllocsPerRun(5, func() {
+		if _, err := eng.Run(cfg); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if perJob := allocs / float64(res.Jobs); perJob > 0.01 {
+		t.Errorf("steady state allocates %.4f objects/job (%.0f per run of %d jobs), want ~0",
+			perJob, allocs, res.Jobs)
+	}
+}

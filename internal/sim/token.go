@@ -35,6 +35,12 @@ type Stamp struct {
 // immutable once the token is published; channels share token pointers.
 type Token struct {
 	Stamps []Stamp
+
+	// refs counts the owners of a pooled token — the producing job plus
+	// one per channel slot holding it. Zero for tokens built outside a
+	// pool (tests, the reference engine), which are garbage-collected
+	// normally.
+	refs int32
 }
 
 // Span returns the maximum difference among the token's source
@@ -130,6 +136,9 @@ type channel struct {
 	writes  int64
 	reads   int64
 	lost    int64 // evicted before any read
+	// pool, when set, reference-counts stored tokens: write retains,
+	// eviction and reset release. Nil outside the pooled engine.
+	pool *tokenPool
 }
 
 func newChannel(capacity int) *channel {
@@ -138,20 +147,53 @@ func newChannel(capacity int) *channel {
 
 // write enqueues a token, evicting the oldest when full.
 func (c *channel) write(t *Token) {
+	if len(c.buf) == 1 {
+		// Capacity 1 (the default register semantics) skips the ring
+		// arithmetic entirely — the hottest path in dense sweeps.
+		if c.count == 1 {
+			if !c.wasRead[0] {
+				c.lost++
+			}
+			if c.pool != nil {
+				c.pool.release(c.buf[0])
+			}
+		} else {
+			c.count = 1
+		}
+		c.buf[0] = t
+		c.wasRead[0] = false
+		c.writes++
+		if c.pool != nil {
+			c.pool.retain(t)
+		}
+		return
+	}
 	if c.count == len(c.buf) {
 		// Drop the head.
 		if !c.wasRead[c.head] {
 			c.lost++
 		}
+		old := c.buf[c.head]
 		c.buf[c.head] = nil
-		c.head = (c.head + 1) % len(c.buf)
+		if c.head++; c.head == len(c.buf) {
+			c.head = 0
+		}
 		c.count--
+		if c.pool != nil {
+			c.pool.release(old)
+		}
 	}
-	slot := (c.head + c.count) % len(c.buf)
+	slot := c.head + c.count
+	if n := len(c.buf); slot >= n {
+		slot -= n
+	}
 	c.buf[slot] = t
 	c.wasRead[slot] = false
 	c.count++
 	c.writes++
+	if c.pool != nil {
+		c.pool.retain(t)
+	}
 }
 
 // read peeks at the oldest element; nil if the channel is empty.
@@ -166,3 +208,17 @@ func (c *channel) read() *Token {
 
 // full reports whether the buffer holds capacity elements.
 func (c *channel) full() bool { return c.count == len(c.buf) }
+
+// reset empties the channel and zeroes its counters, releasing any held
+// tokens back to the pool so a reused engine starts from a clean state.
+func (c *channel) reset() {
+	for i := range c.buf {
+		if c.buf[i] != nil && c.pool != nil {
+			c.pool.release(c.buf[i])
+		}
+		c.buf[i] = nil
+		c.wasRead[i] = false
+	}
+	c.head, c.count = 0, 0
+	c.writes, c.reads, c.lost = 0, 0, 0
+}

@@ -1,0 +1,23 @@
+#!/bin/sh
+# Advisory escape-analysis spot check for the simulator hot path.
+#
+# The pooled engine's throughput rests on jobs, tokens, and heap entries
+# staying pool-recycled or stack-allocated; a careless change (say, a
+# closure capturing *Job, or an interface conversion in dispatch) silently
+# reintroduces a per-job heap allocation that only shows up as a benchmark
+# regression much later. This prints every value in internal/sim that the
+# compiler moves to the heap, so the diff of its output in a code review
+# answers "did this PR add an allocation?" directly.
+#
+# Non-fatal by design: some escapes are expected (pool refills, the
+# engine itself, error paths). Exit status is 0 unless the build fails.
+#
+# Usage: sh tools/escape_check.sh [extra go build args]
+set -e
+cd "$(dirname "$0")/.."
+
+echo "== heap escapes in internal/sim (go build -gcflags=-m) =="
+go build -gcflags='-m' ./internal/sim/ 2>&1 |
+	grep -E 'escapes to heap|moved to heap' |
+	grep -v '_test\.go' |
+	sort | uniq -c | sort -rn || true
