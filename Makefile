@@ -12,6 +12,11 @@
 #   bench-json  - run the headline benchmarks and refresh BENCH_sim.json
 #                 (see tools/bench_json.sh; numbers are machine-relative,
 #                 regenerate before/after on the same box)
+#   verify-obs  - observability tier: vet + race tests of the
+#                 instrumentation packages (metrics, trace, telemetry,
+#                 par, sim, exp), the steady-state alloc regression
+#                 test, and tools/check_obs_overhead.sh's <2% disabled-
+#                 tracing throughput guard against BENCH_sim.json
 #   check       - build + test + race + bench
 #
 # tools/escape_check.sh (not wired into check; advisory) prints sim hot-path
@@ -19,7 +24,7 @@
 
 GO ?= go
 
-.PHONY: build test race bench bench-smoke bench-json check
+.PHONY: build test race bench bench-smoke bench-json verify-obs check
 
 build:
 	$(GO) build ./...
@@ -40,5 +45,12 @@ bench-smoke:
 
 bench-json:
 	sh tools/bench_json.sh
+
+verify-obs:
+	$(GO) vet ./...
+	$(GO) test -race ./internal/metrics/... ./internal/trace/... ./internal/telemetry/... ./internal/par/... ./internal/sim/...
+	$(GO) test -race -run 'TestSweepObservability|TestUntracedSweepIdentical' ./internal/exp/...
+	$(GO) test -run 'TestSteadyStateAllocsPerJob' ./internal/sim/...
+	sh tools/check_obs_overhead.sh
 
 check: build test race bench

@@ -15,6 +15,7 @@ import (
 	"repro/internal/exp"
 	"repro/internal/sim"
 	"repro/internal/timeu"
+	"repro/internal/trace/span"
 )
 
 func benchCfg() exp.Config {
@@ -206,6 +207,39 @@ func BenchmarkSimThroughput(b *testing.B) {
 	b.StopTimer()
 	if secs := b.Elapsed().Seconds(); secs > 0 {
 		b.ReportMetric(float64(jobs)/secs, "jobs/s")
+	}
+}
+
+// BenchmarkSimThroughputTraced is BenchmarkSimThroughput with a live
+// Chrome span track attached to the engine. The delta against the
+// untraced benchmark is the cost of *enabled* tracing (one countdown
+// decrement per job plus one span per 65536-job chunk); the untraced
+// benchmark itself guards the disabled path, which must stay within
+// the tolerance recorded in BENCH_sim.json (see make verify-obs).
+func BenchmarkSimThroughputTraced(b *testing.B) {
+	g, _ := benchGraph(b)
+	disparity.RandomOffsets(g, 1)
+	tracer := span.New()
+	var jobs int64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := disparity.Simulate(g, disparity.SimConfig{
+			Horizon: 10 * timeu.Second,
+			Exec:    disparity.ExecExtremes,
+			Seed:    42,
+			Trace:   tracer.Track("bench"),
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		jobs += res.Jobs
+	}
+	b.StopTimer()
+	if secs := b.Elapsed().Seconds(); secs > 0 {
+		b.ReportMetric(float64(jobs)/secs, "jobs/s")
+	}
+	if tracer.SpanCount() == 0 {
+		b.Fatal("traced run recorded no spans")
 	}
 }
 

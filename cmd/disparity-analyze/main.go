@@ -27,6 +27,7 @@ import (
 	"repro/internal/metrics"
 	"repro/internal/model"
 	"repro/internal/sched"
+	"repro/internal/trace/span"
 )
 
 func main() {
@@ -48,6 +49,7 @@ func run(args []string, stdout io.Writer) error {
 	dotPath := fs.String("dot", "", "also write the graph in Graphviz DOT format")
 	dumpMetrics := fs.Bool("metrics", false, "dump internal counters and timers after the run")
 	pprofPath := fs.String("pprof", "", "write a CPU profile of the run to this file")
+	tracePath := fs.String("trace", "", "write a Chrome trace-event JSON of the analysis (view in ui.perfetto.dev)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -98,6 +100,11 @@ func run(args []string, stdout io.Writer) error {
 	// per-chain backward bounds, and the disparity analysis share the
 	// WCRT fixed point and the suffix memos.
 	cache := disparity.NewAnalysisCache()
+	var tracer *span.Tracer
+	if *tracePath != "" {
+		tracer = span.New()
+		cache.WithTrack(tracer.Track("analysis"))
+	}
 
 	// Schedulability report.
 	res := cache.Sched(g, sched.NonPreemptiveFP)
@@ -189,6 +196,13 @@ func run(args []string, stdout io.Writer) error {
 		if err := metrics.Fprint(stdout); err != nil {
 			return err
 		}
+	}
+	if tracer != nil {
+		if err := tracer.WriteChromeFile(*tracePath); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "disparity-analyze: trace with %d spans written to %s\n",
+			tracer.SpanCount(), *tracePath)
 	}
 	return nil
 }

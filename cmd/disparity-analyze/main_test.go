@@ -1,6 +1,7 @@
 package main
 
 import (
+	"encoding/json"
 	"io"
 	"os"
 	"path/filepath"
@@ -101,5 +102,24 @@ func TestRunAnalyzeExhaustive(t *testing.T) {
 	// A too-fine grid trips the combination cap.
 	if err := run([]string{"-graph", path, "-exhaustive", "-exhaustive-step", "1us"}, io.Discard); err == nil {
 		t.Error("combination explosion not caught")
+	}
+}
+
+func TestRunAnalyzeChromeTrace(t *testing.T) {
+	path := writeFixture(t)
+	tracePath := filepath.Join(filepath.Dir(path), "analysis.trace.json")
+	if err := run([]string{"-graph", path, "-trace", tracePath}, io.Discard); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(tracePath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc map[string]any
+	if err := json.Unmarshal(data, &doc); err != nil {
+		t.Fatalf("trace is not valid JSON: %v", err)
+	}
+	if _, ok := doc["traceEvents"]; !ok {
+		t.Error("trace missing traceEvents")
 	}
 }

@@ -21,9 +21,12 @@
 //
 // Observability:
 //
-//	disparity-exp -fig 6a -metrics         # dump internal counters/timers
-//	disparity-exp -fig 6a -pprof cpu.out   # write a CPU profile
-//	disparity-exp -fig 6a -no-cache        # disable the memoization layer
+//	disparity-exp -fig 6a -metrics           # dump internal counters/timers
+//	disparity-exp -fig 6a -pprof cpu.out     # write a CPU profile
+//	disparity-exp -fig 6a -no-cache          # disable the memoization layer
+//	disparity-exp -fig 6a -trace run.json    # Chrome trace (ui.perfetto.dev)
+//	disparity-exp -fig 6a -telemetry :9090   # live /metrics, /progress, pprof
+//	disparity-exp -fig 6a -manifest run.json # per-run provenance manifest
 package main
 
 import (
@@ -36,7 +39,9 @@ import (
 
 	"repro/internal/exp"
 	"repro/internal/metrics"
+	"repro/internal/telemetry"
 	"repro/internal/timeu"
+	"repro/internal/trace/span"
 )
 
 func main() {
@@ -62,8 +67,16 @@ func run(args []string, stdout io.Writer) error {
 	noCache := fs.Bool("no-cache", false, "disable the per-graph analysis cache (results are identical; for benchmarking)")
 	dumpMetrics := fs.Bool("metrics", false, "dump internal counters and timers after the run")
 	pprofPath := fs.String("pprof", "", "write a CPU profile of the run to this file")
+	tracePath := fs.String("trace", "", "write a Chrome trace-event JSON of the sweep (view in ui.perfetto.dev)")
+	telemetryAddr := fs.String("telemetry", "", "serve live telemetry on this address (e.g. :9090): Prometheus /metrics, /progress JSON, pprof")
+	manifestPath := fs.String("manifest", "", "write a JSON run manifest (seed, config, stage-time breakdown) to this file")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+
+	var manifest *telemetry.Manifest
+	if *manifestPath != "" {
+		manifest = telemetry.NewManifest("disparity-exp", args)
 	}
 
 	if *pprofPath != "" {
@@ -116,6 +129,21 @@ func run(args []string, stdout io.Writer) error {
 	}
 	if *progress {
 		cfg.Progress = os.Stderr
+	}
+	if *tracePath != "" {
+		cfg.Tracer = span.New()
+	}
+	if *telemetryAddr != "" {
+		tracker := telemetry.NewTracker()
+		tracker.Jobs = metrics.C("exp.sim.jobs").Load
+		cfg.Sink = tracker
+		srv := &telemetry.Server{Tracker: tracker}
+		addr, err := srv.Start(*telemetryAddr)
+		if err != nil {
+			return err
+		}
+		defer srv.Close()
+		fmt.Fprintf(os.Stderr, "disparity-exp: telemetry on http://%s\n", addr)
 	}
 
 	var tables []*exp.Table
@@ -264,6 +292,33 @@ func run(args []string, stdout io.Writer) error {
 		if err := metrics.Fprint(stdout); err != nil {
 			return err
 		}
+	}
+	if *tracePath != "" {
+		if err := cfg.Tracer.WriteChromeFile(*tracePath); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "disparity-exp: trace with %d spans written to %s\n",
+			cfg.Tracer.SpanCount(), *tracePath)
+	}
+	if manifest != nil {
+		manifest.Seed = cfg.Seed
+		manifest.Config = map[string]any{
+			"fig":               *fig,
+			"points":            cfg.Points,
+			"graphs_per_point":  cfg.GraphsPerPoint,
+			"offsets_per_graph": cfg.OffsetsPerGraph,
+			"horizon_ns":        int64(cfg.Horizon),
+			"warmup_ns":         int64(cfg.Warmup),
+			"ecus":              cfg.ECUs,
+			"workers":           cfg.Workers,
+			"max_chains":        cfg.MaxChains,
+			"cache_disabled":    cfg.DisableCache,
+		}
+		manifest.Finish(nil)
+		if err := manifest.WriteFile(*manifestPath); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "disparity-exp: manifest written to %s\n", *manifestPath)
 	}
 	return nil
 }

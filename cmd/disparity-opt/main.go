@@ -14,8 +14,10 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"runtime/pprof"
 
 	disparity "repro"
+	"repro/internal/metrics"
 	"repro/internal/offsetopt"
 )
 
@@ -37,12 +39,25 @@ func run(args []string) error {
 	rounds := fs.Int("offset-rounds", 3, "offset search rounds")
 	maxChains := fs.Int("max-chains", 0, "cap on enumerated chains")
 	out := fs.String("out", "", "write the optimized graph JSON here (default stdout)")
+	dumpMetrics := fs.Bool("metrics", false, "dump internal counters and timers after the run")
+	pprofPath := fs.String("pprof", "", "write a CPU profile of the run to this file")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	if *graphPath == "" {
 		fs.Usage()
 		return fmt.Errorf("-graph is required")
+	}
+	if *pprofPath != "" {
+		f, err := os.Create(*pprofPath)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			return err
+		}
+		defer pprof.StopCPUProfile()
 	}
 	f, err := os.Open(*graphPath)
 	if err != nil {
@@ -119,7 +134,16 @@ func run(args []string) error {
 		defer of.Close()
 		w = of
 	}
-	return work.WriteJSON(w)
+	if err := work.WriteJSON(w); err != nil {
+		return err
+	}
+	if *dumpMetrics {
+		fmt.Fprintln(os.Stderr, "metrics:")
+		if err := metrics.Fprint(os.Stderr); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 func pickTask(g *disparity.Graph, name string) (disparity.TaskID, error) {

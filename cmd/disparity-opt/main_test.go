@@ -73,3 +73,20 @@ func TestRunOptErrors(t *testing.T) {
 		t.Error("unknown task accepted")
 	}
 }
+
+func TestRunOptObservabilityFlags(t *testing.T) {
+	path := writeFixture(t)
+	dir := filepath.Dir(path)
+	out := filepath.Join(dir, "opt.json")
+	profile := filepath.Join(dir, "cpu.out")
+	if err := run([]string{"-graph", path, "-out", out, "-metrics", "-pprof", profile}); err != nil {
+		t.Fatal(err)
+	}
+	info, err := os.Stat(profile)
+	if err != nil {
+		t.Fatalf("profile not written: %v", err)
+	}
+	if info.Size() == 0 {
+		t.Error("profile is empty")
+	}
+}

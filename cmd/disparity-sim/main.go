@@ -7,20 +7,33 @@
 //	disparity-sim -graph g.json [-horizon 10s] [-exec extremes] [-seed 1]
 //	              [-warmup 1s] [-random-offsets] [-trace out.csv]
 //	disparity-sim -graph g.json -paper   # the paper's full 10-minute horizon
+//
+// Observability (-trace is the per-job CSV; -runtrace is the Chrome
+// span trace):
+//
+//	disparity-sim -graph g.json -metrics             # dump counters/timers
+//	disparity-sim -graph g.json -pprof cpu.out       # write a CPU profile
+//	disparity-sim -graph g.json -runtrace run.json   # Chrome trace (ui.perfetto.dev)
+//	disparity-sim -graph g.json -telemetry :9090     # live /metrics + pprof
+//	disparity-sim -graph g.json -manifest run.json   # per-run provenance
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime/pprof"
 	"text/tabwriter"
 
 	disparity "repro"
 	"repro/internal/gantt"
+	"repro/internal/metrics"
 	"repro/internal/model"
 	"repro/internal/sim"
+	"repro/internal/telemetry"
 	"repro/internal/timeu"
 	"repro/internal/trace"
+	"repro/internal/trace/span"
 )
 
 func main() {
@@ -58,12 +71,41 @@ func run(args []string) error {
 	traceLimit := fs.Int("trace-limit", 100000, "max trace records")
 	ganttPath := fs.String("gantt", "", "write an SVG Gantt chart of the first 200ms")
 	ganttASCII := fs.Bool("gantt-ascii", false, "print an ASCII Gantt chart of the first 200ms")
+	dumpMetrics := fs.Bool("metrics", false, "dump internal counters and timers after the run")
+	pprofPath := fs.String("pprof", "", "write a CPU profile of the run to this file")
+	runTracePath := fs.String("runtrace", "", "write a Chrome trace-event JSON of the run (view in ui.perfetto.dev)")
+	telemetryAddr := fs.String("telemetry", "", "serve live telemetry on this address (e.g. :9090): Prometheus /metrics, pprof")
+	manifestPath := fs.String("manifest", "", "write a JSON run manifest (seed, config, stage-time breakdown) to this file")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	if *graphPath == "" {
 		fs.Usage()
 		return fmt.Errorf("-graph is required")
+	}
+	var manifest *telemetry.Manifest
+	if *manifestPath != "" {
+		manifest = telemetry.NewManifest("disparity-sim", args)
+	}
+	if *pprofPath != "" {
+		f, err := os.Create(*pprofPath)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			return err
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *telemetryAddr != "" {
+		srv := &telemetry.Server{}
+		addr, err := srv.Start(*telemetryAddr)
+		if err != nil {
+			return err
+		}
+		defer srv.Close()
+		fmt.Fprintf(os.Stderr, "disparity-sim: telemetry on http://%s\n", addr)
 	}
 	horizon, err := disparity.ParseTime(*horizonStr)
 	if err != nil {
@@ -102,12 +144,19 @@ func run(args []string) error {
 		rec.Limit = *traceLimit
 		observers = append(observers, rec)
 	}
+	var tracer *span.Tracer
+	var track *span.Track
+	if *runTracePath != "" {
+		tracer = span.New()
+		track = tracer.Track("sim")
+	}
 	res, err := disparity.Simulate(g, disparity.SimConfig{
 		Horizon:   horizon,
 		Warmup:    warmup,
 		Exec:      exec,
 		Seed:      *seed,
 		Observers: observers,
+		Trace:     track,
 	})
 	if err != nil {
 		return err
@@ -163,6 +212,36 @@ func run(args []string) error {
 		}
 		fmt.Printf("trace: %d records written to %s (%d dropped)\n",
 			len(rec.Records), *tracePath, rec.Dropped)
+	}
+	if tracer != nil {
+		if err := tracer.WriteChromeFile(*runTracePath); err != nil {
+			return err
+		}
+		fmt.Printf("runtrace: %d spans written to %s\n", tracer.SpanCount(), *runTracePath)
+	}
+	if *dumpMetrics {
+		fmt.Println()
+		fmt.Println("metrics:")
+		if err := metrics.Fprint(os.Stdout); err != nil {
+			return err
+		}
+	}
+	if manifest != nil {
+		manifest.Seed = *seed
+		manifest.Config = map[string]any{
+			"graph":          *graphPath,
+			"horizon_ns":     int64(horizon),
+			"warmup_ns":      int64(warmup),
+			"exec":           *execName,
+			"random_offsets": *randomOffsets,
+			"jobs":           res.Jobs,
+			"overruns":       res.Overruns,
+		}
+		manifest.Finish(nil)
+		if err := manifest.WriteFile(*manifestPath); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "disparity-sim: manifest written to %s\n", *manifestPath)
 	}
 	return nil
 }

@@ -1,6 +1,7 @@
 package main
 
 import (
+	"encoding/json"
 	"os"
 	"path/filepath"
 	"strings"
@@ -96,5 +97,54 @@ func TestRunSimGantt(t *testing.T) {
 	}
 	if !strings.Contains(string(data), "<svg") {
 		t.Error("SVG output missing")
+	}
+}
+
+func TestRunSimObservabilityFlags(t *testing.T) {
+	path := writeFixture(t)
+	dir := filepath.Dir(path)
+	runTrace := filepath.Join(dir, "run.trace.json")
+	manifest := filepath.Join(dir, "run.manifest.json")
+	err := run([]string{
+		"-graph", path, "-horizon", "500ms", "-warmup", "100ms",
+		"-runtrace", runTrace, "-manifest", manifest, "-metrics",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	traceData, err := os.ReadFile(runTrace)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []struct {
+			Name string `json:"name"`
+			Ph   string `json:"ph"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(traceData, &doc); err != nil {
+		t.Fatalf("runtrace is not valid JSON: %v", err)
+	}
+	sawRun := false
+	for _, ev := range doc.TraceEvents {
+		if ev.Ph == "X" && ev.Name == "sim.run" {
+			sawRun = true
+		}
+	}
+	if !sawRun {
+		t.Error("runtrace missing sim.run span")
+	}
+	manifestData, err := os.ReadFile(manifest)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var m struct {
+		Command string `json:"command"`
+	}
+	if err := json.Unmarshal(manifestData, &m); err != nil {
+		t.Fatalf("manifest is not valid JSON: %v", err)
+	}
+	if m.Command != "disparity-sim" {
+		t.Errorf("manifest command = %q", m.Command)
 	}
 }

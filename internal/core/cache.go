@@ -31,6 +31,7 @@ import (
 	"repro/internal/metrics"
 	"repro/internal/model"
 	"repro/internal/sched"
+	"repro/internal/trace/span"
 )
 
 var (
@@ -44,6 +45,10 @@ var (
 	cacheTaskMisses  = metrics.C("cache.task.misses")
 	cachePairsSeeded = metrics.C("cache.pairs.seeded")
 	pairsBounded     = metrics.C("core.pairs.bounded")
+	// pairFillHist records the latency of each pair-bound fill (cache
+	// miss → compute); hits are counter-only because a hit is a map
+	// probe, far below the histogram's nanosecond resolution floor.
+	pairFillHist = metrics.H("cache.pair.fill")
 )
 
 // keyScratch sizes the stack buffers for pair-key building; longer keys
@@ -75,6 +80,12 @@ type AnalysisCache struct {
 	pair [2]map[string]*PairBound
 	// task interns task-level disparities per (task, method, cap).
 	task map[taskKey]*TaskDisparity
+
+	// track, when non-nil, receives one span per expensive cache miss
+	// (WCRT fixed point, chain enumeration, task-level disparity). Set
+	// it with WithTrack before sharing the cache across goroutines; the
+	// pointer itself is then read-only.
+	track *span.Track
 }
 
 type enumKey struct {
@@ -104,6 +115,15 @@ func NewAnalysisCache() *AnalysisCache {
 		},
 		task: make(map[taskKey]*TaskDisparity),
 	}
+}
+
+// WithTrack attaches a trace track to the cache: every expensive miss
+// (WCRT, enumeration, task disparity) records a span there. Call before
+// the cache is shared across goroutines; returns the cache for
+// chaining. A nil track (or never calling WithTrack) disables spans.
+func (c *AnalysisCache) WithTrack(tk *span.Track) *AnalysisCache {
+	c.track = tk
+	return c
 }
 
 // bind pins the cache to a graph on first use and panics on a mismatch:
@@ -138,7 +158,9 @@ func (c *AnalysisCache) Sched(g *model.Graph, policy sched.Policy) *sched.Result
 		return res
 	}
 	cacheSchedMisses.Inc()
+	sp := c.track.Start("wcrt")
 	res = sched.Analyze(g, policy)
+	sp.End(span.Int("policy", int64(policy)))
 	c.mu.Lock()
 	// Keep the first stored result so all callers share one pointer.
 	if prev, ok := c.sched[policy]; ok {
@@ -183,7 +205,9 @@ func (c *AnalysisCache) enumerate(g *model.Graph, task model.TaskID, maxChains i
 		return ps, nil
 	}
 	cacheEnumMisses.Inc()
+	sp := c.track.Start("enumerate")
 	ps, err := chains.Enumerate(g, task, maxChains)
+	sp.End(span.Int("chains", int64(len(ps))))
 	if err != nil {
 		return nil, err
 	}
@@ -208,7 +232,9 @@ func (c *AnalysisCache) pairBound(m Method, lambda, nu model.Chain, compute func
 		return pb, nil
 	}
 	cachePairMisses.Inc()
+	stopFill := pairFillHist.Start()
 	pb, err := compute()
+	stopFill()
 	if err != nil {
 		return nil, err
 	}
@@ -233,7 +259,9 @@ func (c *AnalysisCache) taskDisparity(task model.TaskID, m Method, maxChains int
 		return td, nil
 	}
 	cacheTaskMisses.Inc()
+	sp := c.track.Start("disparity")
 	td, err := compute()
+	sp.End(span.Str("method", m.String()), span.Int("task", int64(task)))
 	if err != nil {
 		return nil, err
 	}

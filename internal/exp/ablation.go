@@ -166,7 +166,7 @@ func AblationExec(cfg Config) (*Table, error) {
 			for mi, m := range models {
 				sub := cfg
 				sub.Exec = m
-				v, err := simulateMaxDisparity(context.Background(), sub, g, sink, rng)
+				v, err := simulateMaxDisparity(context.Background(), sub, nil, g, sink, rng)
 				if err != nil {
 					return nil, err
 				}
@@ -214,7 +214,7 @@ func AblationSemantics(cfg Config) (*Table, error) {
 				if err != nil || len(sd.Pairs) == 0 {
 					return 0, 0, false, nil
 				}
-				v, err := simulateMaxDisparity(context.Background(), cfg, gr, sink, rng)
+				v, err := simulateMaxDisparity(context.Background(), cfg, nil, gr, sink, rng)
 				if err != nil {
 					return 0, 0, false, err
 				}
@@ -297,7 +297,7 @@ func AblationAdversarial(cfg Config) (*Table, error) {
 			if err != nil {
 				continue
 			}
-			random, err := simulateMaxDisparity(context.Background(), cfg, g, sink, rng)
+			random, err := simulateMaxDisparity(context.Background(), cfg, nil, g, sink, rng)
 			if err != nil {
 				return nil, err
 			}

@@ -5,6 +5,7 @@ import (
 	"fmt"
 
 	"repro/internal/core"
+	"repro/internal/trace/span"
 )
 
 // boundsResult carries the per-graph analysis bounds of BoundsSweep.
@@ -33,10 +34,12 @@ func BoundsSweep(cfg Config) (*Table, error) {
 		Columns: []string{"P-diff", "S-diff", "S-diff-B"},
 	}
 	ctx := context.Background()
+	cfg.sweepBegin()
 	for pi, n := range cfg.Points {
+		cfg.pointBegin("n=", n)
 		results := make([]boundsResult, cfg.GraphsPerPoint)
-		err := cfg.runner(n).Run(ctx, cfg.GraphsPerPoint, func(ctx context.Context, gi int) error {
-			r, err := evalGNMBounds(ctx, cfg, n, pi, gi)
+		err := cfg.runner(n).RunIndexed(ctx, cfg.GraphsPerPoint, func(ctx context.Context, worker, gi int) error {
+			r, err := evalGNMBounds(ctx, cfg, cfg.Tracer.WorkerTrack(worker), n, pi, gi)
 			if err != nil {
 				return fmt.Errorf("point n=%d graph %d: %w", n, gi, err)
 			}
@@ -70,23 +73,25 @@ func BoundsSweep(cfg Config) (*Table, error) {
 // evalGNMBounds mirrors evalGNMGraph's generation (identical rng stream:
 // the simulation draws it skips all happen after generation) but stops
 // at the analysis: P-diff, S-diff, and the greedy-buffered S-diff.
-func evalGNMBounds(ctx context.Context, cfg Config, n, pi, gi int) (boundsResult, error) {
+func evalGNMBounds(ctx context.Context, cfg Config, tk *span.Track, n, pi, gi int) (boundsResult, error) {
 	if failGraphHook != nil {
 		if err := failGraphHook(pi, gi); err != nil {
 			return boundsResult{}, err
 		}
 	}
+	ws := tk.Start("workload")
+	defer ws.End(span.Int("n", int64(n)), span.Int("graph", int64(gi)))
 	rng := newGraphRNG(cfg.Seed, pi, gi)
 	for attempt := 0; attempt < 60; attempt++ {
 		if err := ctx.Err(); err != nil {
 			return boundsResult{}, err
 		}
-		g := generateGNM(cfg, n, rng)
+		g := generateGNM(cfg, tk, n, rng)
 		if g == nil {
 			continue
 		}
-		stop := analysisTimer.Start()
-		a, ok, err := cfg.newAnalysis(g)
+		stop := stage(analysisHist, tk, "analysis")
+		a, ok, err := cfg.newAnalysis(g, tk)
 		if err != nil || !ok {
 			stop()
 			if err != nil {

@@ -113,11 +113,11 @@ func AblationGreedyBuffers(cfg Config) (*Table, error) {
 				continue
 			}
 			rng := rand.New(rand.NewSource(cfg.Seed + int64(pi*41+gi)))
-			simPlain, err := simulateMaxDisparity(context.Background(), cfg, g, sink, rng)
+			simPlain, err := simulateMaxDisparity(context.Background(), cfg, nil, g, sink, rng)
 			if err != nil {
 				return nil, err
 			}
-			simGreedy, err := simulateMaxDisparity(context.Background(), cfg, greedy.Graph, sink, rng)
+			simGreedy, err := simulateMaxDisparity(context.Background(), cfg, nil, greedy.Graph, sink, rng)
 			if err != nil {
 				return nil, err
 			}

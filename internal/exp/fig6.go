@@ -7,6 +7,7 @@ import (
 	"io"
 	"math/rand"
 	"runtime"
+	"strconv"
 
 	"repro/internal/core"
 	"repro/internal/metrics"
@@ -16,16 +17,24 @@ import (
 	"repro/internal/sched"
 	"repro/internal/sim"
 	"repro/internal/timeu"
+	"repro/internal/trace/span"
 	"repro/internal/waters"
 )
 
+// Stage times are histograms, not plain timers: a sweep spans graphs
+// from 5 to 35 tasks, whose analysis times differ by orders of
+// magnitude, and the p50/p90/p99 split is what distinguishes "every
+// workload is slow" from "a few outliers dominate".
 var (
 	graphsGenerated = metrics.C("exp.graphs.generated")
 	graphsUsed      = metrics.C("exp.graphs.used")
 	simJobs         = metrics.C("exp.sim.jobs")
-	genTimer        = metrics.T("exp.stage.generate")
-	analysisTimer   = metrics.T("exp.stage.analysis")
-	simTimer        = metrics.T("exp.stage.simulate")
+	genHist         = metrics.H("exp.stage.generate")
+	analysisHist    = metrics.H("exp.stage.analysis")
+	simHist         = metrics.H("exp.stage.simulate")
+	// simRunHist times each individual engine run (OffsetsPerGraph of
+	// them per simHist observation).
+	simRunHist = metrics.H("exp.sim.run")
 )
 
 // failGraphHook, when non-nil, is called at the start of every graph
@@ -83,6 +92,27 @@ type Config struct {
 	// Progress, when non-nil, receives one line per finished graph
 	// ("n=15: graphs 7/10"), for coarse live progress on long sweeps.
 	Progress io.Writer
+	// Tracer, when non-nil, records structured spans of the sweep: one
+	// track per worker, a span per workload with stage children
+	// (generate, analysis, simulate) and the engine- and cache-level
+	// spans below them. Write the result with span.WriteChromeFile.
+	Tracer *span.Tracer
+	// Sink, when non-nil, receives live progress callbacks (sweep
+	// start, current point, settled workloads) — the feed behind a
+	// telemetry /progress endpoint.
+	Sink ProgressSink
+}
+
+// ProgressSink receives live sweep progress. telemetry.Tracker
+// implements it; the interface lives here so exp does not depend on
+// the HTTP layer.
+type ProgressSink interface {
+	// Begin announces the expected workload (graph-evaluation) total.
+	Begin(total int)
+	// Point announces the sweep point now being evaluated ("n=15").
+	Point(label string)
+	// WorkloadDone counts one settled workload.
+	WorkloadDone()
 }
 
 // Defaults returns a configuration sized for interactive runs and tests:
@@ -138,19 +168,51 @@ func (cfg *Config) validate() error {
 // runner builds the shared bounded-worker runner for one sweep point.
 func (cfg *Config) runner(n int) par.Runner {
 	r := par.Runner{Workers: cfg.workers()}
-	if cfg.Progress != nil {
+	if cfg.Progress != nil || cfg.Sink != nil {
+		progress, sink := cfg.Progress, cfg.Sink
 		r.OnProgress = func(done, total int) {
-			fmt.Fprintf(cfg.Progress, "n=%d: graphs %d/%d\n", n, done, total)
+			if progress != nil {
+				fmt.Fprintf(progress, "n=%d: graphs %d/%d\n", n, done, total)
+			}
+			if sink != nil {
+				sink.WorkloadDone()
+			}
 		}
 	}
 	return r
+}
+
+// sweepBegin announces a sweep to the progress sink: the workload
+// total is every point times every graph.
+func (cfg *Config) sweepBegin() {
+	if cfg.Sink != nil {
+		cfg.Sink.Begin(len(cfg.Points) * cfg.GraphsPerPoint)
+	}
+}
+
+// pointBegin announces one sweep point to the progress sink.
+func (cfg *Config) pointBegin(prefix string, n int) {
+	if cfg.Sink != nil {
+		cfg.Sink.Point(prefix + strconv.Itoa(n))
+	}
+}
+
+// stage opens one workload stage: a histogram measurement plus, when
+// tracing, a span on the worker's track. The returned func closes both.
+func stage(h *metrics.Histogram, tk *span.Track, name string) func() {
+	stop := h.Start()
+	sp := tk.Start(name)
+	return func() {
+		sp.End()
+		stop()
+	}
 }
 
 // newAnalysis runs the schedulability check and builds the analysis for
 // one generated graph, sharing the WCRT fixed point between the two
 // through the per-graph cache (unless disabled). ok=false means the
 // graph is unschedulable and should be regenerated.
-func (cfg *Config) newAnalysis(g *model.Graph) (a *core.Analysis, ok bool, err error) {
+func (cfg *Config) newAnalysis(g *model.Graph, tk *span.Track) (a *core.Analysis, ok bool, err error) {
 	var res *sched.Result
 	if cfg.DisableCache {
 		res = sched.Analyze(g, sched.NonPreemptiveFP)
@@ -159,7 +221,7 @@ func (cfg *Config) newAnalysis(g *model.Graph) (a *core.Analysis, ok bool, err e
 		}
 		a, err = core.New(g)
 	} else {
-		cache := core.NewAnalysisCache()
+		cache := core.NewAnalysisCache().WithTrack(tk)
 		res = cache.Sched(g, sched.NonPreemptiveFP)
 		if !res.Schedulable {
 			return nil, false, nil
@@ -246,10 +308,12 @@ func runFig6ab(cfg Config, abs, ratio *Table) error {
 		ratio.XLabel = "tasks"
 	}
 	ctx := context.Background()
+	cfg.sweepBegin()
 	for pi, n := range cfg.Points {
+		cfg.pointBegin("n=", n)
 		results := make([]graphResult, cfg.GraphsPerPoint)
-		err := cfg.runner(n).Run(ctx, cfg.GraphsPerPoint, func(ctx context.Context, gi int) error {
-			r, err := evalGNMGraph(ctx, cfg, n, pi, gi)
+		err := cfg.runner(n).RunIndexed(ctx, cfg.GraphsPerPoint, func(ctx context.Context, worker, gi int) error {
+			r, err := evalGNMGraph(ctx, cfg, cfg.Tracer.WorkerTrack(worker), n, pi, gi)
 			if err != nil {
 				return fmt.Errorf("point n=%d graph %d: %w", n, gi, err)
 			}
@@ -293,8 +357,8 @@ func newGraphRNG(seed int64, pi, gi int) *rand.Rand {
 
 // generateGNM draws the next candidate graph from the per-graph rng
 // stream. A nil graph means the draw failed and should be retried.
-func generateGNM(cfg Config, n int, rng *rand.Rand) *model.Graph {
-	defer genTimer.Start()()
+func generateGNM(cfg Config, tk *span.Track, n int, rng *rand.Rand) *model.Graph {
+	defer stage(genHist, tk, "generate")()
 	tail := cfg.TailLen
 	if n-tail < 5 {
 		tail = n - 5
@@ -318,23 +382,25 @@ func generateGNM(cfg Config, n int, rng *rand.Rand) *model.Graph {
 // offset runs. ok=false marks graphs abandoned after repeated retries
 // (unschedulable or degenerate draws); a non-nil error is a genuine
 // failure that aborts the sweep.
-func evalGNMGraph(ctx context.Context, cfg Config, n, pi, gi int) (graphResult, error) {
+func evalGNMGraph(ctx context.Context, cfg Config, tk *span.Track, n, pi, gi int) (graphResult, error) {
 	if failGraphHook != nil {
 		if err := failGraphHook(pi, gi); err != nil {
 			return graphResult{}, err
 		}
 	}
+	ws := tk.Start("workload")
+	defer ws.End(span.Int("n", int64(n)), span.Int("graph", int64(gi)))
 	rng := newGraphRNG(cfg.Seed, pi, gi)
 	for attempt := 0; attempt < 60; attempt++ {
 		if err := ctx.Err(); err != nil {
 			return graphResult{}, err
 		}
-		g := generateGNM(cfg, n, rng)
+		g := generateGNM(cfg, tk, n, rng)
 		if g == nil {
 			continue
 		}
-		stop := analysisTimer.Start()
-		a, ok, err := cfg.newAnalysis(g)
+		stop := stage(analysisHist, tk, "analysis")
+		a, ok, err := cfg.newAnalysis(g, tk)
 		if err != nil || !ok {
 			stop()
 			if err != nil {
@@ -356,7 +422,7 @@ func evalGNMGraph(ctx context.Context, cfg Config, n, pi, gi int) (graphResult, 
 		if len(pd.Pairs) == 0 {
 			continue // single-source graph: disparity is trivially 0
 		}
-		simMax, err := simulateMaxDisparity(ctx, cfg, g, sink, rng)
+		simMax, err := simulateMaxDisparity(ctx, cfg, tk, g, sink, rng)
 		if err != nil {
 			return graphResult{}, err
 		}
@@ -380,8 +446,8 @@ func evalGNMGraph(ctx context.Context, cfg Config, n, pi, gi int) (graphResult, 
 // A simulator validation failure is a programming error upstream; it is
 // returned (not swallowed) so the sweep aborts loudly instead of skewing
 // results silently.
-func simulateMaxDisparity(ctx context.Context, cfg Config, g *model.Graph, task model.TaskID, rng *rand.Rand) (timeu.Time, error) {
-	defer simTimer.Start()()
+func simulateMaxDisparity(ctx context.Context, cfg Config, tk *span.Track, g *model.Graph, task model.TaskID, rng *rand.Rand) (timeu.Time, error) {
+	defer stage(simHist, tk, "simulate")()
 	eng, err := sim.NewEngine(g)
 	if err != nil {
 		return 0, fmt.Errorf("exp: simulation of task %s's graph failed: %w", g.Task(task).Name, err)
@@ -393,12 +459,15 @@ func simulateMaxDisparity(ctx context.Context, cfg Config, g *model.Graph, task 
 		}
 		waters.RandomOffsets(g, rng)
 		obs := sim.NewDisparityObserver(cfg.Warmup, task)
+		stopRun := simRunHist.Start()
 		stats, err := eng.Run(sim.Config{
 			Horizon:   cfg.Horizon,
 			Exec:      cfg.Exec,
 			Seed:      rng.Int63(),
 			Observers: []sim.Observer{obs},
+			Trace:     tk,
 		})
+		stopRun()
 		if err != nil {
 			return 0, fmt.Errorf("exp: simulation of task %s's graph failed: %w", g.Task(task).Name, err)
 		}
@@ -448,10 +517,12 @@ func fig6cd(cfg Config) (*Table, *Table, error) {
 		Columns: []string{"S-diff", "S-diff-B"},
 	}
 	ctx := context.Background()
+	cfg.sweepBegin()
 	for pi, n := range cfg.Points {
+		cfg.pointBegin("len=", n)
 		results := make([]twoChainResult, cfg.GraphsPerPoint)
-		err := cfg.runner(n).Run(ctx, cfg.GraphsPerPoint, func(ctx context.Context, gi int) error {
-			r, err := evalTwoChains(ctx, cfg, n, pi, gi)
+		err := cfg.runner(n).RunIndexed(ctx, cfg.GraphsPerPoint, func(ctx context.Context, worker, gi int) error {
+			r, err := evalTwoChains(ctx, cfg, cfg.Tracer.WorkerTrack(worker), n, pi, gi)
 			if err != nil {
 				return fmt.Errorf("point len=%d graph %d: %w", n, gi, err)
 			}
@@ -490,19 +561,21 @@ func fig6cd(cfg Config) (*Table, *Table, error) {
 	return abs, ratio, nil
 }
 
-func evalTwoChains(ctx context.Context, cfg Config, n, pi, gi int) (twoChainResult, error) {
+func evalTwoChains(ctx context.Context, cfg Config, tk *span.Track, n, pi, gi int) (twoChainResult, error) {
 	if failGraphHook != nil {
 		if err := failGraphHook(pi, gi); err != nil {
 			return twoChainResult{}, err
 		}
 	}
+	ws := tk.Start("workload")
+	defer ws.End(span.Int("len", int64(n)), span.Int("graph", int64(gi)))
 	rng := rand.New(rand.NewSource(cfg.Seed + 17 + int64(pi)*1_000_003 + int64(gi)*7_919))
 	gcfg := randgraph.Config{ECUs: cfg.ECUs, StimulusSources: true}
 	for attempt := 0; attempt < 60; attempt++ {
 		if err := ctx.Err(); err != nil {
 			return twoChainResult{}, err
 		}
-		stopGen := genTimer.Start()
+		stopGen := stage(genHist, tk, "generate")
 		g, la, nu, err := randgraph.TwoChains(n, gcfg, rng)
 		if err != nil {
 			stopGen()
@@ -511,8 +584,8 @@ func evalTwoChains(ctx context.Context, cfg Config, n, pi, gi int) (twoChainResu
 		waters.Populate(g, rng)
 		graphsGenerated.Inc()
 		stopGen()
-		stop := analysisTimer.Start()
-		a, ok, err := cfg.newAnalysis(g)
+		stop := stage(analysisHist, tk, "analysis")
+		a, ok, err := cfg.newAnalysis(g, tk)
 		if err != nil || !ok {
 			stop()
 			if err != nil {
@@ -526,7 +599,7 @@ func evalTwoChains(ctx context.Context, cfg Config, n, pi, gi int) (twoChainResu
 			continue
 		}
 		sink := la.Tail()
-		simPlain, err := simulateMaxDisparity(ctx, cfg, g, sink, rng)
+		simPlain, err := simulateMaxDisparity(ctx, cfg, tk, g, sink, rng)
 		if err != nil {
 			return twoChainResult{}, err
 		}
@@ -534,7 +607,7 @@ func evalTwoChains(ctx context.Context, cfg Config, n, pi, gi int) (twoChainResu
 		if err := plan.Apply(buffered); err != nil {
 			continue
 		}
-		simBuf, err := simulateMaxDisparity(ctx, cfg, buffered, sink, rng)
+		simBuf, err := simulateMaxDisparity(ctx, cfg, tk, buffered, sink, rng)
 		if err != nil {
 			return twoChainResult{}, err
 		}

@@ -1,0 +1,116 @@
+package exp
+
+import (
+	"bytes"
+	"encoding/json"
+	"sync"
+	"testing"
+
+	"repro/internal/trace/span"
+)
+
+// countingSink records ProgressSink callbacks.
+type countingSink struct {
+	mu     sync.Mutex
+	total  int
+	points []string
+	done   int
+}
+
+func (s *countingSink) Begin(total int) {
+	s.mu.Lock()
+	s.total = total
+	s.mu.Unlock()
+}
+
+func (s *countingSink) Point(label string) {
+	s.mu.Lock()
+	s.points = append(s.points, label)
+	s.mu.Unlock()
+}
+
+func (s *countingSink) WorkloadDone() {
+	s.mu.Lock()
+	s.done++
+	s.mu.Unlock()
+}
+
+// TestSweepObservability runs a tiny traced sweep and checks the two
+// observability feeds: the span tracer collects per-worker workload
+// and stage spans that render to valid Chrome JSON, and the progress
+// sink sees the full workload count.
+func TestSweepObservability(t *testing.T) {
+	cfg := tiny()
+	cfg.Tracer = span.New()
+	sink := &countingSink{}
+	cfg.Sink = sink
+
+	if _, _, err := Fig6ab(cfg); err != nil {
+		t.Fatal(err)
+	}
+
+	want := len(cfg.Points) * cfg.GraphsPerPoint
+	if sink.total != want {
+		t.Errorf("Begin(total) = %d, want %d", sink.total, want)
+	}
+	if sink.done != want {
+		t.Errorf("WorkloadDone count = %d, want %d", sink.done, want)
+	}
+	if len(sink.points) != len(cfg.Points) || sink.points[0] != "n=5" {
+		t.Errorf("points = %v", sink.points)
+	}
+
+	if n := cfg.Tracer.SpanCount(); n == 0 {
+		t.Fatal("traced sweep recorded no spans")
+	}
+	var buf bytes.Buffer
+	if err := cfg.Tracer.WriteChrome(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []struct {
+			Name string `json:"name"`
+			Ph   string `json:"ph"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("trace is not valid JSON: %v", err)
+	}
+	seen := map[string]bool{}
+	for _, ev := range doc.TraceEvents {
+		if ev.Ph == "X" {
+			seen[ev.Name] = true
+		}
+	}
+	for _, name := range []string{"workload", "generate", "analysis", "simulate", "sim.run", "wcrt"} {
+		if !seen[name] {
+			t.Errorf("trace missing %q spans (saw %v)", name, seen)
+		}
+	}
+}
+
+// TestUntracedSweepIdentical checks that enabling the tracer does not
+// change results: the tables of a traced and an untraced run of the
+// same config are equal.
+func TestUntracedSweepIdentical(t *testing.T) {
+	cfg := tiny()
+	plain, _, err := Fig6ab(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Tracer = span.New()
+	traced, _, err := Fig6ab(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var a, b bytes.Buffer
+	if err := plain.WriteCSV(&a); err != nil {
+		t.Fatal(err)
+	}
+	if err := traced.WriteCSV(&b); err != nil {
+		t.Fatal(err)
+	}
+	if a.String() != b.String() {
+		t.Errorf("traced run changed results:\n%s\nvs\n%s", a.String(), b.String())
+	}
+}

@@ -14,6 +14,7 @@ import (
 	"errors"
 	"runtime"
 	"sync"
+	"time"
 )
 
 // Runner executes jobs with at most Workers running concurrently.
@@ -24,15 +25,31 @@ type Runner struct {
 	// skipped job with the number of settled jobs and the total. Calls
 	// are serialized; done increases by one per call up to total.
 	OnProgress func(done, total int)
+	// OnJob, when non-nil, is called after every executed job with the
+	// worker slot that ran it, the job index, its wall-clock duration,
+	// and its error. Skipped jobs (cancelled before start) are not
+	// reported. Calls may be concurrent across workers.
+	OnJob func(worker, i int, d time.Duration, err error)
 }
 
-// Run invokes fn(ctx, i) for every i in [0, n). The first error cancels
-// the shared context: running jobs observe ctx.Done(), and jobs that
-// have not started yet are skipped entirely. Run waits for all started
-// jobs, then returns every job error joined in job-index order (nil if
-// none). Cancellation of the parent context aborts the same way and is
-// reported as ctx.Err() when no job failed first.
+// Run invokes fn(ctx, i) for every i in [0, n); it delegates to
+// RunIndexed, discarding the worker slot.
 func (r Runner) Run(ctx context.Context, n int, fn func(ctx context.Context, i int) error) error {
+	return r.RunIndexed(ctx, n, func(ctx context.Context, _, i int) error {
+		return fn(ctx, i)
+	})
+}
+
+// RunIndexed invokes fn(ctx, worker, i) for every i in [0, n), where
+// worker ∈ [0, Workers) identifies the pool slot executing the job —
+// stable per goroutine, so callers can key per-worker state (trace
+// tracks, scratch buffers) without locks. The first error cancels the
+// shared context: running jobs observe ctx.Done(), and jobs that have
+// not started yet are skipped entirely. RunIndexed waits for all
+// started jobs, then returns every job error joined in job-index order
+// (nil if none). Cancellation of the parent context aborts the same
+// way and is reported as ctx.Err() when no job failed first.
+func (r Runner) RunIndexed(ctx context.Context, n int, fn func(ctx context.Context, worker, i int) error) error {
 	if n <= 0 {
 		return nil
 	}
@@ -76,20 +93,25 @@ func (r Runner) Run(ctx context.Context, n int, fn func(ctx context.Context, i i
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
-		go func() {
+		go func(worker int) {
 			defer wg.Done()
 			for i := range next {
 				if ctx.Err() != nil {
 					settle()
 					continue
 				}
-				if err := fn(ctx, i); err != nil {
+				begin := time.Now()
+				err := fn(ctx, worker, i)
+				if r.OnJob != nil {
+					r.OnJob(worker, i, time.Since(begin), err)
+				}
+				if err != nil {
 					errs[i] = err
 					cancel()
 				}
 				settle()
 			}
-		}()
+		}(w)
 	}
 	wg.Wait()
 

@@ -168,3 +168,73 @@ func TestZeroJobs(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+func TestRunIndexedWorkerSlots(t *testing.T) {
+	const workers, n = 4, 50
+	var mu sync.Mutex
+	perWorker := make(map[int]int)
+	covered := make([]bool, n)
+	err := Runner{Workers: workers}.RunIndexed(context.Background(), n,
+		func(_ context.Context, worker, i int) error {
+			mu.Lock()
+			defer mu.Unlock()
+			if worker < 0 || worker >= workers {
+				t.Errorf("worker slot %d outside [0,%d)", worker, workers)
+			}
+			perWorker[worker]++
+			covered[i] = true
+			return nil
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, ok := range covered {
+		if !ok {
+			t.Errorf("job %d never ran", i)
+		}
+	}
+	total := 0
+	for _, c := range perWorker {
+		total += c
+	}
+	if total != n {
+		t.Errorf("jobs executed = %d, want %d", total, n)
+	}
+}
+
+func TestOnJobReportsDurationAndError(t *testing.T) {
+	boom := errors.New("boom")
+	var mu sync.Mutex
+	var calls int
+	var sawErr bool
+	r := Runner{
+		Workers: 2,
+		OnJob: func(worker, i int, d time.Duration, err error) {
+			mu.Lock()
+			defer mu.Unlock()
+			calls++
+			if d < 0 {
+				t.Errorf("job %d: negative duration %v", i, d)
+			}
+			if err != nil {
+				sawErr = true
+			}
+		},
+	}
+	err := r.Run(context.Background(), 8, func(_ context.Context, i int) error {
+		if i == 3 {
+			return boom
+		}
+		time.Sleep(time.Millisecond)
+		return nil
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want boom", err)
+	}
+	if !sawErr {
+		t.Error("OnJob never saw the failing job")
+	}
+	if calls == 0 {
+		t.Error("OnJob never called")
+	}
+}

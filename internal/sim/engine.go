@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/model"
 	"repro/internal/timeu"
+	"repro/internal/trace/span"
 )
 
 // Job is one execution instance of a task. Observers receive the job
@@ -58,6 +59,15 @@ type Config struct {
 	Seed int64
 	// Observers receive job completions.
 	Observers []Observer
+	// Trace, when non-nil, records engine-level spans on this track: one
+	// "sim.run" span per Run plus sampled "sim.chunk" spans every
+	// TraceChunk finished jobs, so long runs show internal progress in
+	// the trace viewer without per-job overhead. Disabled tracing costs
+	// one nil check per finished job.
+	Trace *span.Track
+	// TraceChunk is the chunk-span sampling granularity in jobs; ≤ 0
+	// selects 65536.
+	TraceChunk int64
 }
 
 // Stats summarizes a finished run.
@@ -192,6 +202,13 @@ type Engine struct {
 	// every event (see taskInfo).
 	info []taskInfo
 
+	// Chunk-span sampling state (see Config.Trace). chunkLeft counts
+	// down finished jobs; at zero the open chunk span is closed and a
+	// new one started.
+	chunkSpan span.Span
+	chunkLeft int64
+	chunkSize int64
+
 	// Flat stamp-merge scratch, indexed by origin slot. origins lists
 	// the tasks that can ever appear in a stamp (external stimuli and
 	// sources) in ascending task order; originIdx maps task ID → origin
@@ -271,8 +288,14 @@ func (e *Engine) Run(cfg Config) (*Stats, error) {
 	if cfg.Exec == nil {
 		cfg.Exec = WCETExec{}
 	}
-	e.reset(cfg)
+	runSpan := cfg.Trace.Start("sim.run")
+	e.reset(cfg) // starts the first chunk span, nested under runSpan
 	e.loop()
+	if cfg.Trace != nil {
+		e.chunkSpan.End(span.Int("jobs", e.chunkSize-e.chunkLeft))
+		e.chunkSpan = span.Span{}
+		runSpan.End(span.Int("jobs", e.stats.Jobs), span.Int("seed", cfg.Seed))
+	}
 	stats := e.stats
 	stats.Channels = make([]ChannelStats, len(e.chans))
 	for i, ch := range e.chans {
@@ -317,6 +340,12 @@ func (e *Engine) reset(cfg Config) {
 		q.slots = q.slots[:0]
 		q.head = 0
 	}
+	e.chunkSize = cfg.TraceChunk
+	if e.chunkSize <= 0 {
+		e.chunkSize = 1 << 16
+	}
+	e.chunkLeft = e.chunkSize
+	e.chunkSpan = cfg.Trace.Start("sim.chunk") // zero Span when tracing is off
 	e.startObs = e.startObs[:0]
 	e.relObs = e.relObs[:0]
 	for _, obs := range cfg.Observers {
@@ -639,6 +668,13 @@ func (e *Engine) publish(j *Job) {
 		ch.write(j.Out)
 	}
 	e.stats.Jobs++
+	if e.cfg.Trace != nil {
+		if e.chunkLeft--; e.chunkLeft <= 0 {
+			e.chunkSpan.End(span.Int("jobs", e.chunkSize))
+			e.chunkSpan = e.cfg.Trace.Start("sim.chunk")
+			e.chunkLeft = e.chunkSize
+		}
+	}
 	for _, obs := range e.cfg.Observers {
 		obs.JobFinished(j)
 	}

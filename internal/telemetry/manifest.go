@@ -1,0 +1,130 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"os"
+	"runtime"
+	"time"
+
+	"repro/internal/metrics"
+)
+
+// Manifest is the per-run provenance record written by the CLI
+// frontends under -manifest: everything needed to attribute a BENCH or
+// EXPERIMENTS entry to the exact run that produced it — seed and
+// configuration, toolchain and machine, wall-clock window, and the
+// stage-time breakdown (count, total, p50/p90/p99 per instrumented
+// stage).
+type Manifest struct {
+	Command string   `json:"command"`
+	Args    []string `json:"args,omitempty"`
+
+	GoVersion  string `json:"go_version"`
+	GOOS       string `json:"goos"`
+	GOARCH     string `json:"goarch"`
+	NumCPU     int    `json:"num_cpu"`
+	GOMAXPROCS int    `json:"gomaxprocs"`
+
+	Start       time.Time `json:"start"`
+	End         time.Time `json:"end"`
+	DurationSec float64   `json:"duration_sec"`
+
+	Seed   int64 `json:"seed,omitempty"`
+	Config any   `json:"config,omitempty"`
+
+	// Stages is the per-stage wall-clock breakdown, one entry per timer
+	// or histogram in the registry, sorted by name.
+	Stages []Stage `json:"stages,omitempty"`
+	// Counters holds every counter value at Finish.
+	Counters map[string]int64 `json:"counters,omitempty"`
+}
+
+// Stage is one instrument's time breakdown. Quantiles are present only
+// for histogram-backed stages.
+type Stage struct {
+	Name     string  `json:"name"`
+	Count    int64   `json:"count"`
+	TotalSec float64 `json:"total_sec"`
+	P50Sec   float64 `json:"p50_sec,omitempty"`
+	P90Sec   float64 `json:"p90_sec,omitempty"`
+	P99Sec   float64 `json:"p99_sec,omitempty"`
+}
+
+// NewManifest starts a manifest for the named command: records the
+// environment and the start instant.
+func NewManifest(command string, args []string) *Manifest {
+	return &Manifest{
+		Command:    command,
+		Args:       args,
+		GoVersion:  runtime.Version(),
+		GOOS:       runtime.GOOS,
+		GOARCH:     runtime.GOARCH,
+		NumCPU:     runtime.NumCPU(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		Start:      time.Now(),
+	}
+}
+
+// Finish stamps the end time and captures the stage breakdown and
+// counters from the registry (nil selects metrics.Default).
+func (m *Manifest) Finish(reg *metrics.Registry) {
+	m.End = time.Now()
+	m.DurationSec = m.End.Sub(m.Start).Seconds()
+	if reg == nil {
+		reg = metrics.Default
+	}
+	ex := reg.Export()
+	m.Counters = make(map[string]int64, len(ex.Counters))
+	for _, c := range ex.Counters {
+		m.Counters[c.Name] = c.Value
+	}
+	m.Stages = m.Stages[:0]
+	for _, t := range ex.Timers {
+		m.Stages = append(m.Stages, Stage{
+			Name:     t.Name,
+			Count:    t.Count,
+			TotalSec: float64(t.TotalNS) / 1e9,
+		})
+	}
+	for _, h := range ex.Histograms {
+		st := Stage{
+			Name:     h.Name,
+			Count:    h.Count,
+			TotalSec: float64(h.SumNS) / 1e9,
+		}
+		st.P50Sec, st.P90Sec, st.P99Sec = histQuantiles(h)
+		m.Stages = append(m.Stages, st)
+	}
+	sortStages(m.Stages)
+}
+
+// histQuantiles recomputes p50/p90/p99 from an exported bucket
+// snapshot (the quantile math lives in metrics; this mirrors
+// Registry.Snapshot's expansion).
+func histQuantiles(h metrics.HistogramValue) (p50, p90, p99 float64) {
+	qs := metrics.QuantilesFromBuckets(h.Buckets, []float64{0.50, 0.90, 0.99})
+	return qs[0].Seconds(), qs[1].Seconds(), qs[2].Seconds()
+}
+
+func sortStages(stages []Stage) {
+	for i := 1; i < len(stages); i++ {
+		for j := i; j > 0 && stages[j].Name < stages[j-1].Name; j-- {
+			stages[j], stages[j-1] = stages[j-1], stages[j]
+		}
+	}
+}
+
+// WriteFile writes the manifest as indented JSON (0644).
+func (m *Manifest) WriteFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(m); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}

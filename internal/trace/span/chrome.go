@@ -1,0 +1,137 @@
+// Chrome trace-event JSON output. The format is the "JSON Object
+// Format" of the Trace Event spec: {"traceEvents": [...]} with complete
+// events (ph "X", microsecond timestamps, durations) plus metadata
+// events naming the process and one thread per track. Both
+// chrome://tracing and https://ui.perfetto.dev open it directly.
+package span
+
+import (
+	"bufio"
+	"io"
+	"os"
+	"sort"
+	"strconv"
+)
+
+// WriteChrome emits every completed span as Chrome trace-event JSON.
+// Output is deterministic for deterministic timestamps: tracks are
+// ordered by creation, spans within a track by (start, longer-first,
+// name), so concurrent emission on different tracks still yields a
+// stable file once the clock is fixed. Spans still in flight are not
+// written — call after the traced work has finished.
+func (tr *Tracer) WriteChrome(w io.Writer) error {
+	if tr == nil {
+		_, err := io.WriteString(w, `{"displayTimeUnit":"ms","traceEvents":[]}`+"\n")
+		return err
+	}
+	tr.mu.Lock()
+	tracks := append([]*Track(nil), tr.tracks...)
+	tr.mu.Unlock()
+
+	bw := bufio.NewWriter(w)
+	bw.WriteString(`{"displayTimeUnit":"ms","traceEvents":[`)
+	bw.WriteString(`{"ph":"M","pid":1,"tid":0,"name":"process_name","args":{"name":"disparity"}}`)
+	for _, tk := range tracks {
+		bw.WriteString(",\n")
+		bw.WriteString(`{"ph":"M","pid":1,"tid":`)
+		bw.WriteString(strconv.Itoa(tk.id))
+		bw.WriteString(`,"name":"thread_name","args":{"name":`)
+		bw.WriteString(strconv.Quote(tk.name))
+		bw.WriteString(`}}`)
+		bw.WriteString(",\n")
+		bw.WriteString(`{"ph":"M","pid":1,"tid":`)
+		bw.WriteString(strconv.Itoa(tk.id))
+		bw.WriteString(`,"name":"thread_sort_index","args":{"sort_index":`)
+		bw.WriteString(strconv.Itoa(tk.id))
+		bw.WriteString(`}}`)
+	}
+	for _, tk := range tracks {
+		tk.mu.Lock()
+		spans := append([]Rec(nil), tk.spans...)
+		tk.mu.Unlock()
+		sort.SliceStable(spans, func(i, j int) bool {
+			a, b := &spans[i], &spans[j]
+			if a.Start != b.Start {
+				return a.Start < b.Start
+			}
+			if a.End != b.End {
+				return a.End > b.End // enclosing span first
+			}
+			return a.Name < b.Name
+		})
+		for i := range spans {
+			bw.WriteString(",\n")
+			writeEvent(bw, tk.id, &spans[i])
+		}
+	}
+	bw.WriteString("]}\n")
+	return bw.Flush()
+}
+
+// writeEvent emits one complete ("X") event. Timestamps are microsecond
+// floats with nanosecond precision, as the format specifies.
+func writeEvent(bw *bufio.Writer, tid int, r *Rec) {
+	bw.WriteString(`{"ph":"X","pid":1,"tid":`)
+	bw.WriteString(strconv.Itoa(tid))
+	bw.WriteString(`,"name":`)
+	bw.WriteString(strconv.Quote(r.Name))
+	bw.WriteString(`,"ts":`)
+	writeMicros(bw, r.Start)
+	bw.WriteString(`,"dur":`)
+	dur := r.End - r.Start
+	if dur < 0 {
+		dur = 0
+	}
+	writeMicros(bw, dur)
+	if len(r.Args) > 0 {
+		bw.WriteString(`,"args":{`)
+		for i, a := range r.Args {
+			if i > 0 {
+				bw.WriteByte(',')
+			}
+			bw.WriteString(strconv.Quote(a.Key))
+			bw.WriteByte(':')
+			if a.str {
+				bw.WriteString(strconv.Quote(a.Str))
+			} else {
+				bw.WriteString(strconv.FormatInt(a.Int, 10))
+			}
+		}
+		bw.WriteByte('}')
+	}
+	bw.WriteByte('}')
+}
+
+// writeMicros renders ns as a decimal microsecond count ("1234.567",
+// trailing zeros trimmed) without going through float64, so nanosecond
+// precision survives arbitrarily long runs.
+func writeMicros(bw *bufio.Writer, ns int64) {
+	if ns < 0 {
+		bw.WriteByte('-')
+		ns = -ns
+	}
+	bw.WriteString(strconv.FormatInt(ns/1000, 10))
+	frac := ns % 1000
+	if frac == 0 {
+		return
+	}
+	digits := [4]byte{'.', byte('0' + frac/100), byte('0' + frac/10%10), byte('0' + frac%10)}
+	n := 4
+	for digits[n-1] == '0' {
+		n--
+	}
+	bw.Write(digits[:n])
+}
+
+// WriteChromeFile writes the trace to path (0644).
+func (tr *Tracer) WriteChromeFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := tr.WriteChrome(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}

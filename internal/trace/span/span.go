@@ -1,0 +1,211 @@
+// Package span is the wall-clock tracing layer of the pipeline: a
+// low-overhead span recorder whose output is Chrome trace-event JSON
+// (chrome://tracing, https://ui.perfetto.dev). Where internal/metrics
+// aggregates (how much time did stage X take in total), span records
+// structure (what did worker 3 spend its 4th second on).
+//
+// The design keeps the disabled path free and the enabled path cheap:
+//
+//   - Every constructor and method is nil-safe. A nil *Tracer hands out
+//     nil *Tracks, a nil *Track hands out zero Spans, and ending a zero
+//     Span is a no-op — callers thread one pointer through the pipeline
+//     and never branch. Disabled tracing is one nil check per span
+//     site and allocates nothing.
+//   - Spans are values, not pointers: Start captures (track, name,
+//     start) on the stack; End appends one record to the track's
+//     buffer. Nothing escapes per span beyond the amortized buffer
+//     growth.
+//   - Tracks are per-goroutine buffers (one per sweep worker, by
+//     convention). Start/End touch only the owning track — there is no
+//     global lock on the hot path; the tracer's mutex guards only
+//     track creation and the final writer. A short per-track mutex
+//     makes End safe against a concurrent writer snapshot, and is
+//     uncontended in normal operation.
+//
+// Parentage is explicit: callers hold the Track (or an enclosing Span)
+// and start children from it. Nesting in the Chrome viewer is inferred
+// from time containment on a track, which matches how the sweep uses
+// spans (a workload span strictly contains its stage spans).
+package span
+
+import (
+	"sync"
+	"time"
+)
+
+// Tracer owns the tracks of one run. Construct with New; the zero value
+// and nil are valid "disabled" tracers.
+type Tracer struct {
+	mu      sync.Mutex
+	tracks  []*Track
+	workers map[int]*Track
+	// clock returns nanoseconds since the trace epoch. Injected by tests
+	// for deterministic golden output.
+	clock func() int64
+	start time.Time
+}
+
+// New returns a Tracer whose clock is monotonic time since New.
+func New() *Tracer {
+	t := &Tracer{start: time.Now()}
+	begin := t.start
+	t.clock = func() int64 { return int64(time.Since(begin)) }
+	return t
+}
+
+// NewWithClock returns a Tracer driven by an explicit nanosecond clock
+// (test hook: deterministic timestamps make the Chrome output stable).
+func NewWithClock(clock func() int64) *Tracer {
+	return &Tracer{start: time.Time{}, clock: clock}
+}
+
+// Track creates a new named track (one row in the viewer). Returns nil
+// on a nil tracer.
+func (tr *Tracer) Track(name string) *Track {
+	if tr == nil {
+		return nil
+	}
+	tr.mu.Lock()
+	defer tr.mu.Unlock()
+	return tr.newTrackLocked(name)
+}
+
+func (tr *Tracer) newTrackLocked(name string) *Track {
+	tk := &Track{tr: tr, id: len(tr.tracks) + 1, name: name}
+	tr.tracks = append(tr.tracks, tk)
+	return tk
+}
+
+// WorkerTrack returns the track of worker w, creating "worker-NN" on
+// first use. Worker indices are small and stable across sweep points,
+// so each sweep worker keeps one track for the whole run. Returns nil
+// on a nil tracer or a negative index.
+func (tr *Tracer) WorkerTrack(w int) *Track {
+	if tr == nil || w < 0 {
+		return nil
+	}
+	tr.mu.Lock()
+	defer tr.mu.Unlock()
+	if tk, ok := tr.workers[w]; ok {
+		return tk
+	}
+	if tr.workers == nil {
+		tr.workers = make(map[int]*Track)
+	}
+	tk := tr.newTrackLocked(workerName(w))
+	tr.workers[w] = tk
+	return tk
+}
+
+func workerName(w int) string {
+	// fmt.Sprintf-free two-digit name; workers beyond 99 fall back to
+	// more digits.
+	if w < 10 {
+		return "worker-0" + string(rune('0'+w))
+	}
+	buf := []byte("worker-")
+	var digits [20]byte
+	i := len(digits)
+	for w > 0 {
+		i--
+		digits[i] = byte('0' + w%10)
+		w /= 10
+	}
+	return string(append(buf, digits[i:]...))
+}
+
+// SpanCount reports the number of completed spans across all tracks.
+func (tr *Tracer) SpanCount() int {
+	if tr == nil {
+		return 0
+	}
+	tr.mu.Lock()
+	tracks := append([]*Track(nil), tr.tracks...)
+	tr.mu.Unlock()
+	n := 0
+	for _, tk := range tracks {
+		tk.mu.Lock()
+		n += len(tk.spans)
+		tk.mu.Unlock()
+	}
+	return n
+}
+
+// now reads the tracer clock (0 on a nil tracer, for zero spans).
+func (tr *Tracer) now() int64 {
+	if tr == nil {
+		return 0
+	}
+	return tr.clock()
+}
+
+// Track is one span buffer, rendered as one named row ("thread") of the
+// trace. A Track is meant to be owned by one goroutine at a time; the
+// internal mutex only protects End against a concurrent writer
+// snapshot, not two goroutines racing to emit on the same track.
+type Track struct {
+	tr   *Tracer
+	id   int
+	name string
+
+	mu    sync.Mutex
+	spans []Rec
+}
+
+// Rec is one completed span as stored in a track buffer.
+type Rec struct {
+	Name       string
+	Start, End int64 // ns since the trace epoch
+	Args       []Arg
+}
+
+// Arg is one key/value annotation attached at End.
+type Arg struct {
+	Key string
+	Int int64
+	Str string
+	str bool
+}
+
+// Int annotates a span with an integer value.
+func Int(key string, v int64) Arg { return Arg{Key: key, Int: v} }
+
+// Str annotates a span with a string value.
+func Str(key, v string) Arg { return Arg{Key: key, Str: v, str: true} }
+
+// Span is an in-flight measurement; a zero Span (from a nil track) is
+// inert. Spans are values — copy freely, End once.
+type Span struct {
+	tk    *Track
+	name  string
+	start int64
+}
+
+// Start begins a span on the track. On a nil track it returns a zero
+// Span whose End is a no-op, so call sites need no branches.
+func (tk *Track) Start(name string) Span {
+	if tk == nil {
+		return Span{}
+	}
+	return Span{tk: tk, name: name, start: tk.tr.now()}
+}
+
+// Active reports whether the span records anything (false for spans
+// started on a nil track).
+func (s Span) Active() bool { return s.tk != nil }
+
+// Child starts a new span on the same track; in the viewer it nests
+// under s while s is open (time containment).
+func (s Span) Child(name string) Span { return s.tk.Start(name) }
+
+// End completes the span, appending it to the track buffer. Args are
+// attached verbatim. No-op on a zero Span.
+func (s Span) End(args ...Arg) {
+	if s.tk == nil {
+		return
+	}
+	end := s.tk.tr.now()
+	s.tk.mu.Lock()
+	s.tk.spans = append(s.tk.spans, Rec{Name: s.name, Start: s.start, End: end, Args: args})
+	s.tk.mu.Unlock()
+}

@@ -1,0 +1,238 @@
+package span
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+// fakeClock hands out strictly increasing nanosecond timestamps so the
+// Chrome output is byte-deterministic.
+func fakeClock(step int64) func() int64 {
+	var t atomic.Int64
+	return func() int64 { return t.Add(step) - step }
+}
+
+func TestNilSafety(t *testing.T) {
+	var tr *Tracer
+	tk := tr.Track("x")
+	if tk != nil {
+		t.Fatal("nil tracer returned a track")
+	}
+	if wt := tr.WorkerTrack(3); wt != nil {
+		t.Fatal("nil tracer returned a worker track")
+	}
+	sp := tk.Start("stage")
+	if sp.Active() {
+		t.Fatal("span from nil track is active")
+	}
+	sp.Child("inner").End()
+	sp.End(Int("jobs", 1)) // must not panic
+	if n := tr.SpanCount(); n != 0 {
+		t.Fatalf("nil tracer counts %d spans", n)
+	}
+	var buf bytes.Buffer
+	if err := tr.WriteChrome(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var v struct {
+		TraceEvents []json.RawMessage `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &v); err != nil {
+		t.Fatalf("nil tracer output is not JSON: %v\n%s", err, buf.String())
+	}
+}
+
+// TestChromeGolden pins the writer's exact bytes for a small trace with
+// an injected clock: metadata events, track ordering, span sorting,
+// microsecond rendering, and args all in one.
+func TestChromeGolden(t *testing.T) {
+	tr := NewWithClock(fakeClock(500)) // 0.5µs per clock read
+	w0 := tr.WorkerTrack(0)
+	sweep := w0.Start("workload")                      // ts 0
+	gen := sweep.Child("generate")                     // ts 500
+	gen.End()                                          // ends 1000
+	sim := w0.Start("simulate")                        // ts 1500
+	sim.End(Int("jobs", 421), Str("exec", "extremes")) // ends 2000
+	sweep.End(Int("n", 15))                            // ends 2500
+	tr.Track("extra").Start("late").End()
+
+	var buf bytes.Buffer
+	if err := tr.WriteChrome(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got := buf.String()
+
+	path := filepath.Join("testdata", "chrome.golden")
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden file (run go test -update): %v", err)
+	}
+	if got != string(want) {
+		t.Errorf("chrome output differs from %s:\n--- got ---\n%s\n--- want ---\n%s", path, got, want)
+	}
+}
+
+// TestChromeValidJSON checks the output parses and has the right shape:
+// one process_name, per-track thread metadata, and all spans as
+// complete events with non-negative durations.
+func TestChromeValidJSON(t *testing.T) {
+	tr := NewWithClock(fakeClock(1)) // 1ns steps exercise fractional µs
+	a := tr.Track("a")
+	b := tr.Track("b")
+	outer := a.Start("outer")
+	a.Start("inner").End(Int("k", -7))
+	outer.End()
+	b.Start("other").End()
+
+	var buf bytes.Buffer
+	if err := tr.WriteChrome(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var v struct {
+		DisplayTimeUnit string `json:"displayTimeUnit"`
+		TraceEvents     []struct {
+			Ph   string         `json:"ph"`
+			Pid  int            `json:"pid"`
+			Tid  int            `json:"tid"`
+			Name string         `json:"name"`
+			TS   float64        `json:"ts"`
+			Dur  float64        `json:"dur"`
+			Args map[string]any `json:"args"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &v); err != nil {
+		t.Fatalf("invalid JSON: %v\n%s", err, buf.String())
+	}
+	if v.DisplayTimeUnit != "ms" {
+		t.Errorf("displayTimeUnit = %q", v.DisplayTimeUnit)
+	}
+	var meta, complete int
+	for _, ev := range v.TraceEvents {
+		switch ev.Ph {
+		case "M":
+			meta++
+		case "X":
+			complete++
+			if ev.Dur < 0 {
+				t.Errorf("span %q has negative dur %v", ev.Name, ev.Dur)
+			}
+		default:
+			t.Errorf("unexpected event phase %q", ev.Ph)
+		}
+	}
+	if complete != 3 {
+		t.Errorf("got %d complete events, want 3", complete)
+	}
+	if meta != 1+2*2 { // process_name + (thread_name, sort_index) per track
+		t.Errorf("got %d metadata events, want 5", meta)
+	}
+}
+
+// TestConcurrentEmission hammers many tracks from many goroutines under
+// the race detector and checks the writer still produces valid JSON
+// with every span accounted for.
+func TestConcurrentEmission(t *testing.T) {
+	tr := NewWithClock(fakeClock(3))
+	const workers, spansPer = 8, 200
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			tk := tr.WorkerTrack(w)
+			for i := 0; i < spansPer; i++ {
+				sp := tk.Start("work")
+				sp.Child("stage").End(Int("i", int64(i)))
+				sp.End()
+			}
+		}(w)
+	}
+	wg.Wait()
+	if n := tr.SpanCount(); n != workers*spansPer*2 {
+		t.Fatalf("recorded %d spans, want %d", n, workers*spansPer*2)
+	}
+	var buf bytes.Buffer
+	if err := tr.WriteChrome(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var v struct {
+		TraceEvents []struct {
+			Ph string `json:"ph"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &v); err != nil {
+		t.Fatalf("invalid JSON under concurrency: %v", err)
+	}
+	var complete int
+	for _, ev := range v.TraceEvents {
+		if ev.Ph == "X" {
+			complete++
+		}
+	}
+	if complete != workers*spansPer*2 {
+		t.Errorf("wrote %d complete events, want %d", complete, workers*spansPer*2)
+	}
+}
+
+// TestWorkerTrackStable checks worker indices map to one track each,
+// reused across calls (one track per sweep worker for the whole run).
+func TestWorkerTrackStable(t *testing.T) {
+	tr := New()
+	a, b := tr.WorkerTrack(2), tr.WorkerTrack(2)
+	if a != b {
+		t.Error("WorkerTrack(2) returned two different tracks")
+	}
+	if c := tr.WorkerTrack(11); c == a {
+		t.Error("distinct workers share a track")
+	}
+	if a.name != "worker-02" {
+		t.Errorf("worker 2 track named %q", a.name)
+	}
+	if tr.WorkerTrack(11).name != "worker-11" {
+		t.Errorf("worker 11 track named %q", tr.WorkerTrack(11).name)
+	}
+}
+
+// TestMicrosRendering pins the decimal microsecond formatting.
+func TestMicrosRendering(t *testing.T) {
+	cases := []struct {
+		ns   int64
+		want string
+	}{
+		{0, "0"},
+		{1, "0.001"},
+		{999, "0.999"},
+		{1000, "1"},
+		{1500, "1.5"},
+		{1502, "1.502"},
+		{1520, "1.52"},
+		{1_000_000_000, "1000000"},
+	}
+	for _, c := range cases {
+		var buf bytes.Buffer
+		bw := bufio.NewWriter(&buf)
+		writeMicros(bw, c.ns)
+		bw.Flush()
+		if buf.String() != c.want {
+			t.Errorf("writeMicros(%d) = %q, want %q", c.ns, buf.String(), c.want)
+		}
+	}
+}

@@ -6,6 +6,7 @@ import (
 	"repro/internal/model"
 	"repro/internal/sim"
 	"repro/internal/timeu"
+	"repro/internal/trace/span"
 )
 
 // ExecModel draws job execution times during simulation.
@@ -45,6 +46,9 @@ type SimConfig struct {
 	// Observers receive every completed job, in addition to the built-in
 	// disparity measurement.
 	Observers []Observer
+	// Trace, when non-nil, records engine-level spans (one per run plus
+	// sampled progress chunks) on the track; see internal/trace/span.
+	Trace *span.Track
 }
 
 // ChannelStats is the token flow of one edge during a simulation; Lost
@@ -82,6 +86,7 @@ func Simulate(g *Graph, cfg SimConfig) (*SimResult, error) {
 		Exec:      cfg.Exec,
 		Seed:      cfg.Seed,
 		Observers: append([]Observer{obs}, cfg.Observers...),
+		Trace:     cfg.Trace,
 	})
 	if err != nil {
 		return nil, err
