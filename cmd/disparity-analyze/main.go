@@ -1,7 +1,8 @@
 // Command disparity-analyze loads a cause-effect graph (JSON) and prints
 // its schedulability report, per-chain backward-time bounds, and the
-// worst-case time disparity of a task under both P-diff (Theorem 1) and
-// S-diff (Theorem 2), optionally with Algorithm 1's buffer plan.
+// worst-case time disparity of a task under every registered analytic
+// bound (P-diff, Theorem 1; S-diff, Theorem 2), optionally with
+// Algorithm 1's buffer plan.
 //
 // Usage:
 //
@@ -14,20 +15,19 @@
 package main
 
 import (
-	"flag"
+	"context"
 	"fmt"
 	"io"
 	"os"
-	"runtime/pprof"
 	"text/tabwriter"
 
 	disparity "repro"
 	"repro/internal/backward"
+	"repro/internal/cli"
 	exhaustivepkg "repro/internal/exhaustive"
-	"repro/internal/metrics"
+	"repro/internal/methods"
 	"repro/internal/model"
 	"repro/internal/sched"
-	"repro/internal/trace/span"
 )
 
 func main() {
@@ -38,7 +38,8 @@ func main() {
 }
 
 func run(args []string, stdout io.Writer) error {
-	fs := flag.NewFlagSet("disparity-analyze", flag.ContinueOnError)
+	app := cli.New("disparity-analyze")
+	fs := app.FlagSet()
 	graphPath := fs.String("graph", "", "path to the graph JSON (required)")
 	taskName := fs.String("task", "", "task to analyze (default: the sink)")
 	optimize := fs.Bool("optimize", false, "run Algorithm 1 on the worst pair")
@@ -47,27 +48,17 @@ func run(args []string, stdout io.Writer) error {
 	exhaustive := fs.Bool("exhaustive", false, "sweep offsets × exec corners for a worst-case witness (small graphs only)")
 	exStep := fs.String("exhaustive-step", "1ms", "offset grid for -exhaustive")
 	dotPath := fs.String("dot", "", "also write the graph in Graphviz DOT format")
-	dumpMetrics := fs.Bool("metrics", false, "dump internal counters and timers after the run")
-	pprofPath := fs.String("pprof", "", "write a CPU profile of the run to this file")
-	tracePath := fs.String("trace", "", "write a Chrome trace-event JSON of the analysis (view in ui.perfetto.dev)")
-	if err := fs.Parse(args); err != nil {
+	if err := app.Parse(args); err != nil {
 		return err
 	}
 	if *graphPath == "" {
 		fs.Usage()
 		return fmt.Errorf("-graph is required")
 	}
-	if *pprofPath != "" {
-		f, err := os.Create(*pprofPath)
-		if err != nil {
-			return err
-		}
-		defer f.Close()
-		if err := pprof.StartCPUProfile(f); err != nil {
-			return err
-		}
-		defer pprof.StopCPUProfile()
+	if err := app.Start(); err != nil {
+		return err
 	}
+	defer app.Close()
 	f, err := os.Open(*graphPath)
 	if err != nil {
 		return err
@@ -100,10 +91,8 @@ func run(args []string, stdout io.Writer) error {
 	// per-chain backward bounds, and the disparity analysis share the
 	// WCRT fixed point and the suffix memos.
 	cache := disparity.NewAnalysisCache()
-	var tracer *span.Tracer
-	if *tracePath != "" {
-		tracer = span.New()
-		cache.WithTrack(tracer.Track("analysis"))
+	if app.Tracer != nil {
+		cache.WithTrack(app.Tracer.Track("analysis"))
 	}
 
 	// Schedulability report.
@@ -146,14 +135,18 @@ func run(args []string, stdout io.Writer) error {
 	if err != nil {
 		return err
 	}
-	for _, m := range []disparity.Method{disparity.PDiff, disparity.SDiff} {
-		td, err := a.Disparity(task, m, *maxChains)
+	// Every analytic bound in the method registry gets a section; the
+	// labels and pair breakdowns come from the methods themselves.
+	ctx := context.Background()
+	ec := &methods.Context{Analysis: a, MaxChains: *maxChains}
+	for _, m := range methods.Bounds() {
+		r, err := m.Eval(ctx, ec, g, task)
 		if err != nil {
 			return err
 		}
-		fmt.Fprintf(stdout, "\n%s worst-case time disparity of %s: %v\n", m, g.Task(task).Name, td.Bound)
-		if *pairs {
-			for _, pb := range td.Pairs {
+		fmt.Fprintf(stdout, "\n%s worst-case time disparity of %s: %v\n", m.Name(), g.Task(task).Name, r.Bound)
+		if *pairs && r.Detail != nil {
+			for _, pb := range r.Detail.Pairs {
 				fmt.Fprintf(stdout, "  %v | %v: %v (x1=%d y1=%d)\n",
 					pb.Lambda.Format(g), pb.Nu.Format(g), pb.Bound, pb.X1, pb.Y1)
 			}
@@ -169,7 +162,7 @@ func run(args []string, stdout io.Writer) error {
 		if err != nil {
 			return err
 		}
-		sd, err := a.Disparity(task, disparity.SDiff, *maxChains)
+		sd, err := methods.SDiff.Eval(ctx, ec, g, task)
 		if err != nil {
 			return err
 		}
@@ -191,20 +184,7 @@ func run(args []string, stdout io.Writer) error {
 			src, dst, plan.Cap, plan.L)
 		fmt.Fprintf(stdout, "Theorem 3 bound: %v -> %v\n", plan.Before, plan.After)
 	}
-	if *dumpMetrics {
-		fmt.Fprintln(stdout, "\nmetrics:")
-		if err := metrics.Fprint(stdout); err != nil {
-			return err
-		}
-	}
-	if tracer != nil {
-		if err := tracer.WriteChromeFile(*tracePath); err != nil {
-			return err
-		}
-		fmt.Fprintf(os.Stderr, "disparity-analyze: trace with %d spans written to %s\n",
-			tracer.SpanCount(), *tracePath)
-	}
-	return nil
+	return app.Finish(stdout, 0, nil)
 }
 
 func pickTask(g *disparity.Graph, name string) (disparity.TaskID, error) {

@@ -19,7 +19,7 @@
 //	disparity-exp -fig ablation-tail       # shared-tail length sweep
 //	disparity-exp -fig ablation-exec       # execution-time models vs bound
 //
-// Observability:
+// Observability (the shared flag block, see internal/cli):
 //
 //	disparity-exp -fig 6a -metrics           # dump internal counters/timers
 //	disparity-exp -fig 6a -pprof cpu.out     # write a CPU profile
@@ -30,18 +30,14 @@
 package main
 
 import (
-	"flag"
 	"fmt"
 	"io"
 	"os"
-	"runtime/pprof"
 	"strings"
 
+	"repro/internal/cli"
 	"repro/internal/exp"
-	"repro/internal/metrics"
-	"repro/internal/telemetry"
 	"repro/internal/timeu"
-	"repro/internal/trace/span"
 )
 
 func main() {
@@ -51,44 +47,59 @@ func main() {
 	}
 }
 
+// sweepCmd is one -fig value: how to run it and which point overrides
+// it applies. forcePoints always replaces cfg.Points; defaultPoints
+// only when the user gave no -points. ecus overrides cfg.ECUs when
+// non-zero (the single-ECU ablations, where Lemma 4's refinement over
+// the scheduler-agnostic baseline applies to every hop).
+type sweepCmd struct {
+	run           func(exp.Config) (*exp.Table, error)
+	forcePoints   []int
+	defaultPoints []int
+	ecus          int
+}
+
+var sweeps = map[string]sweepCmd{
+	"6a":                 {run: exp.Fig6a},
+	"6b":                 {run: exp.Fig6b},
+	"6c":                 {run: exp.Fig6c},
+	"6d":                 {run: exp.Fig6d},
+	"bounds":             {run: exp.BoundsSweep},
+	"ablation-backward":  {run: exp.AblationBackward},
+	"ablation-tail":      {run: tailSweep, forcePoints: []int{0, 1, 2, 3, 4, 6, 8}},
+	"ablation-exec":      {run: exp.AblationExec},
+	"ablation-semantics": {run: exp.AblationSemantics},
+	"ablation-utilization": {
+		run:           exp.AblationUtilization,
+		defaultPoints: []int{1, 5, 10, 20, 40, 60},
+		ecus:          1,
+	},
+	"ablation-priority": {
+		run:           exp.AblationPriority,
+		defaultPoints: []int{1, 10, 30, 50},
+		ecus:          1,
+	},
+	"ablation-greedy":      {run: exp.AblationGreedyBuffers},
+	"ablation-adversarial": {run: exp.AblationAdversarial, defaultPoints: []int{5, 10, 15}},
+}
+
+func tailSweep(cfg exp.Config) (*exp.Table, error) { return exp.AblationTail(cfg, 20) }
+
 func run(args []string, stdout io.Writer) error {
-	fs := flag.NewFlagSet("disparity-exp", flag.ContinueOnError)
+	app := cli.New("disparity-exp")
+	fs := app.FlagSet()
 	fig := fs.String("fig", "all", "which panel: 6a|6b|6c|6d|bounds|all")
 	paper := fs.Bool("paper", false, "use the paper's full scale (10-minute horizons)")
 	horizonStr := fs.String("horizon", "", "override simulation horizon (e.g. 30s)")
 	graphs := fs.Int("graphs", 0, "override graphs per point")
 	offsets := fs.Int("offsets", 0, "override offset runs per graph")
 	points := fs.String("points", "", "override X values, comma-separated")
-	seed := fs.Int64("seed", 0, "override random seed")
-	workers := fs.Int("workers", 0, "parallel graph evaluations (0 = all cores)")
 	csvPath := fs.String("csv", "", "also write the tables as CSV (one file per panel, suffixing the name)")
 	quiet := fs.Bool("quiet", false, "suppress progress logging")
 	progress := fs.Bool("progress", false, "log per-graph progress to stderr")
 	noCache := fs.Bool("no-cache", false, "disable the per-graph analysis cache (results are identical; for benchmarking)")
-	dumpMetrics := fs.Bool("metrics", false, "dump internal counters and timers after the run")
-	pprofPath := fs.String("pprof", "", "write a CPU profile of the run to this file")
-	tracePath := fs.String("trace", "", "write a Chrome trace-event JSON of the sweep (view in ui.perfetto.dev)")
-	telemetryAddr := fs.String("telemetry", "", "serve live telemetry on this address (e.g. :9090): Prometheus /metrics, /progress JSON, pprof")
-	manifestPath := fs.String("manifest", "", "write a JSON run manifest (seed, config, stage-time breakdown) to this file")
-	if err := fs.Parse(args); err != nil {
+	if err := app.Parse(args); err != nil {
 		return err
-	}
-
-	var manifest *telemetry.Manifest
-	if *manifestPath != "" {
-		manifest = telemetry.NewManifest("disparity-exp", args)
-	}
-
-	if *pprofPath != "" {
-		f, err := os.Create(*pprofPath)
-		if err != nil {
-			return err
-		}
-		defer f.Close()
-		if err := pprof.StartCPUProfile(f); err != nil {
-			return err
-		}
-		defer pprof.StopCPUProfile()
 	}
 
 	cfg := exp.Defaults()
@@ -119,10 +130,10 @@ func run(args []string, stdout io.Writer) error {
 		}
 		cfg.Points = ps
 	}
-	if *seed != 0 {
-		cfg.Seed = *seed
+	if s := app.Seed(); s != 0 {
+		cfg.Seed = s
 	}
-	cfg.Workers = *workers
+	cfg.Workers = app.Workers()
 	cfg.DisableCache = *noCache
 	if !*quiet {
 		cfg.Log = os.Stderr
@@ -130,121 +141,19 @@ func run(args []string, stdout io.Writer) error {
 	if *progress {
 		cfg.Progress = os.Stderr
 	}
-	if *tracePath != "" {
-		cfg.Tracer = span.New()
+
+	if err := app.Start(); err != nil {
+		return err
 	}
-	if *telemetryAddr != "" {
-		tracker := telemetry.NewTracker()
-		tracker.Jobs = metrics.C("exp.sim.jobs").Load
-		cfg.Sink = tracker
-		srv := &telemetry.Server{Tracker: tracker}
-		addr, err := srv.Start(*telemetryAddr)
-		if err != nil {
-			return err
-		}
-		defer srv.Close()
-		fmt.Fprintf(os.Stderr, "disparity-exp: telemetry on http://%s\n", addr)
+	defer app.Close()
+	cfg.Tracer = app.Tracer
+	if app.Tracker != nil {
+		cfg.Sink = app.Tracker
 	}
 
 	var tables []*exp.Table
-	switch *fig {
-	case "6a":
-		t, err := exp.Fig6a(cfg)
-		if err != nil {
-			return err
-		}
-		tables = append(tables, t)
-	case "6b":
-		t, err := exp.Fig6b(cfg)
-		if err != nil {
-			return err
-		}
-		tables = append(tables, t)
-	case "6c":
-		t, err := exp.Fig6c(cfg)
-		if err != nil {
-			return err
-		}
-		tables = append(tables, t)
-	case "6d":
-		t, err := exp.Fig6d(cfg)
-		if err != nil {
-			return err
-		}
-		tables = append(tables, t)
-	case "bounds":
-		t, err := exp.BoundsSweep(cfg)
-		if err != nil {
-			return err
-		}
-		tables = append(tables, t)
-	case "ablation-backward":
-		t, err := exp.AblationBackward(cfg)
-		if err != nil {
-			return err
-		}
-		tables = append(tables, t)
-	case "ablation-tail":
-		acfg := cfg
-		acfg.Points = []int{0, 1, 2, 3, 4, 6, 8}
-		t, err := exp.AblationTail(acfg, 20)
-		if err != nil {
-			return err
-		}
-		tables = append(tables, t)
-	case "ablation-exec":
-		t, err := exp.AblationExec(cfg)
-		if err != nil {
-			return err
-		}
-		tables = append(tables, t)
-	case "ablation-semantics":
-		t, err := exp.AblationSemantics(cfg)
-		if err != nil {
-			return err
-		}
-		tables = append(tables, t)
-	case "ablation-utilization":
-		ucfg := cfg
-		if *points == "" {
-			ucfg.Points = []int{1, 5, 10, 20, 40, 60}
-		}
-		// A single ECU makes every hop same-ECU, where Lemma 4's
-		// refinement over the scheduler-agnostic baseline applies.
-		ucfg.ECUs = 1
-		t, err := exp.AblationUtilization(ucfg)
-		if err != nil {
-			return err
-		}
-		tables = append(tables, t)
-	case "ablation-priority":
-		pcfg := cfg
-		if *points == "" {
-			pcfg.Points = []int{1, 10, 30, 50}
-		}
-		pcfg.ECUs = 1
-		t, err := exp.AblationPriority(pcfg)
-		if err != nil {
-			return err
-		}
-		tables = append(tables, t)
-	case "ablation-greedy":
-		t, err := exp.AblationGreedyBuffers(cfg)
-		if err != nil {
-			return err
-		}
-		tables = append(tables, t)
-	case "ablation-adversarial":
-		acfg := cfg
-		if *points == "" {
-			acfg.Points = []int{5, 10, 15}
-		}
-		t, err := exp.AblationAdversarial(acfg)
-		if err != nil {
-			return err
-		}
-		tables = append(tables, t)
-	case "all":
+	switch {
+	case *fig == "all":
 		// The (c)/(d) experiment uses shorter chains as its X axis.
 		abs, ratio, err := exp.Fig6ab(cfg)
 		if err != nil {
@@ -258,7 +167,24 @@ func run(args []string, stdout io.Writer) error {
 		}
 		tables = append(tables, abs, ratio, cAbs, cRatio)
 	default:
-		return fmt.Errorf("unknown -fig %q", *fig)
+		cmd, ok := sweeps[*fig]
+		if !ok {
+			return fmt.Errorf("unknown -fig %q", *fig)
+		}
+		scfg := cfg
+		if cmd.forcePoints != nil {
+			scfg.Points = cmd.forcePoints
+		} else if cmd.defaultPoints != nil && *points == "" {
+			scfg.Points = cmd.defaultPoints
+		}
+		if cmd.ecus != 0 {
+			scfg.ECUs = cmd.ecus
+		}
+		t, err := cmd.run(scfg)
+		if err != nil {
+			return err
+		}
+		tables = append(tables, t)
 	}
 
 	for i, t := range tables {
@@ -286,39 +212,16 @@ func run(args []string, stdout io.Writer) error {
 			}
 		}
 	}
-	if *dumpMetrics {
-		fmt.Fprintln(stdout)
-		fmt.Fprintln(stdout, "metrics:")
-		if err := metrics.Fprint(stdout); err != nil {
-			return err
-		}
-	}
-	if *tracePath != "" {
-		if err := cfg.Tracer.WriteChromeFile(*tracePath); err != nil {
-			return err
-		}
-		fmt.Fprintf(os.Stderr, "disparity-exp: trace with %d spans written to %s\n",
-			cfg.Tracer.SpanCount(), *tracePath)
-	}
-	if manifest != nil {
-		manifest.Seed = cfg.Seed
-		manifest.Config = map[string]any{
-			"fig":               *fig,
-			"points":            cfg.Points,
-			"graphs_per_point":  cfg.GraphsPerPoint,
-			"offsets_per_graph": cfg.OffsetsPerGraph,
-			"horizon_ns":        int64(cfg.Horizon),
-			"warmup_ns":         int64(cfg.Warmup),
-			"ecus":              cfg.ECUs,
-			"workers":           cfg.Workers,
-			"max_chains":        cfg.MaxChains,
-			"cache_disabled":    cfg.DisableCache,
-		}
-		manifest.Finish(nil)
-		if err := manifest.WriteFile(*manifestPath); err != nil {
-			return err
-		}
-		fmt.Fprintf(os.Stderr, "disparity-exp: manifest written to %s\n", *manifestPath)
-	}
-	return nil
+	return app.Finish(stdout, cfg.Seed, map[string]any{
+		"fig":               *fig,
+		"points":            cfg.Points,
+		"graphs_per_point":  cfg.GraphsPerPoint,
+		"offsets_per_graph": cfg.OffsetsPerGraph,
+		"horizon_ns":        int64(cfg.Horizon),
+		"warmup_ns":         int64(cfg.Warmup),
+		"ecus":              cfg.ECUs,
+		"workers":           cfg.Workers,
+		"max_chains":        cfg.MaxChains,
+		"cache_disabled":    cfg.DisableCache,
+	})
 }

@@ -1,0 +1,57 @@
+package main
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+func checkGolden(t *testing.T, name, got string) {
+	t.Helper()
+	path := filepath.Join("testdata", name+".golden")
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden file (run go test -update): %v", err)
+	}
+	if got != string(want) {
+		t.Errorf("output differs from %s:\n--- got ---\n%s\n--- want ---\n%s", path, got, want)
+	}
+}
+
+// The generator is deterministic for a fixed -seed; these goldens pin
+// the exact JSON each topology emits so refactors of the generation
+// pipeline (WATERS sampling, priority assignment, schedulability
+// retry loop) cannot silently shift the stream.
+func TestGoldenGenTopologies(t *testing.T) {
+	cases := []struct {
+		name string
+		args []string
+	}{
+		{"gnm_n12_seed3", []string{"-topology", "gnm", "-n", "12", "-seed", "3"}},
+		{"twochains_n4_seed1", []string{"-topology", "twochains", "-n", "4", "-seed", "1"}},
+		{"layered_232_seed1", []string{"-topology", "layered", "-layers", "2,3,2", "-fanout", "2", "-seed", "1"}},
+		{"automotive_seed1", []string{"-topology", "automotive", "-seed", "1"}},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			var buf bytes.Buffer
+			if err := run(c.args, &buf); err != nil {
+				t.Fatal(err)
+			}
+			checkGolden(t, c.name, buf.String())
+		})
+	}
+}

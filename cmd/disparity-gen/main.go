@@ -11,7 +11,6 @@
 package main
 
 import (
-	"flag"
 	"fmt"
 	"io"
 	"os"
@@ -19,18 +18,20 @@ import (
 	"strings"
 
 	disparity "repro"
+	"repro/internal/cli"
 	"repro/internal/sched"
 )
 
 func main() {
-	if err := run(os.Args[1:]); err != nil {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
 		fmt.Fprintln(os.Stderr, "disparity-gen:", err)
 		os.Exit(1)
 	}
 }
 
-func run(args []string) error {
-	fs := flag.NewFlagSet("disparity-gen", flag.ContinueOnError)
+func run(args []string, stdout io.Writer) error {
+	app := cli.New("disparity-gen")
+	fs := app.FlagSet()
 	topology := fs.String("topology", "gnm", "gnm | twochains | layered | automotive")
 	n := fs.Int("n", 15, "tasks (gnm) or per-chain tasks (twochains)")
 	m := fs.Int("m", 0, "edges for gnm (default 2n)")
@@ -41,16 +42,16 @@ func run(args []string) error {
 	tail := fs.Int("tail", 2, "shared tail length for automotive")
 	zonal := fs.Bool("zonal", true, "zonal ECU architecture for automotive")
 	ecus := fs.Int("ecus", 4, "number of compute ECUs")
-	seed := fs.Int64("seed", 1, "random seed")
 	out := fs.String("out", "", "output path (default stdout)")
 	requireSched := fs.Bool("schedulable", true, "retry generation until the graph is NP-FP schedulable")
 	attempts := fs.Int("attempts", 100, "max generation attempts when -schedulable")
-	if err := fs.Parse(args); err != nil {
+	if err := app.Parse(args); err != nil {
 		return err
 	}
 	if *m == 0 {
 		*m = 2 * *n
 	}
+	seed := app.Seed()
 
 	gen := func(seed int64) (*disparity.Graph, error) {
 		cfg := disparity.GenConfig{ECUs: *ecus, Seed: seed}
@@ -79,7 +80,7 @@ func run(args []string) error {
 	var g *disparity.Graph
 	var err error
 	for i := 0; i < *attempts; i++ {
-		g, err = gen(*seed + int64(i))
+		g, err = gen(seed + int64(i))
 		if err != nil {
 			return err
 		}
@@ -95,7 +96,7 @@ func run(args []string) error {
 		return fmt.Errorf("no schedulable graph found in %d attempts", *attempts)
 	}
 
-	var w io.Writer = os.Stdout
+	w := stdout
 	if *out != "" {
 		f, err := os.Create(*out)
 		if err != nil {

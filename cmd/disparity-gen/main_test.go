@@ -1,6 +1,7 @@
 package main
 
 import (
+	"io"
 	"os"
 	"path/filepath"
 	"testing"
@@ -10,7 +11,7 @@ import (
 
 func TestRunGeneratesValidGraph(t *testing.T) {
 	out := filepath.Join(t.TempDir(), "g.json")
-	if err := run([]string{"-topology", "gnm", "-n", "12", "-seed", "3", "-out", out}); err != nil {
+	if err := run([]string{"-topology", "gnm", "-n", "12", "-seed", "3", "-out", out}, io.Discard); err != nil {
 		t.Fatal(err)
 	}
 	f, err := os.Open(out)
@@ -37,7 +38,7 @@ func TestRunTopologies(t *testing.T) {
 		{"-topology", "twochains", "-n", "4", "-out", filepath.Join(dir, "a.json")},
 		{"-topology", "layered", "-layers", "2,3,2", "-fanout", "2", "-out", filepath.Join(dir, "b.json")},
 	} {
-		if err := run(args); err != nil {
+		if err := run(args, io.Discard); err != nil {
 			t.Errorf("run(%v): %v", args, err)
 		}
 	}
@@ -49,7 +50,7 @@ func TestRunErrors(t *testing.T) {
 		{"-topology", "layered", "-layers", "x,y"},
 		{"-topology", "gnm", "-n", "1"},
 	} {
-		if err := run(args); err == nil {
+		if err := run(args, io.Discard); err == nil {
 			t.Errorf("run(%v): expected error", args)
 		}
 	}
@@ -67,7 +68,7 @@ func TestParseInts(t *testing.T) {
 
 func TestRunAutomotive(t *testing.T) {
 	out := filepath.Join(t.TempDir(), "a.json")
-	if err := run([]string{"-topology", "automotive", "-out", out}); err != nil {
+	if err := run([]string{"-topology", "automotive", "-out", out}, io.Discard); err != nil {
 		t.Fatal(err)
 	}
 	f, err := os.Open(out)

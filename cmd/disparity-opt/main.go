@@ -10,14 +10,12 @@
 package main
 
 import (
-	"flag"
 	"fmt"
 	"io"
 	"os"
-	"runtime/pprof"
 
 	disparity "repro"
-	"repro/internal/metrics"
+	"repro/internal/cli"
 	"repro/internal/offsetopt"
 )
 
@@ -29,7 +27,8 @@ func main() {
 }
 
 func run(args []string) error {
-	fs := flag.NewFlagSet("disparity-opt", flag.ContinueOnError)
+	app := cli.New("disparity-opt")
+	fs := app.FlagSet()
 	graphPath := fs.String("graph", "", "path to the graph JSON (required)")
 	taskName := fs.String("task", "", "task to optimize (default: the sink)")
 	buffers := fs.Bool("buffers", true, "apply Algorithm 1 buffer sizing")
@@ -39,26 +38,17 @@ func run(args []string) error {
 	rounds := fs.Int("offset-rounds", 3, "offset search rounds")
 	maxChains := fs.Int("max-chains", 0, "cap on enumerated chains")
 	out := fs.String("out", "", "write the optimized graph JSON here (default stdout)")
-	dumpMetrics := fs.Bool("metrics", false, "dump internal counters and timers after the run")
-	pprofPath := fs.String("pprof", "", "write a CPU profile of the run to this file")
-	if err := fs.Parse(args); err != nil {
+	if err := app.Parse(args); err != nil {
 		return err
 	}
 	if *graphPath == "" {
 		fs.Usage()
 		return fmt.Errorf("-graph is required")
 	}
-	if *pprofPath != "" {
-		f, err := os.Create(*pprofPath)
-		if err != nil {
-			return err
-		}
-		defer f.Close()
-		if err := pprof.StartCPUProfile(f); err != nil {
-			return err
-		}
-		defer pprof.StopCPUProfile()
+	if err := app.Start(); err != nil {
+		return err
 	}
+	defer app.Close()
 	f, err := os.Open(*graphPath)
 	if err != nil {
 		return err
@@ -137,13 +127,8 @@ func run(args []string) error {
 	if err := work.WriteJSON(w); err != nil {
 		return err
 	}
-	if *dumpMetrics {
-		fmt.Fprintln(os.Stderr, "metrics:")
-		if err := metrics.Fprint(os.Stderr); err != nil {
-			return err
-		}
-	}
-	return nil
+	// Diagnostics go to stderr: stdout may BE the optimized graph.
+	return app.Finish(os.Stderr, 0, nil)
 }
 
 func pickTask(g *disparity.Graph, name string) (disparity.TaskID, error) {

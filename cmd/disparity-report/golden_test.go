@@ -1,0 +1,45 @@
+package main
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+func checkGolden(t *testing.T, name, got string) {
+	t.Helper()
+	path := filepath.Join("testdata", name+".golden")
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden file (run go test -update): %v", err)
+	}
+	if got != string(want) {
+		t.Errorf("output differs from %s:\n--- got ---\n%s\n--- want ---\n%s", path, got, want)
+	}
+}
+
+// TestGoldenReportFig2 pins the full Markdown report for the paper's
+// Fig. 2 example — platform overview, chain latency bounds, every
+// registered analytic disparity bound, and Algorithm 1's
+// recommendation — as rendered to stdout.
+func TestGoldenReportFig2(t *testing.T) {
+	path := writeFixture(t)
+	var buf bytes.Buffer
+	if err := run([]string{"-graph", path, "-title", "Fig. 2 graph"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	checkGolden(t, "fig2_full_report", buf.String())
+}

@@ -1,7 +1,8 @@
 // Command disparity-report renders a complete Markdown timing report for
 // a cause-effect graph: platform and schedulability overview, per-chain
 // backward-time and end-to-end latency bounds, worst-case time disparity
-// per sink (P-diff and S-diff), and Algorithm 1's buffer recommendation.
+// per sink (every registered analytic bound), and Algorithm 1's buffer
+// recommendation.
 //
 // Usage:
 //
@@ -9,38 +10,43 @@
 package main
 
 import (
-	"flag"
 	"fmt"
 	"io"
 	"os"
 
 	disparity "repro"
+	"repro/internal/cli"
 	"repro/internal/model"
 	"repro/internal/report"
 )
 
 func main() {
-	if err := run(os.Args[1:]); err != nil {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
 		fmt.Fprintln(os.Stderr, "disparity-report:", err)
 		os.Exit(1)
 	}
 }
 
-func run(args []string) error {
-	fs := flag.NewFlagSet("disparity-report", flag.ContinueOnError)
+func run(args []string, stdout io.Writer) error {
+	app := cli.New("disparity-report")
+	fs := app.FlagSet()
 	graphPath := fs.String("graph", "", "path to the graph JSON (required)")
 	taskName := fs.String("task", "", "task to analyze (default: every sink)")
 	optimize := fs.Bool("optimize", true, "include Algorithm 1's recommendation")
 	maxChains := fs.Int("max-chains", 0, "cap on enumerated chains (0 = default)")
 	out := fs.String("out", "", "output path (default stdout)")
 	title := fs.String("title", "", "report title")
-	if err := fs.Parse(args); err != nil {
+	if err := app.Parse(args); err != nil {
 		return err
 	}
 	if *graphPath == "" {
 		fs.Usage()
 		return fmt.Errorf("-graph is required")
 	}
+	if err := app.Start(); err != nil {
+		return err
+	}
+	defer app.Close()
 	f, err := os.Open(*graphPath)
 	if err != nil {
 		return err
@@ -60,7 +66,7 @@ func run(args []string) error {
 		opts.Tasks = []model.TaskID{t.ID}
 	}
 
-	var w io.Writer = os.Stdout
+	w := stdout
 	if *out != "" {
 		of, err := os.Create(*out)
 		if err != nil {
@@ -69,5 +75,9 @@ func run(args []string) error {
 		defer of.Close()
 		w = of
 	}
-	return report.Write(w, g, opts)
+	if err := report.Write(w, g, opts); err != nil {
+		return err
+	}
+	// The metrics dump goes to stderr: stdout may BE the report.
+	return app.Finish(os.Stderr, 0, nil)
 }

@@ -1,6 +1,7 @@
 package main
 
 import (
+	"io"
 	"os"
 	"path/filepath"
 	"strings"
@@ -27,7 +28,7 @@ func writeFixture(t *testing.T) string {
 func TestRunReport(t *testing.T) {
 	path := writeFixture(t)
 	out := filepath.Join(filepath.Dir(path), "report.md")
-	if err := run([]string{"-graph", path, "-out", out, "-title", "T"}); err != nil {
+	if err := run([]string{"-graph", path, "-out", out, "-title", "T"}, io.Discard); err != nil {
 		t.Fatal(err)
 	}
 	data, err := os.ReadFile(out)
@@ -43,19 +44,19 @@ func TestRunReport(t *testing.T) {
 
 func TestRunReportNamedTask(t *testing.T) {
 	path := writeFixture(t)
-	if err := run([]string{"-graph", path, "-task", "t5", "-out", filepath.Join(filepath.Dir(path), "r.md")}); err != nil {
+	if err := run([]string{"-graph", path, "-task", "t5", "-out", filepath.Join(filepath.Dir(path), "r.md")}, io.Discard); err != nil {
 		t.Fatal(err)
 	}
-	if err := run([]string{"-graph", path, "-task", "zz"}); err == nil {
+	if err := run([]string{"-graph", path, "-task", "zz"}, io.Discard); err == nil {
 		t.Error("unknown task accepted")
 	}
 }
 
 func TestRunReportErrors(t *testing.T) {
-	if err := run([]string{}); err == nil {
+	if err := run([]string{}, io.Discard); err == nil {
 		t.Error("missing -graph accepted")
 	}
-	if err := run([]string{"-graph", "/nonexistent.json"}); err == nil {
+	if err := run([]string{"-graph", "/nonexistent.json"}, io.Discard); err == nil {
 		t.Error("missing file accepted")
 	}
 }

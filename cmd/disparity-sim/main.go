@@ -5,32 +5,32 @@
 // Usage:
 //
 //	disparity-sim -graph g.json [-horizon 10s] [-exec extremes] [-seed 1]
-//	              [-warmup 1s] [-random-offsets] [-trace out.csv]
+//	              [-warmup 1s] [-random-offsets] [-jobtrace out.csv]
 //	disparity-sim -graph g.json -paper   # the paper's full 10-minute horizon
 //
-// Observability (-trace is the per-job CSV; -runtrace is the Chrome
-// span trace):
+// Observability (the shared flag block, see internal/cli; -trace is the
+// Chrome span trace as in every other tool, -jobtrace the per-job CSV):
 //
 //	disparity-sim -graph g.json -metrics             # dump counters/timers
 //	disparity-sim -graph g.json -pprof cpu.out       # write a CPU profile
-//	disparity-sim -graph g.json -runtrace run.json   # Chrome trace (ui.perfetto.dev)
+//	disparity-sim -graph g.json -trace run.json      # Chrome trace (ui.perfetto.dev)
 //	disparity-sim -graph g.json -telemetry :9090     # live /metrics + pprof
 //	disparity-sim -graph g.json -manifest run.json   # per-run provenance
+//
+// The historical spellings -runtrace (for -trace) and -trace-limit (for
+// -jobtrace-limit) still work as deprecated aliases.
 package main
 
 import (
-	"flag"
 	"fmt"
 	"os"
-	"runtime/pprof"
 	"text/tabwriter"
 
 	disparity "repro"
+	"repro/internal/cli"
 	"repro/internal/gantt"
-	"repro/internal/metrics"
 	"repro/internal/model"
 	"repro/internal/sim"
-	"repro/internal/telemetry"
 	"repro/internal/timeu"
 	"repro/internal/trace"
 	"repro/internal/trace/span"
@@ -59,54 +59,29 @@ func execModel(name string) (disparity.ExecModel, error) {
 }
 
 func run(args []string) error {
-	fs := flag.NewFlagSet("disparity-sim", flag.ContinueOnError)
+	app := cli.New("disparity-sim")
+	fs := app.FlagSet()
 	graphPath := fs.String("graph", "", "path to the graph JSON (required)")
 	horizonStr := fs.String("horizon", "10s", "simulated time span")
 	warmupStr := fs.String("warmup", "1s", "measurement warm-up")
 	paper := fs.Bool("paper", false, "use the paper's full 10-minute horizon (overrides -horizon)")
 	execName := fs.String("exec", "extremes", "execution-time model: wcet|bcet|uniform|extremes")
-	seed := fs.Int64("seed", 1, "random seed")
 	randomOffsets := fs.Bool("random-offsets", false, "draw release offsets uniformly from [0, T)")
-	tracePath := fs.String("trace", "", "write a per-job CSV trace")
-	traceLimit := fs.Int("trace-limit", 100000, "max trace records")
+	jobTracePath := fs.String("jobtrace", "", "write a per-job CSV trace")
+	jobTraceLimit := fs.Int("jobtrace-limit", 100000, "max job-trace records")
 	ganttPath := fs.String("gantt", "", "write an SVG Gantt chart of the first 200ms")
 	ganttASCII := fs.Bool("gantt-ascii", false, "print an ASCII Gantt chart of the first 200ms")
-	dumpMetrics := fs.Bool("metrics", false, "dump internal counters and timers after the run")
-	pprofPath := fs.String("pprof", "", "write a CPU profile of the run to this file")
-	runTracePath := fs.String("runtrace", "", "write a Chrome trace-event JSON of the run (view in ui.perfetto.dev)")
-	telemetryAddr := fs.String("telemetry", "", "serve live telemetry on this address (e.g. :9090): Prometheus /metrics, pprof")
-	manifestPath := fs.String("manifest", "", "write a JSON run manifest (seed, config, stage-time breakdown) to this file")
-	if err := fs.Parse(args); err != nil {
+	if err := app.Parse(args); err != nil {
 		return err
 	}
 	if *graphPath == "" {
 		fs.Usage()
 		return fmt.Errorf("-graph is required")
 	}
-	var manifest *telemetry.Manifest
-	if *manifestPath != "" {
-		manifest = telemetry.NewManifest("disparity-sim", args)
+	if err := app.Start(); err != nil {
+		return err
 	}
-	if *pprofPath != "" {
-		f, err := os.Create(*pprofPath)
-		if err != nil {
-			return err
-		}
-		defer f.Close()
-		if err := pprof.StartCPUProfile(f); err != nil {
-			return err
-		}
-		defer pprof.StopCPUProfile()
-	}
-	if *telemetryAddr != "" {
-		srv := &telemetry.Server{}
-		addr, err := srv.Start(*telemetryAddr)
-		if err != nil {
-			return err
-		}
-		defer srv.Close()
-		fmt.Fprintf(os.Stderr, "disparity-sim: telemetry on http://%s\n", addr)
-	}
+	defer app.Close()
 	horizon, err := disparity.ParseTime(*horizonStr)
 	if err != nil {
 		return err
@@ -133,28 +108,27 @@ func run(args []string) error {
 	if err != nil {
 		return err
 	}
+	seed := app.Seed()
 	if *randomOffsets {
-		disparity.RandomOffsets(g, *seed)
+		disparity.RandomOffsets(g, seed)
 	}
 
 	var observers []sim.Observer
 	var rec *trace.Recorder
-	if *tracePath != "" || *ganttPath != "" || *ganttASCII {
+	if *jobTracePath != "" || *ganttPath != "" || *ganttASCII {
 		rec = trace.NewRecorder()
-		rec.Limit = *traceLimit
+		rec.Limit = *jobTraceLimit
 		observers = append(observers, rec)
 	}
-	var tracer *span.Tracer
 	var track *span.Track
-	if *runTracePath != "" {
-		tracer = span.New()
-		track = tracer.Track("sim")
+	if app.Tracer != nil {
+		track = app.Tracer.Track("sim")
 	}
 	res, err := disparity.Simulate(g, disparity.SimConfig{
 		Horizon:   horizon,
 		Warmup:    warmup,
 		Exec:      exec,
-		Seed:      *seed,
+		Seed:      seed,
 		Observers: observers,
 		Trace:     track,
 	})
@@ -163,7 +137,7 @@ func run(args []string) error {
 	}
 
 	fmt.Printf("simulated %v (%d jobs, %d overruns, exec=%s, seed=%d)\n",
-		horizon, res.Jobs, res.Overruns, *execName, *seed)
+		horizon, res.Jobs, res.Overruns, *execName, seed)
 	tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
 	fmt.Fprintln(tw, "task\tmax disparity")
 	for i := 0; i < g.NumTasks(); i++ {
@@ -198,8 +172,8 @@ func run(args []string) error {
 		}
 	}
 
-	if rec != nil && *tracePath != "" {
-		tf, err := os.Create(*tracePath)
+	if rec != nil && *jobTracePath != "" {
+		tf, err := os.Create(*jobTracePath)
 		if err != nil {
 			return err
 		}
@@ -210,38 +184,16 @@ func run(args []string) error {
 		if err := tf.Close(); err != nil {
 			return err
 		}
-		fmt.Printf("trace: %d records written to %s (%d dropped)\n",
-			len(rec.Records), *tracePath, rec.Dropped)
+		fmt.Printf("jobtrace: %d records written to %s (%d dropped)\n",
+			len(rec.Records), *jobTracePath, rec.Dropped)
 	}
-	if tracer != nil {
-		if err := tracer.WriteChromeFile(*runTracePath); err != nil {
-			return err
-		}
-		fmt.Printf("runtrace: %d spans written to %s\n", tracer.SpanCount(), *runTracePath)
-	}
-	if *dumpMetrics {
-		fmt.Println()
-		fmt.Println("metrics:")
-		if err := metrics.Fprint(os.Stdout); err != nil {
-			return err
-		}
-	}
-	if manifest != nil {
-		manifest.Seed = *seed
-		manifest.Config = map[string]any{
-			"graph":          *graphPath,
-			"horizon_ns":     int64(horizon),
-			"warmup_ns":      int64(warmup),
-			"exec":           *execName,
-			"random_offsets": *randomOffsets,
-			"jobs":           res.Jobs,
-			"overruns":       res.Overruns,
-		}
-		manifest.Finish(nil)
-		if err := manifest.WriteFile(*manifestPath); err != nil {
-			return err
-		}
-		fmt.Fprintf(os.Stderr, "disparity-sim: manifest written to %s\n", *manifestPath)
-	}
-	return nil
+	return app.Finish(os.Stdout, seed, map[string]any{
+		"graph":          *graphPath,
+		"horizon_ns":     int64(horizon),
+		"warmup_ns":      int64(warmup),
+		"exec":           *execName,
+		"random_offsets": *randomOffsets,
+		"jobs":           res.Jobs,
+		"overruns":       res.Overruns,
+	})
 }

@@ -31,7 +31,7 @@ func TestRunSimWithTrace(t *testing.T) {
 	tracePath := filepath.Join(filepath.Dir(path), "trace.csv")
 	err := run([]string{
 		"-graph", path, "-horizon", "500ms", "-warmup", "100ms",
-		"-exec", "uniform", "-random-offsets", "-trace", tracePath,
+		"-exec", "uniform", "-random-offsets", "-jobtrace", tracePath,
 	})
 	if err != nil {
 		t.Fatal(err)

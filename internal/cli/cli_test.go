@@ -1,0 +1,198 @@
+package cli
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestNewUnknownCommandPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("New(\"no-such-command\") did not panic")
+		}
+	}()
+	New("no-such-command")
+}
+
+func TestFrontendFlagRegistration(t *testing.T) {
+	cases := []struct {
+		command string
+		has     []string
+		hasNot  []string
+	}{
+		{"disparity-gen", []string{"seed"}, []string{"metrics", "pprof", "trace", "telemetry", "manifest", "workers"}},
+		{"disparity-analyze", []string{"metrics", "pprof", "trace"}, []string{"seed", "telemetry", "manifest", "workers"}},
+		{"disparity-sim", []string{"metrics", "pprof", "trace", "telemetry", "manifest", "seed"}, []string{"workers"}},
+		{"disparity-opt", []string{"metrics", "pprof"}, []string{"trace", "seed"}},
+		{"disparity-report", []string{"metrics", "pprof"}, []string{"trace", "seed"}},
+		{"disparity-exp", []string{"metrics", "pprof", "trace", "telemetry", "manifest", "seed", "workers"}, nil},
+	}
+	for _, c := range cases {
+		app := New(c.command)
+		for _, name := range c.has {
+			if app.fs.Lookup(name) == nil {
+				t.Errorf("%s: shared flag -%s not registered", c.command, name)
+			}
+		}
+		for _, name := range c.hasNot {
+			if app.fs.Lookup(name) != nil {
+				t.Errorf("%s: flag -%s registered but not declared", c.command, name)
+			}
+		}
+	}
+}
+
+func TestSeedDefaults(t *testing.T) {
+	gen := New("disparity-gen")
+	if err := gen.Parse(nil); err != nil {
+		t.Fatal(err)
+	}
+	if got := gen.Seed(); got != 1 {
+		t.Errorf("disparity-gen default seed = %d, want 1", got)
+	}
+
+	exp := New("disparity-exp")
+	if err := exp.Parse([]string{"-seed", "42"}); err != nil {
+		t.Fatal(err)
+	}
+	if got := exp.Seed(); got != 42 {
+		t.Errorf("disparity-exp -seed 42 = %d", got)
+	}
+
+	// Commands without a seed flag report the frontend default (0).
+	opt := New("disparity-opt")
+	if err := opt.Parse(nil); err != nil {
+		t.Fatal(err)
+	}
+	if got := opt.Seed(); got != 0 {
+		t.Errorf("disparity-opt seed = %d, want 0", got)
+	}
+	if got := opt.Workers(); got != 0 {
+		t.Errorf("disparity-opt workers = %d, want 0", got)
+	}
+}
+
+func TestAliasForwardsAndWarns(t *testing.T) {
+	var errBuf bytes.Buffer
+	app := New("disparity-sim")
+	app.errW = &errBuf
+	path := filepath.Join(t.TempDir(), "out.json")
+	if err := app.Parse([]string{"-runtrace", path}); err != nil {
+		t.Fatal(err)
+	}
+	if got := *app.tracePath; got != path {
+		t.Errorf("-runtrace did not forward to -trace: got %q", got)
+	}
+	warning := errBuf.String()
+	if !strings.Contains(warning, "-runtrace is deprecated") || !strings.Contains(warning, "use -trace") {
+		t.Errorf("missing deprecation warning, got %q", warning)
+	}
+}
+
+func TestAliasForwardsToCommandFlag(t *testing.T) {
+	// -trace-limit aliases the command-specific -jobtrace-limit flag,
+	// which the command registers before Parse — exactly like
+	// cmd/disparity-sim does.
+	var errBuf bytes.Buffer
+	app := New("disparity-sim")
+	app.errW = &errBuf
+	limit := app.FlagSet().Int("jobtrace-limit", 0, "cap")
+	if err := app.Parse([]string{"-trace-limit", "7"}); err != nil {
+		t.Fatal(err)
+	}
+	if *limit != 7 {
+		t.Errorf("-trace-limit did not forward to -jobtrace-limit: got %d", *limit)
+	}
+	if !strings.Contains(errBuf.String(), "-trace-limit is deprecated") {
+		t.Errorf("missing deprecation warning, got %q", errBuf.String())
+	}
+}
+
+func TestLifecycleTraceAndManifest(t *testing.T) {
+	dir := t.TempDir()
+	tracePath := filepath.Join(dir, "run.trace.json")
+	maniPath := filepath.Join(dir, "run.manifest.json")
+	var errBuf bytes.Buffer
+	app := New("disparity-exp")
+	app.errW = &errBuf
+	args := []string{"-trace", tracePath, "-manifest", maniPath, "-seed", "9"}
+	if err := app.Parse(args); err != nil {
+		t.Fatal(err)
+	}
+	if err := app.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer app.Close()
+	if app.Tracer == nil {
+		t.Fatal("Start with -trace left Tracer nil")
+	}
+	app.Tracer.Track("test").Start("work").End()
+	if err := app.Finish(os.Stdout, app.Seed(), map[string]any{"k": "v"}); err != nil {
+		t.Fatal(err)
+	}
+
+	traceData, err := os.ReadFile(tracePath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Contains(traceData, []byte(`"work"`)) {
+		t.Error("trace file missing the recorded span")
+	}
+
+	maniData, err := os.ReadFile(maniPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var m struct {
+		Command string         `json:"command"`
+		Seed    int64          `json:"seed"`
+		Config  map[string]any `json:"config"`
+	}
+	if err := json.Unmarshal(maniData, &m); err != nil {
+		t.Fatalf("manifest is not valid JSON: %v", err)
+	}
+	if m.Command != "disparity-exp" || m.Seed != 9 || m.Config["k"] != "v" {
+		t.Errorf("manifest = %+v", m)
+	}
+
+	report := errBuf.String()
+	if !strings.Contains(report, "trace with") || !strings.Contains(report, "manifest written to") {
+		t.Errorf("missing confirmation lines, got %q", report)
+	}
+}
+
+func TestFinishMetricsFormat(t *testing.T) {
+	app := New("disparity-report")
+	if err := app.Parse([]string{"-metrics"}); err != nil {
+		t.Fatal(err)
+	}
+	var out bytes.Buffer
+	if err := app.Finish(&out, 0, nil); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(out.String(), "\nmetrics:\n") {
+		t.Errorf("metrics dump header = %q, want the historical \"\\nmetrics:\\n\" prefix", out.String()[:min(len(out.String()), 20)])
+	}
+}
+
+func TestMarkdownFlagTable(t *testing.T) {
+	table := MarkdownFlagTable()
+	for _, want := range []string{
+		"| flag | purpose |",
+		"`-metrics`", "`-pprof`", "`-trace`", "`-telemetry`", "`-manifest`", "`-seed`", "`-workers`",
+		"✓ (alias `-runtrace`)", // sim's deprecated spelling surfaces in its cell
+	} {
+		if !strings.Contains(table, want) {
+			t.Errorf("MarkdownFlagTable missing %q", want)
+		}
+	}
+	// One header, one separator, one row per shared flag.
+	lines := strings.Split(strings.TrimSpace(table), "\n")
+	if want := 2 + len(flagDefs); len(lines) != want {
+		t.Errorf("table has %d lines, want %d", len(lines), want)
+	}
+}

@@ -1,0 +1,48 @@
+package cli
+
+import (
+	"flag"
+	"os"
+	"strings"
+	"testing"
+)
+
+var updateReadme = flag.Bool("update", false, "rewrite the README's shared-flags block")
+
+const (
+	readmePath  = "../../README.md"
+	beginMarker = "<!-- shared-flags:begin -->"
+	endMarker   = "<!-- shared-flags:end -->"
+)
+
+// TestReadmeFlagTable keeps the README's shared-flag support matrix in
+// lockstep with the Frontends registry. Run with -update to regenerate
+// the block from the code.
+func TestReadmeFlagTable(t *testing.T) {
+	data, err := os.ReadFile(readmePath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := string(data)
+	begin := strings.Index(text, beginMarker)
+	end := strings.Index(text, endMarker)
+	if begin < 0 || end < 0 || end < begin {
+		t.Fatalf("README.md is missing the %s / %s markers", beginMarker, endMarker)
+	}
+	want := beginMarker + "\n" + MarkdownFlagTable() + endMarker
+
+	if *updateReadme {
+		updated := text[:begin] + want + text[end+len(endMarker):]
+		if updated != text {
+			if err := os.WriteFile(readmePath, []byte(updated), 0o644); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return
+	}
+
+	got := text[begin : end+len(endMarker)]
+	if got != want {
+		t.Errorf("README shared-flags block is stale; regenerate with:\n  go test ./internal/cli -run TestReadmeFlagTable -update\n--- README ---\n%s\n--- registry ---\n%s", got, want)
+	}
+}

@@ -7,11 +7,13 @@ import (
 
 	"repro/internal/backward"
 	"repro/internal/core"
+	"repro/internal/methods"
 	"repro/internal/model"
 	"repro/internal/offsetopt"
 	"repro/internal/randgraph"
 	"repro/internal/sched"
 	"repro/internal/sim"
+	"repro/internal/trace/span"
 	"repro/internal/waters"
 )
 
@@ -30,55 +32,87 @@ import (
 //     load grows;
 //   - AblationPriority / AblationGreedyBuffers (design.go): priority
 //     assignment and multi-pair buffer insertion.
+//
+// Like the Fig. 6 panels, each ablation is a sweepSpec on the shared
+// driver: per-graph rng streams are derived from (pi, gi), so the
+// bounded-worker fan-out leaves every table bit-identical to the old
+// serial loops (pinned by sweep_identity_test.go).
+
+// sdiffBound evaluates the S-diff task bound through the method
+// registry on a throwaway analysis, the common step of the backward/
+// utilization/priority ablations. ok=false rejects the graph.
+func sdiffBound(ctx context.Context, cfg Config, a *core.Analysis, g *model.Graph, task model.TaskID) (methods.Result, bool) {
+	r, err := methods.SDiff.Eval(ctx, &methods.Context{Analysis: a, MaxChains: cfg.MaxChains}, g, task)
+	if err != nil {
+		return methods.Result{}, false
+	}
+	return r, true
+}
+
+type backwardResult struct {
+	np, du float64
+}
 
 // AblationBackward compares the S-diff task bound computed with the
 // paper's NP-FP backward bounds against the Dürr-style baseline, per
 // task count. Columns (ms): S-diff(NP), S-diff(Dürr).
 func AblationBackward(cfg Config) (*Table, error) {
-	if err := cfg.validate(); err != nil {
-		return nil, err
-	}
 	tbl := &Table{
 		Title:   "Ablation: NP-FP backward bounds (Lemmas 4/5) vs scheduler-agnostic baseline (ms)",
 		XLabel:  "tasks",
-		Columns: []string{"S-diff(NP)", "S-diff(Duerr)"},
+		Columns: []string{methods.SDiff.Name() + "(NP)", methods.SDiff.Name() + "(Duerr)"},
 	}
-	for pi, n := range cfg.Points {
-		var nps, dus []float64
-		for gi := 0; gi < cfg.GraphsPerPoint; gi++ {
+	err := runSweep(cfg, sweepSpec[backwardResult]{
+		prefix: "n=",
+		eval: func(ctx context.Context, tk *span.Track, n, pi, gi int) (backwardResult, bool, error) {
 			g := genForPoint(cfg, n, pi, gi)
 			if g == nil {
-				continue
+				return backwardResult{}, false, nil
 			}
 			res := sched.Analyze(g, sched.NonPreemptiveFP)
 			sink := g.Sinks()[0]
 
 			np := core.NewWithBackward(g, backward.NewAnalyzer(g, res, backward.NonPreemptive))
 			du := core.NewWithBackward(g, backward.NewAnalyzer(g, res, backward.Duerr))
-			npTd, err := np.Disparity(sink, core.SDiff, cfg.MaxChains)
-			if err != nil {
-				continue
+			npTd, ok := sdiffBound(ctx, cfg, np, g, sink)
+			if !ok {
+				return backwardResult{}, false, nil
 			}
-			duTd, err := du.Disparity(sink, core.SDiff, cfg.MaxChains)
-			if err != nil {
-				continue
+			duTd, ok := sdiffBound(ctx, cfg, du, g, sink)
+			if !ok {
+				return backwardResult{}, false, nil
 			}
-			if len(npTd.Pairs) == 0 {
-				continue
+			if len(npTd.Detail.Pairs) == 0 {
+				return backwardResult{}, false, nil
 			}
-			nps = append(nps, npTd.Bound.Milliseconds())
-			dus = append(dus, duTd.Bound.Milliseconds())
-		}
-		if len(nps) == 0 {
-			return nil, fmt.Errorf("exp: no usable graphs at n=%d", n)
-		}
-		tbl.AddRow(n, mean(nps), mean(dus))
-		if cfg.Log != nil {
-			fmt.Fprintf(cfg.Log, "ablation-backward n=%d: NP=%.3f Duerr=%.3f (%d graphs)\n",
-				n, mean(nps), mean(dus), len(nps))
-		}
+			return backwardResult{
+				np: npTd.Bound.Milliseconds(),
+				du: duTd.Bound.Milliseconds(),
+			}, true, nil
+		},
+		point: func(n int, results []backwardResult) error {
+			var nps, dus []float64
+			for _, r := range results {
+				nps = append(nps, r.np)
+				dus = append(dus, r.du)
+			}
+			tbl.AddRow(n, mean(nps), mean(dus))
+			if cfg.Log != nil {
+				fmt.Fprintf(cfg.Log, "ablation-backward n=%d: NP=%.3f Duerr=%.3f (%d graphs)\n",
+					n, mean(nps), mean(dus), len(nps))
+			}
+			return nil
+		},
+		emptyErr: func(n int) error { return fmt.Errorf("exp: no usable graphs at n=%d", n) },
+	})
+	if err != nil {
+		return nil, err
 	}
 	return tbl, nil
+}
+
+type tailResult struct {
+	pd, sd float64
 }
 
 // AblationTail sweeps the shared-pipeline-tail length (the X axis) on
@@ -87,98 +121,126 @@ func AblationBackward(cfg Config) (*Table, error) {
 // with no tail the two bounds coincide; the separation grows with the
 // shared suffix.
 func AblationTail(cfg Config, totalTasks int) (*Table, error) {
-	if err := cfg.validate(); err != nil {
-		return nil, err
-	}
 	tbl := &Table{
 		Title:   fmt.Sprintf("Ablation: shared tail length on %d-task graphs (ms)", totalTasks),
 		XLabel:  "tail",
-		Columns: []string{"P-diff", "S-diff"},
+		Columns: methods.Names(methods.PDiff, methods.SDiff),
 	}
-	for pi, tail := range cfg.Points {
-		if totalTasks-tail < 5 {
-			return nil, fmt.Errorf("exp: tail %d leaves fewer than 5 random tasks", tail)
-		}
-		var pds, sds []float64
-		for gi := 0; gi < cfg.GraphsPerPoint; gi++ {
+	err := runSweep(cfg, sweepSpec[tailResult]{
+		prefix: "tail=",
+		checkPoint: func(tail int) error {
+			if totalTasks-tail < 5 {
+				return fmt.Errorf("exp: tail %d leaves fewer than 5 random tasks", tail)
+			}
+			return nil
+		},
+		eval: func(ctx context.Context, tk *span.Track, tail, pi, gi int) (tailResult, bool, error) {
 			sub := cfg
 			sub.TailLen = tail
 			g := genForPoint(sub, totalTasks, pi, gi)
 			if g == nil {
-				continue
+				return tailResult{}, false, nil
 			}
 			a, err := core.New(g)
 			if err != nil {
-				continue
+				return tailResult{}, false, nil
 			}
 			sink := g.Sinks()[0]
-			pd, err := a.Disparity(sink, core.PDiff, cfg.MaxChains)
+			ec := &methods.Context{Analysis: a, MaxChains: cfg.MaxChains}
+			pd, err := methods.PDiff.Eval(ctx, ec, g, sink)
 			if err != nil {
-				continue
+				return tailResult{}, false, nil
 			}
-			sd, err := a.Disparity(sink, core.SDiff, cfg.MaxChains)
-			if err != nil || len(pd.Pairs) == 0 {
-				continue
+			sd, err := methods.SDiff.Eval(ctx, ec, g, sink)
+			if err != nil || len(pd.Detail.Pairs) == 0 {
+				return tailResult{}, false, nil
 			}
-			pds = append(pds, pd.Bound.Milliseconds())
-			sds = append(sds, sd.Bound.Milliseconds())
-		}
-		if len(pds) == 0 {
-			return nil, fmt.Errorf("exp: no usable graphs at tail=%d", tail)
-		}
-		tbl.AddRow(tail, mean(pds), mean(sds))
+			return tailResult{pd: pd.Bound.Milliseconds(), sd: sd.Bound.Milliseconds()}, true, nil
+		},
+		point: func(tail int, results []tailResult) error {
+			var pds, sds []float64
+			for _, r := range results {
+				pds = append(pds, r.pd)
+				sds = append(sds, r.sd)
+			}
+			tbl.AddRow(tail, mean(pds), mean(sds))
+			return nil
+		},
+		emptyErr: func(tail int) error { return fmt.Errorf("exp: no usable graphs at tail=%d", tail) },
+	})
+	if err != nil {
+		return nil, err
 	}
 	return tbl, nil
+}
+
+type execResult struct {
+	sims [4]float64
+	sd   float64
 }
 
 // AblationExec compares the maximum disparity observed under the four
 // execution-time models against the S-diff bound, per task count.
 // Columns (ms): Sim-wcet, Sim-bcet, Sim-uniform, Sim-extremes, S-diff.
 func AblationExec(cfg Config) (*Table, error) {
-	if err := cfg.validate(); err != nil {
-		return nil, err
-	}
 	models := []sim.ExecModel{sim.WCETExec{}, sim.BCETExec{}, sim.UniformExec{}, sim.ExtremesExec{P: 0.5}}
+	simName := methods.Sim.Name()
 	tbl := &Table{
 		Title:   "Ablation: execution-time models vs the S-diff bound (ms)",
 		XLabel:  "tasks",
-		Columns: []string{"Sim-wcet", "Sim-bcet", "Sim-uniform", "Sim-extremes", "S-diff"},
+		Columns: []string{simName + "-wcet", simName + "-bcet", simName + "-uniform", simName + "-extremes", methods.SDiff.Name()},
 	}
-	for pi, n := range cfg.Points {
-		sums := make([][]float64, len(models))
-		var sds []float64
-		for gi := 0; gi < cfg.GraphsPerPoint; gi++ {
+	err := runSweep(cfg, sweepSpec[execResult]{
+		prefix: "n=",
+		eval: func(ctx context.Context, tk *span.Track, n, pi, gi int) (execResult, bool, error) {
 			g := genForPoint(cfg, n, pi, gi)
 			if g == nil {
-				continue
+				return execResult{}, false, nil
 			}
 			a, err := core.New(g)
 			if err != nil {
-				continue
+				return execResult{}, false, nil
 			}
 			sink := g.Sinks()[0]
-			sd, err := a.Disparity(sink, core.SDiff, cfg.MaxChains)
-			if err != nil || len(sd.Pairs) == 0 {
-				continue
+			sd, ok := sdiffBound(ctx, cfg, a, g, sink)
+			if !ok || len(sd.Detail.Pairs) == 0 {
+				return execResult{}, false, nil
 			}
-			sds = append(sds, sd.Bound.Milliseconds())
+			r := execResult{sd: sd.Bound.Milliseconds()}
 			rng := rand.New(rand.NewSource(cfg.Seed + int64(pi*31+gi)))
 			for mi, m := range models {
 				sub := cfg
 				sub.Exec = m
-				v, err := simulateMaxDisparity(context.Background(), sub, nil, g, sink, rng)
+				v, err := simulateMaxDisparity(ctx, sub, tk, g, sink, rng)
 				if err != nil {
-					return nil, err
+					return execResult{}, false, err
 				}
-				sums[mi] = append(sums[mi], v.Milliseconds())
+				r.sims[mi] = v.Milliseconds()
 			}
-		}
-		if len(sds) == 0 {
-			return nil, fmt.Errorf("exp: no usable graphs at n=%d", n)
-		}
-		tbl.AddRow(n, mean(sums[0]), mean(sums[1]), mean(sums[2]), mean(sums[3]), mean(sds))
+			return r, true, nil
+		},
+		point: func(n int, results []execResult) error {
+			sums := make([][]float64, len(models))
+			var sds []float64
+			for _, r := range results {
+				for mi := range models {
+					sums[mi] = append(sums[mi], r.sims[mi])
+				}
+				sds = append(sds, r.sd)
+			}
+			tbl.AddRow(n, mean(sums[0]), mean(sums[1]), mean(sums[2]), mean(sums[3]), mean(sds))
+			return nil
+		},
+		emptyErr: func(n int) error { return fmt.Errorf("exp: no usable graphs at n=%d", n) },
+	})
+	if err != nil {
+		return nil, err
 	}
 	return tbl, nil
+}
+
+type semanticsResult struct {
+	sdI, simI, sdL, simL float64
 }
 
 // AblationSemantics compares implicit communication against LET on the
@@ -188,20 +250,18 @@ func AblationExec(cfg Config) (*Table, error) {
 // producer period per hop, so its bounds typically sit higher while its
 // observed disparity is deterministic.
 func AblationSemantics(cfg Config) (*Table, error) {
-	if err := cfg.validate(); err != nil {
-		return nil, err
-	}
+	sdName, simName := methods.SDiff.Name(), methods.Sim.Name()
 	tbl := &Table{
 		Title:   "Ablation: implicit communication vs LET (ms)",
 		XLabel:  "tasks",
-		Columns: []string{"S-diff(impl)", "Sim(impl)", "S-diff(LET)", "Sim(LET)"},
+		Columns: []string{sdName + "(impl)", simName + "(impl)", sdName + "(LET)", simName + "(LET)"},
 	}
-	for pi, n := range cfg.Points {
-		var sdI, simI, sdL, simL []float64
-		for gi := 0; gi < cfg.GraphsPerPoint; gi++ {
+	err := runSweep(cfg, sweepSpec[semanticsResult]{
+		prefix: "n=",
+		eval: func(ctx context.Context, tk *span.Track, n, pi, gi int) (semanticsResult, bool, error) {
 			g := genForPoint(cfg, n, pi, gi)
 			if g == nil {
-				continue
+				return semanticsResult{}, false, nil
 			}
 			sink := g.Sinks()[0]
 			rng := rand.New(rand.NewSource(cfg.Seed + int64(pi*37+gi)))
@@ -210,45 +270,51 @@ func AblationSemantics(cfg Config) (*Table, error) {
 				if err != nil {
 					return 0, 0, false, nil
 				}
-				sd, err := a.Disparity(sink, core.SDiff, cfg.MaxChains)
-				if err != nil || len(sd.Pairs) == 0 {
+				sd, ok := sdiffBound(ctx, cfg, a, gr, sink)
+				if !ok || len(sd.Detail.Pairs) == 0 {
 					return 0, 0, false, nil
 				}
-				v, err := simulateMaxDisparity(context.Background(), cfg, nil, gr, sink, rng)
+				v, err := simulateMaxDisparity(ctx, cfg, tk, gr, sink, rng)
 				if err != nil {
 					return 0, 0, false, err
 				}
 				return sd.Bound.Milliseconds(), v.Milliseconds(), true, nil
 			}
 			bi, si, ok, err := evalOne(g)
-			if err != nil {
-				return nil, err
-			}
-			if !ok {
-				continue
+			if err != nil || !ok {
+				return semanticsResult{}, false, err
 			}
 			let := g.Clone()
 			for i := 0; i < let.NumTasks(); i++ {
 				let.Task(model.TaskID(i)).Sem = model.LET
 			}
 			bl, sl, ok, err := evalOne(let)
-			if err != nil {
-				return nil, err
+			if err != nil || !ok {
+				return semanticsResult{}, false, err
 			}
-			if !ok {
-				continue
+			return semanticsResult{sdI: bi, simI: si, sdL: bl, simL: sl}, true, nil
+		},
+		point: func(n int, results []semanticsResult) error {
+			var sdI, simI, sdL, simL []float64
+			for _, r := range results {
+				sdI = append(sdI, r.sdI)
+				simI = append(simI, r.simI)
+				sdL = append(sdL, r.sdL)
+				simL = append(simL, r.simL)
 			}
-			sdI = append(sdI, bi)
-			simI = append(simI, si)
-			sdL = append(sdL, bl)
-			simL = append(simL, sl)
-		}
-		if len(sdI) == 0 {
-			return nil, fmt.Errorf("exp: no usable graphs at n=%d", n)
-		}
-		tbl.AddRow(n, mean(sdI), mean(simI), mean(sdL), mean(simL))
+			tbl.AddRow(n, mean(sdI), mean(simI), mean(sdL), mean(simL))
+			return nil
+		},
+		emptyErr: func(n int) error { return fmt.Errorf("exp: no usable graphs at n=%d", n) },
+	})
+	if err != nil {
+		return nil, err
 	}
 	return tbl, nil
+}
+
+type adversarialResult struct {
+	rnd, adv, sd float64
 }
 
 // AblationAdversarial quantifies how much of the Fig. 6(c) bound-vs-Sim
@@ -258,17 +324,15 @@ func AblationSemantics(cfg Config) (*Table, error) {
 // observed disparity. Columns (ms): Sim(random), Sim(adversarial),
 // S-diff.
 func AblationAdversarial(cfg Config) (*Table, error) {
-	if err := cfg.validate(); err != nil {
-		return nil, err
-	}
+	simName := methods.Sim.Name()
 	tbl := &Table{
 		Title:   "Ablation: random vs adversarial offsets on two-chain graphs (ms)",
 		XLabel:  "chainlen",
-		Columns: []string{"Sim(random)", "Sim(adv)", "S-diff"},
+		Columns: []string{simName + "(random)", simName + "(adv)", methods.SDiff.Name()},
 	}
-	for pi, n := range cfg.Points {
-		var rnds, advs, sds []float64
-		for gi := 0; gi < cfg.GraphsPerPoint; gi++ {
+	err := runSweep(cfg, sweepSpec[adversarialResult]{
+		prefix: "len=",
+		eval: func(ctx context.Context, tk *span.Track, n, pi, gi int) (adversarialResult, bool, error) {
 			rng := rand.New(rand.NewSource(cfg.Seed + 43 + int64(pi)*1_000_003 + int64(gi)*7_919))
 			gcfg := randgraph.Config{ECUs: cfg.ECUs, StimulusSources: true}
 			var g *model.Graph
@@ -286,20 +350,20 @@ func AblationAdversarial(cfg Config) (*Table, error) {
 				break
 			}
 			if g == nil {
-				continue
+				return adversarialResult{}, false, nil
 			}
 			sink := la.Tail()
 			a, err := core.New(g)
 			if err != nil {
-				continue
+				return adversarialResult{}, false, nil
 			}
-			sd, err := a.Disparity(sink, core.SDiff, cfg.MaxChains)
-			if err != nil {
-				continue
+			sd, ok := sdiffBound(ctx, cfg, a, g, sink)
+			if !ok {
+				return adversarialResult{}, false, nil
 			}
-			random, err := simulateMaxDisparity(context.Background(), cfg, nil, g, sink, rng)
+			random, err := simulateMaxDisparity(ctx, cfg, tk, g, sink, rng)
 			if err != nil {
-				return nil, err
+				return adversarialResult{}, false, err
 			}
 			adv, err := offsetopt.RandomRestarts(g, sink, offsetopt.Config{
 				Direction: offsetopt.Maximize,
@@ -309,20 +373,32 @@ func AblationAdversarial(cfg Config) (*Table, error) {
 				Seeds:     2,
 			}, 2, cfg.Seed+int64(gi))
 			if err != nil {
-				continue
+				return adversarialResult{}, false, nil
 			}
-			rnds = append(rnds, random.Milliseconds())
-			advs = append(advs, adv.After.Milliseconds())
-			sds = append(sds, sd.Bound.Milliseconds())
-		}
-		if len(rnds) == 0 {
-			return nil, fmt.Errorf("exp: no usable graphs at chain length %d", n)
-		}
-		tbl.AddRow(n, mean(rnds), mean(advs), mean(sds))
-		if cfg.Log != nil {
-			fmt.Fprintf(cfg.Log, "adversarial len=%d: rand=%.3f adv=%.3f bound=%.3f\n",
-				n, mean(rnds), mean(advs), mean(sds))
-		}
+			return adversarialResult{
+				rnd: random.Milliseconds(),
+				adv: adv.After.Milliseconds(),
+				sd:  sd.Bound.Milliseconds(),
+			}, true, nil
+		},
+		point: func(n int, results []adversarialResult) error {
+			var rnds, advs, sds []float64
+			for _, r := range results {
+				rnds = append(rnds, r.rnd)
+				advs = append(advs, r.adv)
+				sds = append(sds, r.sd)
+			}
+			tbl.AddRow(n, mean(rnds), mean(advs), mean(sds))
+			if cfg.Log != nil {
+				fmt.Fprintf(cfg.Log, "adversarial len=%d: rand=%.3f adv=%.3f bound=%.3f\n",
+					n, mean(rnds), mean(advs), mean(sds))
+			}
+			return nil
+		},
+		emptyErr: func(n int) error { return fmt.Errorf("exp: no usable graphs at chain length %d", n) },
+	})
+	if err != nil {
+		return nil, err
 	}
 	return tbl, nil
 }

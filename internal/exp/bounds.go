@@ -4,7 +4,7 @@ import (
 	"context"
 	"fmt"
 
-	"repro/internal/core"
+	"repro/internal/methods"
 	"repro/internal/trace/span"
 )
 
@@ -25,47 +25,35 @@ type boundsResult struct {
 // uncached (Config.DisableCache) differences here measure the analysis
 // engine itself. Both settings produce bit-identical tables.
 func BoundsSweep(cfg Config) (*Table, error) {
-	if err := cfg.validate(); err != nil {
-		return nil, err
-	}
 	tbl := &Table{
 		Title:   "Bounds sweep: analysis-only disparity bounds vs number of tasks (ms)",
 		XLabel:  "tasks",
-		Columns: []string{"P-diff", "S-diff", "S-diff-B"},
+		Columns: methods.Names(methods.PDiff, methods.SDiff, methods.SDiffB),
 	}
-	ctx := context.Background()
-	cfg.sweepBegin()
-	for pi, n := range cfg.Points {
-		cfg.pointBegin("n=", n)
-		results := make([]boundsResult, cfg.GraphsPerPoint)
-		err := cfg.runner(n).RunIndexed(ctx, cfg.GraphsPerPoint, func(ctx context.Context, worker, gi int) error {
-			r, err := evalGNMBounds(ctx, cfg, cfg.Tracer.WorkerTrack(worker), n, pi, gi)
-			if err != nil {
-				return fmt.Errorf("point n=%d graph %d: %w", n, gi, err)
+	err := runSweep(cfg, sweepSpec[boundsResult]{
+		prefix: "n=",
+		eval: func(ctx context.Context, tk *span.Track, n, pi, gi int) (boundsResult, bool, error) {
+			r, err := evalGNMBounds(ctx, cfg, tk, n, pi, gi)
+			return r, r.ok, err
+		},
+		point: func(n int, results []boundsResult) error {
+			var pds, sds, sbs []float64
+			for _, r := range results {
+				pds = append(pds, r.pdiff)
+				sds = append(sds, r.sdiff)
+				sbs = append(sbs, r.sdiffB)
 			}
-			results[gi] = r
+			tbl.AddRow(n, mean(pds), mean(sds), mean(sbs))
+			if cfg.Log != nil {
+				fmt.Fprintf(cfg.Log, "n=%d: P-diff=%.3fms S-diff=%.3fms S-diff-B=%.3fms (%d graphs)\n",
+					n, mean(pds), mean(sds), mean(sbs), len(pds))
+			}
 			return nil
-		})
-		if err != nil {
-			return nil, err
-		}
-		var pds, sds, sbs []float64
-		for _, r := range results {
-			if !r.ok {
-				continue
-			}
-			pds = append(pds, r.pdiff)
-			sds = append(sds, r.sdiff)
-			sbs = append(sbs, r.sdiffB)
-		}
-		if len(pds) == 0 {
-			return nil, fmt.Errorf("exp: no usable graphs at point n=%d", n)
-		}
-		tbl.AddRow(n, mean(pds), mean(sds), mean(sbs))
-		if cfg.Log != nil {
-			fmt.Fprintf(cfg.Log, "n=%d: P-diff=%.3fms S-diff=%.3fms S-diff-B=%.3fms (%d graphs)\n",
-				n, mean(pds), mean(sds), mean(sbs), len(pds))
-		}
+		},
+		emptyErr: func(n int) error { return fmt.Errorf("exp: no usable graphs at point n=%d", n) },
+	})
+	if err != nil {
+		return nil, err
 	}
 	return tbl, nil
 }
@@ -100,17 +88,18 @@ func evalGNMBounds(ctx context.Context, cfg Config, tk *span.Track, n, pi, gi in
 			continue
 		}
 		sink := g.Sinks()[0]
-		pd, err := a.Disparity(sink, core.PDiff, cfg.MaxChains)
+		ec := cfg.boundContext(a)
+		pd, err := methods.PDiff.Eval(ctx, ec, g, sink)
 		if err != nil {
 			stop()
 			continue // e.g. too many chains: regenerate
 		}
-		sd, err := a.Disparity(sink, core.SDiff, cfg.MaxChains)
-		if err != nil || len(pd.Pairs) == 0 {
+		sd, err := methods.SDiff.Eval(ctx, ec, g, sink)
+		if err != nil || len(pd.Detail.Pairs) == 0 {
 			stop()
 			continue
 		}
-		greedy, err := a.OptimizeTaskGreedy(sink, cfg.MaxChains, 8)
+		greedy, err := methods.SDiffB.Eval(ctx, ec, g, sink)
 		stop()
 		if err != nil {
 			continue
@@ -119,7 +108,7 @@ func evalGNMBounds(ctx context.Context, cfg Config, tk *span.Track, n, pi, gi in
 		return boundsResult{
 			pdiff:  pd.Bound.Milliseconds(),
 			sdiff:  sd.Bound.Milliseconds(),
-			sdiffB: greedy.After.Milliseconds(),
+			sdiffB: greedy.Bound.Milliseconds(),
 			ok:     true,
 		}, nil
 	}

@@ -6,13 +6,19 @@ import (
 	"math/rand"
 
 	"repro/internal/core"
+	"repro/internal/methods"
 	"repro/internal/sched"
+	"repro/internal/trace/span"
 )
 
 // The experiments in this file explore the design space around the
 // paper's optimization: how priority assignment and multi-pair (greedy)
 // buffer insertion move the S-diff bound on general fusion graphs, where
 // the paper's evaluation only treats two-chain topologies.
+
+type priorityResult struct {
+	rm, topo float64
+}
 
 // AblationPriority compares rate-monotonic against topological (flow-
 // ordered) priority assignment on utilization-scaled workloads, per
@@ -22,55 +28,77 @@ import (
 // reflects schedulable systems only. Columns (ms): S-diff(RM),
 // S-diff(topo).
 func AblationPriority(cfg Config) (*Table, error) {
-	if err := cfg.validate(); err != nil {
-		return nil, err
-	}
+	sdName := methods.SDiff.Name()
 	tbl := &Table{
 		Title:   "Ablation: rate-monotonic vs topological priorities (ms)",
 		XLabel:  "util%",
-		Columns: []string{"S-diff(RM)", "S-diff(topo)"},
+		Columns: []string{sdName + "(RM)", sdName + "(topo)"},
 	}
-	for pi, upct := range cfg.Points {
-		if upct <= 0 || upct >= 100 {
-			return nil, fmt.Errorf("exp: utilization %d%% out of (0, 100)", upct)
-		}
-		var rms, topos []float64
-		for gi := 0; gi < cfg.GraphsPerPoint; gi++ {
+	err := runSweep(cfg, sweepSpec[priorityResult]{
+		prefix: "util=",
+		checkPoint: func(upct int) error {
+			if upct <= 0 || upct >= 100 {
+				return fmt.Errorf("exp: utilization %d%% out of (0, 100)", upct)
+			}
+			return nil
+		},
+		eval: func(ctx context.Context, tk *span.Track, upct, pi, gi int) (priorityResult, bool, error) {
 			g := genUtilization(cfg, 16, float64(upct)/100, pi, gi)
 			if g == nil {
-				continue
+				return priorityResult{}, false, nil
 			}
 			sink := g.Sinks()[0]
 			// RM is how genUtilization's populator left the graph.
 			rmA, err := core.New(g)
 			if err != nil {
-				continue
+				return priorityResult{}, false, nil
 			}
-			rmTd, err := rmA.Disparity(sink, core.SDiff, cfg.MaxChains)
-			if err != nil || len(rmTd.Pairs) == 0 {
-				continue
+			rmTd, ok := sdiffBound(ctx, cfg, rmA, g, sink)
+			if !ok || len(rmTd.Detail.Pairs) == 0 {
+				return priorityResult{}, false, nil
 			}
 			topo := g.Clone()
 			if err := sched.AssignTopological(topo); err != nil {
-				continue
+				return priorityResult{}, false, nil
 			}
 			topoA, err := core.New(topo)
 			if err != nil {
-				continue // topological order unschedulable here
+				return priorityResult{}, false, nil // topological order unschedulable here
 			}
-			topoTd, err := topoA.Disparity(sink, core.SDiff, cfg.MaxChains)
-			if err != nil {
-				continue
+			topoTd, ok := sdiffBound(ctx, cfg, topoA, topo, sink)
+			if !ok {
+				return priorityResult{}, false, nil
 			}
-			rms = append(rms, rmTd.Bound.Milliseconds())
-			topos = append(topos, topoTd.Bound.Milliseconds())
-		}
-		if len(rms) == 0 {
-			return nil, fmt.Errorf("exp: no usable graphs at %d%% utilization", upct)
-		}
-		tbl.AddRow(upct, mean(rms), mean(topos))
+			return priorityResult{
+				rm:   rmTd.Bound.Milliseconds(),
+				topo: topoTd.Bound.Milliseconds(),
+			}, true, nil
+		},
+		point: func(upct int, results []priorityResult) error {
+			var rms, topos []float64
+			for _, r := range results {
+				rms = append(rms, r.rm)
+				topos = append(topos, r.topo)
+			}
+			tbl.AddRow(upct, mean(rms), mean(topos))
+			return nil
+		},
+		emptyErr: func(upct int) error { return fmt.Errorf("exp: no usable graphs at %d%% utilization", upct) },
+	})
+	if err != nil {
+		return nil, err
 	}
 	return tbl, nil
+}
+
+// greedyResult mirrors the original loop's asymmetric aggregation: a
+// graph whose single-application path fails after the greedy path
+// succeeded still contributes its S-diff value (full=false), so the
+// S-diff column can average more graphs than the others.
+type greedyResult struct {
+	sd                 float64
+	b1, bg, sim, simBg float64
+	full               bool
 }
 
 // AblationGreedyBuffers extends the paper's Fig. 6(c) beyond two chains:
@@ -80,77 +108,92 @@ func AblationPriority(cfg Config) (*Table, error) {
 // greedy buffers. Columns (ms): S-diff, S-diff-B1, S-diff-Bg, Sim,
 // Sim-Bg.
 func AblationGreedyBuffers(cfg Config) (*Table, error) {
-	if err := cfg.validate(); err != nil {
-		return nil, err
-	}
+	sdName, simName := methods.SDiff.Name(), methods.Sim.Name()
 	tbl := &Table{
 		Title:   "Ablation: single vs greedy Algorithm 1 on fusion graphs (ms)",
 		XLabel:  "tasks",
-		Columns: []string{"S-diff", "S-diff-B1", "S-diff-Bg", "Sim", "Sim-Bg"},
+		Columns: []string{sdName, sdName + "-B1", sdName + "-Bg", simName, simName + "-Bg"},
 	}
-	for pi, n := range cfg.Points {
-		var sds, b1s, bgs, sims, simBgs []float64
-		for gi := 0; gi < cfg.GraphsPerPoint; gi++ {
+	err := runSweep(cfg, sweepSpec[greedyResult]{
+		prefix: "n=",
+		eval: func(ctx context.Context, tk *span.Track, n, pi, gi int) (greedyResult, bool, error) {
 			g := genForPoint(cfg, n, pi, gi)
 			if g == nil {
-				continue
+				return greedyResult{}, false, nil
 			}
 			a, err := core.New(g)
 			if err != nil {
-				continue
+				return greedyResult{}, false, nil
 			}
 			sink := g.Sinks()[0]
-			td, err := a.Disparity(sink, core.SDiff, cfg.MaxChains)
-			if err != nil || len(td.Pairs) == 0 {
-				continue
+			td, ok := sdiffBound(ctx, cfg, a, g, sink)
+			if !ok || len(td.Detail.Pairs) == 0 {
+				return greedyResult{}, false, nil
 			}
 			plan, _, err := a.OptimizeTask(sink, cfg.MaxChains)
 			if err != nil {
-				continue
+				return greedyResult{}, false, nil
 			}
 			greedy, err := a.OptimizeTaskGreedy(sink, cfg.MaxChains, 8)
 			if err != nil {
-				continue
+				return greedyResult{}, false, nil
 			}
 			rng := rand.New(rand.NewSource(cfg.Seed + int64(pi*41+gi)))
-			simPlain, err := simulateMaxDisparity(context.Background(), cfg, nil, g, sink, rng)
+			simPlain, err := simulateMaxDisparity(ctx, cfg, tk, g, sink, rng)
 			if err != nil {
-				return nil, err
+				return greedyResult{}, false, err
 			}
-			simGreedy, err := simulateMaxDisparity(context.Background(), cfg, nil, greedy.Graph, sink, rng)
+			simGreedy, err := simulateMaxDisparity(ctx, cfg, tk, greedy.Graph, sink, rng)
 			if err != nil {
-				return nil, err
+				return greedyResult{}, false, err
 			}
 
-			sds = append(sds, td.Bound.Milliseconds())
+			r := greedyResult{sd: td.Bound.Milliseconds()}
 			// A single application's After bounds only the optimized pair;
 			// the task-level bound is the max over pairs of the re-analyzed
 			// buffered graph. Recompute for honesty.
 			single := g.Clone()
 			if err := plan.Apply(single); err != nil {
-				continue
+				return r, true, nil
 			}
 			singleA, err := core.New(single)
 			if err != nil {
-				continue
+				return r, true, nil
 			}
 			singleTd, err := singleA.Disparity(sink, core.SDiff, cfg.MaxChains)
 			if err != nil {
-				continue
+				return r, true, nil
 			}
-			b1s = append(b1s, singleTd.Bound.Milliseconds())
-			bgs = append(bgs, greedy.After.Milliseconds())
-			sims = append(sims, simPlain.Milliseconds())
-			simBgs = append(simBgs, simGreedy.Milliseconds())
-		}
-		if len(sds) == 0 {
-			return nil, fmt.Errorf("exp: no usable graphs at n=%d", n)
-		}
-		tbl.AddRow(n, mean(sds), mean(b1s), mean(bgs), mean(sims), mean(simBgs))
-		if cfg.Log != nil {
-			fmt.Fprintf(cfg.Log, "greedy n=%d: S=%.3f B1=%.3f Bg=%.3f Sim=%.3f SimBg=%.3f\n",
-				n, mean(sds), mean(b1s), mean(bgs), mean(sims), mean(simBgs))
-		}
+			r.b1 = singleTd.Bound.Milliseconds()
+			r.bg = greedy.After.Milliseconds()
+			r.sim = simPlain.Milliseconds()
+			r.simBg = simGreedy.Milliseconds()
+			r.full = true
+			return r, true, nil
+		},
+		point: func(n int, results []greedyResult) error {
+			var sds, b1s, bgs, sims, simBgs []float64
+			for _, r := range results {
+				sds = append(sds, r.sd)
+				if !r.full {
+					continue
+				}
+				b1s = append(b1s, r.b1)
+				bgs = append(bgs, r.bg)
+				sims = append(sims, r.sim)
+				simBgs = append(simBgs, r.simBg)
+			}
+			tbl.AddRow(n, mean(sds), mean(b1s), mean(bgs), mean(sims), mean(simBgs))
+			if cfg.Log != nil {
+				fmt.Fprintf(cfg.Log, "greedy n=%d: S=%.3f B1=%.3f Bg=%.3f Sim=%.3f SimBg=%.3f\n",
+					n, mean(sds), mean(b1s), mean(bgs), mean(sims), mean(simBgs))
+			}
+			return nil
+		},
+		emptyErr: func(n int) error { return fmt.Errorf("exp: no usable graphs at n=%d", n) },
+	})
+	if err != nil {
+		return nil, err
 	}
 	return tbl, nil
 }

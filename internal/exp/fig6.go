@@ -2,237 +2,16 @@ package exp
 
 import (
 	"context"
-	"errors"
 	"fmt"
-	"io"
 	"math/rand"
-	"runtime"
-	"strconv"
 
-	"repro/internal/core"
-	"repro/internal/metrics"
+	"repro/internal/methods"
 	"repro/internal/model"
-	"repro/internal/par"
 	"repro/internal/randgraph"
-	"repro/internal/sched"
-	"repro/internal/sim"
 	"repro/internal/timeu"
 	"repro/internal/trace/span"
 	"repro/internal/waters"
 )
-
-// Stage times are histograms, not plain timers: a sweep spans graphs
-// from 5 to 35 tasks, whose analysis times differ by orders of
-// magnitude, and the p50/p90/p99 split is what distinguishes "every
-// workload is slow" from "a few outliers dominate".
-var (
-	graphsGenerated = metrics.C("exp.graphs.generated")
-	graphsUsed      = metrics.C("exp.graphs.used")
-	simJobs         = metrics.C("exp.sim.jobs")
-	genHist         = metrics.H("exp.stage.generate")
-	analysisHist    = metrics.H("exp.stage.analysis")
-	simHist         = metrics.H("exp.stage.simulate")
-	// simRunHist times each individual engine run (OffsetsPerGraph of
-	// them per simHist observation).
-	simRunHist = metrics.H("exp.sim.run")
-)
-
-// failGraphHook, when non-nil, is called at the start of every graph
-// evaluation; a non-nil return aborts the sweep with that error. Test
-// seam for the error-propagation path (see fig6_errors_test.go).
-var failGraphHook func(point, gi int) error
-
-// Config parameterizes the Fig. 6 experiments. The zero value is not
-// usable; start from Defaults or PaperScale.
-type Config struct {
-	// Points is the X axis: task counts for Fig. 6(a)/(b), per-chain task
-	// counts for Fig. 6(c)/(d).
-	Points []int
-	// GraphsPerPoint is how many random graphs are averaged per point.
-	GraphsPerPoint int
-	// OffsetsPerGraph is how many random offset assignments each graph is
-	// simulated with; the per-graph Sim value is the maximum over them
-	// (the tightest achievable lower bound the runs exhibit).
-	OffsetsPerGraph int
-	// Horizon is the simulated time per run.
-	Horizon timeu.Time
-	// Warmup discards early jobs so buffered channels reach steady state.
-	Warmup timeu.Time
-	// EdgeFactor sets m = EdgeFactor·n edges for the GNM graphs. The
-	// paper does not state its m; 2.0 gives the moderately dense DAGs its
-	// description implies.
-	EdgeFactor float64
-	// TailLen reserves that many of each graph's n tasks for a shared
-	// pipeline tail after the last fusion point (clamped so the random
-	// part keeps at least 5 tasks; 0 disables). The paper's generation
-	// is "GNM with a single sink"; without a shared tail, such
-	// multi-source graphs always contain a structure-free worst pair and
-	// P-diff equals S-diff at the task level, flattening Fig. 6(a)'s
-	// separation. The tail reproduces the motivating architecture
-	// (fusion → planning → control, Fig. 1) where the separation shows.
-	TailLen int
-	// ECUs is the number of compute ECUs.
-	ECUs int
-	// Exec draws job execution times during simulation.
-	Exec sim.ExecModel
-	// Seed makes the whole experiment deterministic.
-	Seed int64
-	// MaxChains caps path enumeration per graph; graphs exceeding it are
-	// regenerated (exponential-path GNM outliers).
-	MaxChains int
-	// Workers bounds concurrent graph evaluations (0 = GOMAXPROCS).
-	Workers int
-	// DisableCache turns off the per-graph AnalysisCache, recomputing
-	// every intermediate result from scratch. Results are bit-identical
-	// either way; the switch exists for benchmarking the memoization
-	// layer and for differential testing.
-	DisableCache bool
-	// Log, when non-nil, receives one summary line per point.
-	Log io.Writer
-	// Progress, when non-nil, receives one line per finished graph
-	// ("n=15: graphs 7/10"), for coarse live progress on long sweeps.
-	Progress io.Writer
-	// Tracer, when non-nil, records structured spans of the sweep: one
-	// track per worker, a span per workload with stage children
-	// (generate, analysis, simulate) and the engine- and cache-level
-	// spans below them. Write the result with span.WriteChromeFile.
-	Tracer *span.Tracer
-	// Sink, when non-nil, receives live progress callbacks (sweep
-	// start, current point, settled workloads) — the feed behind a
-	// telemetry /progress endpoint.
-	Sink ProgressSink
-}
-
-// ProgressSink receives live sweep progress. telemetry.Tracker
-// implements it; the interface lives here so exp does not depend on
-// the HTTP layer.
-type ProgressSink interface {
-	// Begin announces the expected workload (graph-evaluation) total.
-	Begin(total int)
-	// Point announces the sweep point now being evaluated ("n=15").
-	Point(label string)
-	// WorkloadDone counts one settled workload.
-	WorkloadDone()
-}
-
-// Defaults returns a configuration sized for interactive runs and tests:
-// the paper's topology parameters with a shorter simulation horizon.
-func Defaults() Config {
-	return Config{
-		Points:          []int{5, 10, 15, 20, 25, 30, 35},
-		GraphsPerPoint:  10,
-		OffsetsPerGraph: 10,
-		Horizon:         5 * timeu.Second,
-		Warmup:          timeu.Second,
-		EdgeFactor:      2.0,
-		TailLen:         3,
-		ECUs:            4,
-		Exec:            sim.ExtremesExec{P: 0.5},
-		Seed:            1,
-		MaxChains:       1 << 14,
-	}
-}
-
-// PaperScale returns the full evaluation setup of the paper: 10 graphs ×
-// 10 offset runs × 10 simulated minutes per configuration. Expect long
-// wall-clock times.
-func PaperScale() Config {
-	cfg := Defaults()
-	cfg.Horizon = 10 * timeu.Minute
-	return cfg
-}
-
-func (cfg *Config) workers() int {
-	if cfg.Workers > 0 {
-		return cfg.Workers
-	}
-	return runtime.GOMAXPROCS(0)
-}
-
-func (cfg *Config) validate() error {
-	if len(cfg.Points) == 0 {
-		return errors.New("exp: no points")
-	}
-	if cfg.GraphsPerPoint < 1 || cfg.OffsetsPerGraph < 1 {
-		return errors.New("exp: need at least one graph and one offset run per point")
-	}
-	if cfg.Horizon <= 0 {
-		return errors.New("exp: non-positive horizon")
-	}
-	if cfg.Exec == nil {
-		return errors.New("exp: nil exec model")
-	}
-	return nil
-}
-
-// runner builds the shared bounded-worker runner for one sweep point.
-func (cfg *Config) runner(n int) par.Runner {
-	r := par.Runner{Workers: cfg.workers()}
-	if cfg.Progress != nil || cfg.Sink != nil {
-		progress, sink := cfg.Progress, cfg.Sink
-		r.OnProgress = func(done, total int) {
-			if progress != nil {
-				fmt.Fprintf(progress, "n=%d: graphs %d/%d\n", n, done, total)
-			}
-			if sink != nil {
-				sink.WorkloadDone()
-			}
-		}
-	}
-	return r
-}
-
-// sweepBegin announces a sweep to the progress sink: the workload
-// total is every point times every graph.
-func (cfg *Config) sweepBegin() {
-	if cfg.Sink != nil {
-		cfg.Sink.Begin(len(cfg.Points) * cfg.GraphsPerPoint)
-	}
-}
-
-// pointBegin announces one sweep point to the progress sink.
-func (cfg *Config) pointBegin(prefix string, n int) {
-	if cfg.Sink != nil {
-		cfg.Sink.Point(prefix + strconv.Itoa(n))
-	}
-}
-
-// stage opens one workload stage: a histogram measurement plus, when
-// tracing, a span on the worker's track. The returned func closes both.
-func stage(h *metrics.Histogram, tk *span.Track, name string) func() {
-	stop := h.Start()
-	sp := tk.Start(name)
-	return func() {
-		sp.End()
-		stop()
-	}
-}
-
-// newAnalysis runs the schedulability check and builds the analysis for
-// one generated graph, sharing the WCRT fixed point between the two
-// through the per-graph cache (unless disabled). ok=false means the
-// graph is unschedulable and should be regenerated.
-func (cfg *Config) newAnalysis(g *model.Graph, tk *span.Track) (a *core.Analysis, ok bool, err error) {
-	var res *sched.Result
-	if cfg.DisableCache {
-		res = sched.Analyze(g, sched.NonPreemptiveFP)
-		if !res.Schedulable {
-			return nil, false, nil
-		}
-		a, err = core.New(g)
-	} else {
-		cache := core.NewAnalysisCache().WithTrack(tk)
-		res = cache.Sched(g, sched.NonPreemptiveFP)
-		if !res.Schedulable {
-			return nil, false, nil
-		}
-		a, err = core.NewCached(g, cache)
-	}
-	if err != nil {
-		return nil, false, nil // analysis rejects the graph: regenerate
-	}
-	return a, true, nil
-}
 
 // graphResult carries the per-graph metrics of Fig. 6(a)/(b).
 type graphResult struct {
@@ -243,13 +22,10 @@ type graphResult struct {
 // Fig6a runs the Fig. 6(a) experiment and returns the absolute series
 // (milliseconds): Sim, P-diff, S-diff versus task count.
 func Fig6a(cfg Config) (*Table, error) {
-	if err := cfg.validate(); err != nil {
-		return nil, err
-	}
 	tbl := &Table{
 		Title:   "Fig 6(a): worst-case time disparity vs number of tasks (ms)",
 		XLabel:  "tasks",
-		Columns: []string{"Sim", "P-diff", "S-diff"},
+		Columns: methods.Names(methods.Sim, methods.PDiff, methods.SDiff),
 	}
 	ratios := &Table{}
 	if err := runFig6ab(cfg, tbl, ratios); err != nil {
@@ -261,14 +37,11 @@ func Fig6a(cfg Config) (*Table, error) {
 // Fig6b runs the same experiment as Fig6a but returns the incremental
 // ratios (bound − Sim)/Sim of P-diff and S-diff.
 func Fig6b(cfg Config) (*Table, error) {
-	if err := cfg.validate(); err != nil {
-		return nil, err
-	}
 	abs := &Table{}
 	tbl := &Table{
 		Title:   "Fig 6(b): incremental ratio vs number of tasks",
 		XLabel:  "tasks",
-		Columns: []string{"P-diff", "S-diff"},
+		Columns: methods.Names(methods.PDiff, methods.SDiff),
 	}
 	if err := runFig6ab(cfg, abs, tbl); err != nil {
 		return nil, err
@@ -279,18 +52,15 @@ func Fig6b(cfg Config) (*Table, error) {
 // Fig6ab runs the shared experiment once and returns both views,
 // avoiding double work when a caller wants the full panel.
 func Fig6ab(cfg Config) (abs, ratio *Table, err error) {
-	if err := cfg.validate(); err != nil {
-		return nil, nil, err
-	}
 	abs = &Table{
 		Title:   "Fig 6(a): worst-case time disparity vs number of tasks (ms)",
 		XLabel:  "tasks",
-		Columns: []string{"Sim", "P-diff", "S-diff"},
+		Columns: methods.Names(methods.Sim, methods.PDiff, methods.SDiff),
 	}
 	ratio = &Table{
 		Title:   "Fig 6(b): incremental ratio vs number of tasks",
 		XLabel:  "tasks",
-		Columns: []string{"P-diff", "S-diff"},
+		Columns: methods.Names(methods.PDiff, methods.SDiff),
 	}
 	if err := runFig6ab(cfg, abs, ratio); err != nil {
 		return nil, nil, err
@@ -300,53 +70,40 @@ func Fig6ab(cfg Config) (abs, ratio *Table, err error) {
 
 func runFig6ab(cfg Config, abs, ratio *Table) error {
 	if len(abs.Columns) == 0 {
-		abs.Columns = []string{"Sim", "P-diff", "S-diff"}
+		abs.Columns = methods.Names(methods.Sim, methods.PDiff, methods.SDiff)
 		abs.XLabel = "tasks"
 	}
 	if len(ratio.Columns) == 0 {
-		ratio.Columns = []string{"P-diff", "S-diff"}
+		ratio.Columns = methods.Names(methods.PDiff, methods.SDiff)
 		ratio.XLabel = "tasks"
 	}
-	ctx := context.Background()
-	cfg.sweepBegin()
-	for pi, n := range cfg.Points {
-		cfg.pointBegin("n=", n)
-		results := make([]graphResult, cfg.GraphsPerPoint)
-		err := cfg.runner(n).RunIndexed(ctx, cfg.GraphsPerPoint, func(ctx context.Context, worker, gi int) error {
-			r, err := evalGNMGraph(ctx, cfg, cfg.Tracer.WorkerTrack(worker), n, pi, gi)
-			if err != nil {
-				return fmt.Errorf("point n=%d graph %d: %w", n, gi, err)
+	return runSweep(cfg, sweepSpec[graphResult]{
+		prefix: "n=",
+		eval: func(ctx context.Context, tk *span.Track, n, pi, gi int) (graphResult, bool, error) {
+			r, err := evalGNMGraph(ctx, cfg, tk, n, pi, gi)
+			return r, r.ok, err
+		},
+		point: func(n int, results []graphResult) error {
+			var sims, pds, sds, prs, srs []float64
+			for _, r := range results {
+				sims = append(sims, r.sim)
+				pds = append(pds, r.pdiff)
+				sds = append(sds, r.sdiff)
+				if r.sim > 0 {
+					prs = append(prs, (r.pdiff-r.sim)/r.sim)
+					srs = append(srs, (r.sdiff-r.sim)/r.sim)
+				}
 			}
-			results[gi] = r
+			abs.AddRow(n, mean(sims), mean(pds), mean(sds))
+			ratio.AddRow(n, mean(prs), mean(srs))
+			if cfg.Log != nil {
+				fmt.Fprintf(cfg.Log, "n=%d: Sim=%.3fms P-diff=%.3fms S-diff=%.3fms (%d graphs)\n",
+					n, mean(sims), mean(pds), mean(sds), len(sims))
+			}
 			return nil
-		})
-		if err != nil {
-			return err
-		}
-		var sims, pds, sds, prs, srs []float64
-		for _, r := range results {
-			if !r.ok {
-				continue
-			}
-			sims = append(sims, r.sim)
-			pds = append(pds, r.pdiff)
-			sds = append(sds, r.sdiff)
-			if r.sim > 0 {
-				prs = append(prs, (r.pdiff-r.sim)/r.sim)
-				srs = append(srs, (r.sdiff-r.sim)/r.sim)
-			}
-		}
-		if len(sims) == 0 {
-			return fmt.Errorf("exp: no usable graphs at point n=%d", n)
-		}
-		abs.AddRow(n, mean(sims), mean(pds), mean(sds))
-		ratio.AddRow(n, mean(prs), mean(srs))
-		if cfg.Log != nil {
-			fmt.Fprintf(cfg.Log, "n=%d: Sim=%.3fms P-diff=%.3fms S-diff=%.3fms (%d graphs)\n",
-				n, mean(sims), mean(pds), mean(sds), len(sims))
-		}
-	}
-	return nil
+		},
+		emptyErr: func(n int) error { return fmt.Errorf("exp: no usable graphs at point n=%d", n) },
+	})
 }
 
 // newGraphRNG seeds the per-graph stream shared by the Fig. 6(a)/(b)
@@ -409,17 +166,18 @@ func evalGNMGraph(ctx context.Context, cfg Config, tk *span.Track, n, pi, gi int
 			continue
 		}
 		sink := g.Sinks()[0]
-		pd, err := a.Disparity(sink, core.PDiff, cfg.MaxChains)
+		ec := cfg.boundContext(a)
+		pd, err := methods.PDiff.Eval(ctx, ec, g, sink)
 		if err != nil {
 			stop()
 			continue // e.g. too many chains: regenerate
 		}
-		sd, err := a.Disparity(sink, core.SDiff, cfg.MaxChains)
+		sd, err := methods.SDiff.Eval(ctx, ec, g, sink)
 		stop()
 		if err != nil {
 			continue
 		}
-		if len(pd.Pairs) == 0 {
+		if len(pd.Detail.Pairs) == 0 {
 			continue // single-source graph: disparity is trivially 0
 		}
 		simMax, err := simulateMaxDisparity(ctx, cfg, tk, g, sink, rng)
@@ -437,44 +195,16 @@ func evalGNMGraph(ctx context.Context, cfg Config, tk *span.Track, n, pi, gi int
 	return graphResult{}, nil
 }
 
-// simulateMaxDisparity runs cfg.OffsetsPerGraph simulations with fresh
-// random offsets and returns the maximum observed disparity of the task.
-// One sim.Engine is built per graph and reused across the offset runs —
-// the engine re-reads offsets and resets its pools per Run, so the
-// per-graph setup (channel topology, origin indexing) and the pools'
-// steady-state populations are amortized over the whole sweep.
-// A simulator validation failure is a programming error upstream; it is
-// returned (not swallowed) so the sweep aborts loudly instead of skewing
-// results silently.
+// simulateMaxDisparity wraps the registry's simulation method with the
+// sweep's stage accounting: cfg.OffsetsPerGraph runs with fresh random
+// offsets, returning the maximum observed disparity of the task.
 func simulateMaxDisparity(ctx context.Context, cfg Config, tk *span.Track, g *model.Graph, task model.TaskID, rng *rand.Rand) (timeu.Time, error) {
 	defer stage(simHist, tk, "simulate")()
-	eng, err := sim.NewEngine(g)
+	res, err := methods.Sim.Eval(ctx, cfg.simContext(rng, tk), g, task)
 	if err != nil {
-		return 0, fmt.Errorf("exp: simulation of task %s's graph failed: %w", g.Task(task).Name, err)
+		return 0, err
 	}
-	var worst timeu.Time
-	for run := 0; run < cfg.OffsetsPerGraph; run++ {
-		if err := ctx.Err(); err != nil {
-			return 0, err
-		}
-		waters.RandomOffsets(g, rng)
-		obs := sim.NewDisparityObserver(cfg.Warmup, task)
-		stopRun := simRunHist.Start()
-		stats, err := eng.Run(sim.Config{
-			Horizon:   cfg.Horizon,
-			Exec:      cfg.Exec,
-			Seed:      rng.Int63(),
-			Observers: []sim.Observer{obs},
-			Trace:     tk,
-		})
-		stopRun()
-		if err != nil {
-			return 0, fmt.Errorf("exp: simulation of task %s's graph failed: %w", g.Task(task).Name, err)
-		}
-		simJobs.Add(stats.Jobs)
-		worst = timeu.Max(worst, obs.Max(task))
-	}
-	return worst, nil
+	return res.Bound, nil
 }
 
 // Fig6c runs the Fig. 6(c) experiment: two independent chains merged at a
@@ -503,60 +233,48 @@ type twoChainResult struct {
 }
 
 func fig6cd(cfg Config) (*Table, *Table, error) {
-	if err := cfg.validate(); err != nil {
-		return nil, nil, err
-	}
 	abs := &Table{
 		Title:   "Fig 6(c): two-chain disparity with buffer optimization (ms)",
 		XLabel:  "chainlen",
-		Columns: []string{"Sim", "S-diff", "Sim-B", "S-diff-B"},
+		Columns: []string{methods.Sim.Name(), methods.SDiff.Name(), methods.Sim.Name() + "-B", methods.SDiffB.Name()},
 	}
 	ratio := &Table{
 		Title:   "Fig 6(d): incremental ratio with buffer optimization",
 		XLabel:  "chainlen",
-		Columns: []string{"S-diff", "S-diff-B"},
+		Columns: methods.Names(methods.SDiff, methods.SDiffB),
 	}
-	ctx := context.Background()
-	cfg.sweepBegin()
-	for pi, n := range cfg.Points {
-		cfg.pointBegin("len=", n)
-		results := make([]twoChainResult, cfg.GraphsPerPoint)
-		err := cfg.runner(n).RunIndexed(ctx, cfg.GraphsPerPoint, func(ctx context.Context, worker, gi int) error {
-			r, err := evalTwoChains(ctx, cfg, cfg.Tracer.WorkerTrack(worker), n, pi, gi)
-			if err != nil {
-				return fmt.Errorf("point len=%d graph %d: %w", n, gi, err)
+	err := runSweep(cfg, sweepSpec[twoChainResult]{
+		prefix: "len=",
+		eval: func(ctx context.Context, tk *span.Track, n, pi, gi int) (twoChainResult, bool, error) {
+			r, err := evalTwoChains(ctx, cfg, tk, n, pi, gi)
+			return r, r.ok, err
+		},
+		point: func(n int, results []twoChainResult) error {
+			var sims, sds, simBs, sdBs, rs, rbs []float64
+			for _, r := range results {
+				sims = append(sims, r.sim)
+				sds = append(sds, r.sdiff)
+				simBs = append(simBs, r.simB)
+				sdBs = append(sdBs, r.sdiffB)
+				if r.sim > 0 {
+					rs = append(rs, (r.sdiff-r.sim)/r.sim)
+				}
+				if r.simB > 0 {
+					rbs = append(rbs, (r.sdiffB-r.simB)/r.simB)
+				}
 			}
-			results[gi] = r
+			abs.AddRow(n, mean(sims), mean(sds), mean(simBs), mean(sdBs))
+			ratio.AddRow(n, mean(rs), mean(rbs))
+			if cfg.Log != nil {
+				fmt.Fprintf(cfg.Log, "len=%d: Sim=%.3f S-diff=%.3f Sim-B=%.3f S-diff-B=%.3f (ms, %d graphs)\n",
+					n, mean(sims), mean(sds), mean(simBs), mean(sdBs), len(sims))
+			}
 			return nil
-		})
-		if err != nil {
-			return nil, nil, err
-		}
-		var sims, sds, simBs, sdBs, rs, rbs []float64
-		for _, r := range results {
-			if !r.ok {
-				continue
-			}
-			sims = append(sims, r.sim)
-			sds = append(sds, r.sdiff)
-			simBs = append(simBs, r.simB)
-			sdBs = append(sdBs, r.sdiffB)
-			if r.sim > 0 {
-				rs = append(rs, (r.sdiff-r.sim)/r.sim)
-			}
-			if r.simB > 0 {
-				rbs = append(rbs, (r.sdiffB-r.simB)/r.simB)
-			}
-		}
-		if len(sims) == 0 {
-			return nil, nil, fmt.Errorf("exp: no usable graphs at chain length %d", n)
-		}
-		abs.AddRow(n, mean(sims), mean(sds), mean(simBs), mean(sdBs))
-		ratio.AddRow(n, mean(rs), mean(rbs))
-		if cfg.Log != nil {
-			fmt.Fprintf(cfg.Log, "len=%d: Sim=%.3f S-diff=%.3f Sim-B=%.3f S-diff-B=%.3f (ms, %d graphs)\n",
-				n, mean(sims), mean(sds), mean(simBs), mean(sdBs), len(sims))
-		}
+		},
+		emptyErr: func(n int) error { return fmt.Errorf("exp: no usable graphs at chain length %d", n) },
+	})
+	if err != nil {
+		return nil, nil, err
 	}
 	return abs, ratio, nil
 }

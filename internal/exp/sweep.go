@@ -1,0 +1,78 @@
+package exp
+
+import (
+	"context"
+	"fmt"
+
+	"repro/internal/trace/span"
+)
+
+// sweepSpec declares one experiment sweep: what to do per (point,
+// graph) and how to fold a point's usable graphs into table rows. The
+// shared scaffold — the points × graphs-per-point loop, the bounded
+// worker fan-out with first-error cancellation, per-worker span tracks,
+// progress sinks, and the index-addressed result slots that keep
+// aggregation order deterministic under parallelism — lives once in
+// runSweep; every Fig. 6 panel, BoundsSweep, and ablation is a spec.
+type sweepSpec[R any] struct {
+	// prefix labels points ("n=", "len=", "tail=", "util=") in progress
+	// lines, sink labels, and error wrapping.
+	prefix string
+	// checkPoint, when non-nil, validates a point's X value before any
+	// graph work; its error aborts the sweep as-is.
+	checkPoint func(x int) error
+	// eval evaluates the gi-th graph of point x (cfg.Points[pi] == x).
+	// ok=false abandons the graph (degenerate or unschedulable draws);
+	// a non-nil error aborts the sweep, wrapped with the graph's
+	// identity. eval must derive all randomness from (pi, gi) so the
+	// parallel fan-out is deterministic.
+	eval func(ctx context.Context, tk *span.Track, x, pi, gi int) (R, bool, error)
+	// point folds the usable results of one point (eval order, ok only)
+	// into the spec's tables and log lines.
+	point func(x int, results []R) error
+	// emptyErr is the error for a point where no graph was usable.
+	emptyErr func(x int) error
+}
+
+// runSweep drives one spec over cfg.Points × cfg.GraphsPerPoint.
+func runSweep[R any](cfg Config, spec sweepSpec[R]) error {
+	if err := cfg.validate(); err != nil {
+		return err
+	}
+	ctx := context.Background()
+	cfg.sweepBegin()
+	for pi, x := range cfg.Points {
+		if spec.checkPoint != nil {
+			if err := spec.checkPoint(x); err != nil {
+				return err
+			}
+		}
+		cfg.pointBegin(spec.prefix, x)
+		results := make([]R, cfg.GraphsPerPoint)
+		oks := make([]bool, cfg.GraphsPerPoint)
+		err := cfg.runner(spec.prefix, x).RunIndexed(ctx, cfg.GraphsPerPoint, func(ctx context.Context, worker, gi int) error {
+			r, ok, err := spec.eval(ctx, cfg.Tracer.WorkerTrack(worker), x, pi, gi)
+			if err != nil {
+				return fmt.Errorf("point %s%d graph %d: %w", spec.prefix, x, gi, err)
+			}
+			results[gi], oks[gi] = r, ok
+			return nil
+		})
+		if err != nil {
+			return err
+		}
+		usable := results[:0]
+		for gi := range results {
+			if oks[gi] {
+				usable = append(usable, results[gi])
+			}
+		}
+		if len(usable) == 0 {
+			return spec.emptyErr(x)
+		}
+		if err := spec.point(x, usable); err != nil {
+			return err
+		}
+	}
+	return nil
+}

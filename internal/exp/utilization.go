@@ -1,13 +1,21 @@
 package exp
 
 import (
+	"context"
 	"fmt"
+
 	"repro/internal/backward"
 	"repro/internal/core"
+	"repro/internal/methods"
 	"repro/internal/model"
 	"repro/internal/sched"
 	"repro/internal/timeu"
+	"repro/internal/trace/span"
 )
+
+type utilizationResult struct {
+	np, du float64
+}
 
 // AblationUtilization sweeps the per-ECU WCET utilization (X axis in
 // percent) on fixed-topology workloads and reports the mean S-diff task
@@ -17,47 +25,61 @@ import (
 // scaling them up makes response times — and the refinement — visible.
 // Columns (ms): S-diff(NP), S-diff(Duerr).
 func AblationUtilization(cfg Config) (*Table, error) {
-	if err := cfg.validate(); err != nil {
-		return nil, err
-	}
+	sdName := methods.SDiff.Name()
 	tbl := &Table{
 		Title:   "Ablation: NP-FP vs baseline backward bounds across utilization (%) (ms)",
 		XLabel:  "util%",
-		Columns: []string{"S-diff(NP)", "S-diff(Duerr)"},
+		Columns: []string{sdName + "(NP)", sdName + "(Duerr)"},
 	}
-	for pi, upct := range cfg.Points {
-		if upct <= 0 || upct >= 100 {
-			return nil, fmt.Errorf("exp: utilization %d%% out of (0, 100)", upct)
-		}
-		var nps, dus []float64
-		for gi := 0; gi < cfg.GraphsPerPoint; gi++ {
+	err := runSweep(cfg, sweepSpec[utilizationResult]{
+		prefix: "util=",
+		checkPoint: func(upct int) error {
+			if upct <= 0 || upct >= 100 {
+				return fmt.Errorf("exp: utilization %d%% out of (0, 100)", upct)
+			}
+			return nil
+		},
+		eval: func(ctx context.Context, tk *span.Track, upct, pi, gi int) (utilizationResult, bool, error) {
 			g := genUtilization(cfg, 16, float64(upct)/100, pi, gi)
 			if g == nil {
-				continue
+				return utilizationResult{}, false, nil
 			}
 			res := sched.Analyze(g, sched.NonPreemptiveFP)
 			sink := g.Sinks()[0]
 			np := core.NewWithBackward(g, backward.NewAnalyzer(g, res, backward.NonPreemptive))
 			du := core.NewWithBackward(g, backward.NewAnalyzer(g, res, backward.Duerr))
-			npTd, err := np.Disparity(sink, core.SDiff, cfg.MaxChains)
-			if err != nil || len(npTd.Pairs) == 0 {
-				continue
+			npTd, ok := sdiffBound(ctx, cfg, np, g, sink)
+			if !ok || len(npTd.Detail.Pairs) == 0 {
+				return utilizationResult{}, false, nil
 			}
-			duTd, err := du.Disparity(sink, core.SDiff, cfg.MaxChains)
-			if err != nil {
-				continue
+			duTd, ok := sdiffBound(ctx, cfg, du, g, sink)
+			if !ok {
+				return utilizationResult{}, false, nil
 			}
-			nps = append(nps, npTd.Bound.Milliseconds())
-			dus = append(dus, duTd.Bound.Milliseconds())
-		}
-		if len(nps) == 0 {
-			return nil, fmt.Errorf("exp: no schedulable graphs at %d%% utilization", upct)
-		}
-		tbl.AddRow(upct, mean(nps), mean(dus))
-		if cfg.Log != nil {
-			fmt.Fprintf(cfg.Log, "util=%d%%: NP=%.3f Duerr=%.3f (%d graphs)\n",
-				upct, mean(nps), mean(dus), len(nps))
-		}
+			return utilizationResult{
+				np: npTd.Bound.Milliseconds(),
+				du: duTd.Bound.Milliseconds(),
+			}, true, nil
+		},
+		point: func(upct int, results []utilizationResult) error {
+			var nps, dus []float64
+			for _, r := range results {
+				nps = append(nps, r.np)
+				dus = append(dus, r.du)
+			}
+			tbl.AddRow(upct, mean(nps), mean(dus))
+			if cfg.Log != nil {
+				fmt.Fprintf(cfg.Log, "util=%d%%: NP=%.3f Duerr=%.3f (%d graphs)\n",
+					upct, mean(nps), mean(dus), len(nps))
+			}
+			return nil
+		},
+		emptyErr: func(upct int) error {
+			return fmt.Errorf("exp: no schedulable graphs at %d%% utilization", upct)
+		},
+	})
+	if err != nil {
+		return nil, err
 	}
 	return tbl, nil
 }

@@ -1,0 +1,289 @@
+// Package methods is the registry of worst-case time disparity
+// evaluation methods. Each method — the analytic P-diff and S-diff
+// bounds (Theorems 1/2), the greedily buffered S-diff-B bound
+// (Algorithm 1 + Theorem 3), and the measured simulation value — is
+// registered once, and every consumer (the internal/exp sweeps,
+// cmd/disparity-analyze, cmd/disparity-report) evaluates and labels
+// methods through this registry instead of keeping its own hardcoded
+// switch and column lists. Adding a bounding method is a Register
+// call, not another copy of the evaluation scaffold.
+package methods
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"sync"
+
+	"repro/internal/core"
+	"repro/internal/metrics"
+	"repro/internal/model"
+	"repro/internal/sim"
+	"repro/internal/timeu"
+	"repro/internal/trace/span"
+	"repro/internal/waters"
+)
+
+// Kind classifies how a method obtains its value.
+type Kind int
+
+const (
+	// Analytic methods compute a closed-form upper bound from the
+	// analysis engine; they need Context.Analysis.
+	Analytic Kind = iota
+	// Measured methods observe a value from simulation runs; they need
+	// Context's Horizon/Warmup/Exec/Runs/RNG.
+	Measured
+)
+
+func (k Kind) String() string {
+	switch k {
+	case Analytic:
+		return "analytic"
+	case Measured:
+		return "measured"
+	default:
+		return fmt.Sprintf("Kind(%d)", int(k))
+	}
+}
+
+// Context carries the evaluation inputs a Method may need. Analytic
+// methods read Analysis/MaxChains (and GreedyRounds for the optimizing
+// ones); measured methods read the simulation fields. The zero value of
+// an unused field is fine.
+type Context struct {
+	// Analysis is the (possibly cached) analysis engine bound to the
+	// graph under evaluation. Required by analytic methods.
+	Analysis *core.Analysis
+	// MaxChains caps chain enumeration (0 = the core default).
+	MaxChains int
+	// GreedyRounds caps Algorithm 1's greedy multi-pair loop for the
+	// optimizing methods (0 = run to convergence).
+	GreedyRounds int
+
+	// Horizon is the simulated time per run.
+	Horizon timeu.Time
+	// Warmup discards early jobs so buffered channels reach steady state.
+	Warmup timeu.Time
+	// Runs is how many random-offset runs the simulation method takes
+	// the maximum over.
+	Runs int
+	// Exec draws job execution times during simulation.
+	Exec sim.ExecModel
+	// RNG is the caller's deterministic stream; the simulation method
+	// draws offsets and per-run engine seeds from it in a fixed order.
+	RNG *rand.Rand
+	// Track, when non-nil, receives the per-run simulation spans.
+	Track *span.Track
+}
+
+// Result is one method's evaluation of one task.
+type Result struct {
+	// Bound is the method's headline value: an upper bound for analytic
+	// methods, the observed maximum for measured ones.
+	Bound timeu.Time
+	// Detail is the full per-pair analysis, when the method has one.
+	Detail *core.TaskDisparity
+	// Greedy is the buffer plan behind an optimizing method's bound.
+	Greedy *core.GreedyResult
+}
+
+// Method is one way of attaching a worst-case time disparity value to a
+// task: an analytic bound or a measured simulation estimate.
+type Method interface {
+	// Name is the method's display name; sweep tables and reports use
+	// it as the column/row label ("P-diff", "Sim", ...).
+	Name() string
+	// Ref is the paper artifact the method implements ("Theorem 1"),
+	// or "" when it has none.
+	Ref() string
+	// Kind reports whether the value is analytic or measured.
+	Kind() Kind
+	// Optimizing reports whether the method redesigns the system
+	// (inserts buffers) before bounding it.
+	Optimizing() bool
+	// Eval computes the method's value for task in g. Analytic methods
+	// require ec.Analysis to be bound to g.
+	Eval(ctx context.Context, ec *Context, g *model.Graph, task model.TaskID) (Result, error)
+}
+
+// The canonical method set. Registered in init; consumers may also
+// reference them directly.
+var (
+	PDiff  Method = pdiffMethod{}
+	SDiff  Method = sdiffMethod{}
+	SDiffB Method = sdiffBMethod{}
+	Sim    Method = simMethod{}
+)
+
+var (
+	regMu    sync.RWMutex
+	registry []Method
+)
+
+func init() {
+	Register(PDiff)
+	Register(SDiff)
+	Register(SDiffB)
+	Register(Sim)
+}
+
+// Register adds a method to the registry. Registration order is
+// preserved by All and Bounds; duplicate names panic (they would make
+// table columns ambiguous).
+func Register(m Method) {
+	regMu.Lock()
+	defer regMu.Unlock()
+	for _, have := range registry {
+		if have.Name() == m.Name() {
+			panic(fmt.Sprintf("methods: duplicate registration of %q", m.Name()))
+		}
+	}
+	registry = append(registry, m)
+}
+
+// All returns every registered method in registration order.
+func All() []Method {
+	regMu.RLock()
+	defer regMu.RUnlock()
+	out := make([]Method, len(registry))
+	copy(out, registry)
+	return out
+}
+
+// Bounds returns the analytic, non-optimizing methods in registration
+// order: the per-task bounds a report quotes side by side.
+func Bounds() []Method {
+	regMu.RLock()
+	defer regMu.RUnlock()
+	var out []Method
+	for _, m := range registry {
+		if m.Kind() == Analytic && !m.Optimizing() {
+			out = append(out, m)
+		}
+	}
+	return out
+}
+
+// ByName looks a method up by display name.
+func ByName(name string) (Method, bool) {
+	regMu.RLock()
+	defer regMu.RUnlock()
+	for _, m := range registry {
+		if m.Name() == name {
+			return m, true
+		}
+	}
+	return nil, false
+}
+
+// Names maps methods to their display names, in order — the standard
+// way to derive a sweep table's column list from the registry.
+func Names(ms ...Method) []string {
+	out := make([]string, len(ms))
+	for i, m := range ms {
+		out[i] = m.Name()
+	}
+	return out
+}
+
+type pdiffMethod struct{}
+
+func (pdiffMethod) Name() string     { return core.PDiff.String() }
+func (pdiffMethod) Ref() string      { return "Theorem 1" }
+func (pdiffMethod) Kind() Kind       { return Analytic }
+func (pdiffMethod) Optimizing() bool { return false }
+
+func (pdiffMethod) Eval(_ context.Context, ec *Context, _ *model.Graph, task model.TaskID) (Result, error) {
+	td, err := ec.Analysis.Disparity(task, core.PDiff, ec.MaxChains)
+	if err != nil {
+		return Result{}, err
+	}
+	return Result{Bound: td.Bound, Detail: td}, nil
+}
+
+type sdiffMethod struct{}
+
+func (sdiffMethod) Name() string     { return core.SDiff.String() }
+func (sdiffMethod) Ref() string      { return "Theorem 2" }
+func (sdiffMethod) Kind() Kind       { return Analytic }
+func (sdiffMethod) Optimizing() bool { return false }
+
+func (sdiffMethod) Eval(_ context.Context, ec *Context, _ *model.Graph, task model.TaskID) (Result, error) {
+	td, err := ec.Analysis.Disparity(task, core.SDiff, ec.MaxChains)
+	if err != nil {
+		return Result{}, err
+	}
+	return Result{Bound: td.Bound, Detail: td}, nil
+}
+
+type sdiffBMethod struct{}
+
+func (sdiffBMethod) Name() string     { return core.SDiff.String() + "-B" }
+func (sdiffBMethod) Ref() string      { return "Algorithm 1" }
+func (sdiffBMethod) Kind() Kind       { return Analytic }
+func (sdiffBMethod) Optimizing() bool { return true }
+
+func (sdiffBMethod) Eval(_ context.Context, ec *Context, _ *model.Graph, task model.TaskID) (Result, error) {
+	greedy, err := ec.Analysis.OptimizeTaskGreedy(task, ec.MaxChains, ec.GreedyRounds)
+	if err != nil {
+		return Result{}, err
+	}
+	return Result{Bound: greedy.After, Greedy: greedy}, nil
+}
+
+// Simulation throughput metrics. The names predate this package (the
+// sweeps always exported them); the global registry's get-or-create
+// semantics keep every consumer — telemetry job counters, manifest
+// stage breakdowns — on the same instances.
+var (
+	simJobs = metrics.C("exp.sim.jobs")
+	// simRunHist times each individual engine run (Context.Runs of them
+	// per evaluation).
+	simRunHist = metrics.H("exp.sim.run")
+)
+
+type simMethod struct{}
+
+func (simMethod) Name() string     { return "Sim" }
+func (simMethod) Ref() string      { return "" }
+func (simMethod) Kind() Kind       { return Measured }
+func (simMethod) Optimizing() bool { return false }
+
+// Eval runs ec.Runs simulations with fresh random offsets and returns
+// the maximum observed disparity of the task. One sim.Engine is built
+// per graph and reused across the offset runs — the engine re-reads
+// offsets and resets its pools per Run, so the per-graph setup (channel
+// topology, origin indexing) and the pools' steady-state populations
+// are amortized over a whole sweep. A simulator validation failure is a
+// programming error upstream; it is returned (not swallowed) so callers
+// abort loudly instead of skewing results silently.
+func (simMethod) Eval(ctx context.Context, ec *Context, g *model.Graph, task model.TaskID) (Result, error) {
+	eng, err := sim.NewEngine(g)
+	if err != nil {
+		return Result{}, fmt.Errorf("methods: simulation of task %s's graph failed: %w", g.Task(task).Name, err)
+	}
+	var worst timeu.Time
+	for run := 0; run < ec.Runs; run++ {
+		if err := ctx.Err(); err != nil {
+			return Result{}, err
+		}
+		waters.RandomOffsets(g, ec.RNG)
+		obs := sim.NewDisparityObserver(ec.Warmup, task)
+		stopRun := simRunHist.Start()
+		stats, err := eng.Run(sim.Config{
+			Horizon:   ec.Horizon,
+			Exec:      ec.Exec,
+			Seed:      ec.RNG.Int63(),
+			Observers: []sim.Observer{obs},
+			Trace:     ec.Track,
+		})
+		stopRun()
+		if err != nil {
+			return Result{}, fmt.Errorf("methods: simulation of task %s's graph failed: %w", g.Task(task).Name, err)
+		}
+		simJobs.Add(stats.Jobs)
+		worst = timeu.Max(worst, obs.Max(task))
+	}
+	return Result{Bound: worst}, nil
+}

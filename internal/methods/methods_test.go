@@ -1,0 +1,201 @@
+package methods
+
+import (
+	"context"
+	"math/rand"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/model"
+	"repro/internal/sim"
+	"repro/internal/timeu"
+)
+
+func fig2Context(t *testing.T) (*model.Graph, *Context, model.TaskID) {
+	t.Helper()
+	g := model.Fig2Graph()
+	a, err := core.New(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sinks := g.Sinks()
+	if len(sinks) == 0 {
+		t.Fatal("fig2 graph has no sink")
+	}
+	return g, &Context{Analysis: a, MaxChains: 1 << 14, GreedyRounds: 8}, sinks[0]
+}
+
+func TestRegistryContents(t *testing.T) {
+	all := All()
+	want := []Method{PDiff, SDiff, SDiffB, Sim}
+	if len(all) < len(want) {
+		t.Fatalf("All() = %d methods, want at least %d", len(all), len(want))
+	}
+	for i, m := range want {
+		if all[i] != m {
+			t.Errorf("All()[%d] = %q, want %q", i, all[i].Name(), m.Name())
+		}
+	}
+	// Mutating the returned slice must not corrupt the registry.
+	all[0] = nil
+	if All()[0] != PDiff {
+		t.Error("All() leaked its backing array")
+	}
+}
+
+// TestBoundsOrder pins the registry-derived report rows: analytic,
+// non-optimizing methods in registration order. fig2_report.golden
+// depends on this being exactly [P-diff, S-diff].
+func TestBoundsOrder(t *testing.T) {
+	bounds := Bounds()
+	if len(bounds) != 2 || bounds[0] != PDiff || bounds[1] != SDiff {
+		t.Fatalf("Bounds() = %v, want [P-diff S-diff]", Names(bounds...))
+	}
+}
+
+func TestNamesAndRefs(t *testing.T) {
+	cases := []struct {
+		m          Method
+		name, ref  string
+		kind       Kind
+		optimizing bool
+	}{
+		{PDiff, "P-diff", "Theorem 1", Analytic, false},
+		{SDiff, "S-diff", "Theorem 2", Analytic, false},
+		{SDiffB, "S-diff-B", "Algorithm 1", Analytic, true},
+		{Sim, "Sim", "", Measured, false},
+	}
+	for _, c := range cases {
+		if c.m.Name() != c.name {
+			t.Errorf("Name() = %q, want %q", c.m.Name(), c.name)
+		}
+		if c.m.Ref() != c.ref {
+			t.Errorf("%s: Ref() = %q, want %q", c.name, c.m.Ref(), c.ref)
+		}
+		if c.m.Kind() != c.kind {
+			t.Errorf("%s: Kind() = %v, want %v", c.name, c.m.Kind(), c.kind)
+		}
+		if c.m.Optimizing() != c.optimizing {
+			t.Errorf("%s: Optimizing() = %v, want %v", c.name, c.m.Optimizing(), c.optimizing)
+		}
+	}
+}
+
+func TestByName(t *testing.T) {
+	for _, m := range All() {
+		got, ok := ByName(m.Name())
+		if !ok || got != m {
+			t.Errorf("ByName(%q) = %v, %v", m.Name(), got, ok)
+		}
+	}
+	if _, ok := ByName("no-such-method"); ok {
+		t.Error("ByName accepted an unknown name")
+	}
+}
+
+func TestRegisterRejectsDuplicates(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Register accepted a duplicate name")
+		}
+	}()
+	Register(pdiffMethod{})
+}
+
+// TestAnalyticEvalMatchesCore checks the registry routes to the same
+// core calls the consumers previously hardcoded.
+func TestAnalyticEvalMatchesCore(t *testing.T) {
+	g, ec, sink := fig2Context(t)
+	ctx := context.Background()
+
+	for _, m := range []Method{PDiff, SDiff} {
+		r, err := m.Eval(ctx, ec, g, sink)
+		if err != nil {
+			t.Fatalf("%s: %v", m.Name(), err)
+		}
+		method := core.PDiff
+		if m == SDiff {
+			method = core.SDiff
+		}
+		td, err := ec.Analysis.Disparity(sink, method, ec.MaxChains)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r.Bound != td.Bound {
+			t.Errorf("%s: Bound = %v, core says %v", m.Name(), r.Bound, td.Bound)
+		}
+		if r.Detail == nil || len(r.Detail.Pairs) != len(td.Pairs) {
+			t.Errorf("%s: Detail missing or wrong pair count", m.Name())
+		}
+	}
+
+	r, err := SDiffB.Eval(ctx, ec, g, sink)
+	if err != nil {
+		t.Fatal(err)
+	}
+	greedy, err := ec.Analysis.OptimizeTaskGreedy(sink, ec.MaxChains, ec.GreedyRounds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Bound != greedy.After || r.Greedy == nil {
+		t.Errorf("S-diff-B: Bound = %v Greedy = %v, core says %v", r.Bound, r.Greedy, greedy.After)
+	}
+	sd, err := SDiff.Eval(ctx, ec, g, sink)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Bound > sd.Bound {
+		t.Errorf("S-diff-B bound %v exceeds the unbuffered S-diff %v", r.Bound, sd.Bound)
+	}
+}
+
+// TestSimEvalDeterministic pins the simulation method's rng discipline:
+// identical Context streams give identical measured values, and the
+// value never exceeds the S-diff bound (soundness on this fixture).
+func TestSimEvalDeterministic(t *testing.T) {
+	ctx := context.Background()
+	run := func() timeu.Time {
+		g, ec, sink := fig2Context(t)
+		sec := &Context{
+			Horizon: 2 * timeu.Second,
+			Warmup:  200 * timeu.Millisecond,
+			Runs:    3,
+			Exec:    sim.ExtremesExec{P: 0.5},
+			RNG:     rand.New(rand.NewSource(7)),
+		}
+		r, err := Sim.Eval(ctx, sec, g, sink)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sd, err := SDiff.Eval(ctx, ec, g, sink)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r.Bound > sd.Bound {
+			t.Fatalf("measured %v exceeds the S-diff bound %v", r.Bound, sd.Bound)
+		}
+		return r.Bound
+	}
+	a, b := run(), run()
+	if a != b {
+		t.Fatalf("same seed, different values: %v vs %v", a, b)
+	}
+	if a <= 0 {
+		t.Fatalf("observed disparity %v, want > 0", a)
+	}
+}
+
+func TestSimEvalHonorsCancellation(t *testing.T) {
+	g, _, sink := fig2Context(t)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	sec := &Context{
+		Horizon: timeu.Second,
+		Runs:    1,
+		Exec:    sim.WCETExec{},
+		RNG:     rand.New(rand.NewSource(1)),
+	}
+	if _, err := Sim.Eval(ctx, sec, g, sink); err == nil {
+		t.Fatal("Eval ignored a canceled context")
+	}
+}

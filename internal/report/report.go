@@ -7,6 +7,7 @@
 package report
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"sort"
@@ -15,6 +16,7 @@ import (
 	"repro/internal/backward"
 	"repro/internal/chains"
 	"repro/internal/core"
+	"repro/internal/methods"
 	"repro/internal/model"
 	"repro/internal/sched"
 )
@@ -128,17 +130,27 @@ func writeTaskAnalysis(b *strings.Builder, g *model.Graph, a *core.Analysis, an 
 		return nil
 	}
 
-	pd, err := a.Disparity(task, core.PDiff, opts.MaxChains)
-	if err != nil {
-		return err
-	}
-	sd, err := a.Disparity(task, core.SDiff, opts.MaxChains)
-	if err != nil {
-		return err
-	}
+	// The bound rows come from the method registry: every analytic,
+	// non-optimizing method gets a row, labeled by its name and paper
+	// reference. Registering a new bound adds it to every report.
+	ec := &methods.Context{Analysis: a, MaxChains: opts.MaxChains}
+	var sd *core.TaskDisparity
 	fmt.Fprintf(b, "### Worst-case time disparity\n\n")
-	fmt.Fprintf(b, "| method | bound |\n|---|---|\n| P-diff (Theorem 1) | %v |\n| S-diff (Theorem 2) | %v |\n\n",
-		pd.Bound, sd.Bound)
+	b.WriteString("| method | bound |\n|---|---|\n")
+	for _, m := range methods.Bounds() {
+		r, err := m.Eval(context.Background(), ec, g, task)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(b, "| %s (%s) | %v |\n", m.Name(), m.Ref(), r.Bound)
+		if m == methods.SDiff {
+			sd = r.Detail
+		}
+	}
+	b.WriteString("\n")
+	if sd == nil {
+		return fmt.Errorf("report: S-diff not in the method registry's bounds")
+	}
 	worst := sd.Pairs[sd.ArgMax]
 	fmt.Fprintf(b, "Worst S-diff pair (after last-joint-task reduction):\n\n")
 	fmt.Fprintf(b, "* λ: %s\n* ν: %s\n* sampling windows %v and %v\n\n",
