@@ -5,13 +5,15 @@
 #   race        - tier 2: vet + the suite (incl. the differential harness
 #                 in internal/integration) under the race detector
 #   bench       - compile-and-smoke every benchmark (one iteration each)
-#   bench-smoke - quick perf tier: the simulator benchmarks (a few real
-#                 iterations, -benchmem) + vet of internal/sim, so a
-#                 regression in the pooled hot path is caught without
+#   bench-smoke - quick perf tier: the simulator and analysis benchmarks
+#                 (a few real iterations, -benchmem) + vet of
+#                 internal/sim, so a regression in the pooled sim hot
+#                 path or the trie analysis fast path is caught without
 #                 running the full bench suite
 #   bench-json  - run the headline benchmarks and refresh BENCH_sim.json
-#                 (see tools/bench_json.sh; numbers are machine-relative,
-#                 regenerate before/after on the same box)
+#                 and BENCH_analysis.json (see tools/bench_json.sh and
+#                 tools/bench_analysis_json.sh; numbers are machine-
+#                 relative, regenerate before/after on the same box)
 #   verify-obs  - observability tier: vet + race tests of the
 #                 instrumentation packages (metrics, trace, telemetry,
 #                 par, sim, exp), the steady-state alloc regression
@@ -41,10 +43,11 @@ bench:
 
 bench-smoke:
 	$(GO) vet ./internal/sim/...
-	$(GO) test -run='^$$' -bench='BenchmarkSimThroughput|BenchmarkPooledEngine|BenchmarkReferenceEngine' -benchtime=3x -benchmem ./...
+	$(GO) test -run='^$$' -bench='BenchmarkSimThroughput|BenchmarkPooledEngine|BenchmarkReferenceEngine|BenchmarkPairBounds' -benchtime=3x -benchmem ./...
 
 bench-json:
 	sh tools/bench_json.sh
+	sh tools/bench_analysis_json.sh
 
 verify-obs:
 	$(GO) vet ./...

@@ -12,6 +12,7 @@ import (
 	"testing"
 
 	disparity "repro"
+	"repro/internal/chains"
 	"repro/internal/exp"
 	"repro/internal/sim"
 	"repro/internal/timeu"
@@ -161,6 +162,57 @@ func BenchmarkAnalyzeSDiff(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		if _, err := a.Disparity(sink, disparity.SDiff, 0); err != nil {
 			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkPairBounds times the trie-based analysis fast path end to
+// end on a fresh analysis per iteration: build the chain index, the
+// per-node bound prefix sums, and run the dominance-pruned pair loop.
+// This is the per-graph analysis cost a sweep actually pays (nothing is
+// amortized across iterations). Compare with
+// BenchmarkPairBoundsReference, the legacy per-pair pipeline on the
+// same workload; BENCH_analysis.json records both.
+func BenchmarkPairBounds(b *testing.B) {
+	g, sink := benchGraph(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		a, err := disparity.Analyze(g)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := a.DisparityBound(sink, disparity.SDiff, 0); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkPairBoundsReference is the reference pipeline
+// (enumerate, strip each pair's suffix, bound via PairDisparity) on the
+// BenchmarkPairBounds workload — the fast path's speedup baseline.
+func BenchmarkPairBoundsReference(b *testing.B) {
+	g, sink := benchGraph(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		a, err := disparity.Analyze(g)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := a.DisparityReference(sink, disparity.SDiff, 0); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkChainIndex times building the shared prefix trie over 𝒫
+// (chains.NewIndex); compare with BenchmarkEnumerateChains, which
+// materializes every chain separately.
+func BenchmarkChainIndex(b *testing.B) {
+	g, sink := benchGraph(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if idx := chains.NewIndex(g, sink, 0); idx.NumChains() == 0 {
+			b.Fatal("empty index")
 		}
 	}
 }

@@ -23,6 +23,7 @@ import (
 
 	disparity "repro"
 	"repro/internal/backward"
+	"repro/internal/chains"
 	"repro/internal/cli"
 	exhaustivepkg "repro/internal/exhaustive"
 	"repro/internal/methods"
@@ -119,16 +120,18 @@ func run(args []string, stdout io.Writer) error {
 		return fmt.Errorf("graph is not schedulable under NP-FP; disparity bounds undefined")
 	}
 
-	// Chains and backward-time bounds.
-	cs, err := disparity.EnumerateChains(g, task, *maxChains)
-	if err != nil {
-		return err
-	}
+	// Chains and backward-time bounds. The trie index truncates at the
+	// cap instead of failing, so an over-cap graph still gets a partial
+	// listing — flagged, like the bounds below.
+	idx := chains.NewIndex(g, task, *maxChains)
 	an := backward.NewAnalyzer(g, res, backward.NonPreemptive).
 		WithMemo(cache.BackwardMemo(backward.NonPreemptive))
 	fmt.Fprintf(stdout, "\nchains ending at %s:\n", g.Task(task).Name)
-	for _, c := range cs {
+	for _, c := range idx.Chains() {
 		fmt.Fprintf(stdout, "  %-50s WCBT=%v BCBT=%v\n", c.Format(g), an.WCBT(c), an.BCBT(c))
+	}
+	if idx.Truncated() {
+		fmt.Fprintf(stdout, "  ... enumeration truncated at the first %d chains (raise -max-chains)\n", idx.NumChains())
 	}
 
 	a, err := disparity.AnalyzeWithCache(g, cache)
@@ -138,13 +141,18 @@ func run(args []string, stdout io.Writer) error {
 	// Every analytic bound in the method registry gets a section; the
 	// labels and pair breakdowns come from the methods themselves.
 	ctx := context.Background()
-	ec := &methods.Context{Analysis: a, MaxChains: *maxChains}
+	// FullDetail: the -pairs flag prints every chain pair, which only the
+	// complete per-pair analysis materializes.
+	ec := &methods.Context{Analysis: a, MaxChains: *maxChains, FullDetail: true}
 	for _, m := range methods.Bounds() {
 		r, err := m.Eval(ctx, ec, g, task)
 		if err != nil {
 			return err
 		}
 		fmt.Fprintf(stdout, "\n%s worst-case time disparity of %s: %v\n", m.Name(), g.Task(task).Name, r.Bound)
+		if r.Truncated {
+			fmt.Fprintf(stdout, "  WARNING: chain enumeration truncated at the cap; the bound covers a partial chain set (raise -max-chains)\n")
+		}
 		if *pairs && r.Detail != nil {
 			for _, pb := range r.Detail.Pairs {
 				fmt.Fprintf(stdout, "  %v | %v: %v (x1=%d y1=%d)\n",

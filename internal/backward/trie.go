@@ -1,0 +1,118 @@
+package backward
+
+import (
+	"fmt"
+
+	"repro/internal/chains"
+	"repro/internal/model"
+	"repro/internal/timeu"
+)
+
+// TrieBounds holds WCBT/BCBT partial sums for every node of a chain
+// trie, computed incrementally along the trie edges: one theta/buffer
+// evaluation per distinct task→sink path instead of one per (chain,
+// position). Both Lemma-4/5 sums and their Dürr/LET variants are
+// prefix sums over the path node..root in the exact-integer time ring,
+// so the difference of two node prefixes reproduces the per-segment
+// iteration of wcbtDirect/bcbtDirect bit for bit.
+//
+// The segment API Bounds(u, v) covers exactly the sub-chains the pair
+// analysis needs: u a trie node, v an ancestor of u (or u itself), the
+// chain being the task path u..v in head→tail order.
+type TrieBounds struct {
+	a   *Analyzer
+	idx *chains.Index
+
+	// Cumulative over the path node..root:
+	whop []timeu.Time // Σ theta + bufferShiftHi over hops (Lemma 4 + 6)
+	blo  []timeu.Time // Σ bufferShiftLo over hops (Lemma 6)
+	bsum []timeu.Time // Σ BCET over tasks, node and root inclusive (Lemma 5)
+	pper []timeu.Time // Σ Period over scheduled tasks, node inclusive (LET)
+	// schedAt[n] is the nearest scheduled ancestor-or-self of n, -1 if
+	// the whole path node..root is unscheduled. Its semantics decide the
+	// BCBT branch of any segment it falls into (the build panics on
+	// mixed semantics, so one scheduled node speaks for all).
+	schedAt []int32
+}
+
+// TrieBounds computes the per-node bound tables for idx. Like WCBT and
+// BCBT it panics when a chain in the trie mixes communication
+// semantics among scheduled tasks (see CheckChain).
+func (a *Analyzer) TrieBounds(idx *chains.Index) *TrieBounds {
+	n := idx.NumNodes()
+	tb := &TrieBounds{
+		a:       a,
+		idx:     idx,
+		whop:    make([]timeu.Time, n),
+		blo:     make([]timeu.Time, n),
+		bsum:    make([]timeu.Time, n),
+		pper:    make([]timeu.Time, n),
+		schedAt: make([]int32, n),
+	}
+	root := a.g.Task(idx.NodeTask(0))
+	tb.bsum[0] = root.BCET
+	tb.schedAt[0] = -1
+	if root.ECU != model.NoECU {
+		tb.pper[0] = root.Period
+		tb.schedAt[0] = 0
+	}
+	// Trie nodes are appended parent-before-child, so one forward pass
+	// sees every parent first.
+	for u := int32(1); u < int32(n); u++ {
+		p := idx.NodeParent(u)
+		task := idx.NodeTask(u)
+		tsk := a.g.Task(task)
+		ptask := idx.NodeTask(p)
+		tb.whop[u] = tb.whop[p] + a.theta(task, ptask) + a.bufferShiftHi(task, ptask)
+		tb.blo[u] = tb.blo[p] + a.bufferShiftLo(task, ptask)
+		tb.bsum[u] = tb.bsum[p] + tsk.BCET
+		tb.pper[u] = tb.pper[p]
+		tb.schedAt[u] = tb.schedAt[p]
+		if tsk.ECU != model.NoECU {
+			if anc := tb.schedAt[p]; anc >= 0 {
+				if ancSem := a.g.Task(idx.NodeTask(anc)).Sem; ancSem != tsk.Sem {
+					// Same condition and message as CheckChain, with
+					// the head-side (deeper) semantics named first.
+					panic(fmt.Errorf("backward: chain mixes %v and %v tasks", tsk.Sem, ancSem))
+				}
+			}
+			tb.pper[u] += tsk.Period
+			tb.schedAt[u] = u
+		}
+	}
+	return tb
+}
+
+// Index returns the trie the bounds were computed for.
+func (tb *TrieBounds) Index() *chains.Index { return tb.idx }
+
+// Bounds returns (𝒲(π), ℬ(π)) for the chain π spelled by the trie path
+// u..v, where v is an ancestor of u or u itself (a single-task chain).
+// The values equal Analyzer.Bounds on the materialized sub-chain.
+func (tb *TrieBounds) Bounds(u, v int32) (wcbt, bcbt timeu.Time) {
+	return tb.whop[u] - tb.whop[v], tb.segBCBT(u, v)
+}
+
+// WCBT returns 𝒲 of the segment u..v alone.
+func (tb *TrieBounds) WCBT(u, v int32) timeu.Time { return tb.whop[u] - tb.whop[v] }
+
+// segBCBT mirrors bcbtDirect's three-way branch on the segment. The
+// segment's first scheduled task in chain order is the scheduled node
+// nearest u, schedAt[u]; it lies inside the segment iff it is at least
+// as deep as v.
+func (tb *TrieBounds) segBCBT(u, v int32) timeu.Time {
+	b := tb.blo[u] - tb.blo[v]
+	idx := tb.idx
+	if s := tb.schedAt[u]; s >= 0 && idx.NodeDepth(s) >= idx.NodeDepth(v) &&
+		tb.a.g.Task(idx.NodeTask(s)).Sem == model.LET {
+		// LET: one full producer period per scheduled non-tail task.
+		return tb.pper[u] - tb.pper[v] + b
+	}
+	vt := idx.NodeTask(v)
+	if tb.a.method == Duerr {
+		return -tb.a.wcrt.R(vt) + b
+	}
+	// Implicit (Lemma 5): Σ BCET over every task of the segment, tail
+	// inclusive, minus the tail's response time.
+	return tb.bsum[u] - tb.bsum[v] + tb.a.g.Task(vt).BCET - tb.a.wcrt.R(vt) + b
+}

@@ -1,0 +1,94 @@
+package backward
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/chains"
+	"repro/internal/model"
+	"repro/internal/randgraph"
+	"repro/internal/sched"
+	"repro/internal/waters"
+)
+
+// TestTrieBoundsMatchDirect pins the per-node cumulative tables to the
+// direct per-chain sums: for every trie node u and every ancestor v,
+// Bounds(u, v) must equal Analyzer.Bounds on the materialized segment —
+// bit-identical, across methods, semantics, and buffered edges.
+func TestTrieBoundsMatchDirect(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 30; trial++ {
+		n := 6 + rng.Intn(10)
+		g, err := randgraph.GNM(n, 2*n, randgraph.DefaultConfig(), rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		waters.Populate(g, rng)
+		if trial%3 == 1 {
+			for i := 0; i < g.NumTasks(); i++ {
+				g.Task(model.TaskID(i)).Sem = model.LET
+			}
+		}
+		if trial%4 == 2 {
+			for _, e := range g.Edges() {
+				if rng.Intn(2) == 0 {
+					if err := g.SetBuffer(e.Src, e.Dst, 1+rng.Intn(3)); err != nil {
+						t.Fatal(err)
+					}
+				}
+			}
+		}
+		res := sched.Analyze(g, sched.NonPreemptiveFP)
+		sink := g.Sinks()[0]
+		idx := chains.NewIndex(g, sink, 0)
+		for _, method := range []Method{NonPreemptive, Duerr} {
+			direct := NewAnalyzer(g, res, method)
+			tb := direct.TrieBounds(idx)
+			for u := int32(0); u < int32(idx.NumNodes()); u++ {
+				// Materialize the path u..root once; prefixes of it are
+				// the segments u..v for every ancestor v.
+				var path model.Chain
+				for n := u; n >= 0; n = idx.NodeParent(n) {
+					path = append(path, idx.NodeTask(n))
+				}
+				v := u
+				for k := 0; k < len(path); k++ {
+					seg := path[:k+1]
+					wantW, wantB := direct.Bounds(seg)
+					gotW, gotB := tb.Bounds(u, v)
+					if gotW != wantW || gotB != wantB {
+						t.Fatalf("trial %d %v: segment %v bounds = (%v, %v), direct (%v, %v)",
+							trial, method, seg, gotW, gotB, wantW, wantB)
+					}
+					v = idx.NodeParent(v)
+				}
+			}
+		}
+	}
+}
+
+// TestTrieBoundsMixedSemanticsPanics matches WCBT/BCBT's loud rejection
+// of chains that mix LET and implicit scheduled tasks.
+func TestTrieBoundsMixedSemanticsPanics(t *testing.T) {
+	g := model.NewGraph()
+	ecu := g.AddECU("e", model.Compute)
+	ms := model.Task{WCET: 1, BCET: 1, Period: 1000, ECU: ecu}
+	a := ms
+	a.Name, a.Prio = "a", 0
+	b := ms
+	b.Name, b.Prio, b.Sem = "b", 1, model.LET
+	ida := g.AddTask(a)
+	idb := g.AddTask(b)
+	if err := g.AddEdge(ida, idb); err != nil {
+		t.Fatal(err)
+	}
+	res := sched.Analyze(g, sched.NonPreemptiveFP)
+	an := NewAnalyzer(g, res, NonPreemptive)
+	idx := chains.NewIndex(g, idb, 0)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("mixed-semantics trie did not panic")
+		}
+	}()
+	an.TrieBounds(idx)
+}

@@ -68,17 +68,25 @@ func Enumerate(g *model.Graph, task model.TaskID, maxChains int) ([]model.Chain,
 	return out, nil
 }
 
-// Pairs returns all unordered pairs {λ, ν} of distinct chains from the
-// slice, as index pairs (i < j).
-func Pairs(n int) [][2]int {
-	var out [][2]int
+// ForEachPair invokes fn for every unordered index pair i < j < n in
+// row-major order (all pairs of a fixed i before i+1), the same order
+// the materializing Pairs helper it replaces produced — but without
+// allocating the O(n²) [][2]int up front. A non-nil error from fn stops
+// the iteration and is returned.
+func ForEachPair(n int, fn func(i, j int) error) error {
 	for i := 0; i < n; i++ {
 		for j := i + 1; j < n; j++ {
-			out = append(out, [2]int{i, j})
+			if err := fn(i, j); err != nil {
+				return err
+			}
 		}
 	}
-	return out
+	return nil
 }
+
+// NumPairs returns the number of unordered pairs ForEachPair(n, ·)
+// visits: n·(n−1)/2.
+func NumPairs(n int) int { return n * (n - 1) / 2 }
 
 // StripCommonSuffix removes the longest common suffix of λ and ν beyond
 // their last joint task, returning the shortened chains. Both inputs must

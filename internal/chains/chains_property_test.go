@@ -30,14 +30,18 @@ func TestDecomposeInvariants(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		for _, pair := range Pairs(len(cs)) {
-			la, nu := cs[pair[0]], cs[pair[1]]
+		err = ForEachPair(len(cs), func(i, j int) error {
+			la, nu := cs[i], cs[j]
 			d, err := Decompose(la, nu)
 			if err != nil {
 				t.Fatalf("trial %d: Decompose(%s | %s): %v",
 					trial, la.Format(g), nu.Format(g), err)
 			}
 			checkDecomposition(t, g, la, nu, d)
+			return nil
+		})
+		if err != nil {
+			t.Fatal(err)
 		}
 	}
 }
@@ -114,8 +118,8 @@ func TestStripThenDecomposeConsistent(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		for _, pair := range Pairs(len(cs)) {
-			la, nu := cs[pair[0]], cs[pair[1]]
+		err = ForEachPair(len(cs), func(i, j int) error {
+			la, nu := cs[i], cs[j]
 			sl, sn, err := StripCommonSuffix(la, nu)
 			if err != nil {
 				t.Fatal(err)
@@ -136,6 +140,10 @@ func TestStripThenDecomposeConsistent(t *testing.T) {
 					t.Fatalf("stripped common set is not a prefix at %d", i)
 				}
 			}
+			return nil
+		})
+		if err != nil {
+			t.Fatal(err)
 		}
 	}
 }

@@ -105,18 +105,29 @@ func TestEnumerateCap(t *testing.T) {
 	}
 }
 
-func TestPairs(t *testing.T) {
-	if got := Pairs(0); len(got) != 0 {
-		t.Errorf("Pairs(0) = %v", got)
+func TestForEachPair(t *testing.T) {
+	collect := func(n int) [][2]int {
+		var out [][2]int
+		if err := ForEachPair(n, func(i, j int) error {
+			out = append(out, [2]int{i, j})
+			return nil
+		}); err != nil {
+			t.Fatal(err)
+		}
+		return out
 	}
-	if got := Pairs(1); len(got) != 0 {
-		t.Errorf("Pairs(1) = %v", got)
+	if got := collect(0); len(got) != 0 {
+		t.Errorf("ForEachPair(0) visited %v", got)
 	}
-	got := Pairs(4)
-	if len(got) != 6 {
-		t.Fatalf("Pairs(4) has %d entries, want 6", len(got))
+	if got := collect(1); len(got) != 0 {
+		t.Errorf("ForEachPair(1) visited %v", got)
+	}
+	got := collect(4)
+	if len(got) != 6 || len(got) != NumPairs(4) {
+		t.Fatalf("ForEachPair(4) visited %d pairs, want 6 (NumPairs=%d)", len(got), NumPairs(4))
 	}
 	seen := map[[2]int]bool{}
+	prev := [2]int{-1, -1}
 	for _, p := range got {
 		if p[0] >= p[1] {
 			t.Errorf("pair %v not ordered", p)
@@ -124,7 +135,19 @@ func TestPairs(t *testing.T) {
 		if seen[p] {
 			t.Errorf("duplicate pair %v", p)
 		}
+		if p[0] < prev[0] || (p[0] == prev[0] && p[1] <= prev[1]) {
+			t.Errorf("pair %v out of row-major order after %v", p, prev)
+		}
 		seen[p] = true
+		prev = p
+	}
+	wantErr := errors.New("stop")
+	calls := 0
+	if err := ForEachPair(4, func(i, j int) error {
+		calls++
+		return wantErr
+	}); !errors.Is(err, wantErr) || calls != 1 {
+		t.Errorf("error propagation: err=%v calls=%d", err, calls)
 	}
 }
 

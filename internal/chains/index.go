@@ -1,0 +1,253 @@
+// Prefix-trie chain index.
+//
+// Enumerate materializes every source→task chain as its own slice, which
+// is wasteful on fork-join DAGs: chains through a fusion task share
+// almost all of their structure (cf. the multi-path DAG response-time
+// literature, where path bounds are computed on the shared graph rather
+// than per path). Index represents the same chain set as a node-shared
+// tree rooted at the analyzed task: each trie node is one distinct
+// task→sink path, each leaf is one chain of 𝒫, and a chain's tasks are
+// read by walking parent pointers from its leaf. Consumers that work
+// per-chain still can (Chains, ForEachChain); consumers that work on
+// shared structure — the incremental backward bounds and the fork-point
+// pair analysis in internal/backward and internal/core — index nodes
+// directly, paying O(trie nodes) instead of O(chains × length).
+//
+// Enumerate remains the reference implementation: Index's leaf order,
+// chain contents, and cap behavior are pinned to it by tests and by the
+// analysis differential harness in internal/integration.
+package chains
+
+import (
+	"sync"
+
+	"repro/internal/metrics"
+	"repro/internal/model"
+)
+
+var (
+	chainsIndexed   = metrics.C("chains.indexed")
+	chainsTruncated = metrics.C("chains.truncated")
+)
+
+// node is one trie entry: a distinct path from a task to the analyzed
+// task. nodes[0] is the root (the analyzed task itself, depth 1);
+// children were pushed in predecessor order during the same backward
+// DFS Enumerate performs, so leaves appear in Enumerate's chain order.
+type node struct {
+	task   model.TaskID
+	parent int32
+	depth  int32 // number of tasks on the path node..root
+}
+
+// Index is the prefix trie of every chain ending at one task, built in
+// one backward DAG traversal. The zero value is not usable; construct
+// with NewIndex. An Index is immutable after construction and safe for
+// concurrent use.
+type Index struct {
+	task      model.TaskID
+	numTasks  int
+	nodes     []node
+	leaves    []int32 // leaf node per chain, in Enumerate order
+	maxDepth  int32
+	truncated bool
+
+	// Lazily built derived tables (see LCA and PathMasks).
+	liftOnce sync.Once
+	lift     [][]int32
+	maskOnce sync.Once
+	masks    []uint64
+}
+
+// NewIndex builds the trie of all chains that start at a source task of
+// g and end at task, mirroring Enumerate's depth-first order (successors
+// visited in ID order). maxChains ≤ 0 selects DefaultMaxChains; where
+// Enumerate fails with ErrTooManyChains, NewIndex keeps the first
+// maxChains chains and marks the index Truncated — callers that must
+// not work on a partial chain set check Truncated instead of an error.
+func NewIndex(g *model.Graph, task model.TaskID, maxChains int) *Index {
+	if maxChains <= 0 {
+		maxChains = DefaultMaxChains
+	}
+	x := &Index{task: task, numTasks: g.NumTasks()}
+	x.nodes = append(x.nodes, node{task: task, parent: -1, depth: 1})
+	var rec func(n int32) bool
+	rec = func(n int32) bool {
+		preds := g.Predecessors(x.nodes[n].task)
+		if len(preds) == 0 {
+			if len(x.leaves) >= maxChains {
+				x.truncated = true
+				return false
+			}
+			x.leaves = append(x.leaves, n)
+			if d := x.nodes[n].depth; d > x.maxDepth {
+				x.maxDepth = d
+			}
+			return true
+		}
+		for _, p := range preds {
+			c := int32(len(x.nodes))
+			x.nodes = append(x.nodes, node{task: p, parent: n, depth: x.nodes[n].depth + 1})
+			if !rec(c) {
+				return false
+			}
+		}
+		return true
+	}
+	rec(0)
+	chainsIndexed.Add(int64(len(x.leaves)))
+	if x.truncated {
+		chainsTruncated.Inc()
+	}
+	return x
+}
+
+// Task returns the analyzed task (the trie root).
+func (x *Index) Task() model.TaskID { return x.task }
+
+// NumChains returns the number of chains (leaves).
+func (x *Index) NumChains() int { return len(x.leaves) }
+
+// NumNodes returns the number of trie nodes.
+func (x *Index) NumNodes() int { return len(x.nodes) }
+
+// Truncated reports whether the enumeration hit maxChains: the index
+// holds the first maxChains chains in Enumerate order and the analysis
+// built on it covers only those.
+func (x *Index) Truncated() bool { return x.truncated }
+
+// MaxDepth returns the length of the longest chain.
+func (x *Index) MaxDepth() int { return int(x.maxDepth) }
+
+// Leaf returns the trie node of chain i.
+func (x *Index) Leaf(i int) int32 { return x.leaves[i] }
+
+// NodeTask returns the task of a trie node.
+func (x *Index) NodeTask(n int32) model.TaskID { return x.nodes[n].task }
+
+// NodeParent returns the parent of a trie node (-1 for the root).
+func (x *Index) NodeParent(n int32) int32 { return x.nodes[n].parent }
+
+// NodeDepth returns the number of tasks on the path node..root.
+func (x *Index) NodeDepth(n int32) int32 { return x.nodes[n].depth }
+
+// AppendChain appends chain i's tasks to dst in head→tail order and
+// returns the extended slice. The parent walk from the leaf visits the
+// tasks in exactly that order, so no reversal is needed.
+func (x *Index) AppendChain(dst model.Chain, i int) model.Chain {
+	for n := x.leaves[i]; n >= 0; n = x.nodes[n].parent {
+		dst = append(dst, x.nodes[n].task)
+	}
+	return dst
+}
+
+// Chain materializes chain i as a fresh slice.
+func (x *Index) Chain(i int) model.Chain {
+	return x.AppendChain(make(model.Chain, 0, x.nodes[x.leaves[i]].depth), i)
+}
+
+// Chains materializes every chain, in Enumerate order with identical
+// contents — the drop-in replacement for an Enumerate result.
+func (x *Index) Chains() []model.Chain {
+	out := make([]model.Chain, x.NumChains())
+	for i := range out {
+		out[i] = x.Chain(i)
+	}
+	return out
+}
+
+// ForEachChain invokes fn for every chain in Enumerate order, reusing
+// one scratch buffer: fn must not retain c past the call. It stops
+// early when fn returns false. This is the iteration path for callers
+// that only inspect chains and don't need them to live on.
+func (x *Index) ForEachChain(fn func(i int, c model.Chain) bool) {
+	scratch := make(model.Chain, 0, x.maxDepth)
+	for i := range x.leaves {
+		scratch = x.AppendChain(scratch[:0], i)
+		if !fn(i, scratch) {
+			return
+		}
+	}
+}
+
+// LCA returns the lowest common ancestor of two trie nodes: the trie
+// node of the two chains' last joint task, i.e. exactly the join point
+// StripCommonSuffix reduces a pair to. Because the children of any node
+// carry distinct tasks (a task's predecessors are distinct), the
+// task-level common suffix of two chains diverges precisely below their
+// node-level LCA. Cost is O(log depth) after a lazily built binary-
+// lifting table.
+func (x *Index) LCA(a, b int32) int32 {
+	x.liftOnce.Do(x.buildLift)
+	if x.nodes[a].depth < x.nodes[b].depth {
+		a, b = b, a
+	}
+	// Lift a to b's depth. Depth here counts toward the root: deeper
+	// node = longer chain; the root has depth 1.
+	diff := x.nodes[a].depth - x.nodes[b].depth
+	for k := 0; diff != 0; k++ {
+		if diff&1 != 0 {
+			a = x.lift[k][a]
+		}
+		diff >>= 1
+	}
+	if a == b {
+		return a
+	}
+	for k := len(x.lift) - 1; k >= 0; k-- {
+		if x.lift[k][a] != x.lift[k][b] {
+			a, b = x.lift[k][a], x.lift[k][b]
+		}
+	}
+	return x.nodes[a].parent
+}
+
+// buildLift fills the binary-lifting table: lift[k][n] is n's 2^k-th
+// ancestor (the root maps to itself so lifting saturates harmlessly).
+func (x *Index) buildLift() {
+	levels := 1
+	for d := int(x.maxDepth); d > 1; d >>= 1 {
+		levels++
+	}
+	lift := make([][]int32, levels)
+	up0 := make([]int32, len(x.nodes))
+	for n := range x.nodes {
+		if p := x.nodes[n].parent; p >= 0 {
+			up0[n] = p
+		} else {
+			up0[n] = int32(n)
+		}
+	}
+	lift[0] = up0
+	for k := 1; k < levels; k++ {
+		prev := lift[k-1]
+		cur := make([]int32, len(x.nodes))
+		for n := range cur {
+			cur[n] = prev[prev[n]]
+		}
+		lift[k] = cur
+	}
+	x.lift = lift
+}
+
+// PathMasks returns a per-node bitset of the tasks on the path
+// node..root, and whether the masks are exact (one bit per task, only
+// possible when the graph has at most 64 tasks). With exact masks,
+// masks[u] & masks[v] &^ masks[LCA(u,v)] == 0 proves the two chains
+// share no task below their join point — the c = 1 case of Theorem 2 —
+// without walking either path. Inexact masks are never returned
+// (callers fall back to the path walk), keeping the test one-sided.
+func (x *Index) PathMasks() ([]uint64, bool) {
+	if x.numTasks > 64 {
+		return nil, false
+	}
+	x.maskOnce.Do(func() {
+		masks := make([]uint64, len(x.nodes))
+		masks[0] = 1 << uint(x.nodes[0].task)
+		for n := 1; n < len(x.nodes); n++ {
+			masks[n] = masks[x.nodes[n].parent] | 1<<uint(x.nodes[n].task)
+		}
+		x.masks = masks
+	})
+	return x.masks, true
+}

@@ -1,0 +1,203 @@
+package chains
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+
+	"repro/internal/model"
+	"repro/internal/randgraph"
+)
+
+// TestIndexMatchesEnumerate pins the trie to the reference enumeration:
+// identical chain count, order, and contents on random DAGs.
+func TestIndexMatchesEnumerate(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	for trial := 0; trial < 60; trial++ {
+		n := 5 + rng.Intn(14)
+		g, err := randgraph.GNM(n, 2*n, randgraph.DefaultConfig(), rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, sink := range g.Sinks() {
+			want, err := Enumerate(g, sink, 0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			idx := NewIndex(g, sink, 0)
+			if idx.Truncated() {
+				t.Fatalf("trial %d: unexpected truncation", trial)
+			}
+			got := idx.Chains()
+			if len(got) != len(want) {
+				t.Fatalf("trial %d: %d chains, Enumerate has %d", trial, len(got), len(want))
+			}
+			for i := range want {
+				if !got[i].Equal(want[i]) {
+					t.Fatalf("trial %d chain %d: %v != %v", trial, i, got[i], want[i])
+				}
+				if ln := int(idx.NodeDepth(idx.Leaf(i))); ln != want[i].Len() {
+					t.Errorf("trial %d chain %d: leaf depth %d, chain length %d", trial, i, ln, want[i].Len())
+				}
+			}
+			var viaIter []model.Chain
+			idx.ForEachChain(func(i int, c model.Chain) bool {
+				viaIter = append(viaIter, append(model.Chain(nil), c...))
+				return true
+			})
+			for i := range want {
+				if !viaIter[i].Equal(want[i]) {
+					t.Fatalf("trial %d: ForEachChain diverges at %d", trial, i)
+				}
+			}
+		}
+	}
+}
+
+// TestIndexLCAMatchesStrip checks that the node-level LCA of two leaves
+// is exactly the last joint task StripCommonSuffix reduces a pair to,
+// and that the stripped chains are the leaf→LCA path prefixes.
+func TestIndexLCAMatchesStrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 40; trial++ {
+		n := 5 + rng.Intn(12)
+		g, err := randgraph.GNM(n, 2*n, randgraph.DefaultConfig(), rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sink := g.Sinks()[0]
+		cs, err := Enumerate(g, sink, 4096)
+		if err != nil {
+			t.Fatal(err)
+		}
+		idx := NewIndex(g, sink, 4096)
+		err = ForEachPair(len(cs), func(i, j int) error {
+			sl, sn, err := StripCommonSuffix(cs[i], cs[j])
+			if err != nil {
+				return err
+			}
+			u, v := idx.Leaf(i), idx.Leaf(j)
+			f := idx.LCA(u, v)
+			if got := idx.NodeTask(f); got != sl.Tail() {
+				t.Fatalf("trial %d pair (%d,%d): LCA task %v, strip joint %v", trial, i, j, got, sl.Tail())
+			}
+			wantLa := int(idx.NodeDepth(u) - idx.NodeDepth(f) + 1)
+			wantNu := int(idx.NodeDepth(v) - idx.NodeDepth(f) + 1)
+			if sl.Len() != wantLa || sn.Len() != wantNu {
+				t.Fatalf("trial %d pair (%d,%d): stripped lengths %d/%d, depths say %d/%d",
+					trial, i, j, sl.Len(), sn.Len(), wantLa, wantNu)
+			}
+			return nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// TestIndexPathMasks checks the exact-mask fast test: the masks find a
+// common task strictly below the LCA exactly when the stripped pair has
+// common tasks beyond the joint one (c > 1 in Theorem 2's terms).
+func TestIndexPathMasks(t *testing.T) {
+	rng := rand.New(rand.NewSource(43))
+	for trial := 0; trial < 40; trial++ {
+		n := 5 + rng.Intn(12)
+		g, err := randgraph.GNM(n, 2*n, randgraph.DefaultConfig(), rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sink := g.Sinks()[0]
+		cs, err := Enumerate(g, sink, 4096)
+		if err != nil {
+			t.Fatal(err)
+		}
+		idx := NewIndex(g, sink, 4096)
+		masks, exact := idx.PathMasks()
+		if !exact {
+			t.Fatalf("trial %d: %d-task graph should have exact masks", trial, g.NumTasks())
+		}
+		err = ForEachPair(len(cs), func(i, j int) error {
+			sl, sn, err := StripCommonSuffix(cs[i], cs[j])
+			if err != nil {
+				return err
+			}
+			d, err := Decompose(sl, sn)
+			if err != nil {
+				return err
+			}
+			u, v := idx.Leaf(i), idx.Leaf(j)
+			f := idx.LCA(u, v)
+			common := masks[u] & masks[v] &^ masks[f]
+			if d.SameHead {
+				common &^= 1 << uint(sl.Head())
+			}
+			if (common == 0) != (d.C() == 1) {
+				t.Fatalf("trial %d pair (%d,%d): mask says common=%b, Decompose says c=%d",
+					trial, i, j, common, d.C())
+			}
+			return nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// TestIndexTruncation mirrors Enumerate's cap semantics: where Enumerate
+// errors, the index keeps the first maxChains chains (in the same
+// order) and reports Truncated.
+func TestIndexTruncation(t *testing.T) {
+	// Diamond ladder: 2^12 chains to the sink (same topology as
+	// TestEnumerateTooManyChains).
+	g := model.NewGraph()
+	prev := g.AddTask(model.Task{Name: "s"})
+	for i := 0; i < 12; i++ {
+		a := g.AddTask(model.Task{})
+		b := g.AddTask(model.Task{})
+		join := g.AddTask(model.Task{})
+		for _, mid := range []model.TaskID{a, b} {
+			if err := g.AddEdge(prev, mid); err != nil {
+				t.Fatal(err)
+			}
+			if err := g.AddEdge(mid, join); err != nil {
+				t.Fatal(err)
+			}
+		}
+		prev = join
+	}
+	idx := NewIndex(g, prev, 100)
+	if !idx.Truncated() {
+		t.Fatal("expected truncation at cap 100")
+	}
+	if idx.NumChains() != 100 {
+		t.Fatalf("truncated index has %d chains, want 100", idx.NumChains())
+	}
+	full, err := Enumerate(g, prev, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < idx.NumChains(); i++ {
+		if !idx.Chain(i).Equal(full[i]) {
+			t.Fatalf("truncated chain %d diverges from Enumerate order", i)
+		}
+	}
+	if _, err := Enumerate(g, prev, 100); !errors.Is(err, ErrTooManyChains) {
+		t.Fatalf("Enumerate err = %v, want ErrTooManyChains", err)
+	}
+	// Exactly at the cap: no truncation, like Enumerate's no-error case.
+	exact := NewIndex(g, prev, len(full))
+	if exact.Truncated() || exact.NumChains() != len(full) {
+		t.Fatalf("cap == count should not truncate (truncated=%v, %d chains)",
+			exact.Truncated(), exact.NumChains())
+	}
+}
+
+// TestIndexSingleSourceTask covers the degenerate single-node chain set.
+func TestIndexSingleSourceTask(t *testing.T) {
+	g := model.NewGraph()
+	id := g.AddTask(model.Task{Name: "only"})
+	idx := NewIndex(g, id, 0)
+	if idx.NumChains() != 1 || idx.Chain(0).Len() != 1 || idx.Chain(0)[0] != id {
+		t.Fatalf("index of a source task = %v", idx.Chains())
+	}
+}

@@ -97,6 +97,10 @@ type taskKey struct {
 	task   model.TaskID
 	method Method
 	max    int
+	// full distinguishes Disparity (all pairs materialized) from
+	// DisparityBound (argmax pair only) entries; the two shapes share
+	// the table but never each other's values.
+	full bool
 }
 
 // NewAnalysisCache returns an empty cache for one graph. The pair
@@ -246,11 +250,11 @@ func (c *AnalysisCache) pairBound(m Method, lambda, nu model.Chain, compute func
 
 // taskDisparity returns the interned task-level result, or computes and
 // interns it. The returned TaskDisparity is shared — treat as immutable.
-func (c *AnalysisCache) taskDisparity(task model.TaskID, m Method, maxChains int, compute func() (*TaskDisparity, error)) (*TaskDisparity, error) {
+func (c *AnalysisCache) taskDisparity(task model.TaskID, m Method, maxChains int, full bool, compute func() (*TaskDisparity, error)) (*TaskDisparity, error) {
 	if maxChains <= 0 {
 		maxChains = chains.DefaultMaxChains
 	}
-	key := taskKey{task, m, maxChains}
+	key := taskKey{task, m, maxChains, full}
 	c.mu.RLock()
 	td, ok := c.task[key]
 	c.mu.RUnlock()

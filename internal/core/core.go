@@ -24,6 +24,7 @@ package core
 
 import (
 	"fmt"
+	"sync"
 
 	"repro/internal/backward"
 	"repro/internal/chains"
@@ -63,6 +64,12 @@ type Analysis struct {
 	// the analysis (see cache.go). Cached and uncached analyses return
 	// bit-identical bounds.
 	cache *AnalysisCache
+	// evals interns the trie-based pair evaluation tables per (task,
+	// cap) — see fastpath.go. They live on the Analysis rather than the
+	// AnalysisCache because they embed the backward analyzer, which can
+	// differ between Analyses sharing one graph (Dürr ablations).
+	evmu  sync.Mutex
+	evals map[evalKey]*pairEval
 }
 
 // New builds an Analysis for the graph using the paper's non-preemptive
@@ -297,9 +304,20 @@ type TaskDisparity struct {
 	Task  model.TaskID
 	Bound timeu.Time
 	// Pairs lists the pairwise bounds, worst first not guaranteed; the
-	// entry attaining Bound is at index ArgMax.
+	// entry attaining Bound is at index ArgMax (-1 when there are no
+	// pairs). DisparityBound results carry only the argmax pair here.
 	Pairs  []*PairBound
 	ArgMax int
+	// NumPairs is the number of chain pairs analyzed. It equals
+	// len(Pairs) for Disparity results; DisparityBound results keep the
+	// true count here while materializing only the worst pair.
+	NumPairs int
+	// Truncated reports that the chain enumeration hit the maxChains
+	// cap: the bound covers only the first maxChains chains (in
+	// enumeration order) and may understate the true disparity.
+	// Consumers that must not act on a partial analysis check this flag
+	// (the sweep drivers discard truncated graphs and log the count).
+	Truncated bool
 }
 
 // Disparity bounds the worst-case time disparity of the task (Definition
@@ -317,19 +335,30 @@ type TaskDisparity struct {
 // graphs, as in Fig. 6(a).
 //
 // maxChains caps the enumeration (≤ 0 selects chains.DefaultMaxChains).
+// Where earlier versions failed with chains.ErrTooManyChains at the
+// cap, Disparity now analyzes the first maxChains chains and reports
+// the partial coverage through TaskDisparity.Truncated — callers
+// decide whether a partial bound is acceptable.
+//
+// Disparity runs on the trie-based fast path (see fastpath.go); its
+// bounds are bit-identical to the reference pipeline, which remains
+// available as DisparityReference and is pinned to the fast path by
+// the differential harness in internal/integration.
 func (a *Analysis) Disparity(task model.TaskID, m Method, maxChains int) (*TaskDisparity, error) {
 	if a.cache != nil {
-		return a.cache.taskDisparity(task, m, maxChains, func() (*TaskDisparity, error) {
-			return a.disparity(task, m, maxChains)
+		return a.cache.taskDisparity(task, m, maxChains, true, func() (*TaskDisparity, error) {
+			return a.disparityFast(task, m, maxChains)
 		})
 	}
-	return a.disparity(task, m, maxChains)
+	return a.disparityFast(task, m, maxChains)
 }
 
-// disparity is the uninterned body of Disparity; with a cache attached
-// the enumeration, suffix stripping, and pair bounds still intern their
-// own sub-results, so even a cold task-level call shares work.
-func (a *Analysis) disparity(task model.TaskID, m Method, maxChains int) (*TaskDisparity, error) {
+// DisparityReference is the legacy per-pair pipeline: enumerate every
+// chain, strip each pair's common suffix, and bound it via
+// PairDisparity. It exists as the executable specification the fast
+// path is tested against; unlike Disparity it fails with
+// chains.ErrTooManyChains when the enumeration exceeds maxChains.
+func (a *Analysis) DisparityReference(task model.TaskID, m Method, maxChains int) (*TaskDisparity, error) {
 	var (
 		ps  []model.Chain
 		err error
@@ -342,27 +371,32 @@ func (a *Analysis) disparity(task model.TaskID, m Method, maxChains int) (*TaskD
 	if err != nil {
 		return nil, err
 	}
-	td := &TaskDisparity{Task: task, ArgMax: -1}
-	for _, idx := range chains.Pairs(len(ps)) {
-		la, nu := ps[idx[0]], ps[idx[1]]
+	td := &TaskDisparity{Task: task, ArgMax: -1, NumPairs: chains.NumPairs(len(ps))}
+	err = chains.ForEachPair(len(ps), func(i, j int) error {
+		la, nu := ps[i], ps[j]
 		if m == SDiff {
 			// Stripping is not interned: the task-level cache already
 			// limits it to once per pair per graph, so a cache layer here
 			// would only ever miss (measured via the cache.* metrics).
+			var err error
 			la, nu, err = chains.StripCommonSuffix(la, nu)
 			if err != nil {
-				return nil, err
+				return err
 			}
 		}
 		pb, err := a.PairDisparity(la, nu, m)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		td.Pairs = append(td.Pairs, pb)
 		if pb.Bound > td.Bound || td.ArgMax < 0 {
 			td.Bound = pb.Bound
 			td.ArgMax = len(td.Pairs) - 1
 		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return td, nil
 }

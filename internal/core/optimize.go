@@ -111,6 +111,10 @@ type GreedyResult struct {
 	Before, After timeu.Time
 	// Graph is the optimized clone with all plans applied.
 	Graph *model.Graph
+	// Truncated reports that the chain enumeration hit the cap, i.e.
+	// the optimization saw only a partial chain set (see
+	// TaskDisparity.Truncated).
+	Truncated bool
 }
 
 // OptimizeTaskGreedy extends Algorithm 1 beyond a single chain pair: it
@@ -132,17 +136,20 @@ func (a *Analysis) OptimizeTaskGreedy(task model.TaskID, maxChains, maxRounds in
 	if maxRounds <= 0 {
 		maxRounds = 16
 	}
-	base, err := a.Disparity(task, SDiff, maxChains)
+	// The greedy loop only ever needs each round's worst pair, so it
+	// runs on the pruned bound-only evaluation; the argmax pair is
+	// identical to full Disparity's (first pair attaining the maximum).
+	base, err := a.DisparityBound(task, SDiff, maxChains)
 	if err != nil {
 		return nil, err
 	}
-	res := &GreedyResult{Before: base.Bound, After: base.Bound, Graph: a.g.Clone()}
+	res := &GreedyResult{Before: base.Bound, After: base.Bound, Graph: a.g.Clone(), Truncated: base.Truncated}
 	if base.ArgMax < 0 {
 		return res, nil
 	}
 	cur := a
 	for round := 0; round < maxRounds; round++ {
-		td, err := cur.Disparity(task, SDiff, maxChains)
+		td, err := cur.DisparityBound(task, SDiff, maxChains)
 		if err != nil {
 			return nil, err
 		}
@@ -170,7 +177,12 @@ func (a *Analysis) OptimizeTaskGreedy(task model.TaskID, maxChains, maxRounds in
 		if err != nil {
 			break
 		}
-		nextTd, err := nextA.Disparity(task, SDiff, maxChains)
+		// A buffer change keeps the topology, so the clone inherits the
+		// trie (and its LCA/mask tables) with only the bound prefix
+		// sums rebuilt — each round costs O(trie nodes + pairs), not a
+		// fresh enumeration.
+		nextA.adoptEval(task, maxChains, cur.pairEvalFor(task, maxChains).retarget(nextA))
+		nextTd, err := nextA.DisparityBound(task, SDiff, maxChains)
 		if err != nil {
 			return nil, err
 		}

@@ -41,8 +41,8 @@ func TestPairBoundProperties(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		for _, pair := range chains.Pairs(len(cs)) {
-			la, nu := cs[pair[0]], cs[pair[1]]
+		err = chains.ForEachPair(len(cs), func(pi, pj int) error {
+			la, nu := cs[pi], cs[pj]
 			p1, err := a.PairDisparity(la, nu, PDiff)
 			if err != nil {
 				t.Fatal(err)
@@ -79,6 +79,10 @@ func TestPairBoundProperties(t *testing.T) {
 			if d.C() == 1 && !d.SameHead && s1.Bound != p1.Bound {
 				t.Fatalf("c=1 pair: S-diff %v != P-diff %v", s1.Bound, p1.Bound)
 			}
+			return nil
+		})
+		if err != nil {
+			t.Fatal(err)
 		}
 	}
 }

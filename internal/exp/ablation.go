@@ -46,6 +46,10 @@ func sdiffBound(ctx context.Context, cfg Config, a *core.Analysis, g *model.Grap
 	if err != nil {
 		return methods.Result{}, false
 	}
+	if r.Truncated {
+		cfg.noteTruncation("ablation")
+		return methods.Result{}, false
+	}
 	return r, true
 }
 
@@ -153,6 +157,10 @@ func AblationTail(cfg Config, totalTasks int) (*Table, error) {
 			}
 			sd, err := methods.SDiff.Eval(ctx, ec, g, sink)
 			if err != nil || len(pd.Detail.Pairs) == 0 {
+				return tailResult{}, false, nil
+			}
+			if pd.Truncated || sd.Truncated {
+				cfg.noteTruncation(fmt.Sprintf("tail=%d graph %d", tail, gi))
 				return tailResult{}, false, nil
 			}
 			return tailResult{pd: pd.Bound.Milliseconds(), sd: sd.Bound.Milliseconds()}, true, nil

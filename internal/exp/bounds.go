@@ -92,7 +92,13 @@ func evalGNMBounds(ctx context.Context, cfg Config, tk *span.Track, n, pi, gi in
 		pd, err := methods.PDiff.Eval(ctx, ec, g, sink)
 		if err != nil {
 			stop()
-			continue // e.g. too many chains: regenerate
+			continue
+		}
+		if pd.Truncated {
+			// Exponential-path outlier: the bound covers only part of 𝒫.
+			stop()
+			cfg.noteTruncation(fmt.Sprintf("n=%d graph %d", n, gi))
+			continue
 		}
 		sd, err := methods.SDiff.Eval(ctx, ec, g, sink)
 		if err != nil || len(pd.Detail.Pairs) == 0 {
@@ -102,6 +108,10 @@ func evalGNMBounds(ctx context.Context, cfg Config, tk *span.Track, n, pi, gi in
 		greedy, err := methods.SDiffB.Eval(ctx, ec, g, sink)
 		stop()
 		if err != nil {
+			continue
+		}
+		if sd.Truncated || greedy.Truncated {
+			cfg.noteTruncation(fmt.Sprintf("n=%d graph %d", n, gi))
 			continue
 		}
 		graphsUsed.Inc()

@@ -26,6 +26,7 @@ import (
 var (
 	graphsGenerated = metrics.C("exp.graphs.generated")
 	graphsUsed      = metrics.C("exp.graphs.used")
+	graphsTruncated = metrics.C("exp.graphs.truncated")
 	genHist         = metrics.H("exp.stage.generate")
 	analysisHist    = metrics.H("exp.stage.analysis")
 	simHist         = metrics.H("exp.stage.simulate")
@@ -188,6 +189,18 @@ func (cfg *Config) sweepBegin() {
 func (cfg *Config) pointBegin(prefix string, n int) {
 	if cfg.Sink != nil {
 		cfg.Sink.Point(prefix + strconv.Itoa(n))
+	}
+}
+
+// noteTruncation records a graph whose chain enumeration hit the
+// MaxChains cap. Sweeps regenerate such graphs instead of averaging a
+// bound over a partial chain set; the counter and log line keep the
+// cap's effect visible rather than silently shrinking the sample.
+func (cfg *Config) noteTruncation(label string) {
+	graphsTruncated.Inc()
+	if cfg.Log != nil {
+		fmt.Fprintf(cfg.Log, "%s: chain enumeration truncated at MaxChains=%d; regenerating\n",
+			label, cfg.MaxChains)
 	}
 }
 

@@ -170,11 +170,16 @@ func evalGNMGraph(ctx context.Context, cfg Config, tk *span.Track, n, pi, gi int
 		pd, err := methods.PDiff.Eval(ctx, ec, g, sink)
 		if err != nil {
 			stop()
-			continue // e.g. too many chains: regenerate
+			continue
 		}
 		sd, err := methods.SDiff.Eval(ctx, ec, g, sink)
 		stop()
 		if err != nil {
+			continue
+		}
+		if pd.Truncated || sd.Truncated {
+			// Exponential-path outlier: the bound covers only part of 𝒫.
+			cfg.noteTruncation(fmt.Sprintf("n=%d graph %d", n, gi))
 			continue
 		}
 		if len(pd.Detail.Pairs) == 0 {

@@ -60,6 +60,12 @@ type Context struct {
 	// GreedyRounds caps Algorithm 1's greedy multi-pair loop for the
 	// optimizing methods (0 = run to convergence).
 	GreedyRounds int
+	// FullDetail asks analytic methods for the complete per-pair
+	// breakdown (core.Disparity) instead of the bound-only fast path
+	// (core.DisparityBound). Reports and the analyze CLI set it; sweeps
+	// leave it false — the bounds are identical either way, only
+	// Detail.Pairs shrinks to the argmax pair.
+	FullDetail bool
 
 	// Horizon is the simulated time per run.
 	Horizon timeu.Time
@@ -86,6 +92,10 @@ type Result struct {
 	Detail *core.TaskDisparity
 	// Greedy is the buffer plan behind an optimizing method's bound.
 	Greedy *core.GreedyResult
+	// Truncated reports that the chain enumeration behind the value hit
+	// the MaxChains cap, i.e. the bound covers a partial chain set.
+	// Sweep drivers discard such evaluations and count them.
+	Truncated bool
 }
 
 // Method is one way of attaching a worst-case time disparity value to a
@@ -195,11 +205,11 @@ func (pdiffMethod) Kind() Kind       { return Analytic }
 func (pdiffMethod) Optimizing() bool { return false }
 
 func (pdiffMethod) Eval(_ context.Context, ec *Context, _ *model.Graph, task model.TaskID) (Result, error) {
-	td, err := ec.Analysis.Disparity(task, core.PDiff, ec.MaxChains)
+	td, err := analyticDisparity(ec, task, core.PDiff)
 	if err != nil {
 		return Result{}, err
 	}
-	return Result{Bound: td.Bound, Detail: td}, nil
+	return Result{Bound: td.Bound, Detail: td, Truncated: td.Truncated}, nil
 }
 
 type sdiffMethod struct{}
@@ -210,11 +220,21 @@ func (sdiffMethod) Kind() Kind       { return Analytic }
 func (sdiffMethod) Optimizing() bool { return false }
 
 func (sdiffMethod) Eval(_ context.Context, ec *Context, _ *model.Graph, task model.TaskID) (Result, error) {
-	td, err := ec.Analysis.Disparity(task, core.SDiff, ec.MaxChains)
+	td, err := analyticDisparity(ec, task, core.SDiff)
 	if err != nil {
 		return Result{}, err
 	}
-	return Result{Bound: td.Bound, Detail: td}, nil
+	return Result{Bound: td.Bound, Detail: td, Truncated: td.Truncated}, nil
+}
+
+// analyticDisparity routes a bound evaluation to the full-detail or
+// bound-only engine per Context.FullDetail. Both return the same Bound,
+// argmax pair, and Truncated flag.
+func analyticDisparity(ec *Context, task model.TaskID, m core.Method) (*core.TaskDisparity, error) {
+	if ec.FullDetail {
+		return ec.Analysis.Disparity(task, m, ec.MaxChains)
+	}
+	return ec.Analysis.DisparityBound(task, m, ec.MaxChains)
 }
 
 type sdiffBMethod struct{}
@@ -229,7 +249,7 @@ func (sdiffBMethod) Eval(_ context.Context, ec *Context, _ *model.Graph, task mo
 	if err != nil {
 		return Result{}, err
 	}
-	return Result{Bound: greedy.After, Greedy: greedy}, nil
+	return Result{Bound: greedy.After, Greedy: greedy, Truncated: greedy.Truncated}, nil
 }
 
 // Simulation throughput metrics. The names predate this package (the

@@ -109,10 +109,6 @@ func TestAnalyticEvalMatchesCore(t *testing.T) {
 	ctx := context.Background()
 
 	for _, m := range []Method{PDiff, SDiff} {
-		r, err := m.Eval(ctx, ec, g, sink)
-		if err != nil {
-			t.Fatalf("%s: %v", m.Name(), err)
-		}
 		method := core.PDiff
 		if m == SDiff {
 			method = core.SDiff
@@ -121,11 +117,36 @@ func TestAnalyticEvalMatchesCore(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
+
+		// Default (sweep) mode: bound-only evaluation — same Bound, the
+		// argmax pair as the only materialized detail.
+		r, err := m.Eval(ctx, ec, g, sink)
+		if err != nil {
+			t.Fatalf("%s: %v", m.Name(), err)
+		}
 		if r.Bound != td.Bound {
 			t.Errorf("%s: Bound = %v, core says %v", m.Name(), r.Bound, td.Bound)
 		}
+		if r.Detail == nil || r.Detail.NumPairs != len(td.Pairs) {
+			t.Errorf("%s: Detail missing or wrong NumPairs", m.Name())
+		} else if len(td.Pairs) > 0 {
+			if len(r.Detail.Pairs) != 1 || r.Detail.Pairs[0].Bound != td.Pairs[td.ArgMax].Bound {
+				t.Errorf("%s: bound-only detail does not carry the argmax pair", m.Name())
+			}
+		}
+
+		// FullDetail mode: the complete per-pair breakdown.
+		ec.FullDetail = true
+		r, err = m.Eval(ctx, ec, g, sink)
+		ec.FullDetail = false
+		if err != nil {
+			t.Fatalf("%s (full): %v", m.Name(), err)
+		}
+		if r.Bound != td.Bound {
+			t.Errorf("%s (full): Bound = %v, core says %v", m.Name(), r.Bound, td.Bound)
+		}
 		if r.Detail == nil || len(r.Detail.Pairs) != len(td.Pairs) {
-			t.Errorf("%s: Detail missing or wrong pair count", m.Name())
+			t.Errorf("%s (full): Detail missing or wrong pair count", m.Name())
 		}
 	}
 

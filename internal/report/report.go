@@ -133,7 +133,9 @@ func writeTaskAnalysis(b *strings.Builder, g *model.Graph, a *core.Analysis, an 
 	// The bound rows come from the method registry: every analytic,
 	// non-optimizing method gets a row, labeled by its name and paper
 	// reference. Registering a new bound adds it to every report.
-	ec := &methods.Context{Analysis: a, MaxChains: opts.MaxChains}
+	// FullDetail: the worst-pair section below reads Pairs[ArgMax], which
+	// only the complete per-pair analysis materializes for every method.
+	ec := &methods.Context{Analysis: a, MaxChains: opts.MaxChains, FullDetail: true}
 	var sd *core.TaskDisparity
 	fmt.Fprintf(b, "### Worst-case time disparity\n\n")
 	b.WriteString("| method | bound |\n|---|---|\n")
