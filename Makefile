@@ -19,6 +19,11 @@
 #                 par, sim, exp), the steady-state alloc regression
 #                 test, and tools/check_obs_overhead.sh's <2% disabled-
 #                 tracing throughput guard against BENCH_sim.json
+#   verify-latency - latency metric suite tier: the 200-workload
+#                 analysis-vs-simulation differential harness and the
+#                 observer property harness under -race, the trie
+#                 fast-path unit differentials, the latency observer
+#                 and method tests, and the chains fuzz seed corpus
 #   check       - build + test + race + bench
 #
 # tools/escape_check.sh (not wired into check; advisory) prints sim hot-path
@@ -26,7 +31,7 @@
 
 GO ?= go
 
-.PHONY: build test race bench bench-smoke bench-json verify-obs check
+.PHONY: build test race bench bench-smoke bench-json verify-obs verify-latency check
 
 build:
 	$(GO) build ./...
@@ -55,5 +60,12 @@ verify-obs:
 	$(GO) test -race -run 'TestSweepObservability|TestUntracedSweepIdentical' ./internal/exp/...
 	$(GO) test -run 'TestSteadyStateAllocsPerJob' ./internal/sim/...
 	sh tools/check_obs_overhead.sh
+
+verify-latency:
+	$(GO) test -race -run 'TestLatency' ./internal/integration/...
+	$(GO) test -run 'TestChainLatency' ./internal/backward/...
+	$(GO) test -run 'TestLatency' ./internal/core/... ./internal/sim/... ./internal/methods/...
+	$(GO) test -run 'TestLatencySweep' ./internal/exp/...
+	$(GO) test -run 'FuzzIndexMatchesEnumerate' ./internal/chains/...
 
 check: build test race bench

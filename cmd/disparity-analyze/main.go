@@ -1,5 +1,6 @@
 // Command disparity-analyze loads a cause-effect graph (JSON) and prints
-// its schedulability report, per-chain backward-time bounds, and the
+// its schedulability report, per-chain backward-time bounds, the
+// end-to-end latency metric family (MRT, MRRT, MDA, MRDA), and the
 // worst-case time disparity of a task under every registered analytic
 // bound (P-diff, Theorem 1; S-diff, Theorem 2), optionally with
 // Algorithm 1's buffer plan.
@@ -144,6 +145,24 @@ func run(args []string, stdout io.Writer) error {
 	// FullDetail: the -pairs flag prints every chain pair, which only the
 	// complete per-pair analysis materializes.
 	ec := &methods.Context{Analysis: a, MaxChains: *maxChains, FullDetail: true}
+
+	// End-to-end latency metric family, off the same cached trie.
+	fmt.Fprintf(stdout, "\nend-to-end latency bounds of %s:\n", g.Task(task).Name)
+	for _, m := range methods.LatencyAnalytic() {
+		r, err := m.Eval(ctx, ec, g, task)
+		if err != nil {
+			return err
+		}
+		worst := ""
+		if r.Latency != nil && len(r.Latency.ArgMax) > 0 {
+			worst = "  worst: " + r.Latency.ArgMax.Format(g)
+		}
+		fmt.Fprintf(stdout, "  %-5s %-8v (%s)%s\n", m.Name(), r.Bound, m.Ref(), worst)
+		if r.Truncated {
+			fmt.Fprintf(stdout, "  WARNING: chain enumeration truncated at the cap; the bound covers a partial chain set (raise -max-chains)\n")
+		}
+	}
+
 	for _, m := range methods.Bounds() {
 		r, err := m.Eval(ctx, ec, g, task)
 		if err != nil {

@@ -9,6 +9,7 @@
 //	disparity-exp -fig 6c            # two-chain buffering experiment
 //	disparity-exp -fig 6d            # incremental ratios of (c)
 //	disparity-exp -fig bounds        # analysis-only bounds (no simulation)
+//	disparity-exp -fig latency       # MRT/MRRT/MDA/MRDA bounds vs simulation
 //	disparity-exp -fig all           # everything
 //	disparity-exp -fig 6a -paper     # the paper's full 10-minute horizons
 //	disparity-exp -fig 6a -csv out.csv
@@ -81,6 +82,7 @@ var sweeps = map[string]sweepCmd{
 	},
 	"ablation-greedy":      {run: exp.AblationGreedyBuffers},
 	"ablation-adversarial": {run: exp.AblationAdversarial, defaultPoints: []int{5, 10, 15}},
+	"latency":              {run: exp.LatencySweep},
 }
 
 func tailSweep(cfg exp.Config) (*exp.Table, error) { return exp.AblationTail(cfg, 20) }

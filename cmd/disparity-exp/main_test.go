@@ -33,6 +33,9 @@ func TestRunAblations(t *testing.T) {
 	if err := run(tinyArgs("-fig", "ablation-exec"), io.Discard); err != nil {
 		t.Errorf("ablation-exec: %v", err)
 	}
+	if err := run(tinyArgs("-fig", "latency"), io.Discard); err != nil {
+		t.Errorf("latency: %v", err)
+	}
 }
 
 func TestRunAllWithCSV(t *testing.T) {

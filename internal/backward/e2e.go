@@ -11,14 +11,17 @@ import (
 // an output can be — and the maximum reaction time — how long a fresh
 // stimulus can take to influence an output.
 
-// DataAge returns an upper bound on the maximum data age of the chain.
-// Footnote 2 of the paper defines the data age of the output produced by
-// the k-th job of the tail as f(⃖π^{|π|}) − r(⃖π¹) — the backward time
-// plus the finishing lateness of the last job — so a bound is
-// 𝒲(π) + R(π^{|π|}). Under non-preemptive fixed priority this is tighter
-// than the classical scheduler-agnostic bound (see DavareBound).
+// DataAge returns an upper bound on the maximum reduced data age of the
+// chain. Footnote 2 of the paper defines the data age of the output
+// produced by the k-th job of the tail as f(⃖π^{|π|}) − r(⃖π¹) — the
+// backward time plus the publish lateness of the last job — so a bound
+// is 𝒲(π) + OutputDelay(π^{|π|}) (the WCRT for implicit communication,
+// the period for LET, whose jobs publish at their deadline). Under
+// non-preemptive fixed priority this is tighter than the classical
+// scheduler-agnostic bound (see DavareBound). Alias of
+// ChainLatency(LatencyMRDA, pi).
 func (a *Analyzer) DataAge(pi model.Chain) timeu.Time {
-	return a.WCBT(pi) + a.wcrt.R(pi.Tail())
+	return a.ChainLatency(LatencyMRDA, pi)
 }
 
 // MinDataAge returns a lower bound on the best-case data age:
@@ -41,21 +44,15 @@ func (a *Analyzer) DavareBound(pi model.Chain) timeu.Time {
 	return sum
 }
 
-// Reaction returns an upper bound on the maximum reaction time of the
-// chain: the longest span from a stimulus (source release) to the finish
-// of the first tail job whose output reflects it. A stimulus can just
+// Reaction returns an upper bound on the maximum reduced reaction time
+// of the chain: the longest span from a stimulus (source release) to the
+// publish of the first tail output that reflects it. A stimulus can just
 // miss the sampling of π²'s current job and must wait for the next one
-// on every hop, giving Σ_{i≥2} (T(π^i) + R(π^i)) after the stimulus task
-// itself completes (R(π¹), zero for external stimuli).
+// on every hop, giving Σ_{i≥2} (T(π^i) + OutputDelay(π^i)) after the
+// stimulus task itself publishes (OutputDelay(π¹), zero for external
+// stimuli), plus the Lemma-6 shift of buffered channels (a token must
+// move through the FIFO before it is read). Alias of
+// ChainLatency(LatencyMRRT, pi).
 func (a *Analyzer) Reaction(pi model.Chain) timeu.Time {
-	sum := a.wcrt.R(pi.Head())
-	for _, id := range pi[1:] {
-		sum += a.g.Task(id).MaxInterArrival() + a.wcrt.R(id)
-	}
-	// Buffered channels delay propagation exactly as they age data
-	// (Lemma 6): a token must shift through the FIFO before it is read.
-	for i := 0; i+1 < pi.Len(); i++ {
-		sum += a.bufferShiftHi(pi[i], pi[i+1])
-	}
-	return sum
+	return a.ChainLatency(LatencyMRRT, pi)
 }

@@ -1,0 +1,177 @@
+package backward
+
+import (
+	"testing"
+
+	"repro/internal/model"
+)
+
+func TestChainLatencyFig2(t *testing.T) {
+	g, an := fig2Analyzer(t, NonPreemptive)
+	pi := chainByNames(t, g, "t1", "t3", "t5", "t6")
+
+	tail := g.Task(pi.Tail())
+	head := g.Task(pi.Head())
+
+	mrda := an.ChainLatency(LatencyMRDA, pi)
+	mda := an.ChainLatency(LatencyMDA, pi)
+	mrrt := an.ChainLatency(LatencyMRRT, pi)
+	mrt := an.ChainLatency(LatencyMRT, pi)
+
+	// Closed forms: the reduced metrics plus one end-task inter-arrival.
+	if want := an.WCBT(pi) + an.WCRT(pi.Tail()); mrda != want {
+		t.Errorf("MRDA = %v, want WCBT+R(tail) = %v", mrda, want)
+	}
+	if want := mrda + tail.MaxInterArrival(); mda != want {
+		t.Errorf("MDA = %v, want MRDA+T(tail) = %v", mda, want)
+	}
+	if want := mrrt + head.MaxInterArrival(); mrt != want {
+		t.Errorf("MRT = %v, want MRRT+T(head) = %v", mrt, want)
+	}
+	// The legacy accessors are aliases of the reduced metrics.
+	if an.DataAge(pi) != mrda {
+		t.Errorf("DataAge = %v, want MRDA = %v", an.DataAge(pi), mrda)
+	}
+	if an.Reaction(pi) != mrrt {
+		t.Errorf("Reaction = %v, want MRRT = %v", an.Reaction(pi), mrrt)
+	}
+}
+
+// TestChainLatencyOrderings checks the literature orderings on every
+// chain of the fixture: MRDA ≤ MDA ≤ MRT and MRRT ≤ MRT.
+func TestChainLatencyOrderings(t *testing.T) {
+	for _, m := range []Method{NonPreemptive, Duerr} {
+		g, an := fig2Analyzer(t, m)
+		for _, pi := range fig2Chains(t, g) {
+			mrda := an.ChainLatency(LatencyMRDA, pi)
+			mda := an.ChainLatency(LatencyMDA, pi)
+			mrrt := an.ChainLatency(LatencyMRRT, pi)
+			mrt := an.ChainLatency(LatencyMRT, pi)
+			if mrda > mda {
+				t.Errorf("%v %v: MRDA %v > MDA %v", m, pi, mrda, mda)
+			}
+			if mda > mrt {
+				t.Errorf("%v %v: MDA %v > MRT %v", m, pi, mda, mrt)
+			}
+			if mrrt > mrt {
+				t.Errorf("%v %v: MRRT %v > MRT %v", m, pi, mrrt, mrt)
+			}
+		}
+	}
+}
+
+// TestChainLatencyMethods checks that the scheduler-agnostic baseline
+// dominates the non-preemptive bounds on the age side and that the
+// reaction side (which has no WCBT term) is method-independent.
+func TestChainLatencyMethods(t *testing.T) {
+	g, np := fig2Analyzer(t, NonPreemptive)
+	_, du := fig2Analyzer(t, Duerr)
+	for _, pi := range fig2Chains(t, g) {
+		for _, m := range []Latency{LatencyMDA, LatencyMRDA} {
+			if np.ChainLatency(m, pi) > du.ChainLatency(m, pi) {
+				t.Errorf("%v %v: np %v > duerr %v", m, pi,
+					np.ChainLatency(m, pi), du.ChainLatency(m, pi))
+			}
+		}
+		for _, m := range []Latency{LatencyMRT, LatencyMRRT} {
+			if np.ChainLatency(m, pi) != du.ChainLatency(m, pi) {
+				t.Errorf("%v %v: np %v != duerr %v", m, pi,
+					np.ChainLatency(m, pi), du.ChainLatency(m, pi))
+			}
+		}
+	}
+}
+
+func TestChainLatencyLET(t *testing.T) {
+	g, an := letFig2(t)
+	pi := chainByNames(t, g, "t1", "t3", "t5", "t6")
+	// A LET tail publishes at its deadline: the publish lateness is the
+	// period, not the WCRT.
+	tail := g.Task(pi.Tail())
+	if got := an.OutputDelay(pi.Tail()); got != tail.Period {
+		t.Fatalf("LET OutputDelay = %v, want period %v", got, tail.Period)
+	}
+	if got, want := an.ChainLatency(LatencyMRDA, pi), an.WCBT(pi)+tail.Period; got != want {
+		t.Errorf("LET MRDA = %v, want WCBT+T(tail) = %v", got, want)
+	}
+	// For an all-LET chain every hop's theta equals T+OutputDelay, so
+	// MDA and MRT coincide exactly.
+	if mda, mrt := an.ChainLatency(LatencyMDA, pi), an.ChainLatency(LatencyMRT, pi); mda != mrt {
+		t.Errorf("LET MDA = %v != MRT = %v", mda, mrt)
+	}
+}
+
+func TestChainLatencySingleTask(t *testing.T) {
+	g, an := fig2Analyzer(t, NonPreemptive)
+	t1, _ := g.TaskByName("t1")
+	pi := model.Chain{t1.ID}
+	// A stimulus task publishes instantly: MRDA = MRRT = 0, and the full
+	// variants are one inter-arrival.
+	if got := an.ChainLatency(LatencyMRDA, pi); got != 0 {
+		t.Errorf("stimulus MRDA = %v, want 0", got)
+	}
+	if got := an.ChainLatency(LatencyMRRT, pi); got != 0 {
+		t.Errorf("stimulus MRRT = %v, want 0", got)
+	}
+	tmax := g.Task(t1.ID).MaxInterArrival()
+	if got := an.ChainLatency(LatencyMDA, pi); got != tmax {
+		t.Errorf("stimulus MDA = %v, want %v", got, tmax)
+	}
+	if got := an.ChainLatency(LatencyMRT, pi); got != tmax {
+		t.Errorf("stimulus MRT = %v, want %v", got, tmax)
+	}
+}
+
+func TestLatencyNames(t *testing.T) {
+	want := map[Latency]string{
+		LatencyMRT: "MRT", LatencyMRRT: "MRRT", LatencyMDA: "MDA", LatencyMRDA: "MRDA",
+	}
+	if len(Latencies()) != len(want) {
+		t.Fatalf("Latencies() has %d entries, want %d", len(Latencies()), len(want))
+	}
+	for _, m := range Latencies() {
+		if m.String() != want[m] {
+			t.Errorf("String(%d) = %q, want %q", int(m), m, want[m])
+		}
+		if m.Ref() == "" {
+			t.Errorf("%v has no literature reference", m)
+		}
+	}
+}
+
+// fig2Chains enumerates every complete chain of the Fig. 2 fixture ending
+// at each sink.
+func fig2Chains(t *testing.T, g *model.Graph) []model.Chain {
+	t.Helper()
+	var out []model.Chain
+	for _, sink := range g.Sinks() {
+		cs, err := enumerateChains(g, sink)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out = append(out, cs...)
+	}
+	return out
+}
+
+// enumerateChains is a tiny local DFS so the backward package tests do
+// not depend on package chains (which depends on this package's callers).
+func enumerateChains(g *model.Graph, tail model.TaskID) ([]model.Chain, error) {
+	var out []model.Chain
+	var walk func(pi model.Chain)
+	walk = func(pi model.Chain) {
+		head := pi[0]
+		preds := g.Predecessors(head)
+		if len(preds) == 0 {
+			c := make(model.Chain, len(pi))
+			copy(c, pi)
+			out = append(out, c)
+			return
+		}
+		for _, p := range preds {
+			walk(append(model.Chain{p}, pi...))
+		}
+	}
+	walk(model.Chain{tail})
+	return out, nil
+}

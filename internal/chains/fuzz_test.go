@@ -1,0 +1,143 @@
+package chains
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/model"
+)
+
+// fuzzGraph decodes arbitrary bytes into a DAG: the first byte sets the
+// task count (2..81, deliberately crossing the 64-task PathMasks cap),
+// each following byte pair proposes an edge, always directed from the
+// lower to the higher task ID so the graph stays acyclic. Self-loops
+// and duplicates are skipped, mirroring what a generator would refuse.
+func fuzzGraph(data []byte) *model.Graph {
+	if len(data) == 0 {
+		return nil
+	}
+	n := 2 + int(data[0])%80
+	g := model.NewGraph()
+	for i := 0; i < n; i++ {
+		g.AddTask(model.Task{})
+	}
+	for i := 1; i+1 < len(data); i += 2 {
+		a := model.TaskID(int(data[i]) % n)
+		b := model.TaskID(int(data[i+1]) % n)
+		if a == b {
+			continue
+		}
+		if a > b {
+			a, b = b, a
+		}
+		_ = g.AddEdge(a, b) // duplicates are fine to ignore
+	}
+	return g
+}
+
+// chainMask is the reference bitset of a chain's tasks (≤ 64 tasks).
+func chainMask(c model.Chain) uint64 {
+	var m uint64
+	for _, id := range c {
+		m |= 1 << uint(id)
+	}
+	return m
+}
+
+// FuzzIndexMatchesEnumerate is the differential fuzz target for the
+// trie index: on every decodable DAG and every sink, NewIndex must
+// agree with the legacy Enumerate — same chains in the same order, the
+// same truncation decision at any cap (flag vs error), and PathMasks
+// that are exact exactly up to 64 tasks.
+func FuzzIndexMatchesEnumerate(f *testing.F) {
+	// A diamond with a shared tail, a dense truncation-prone graph, an
+	// edgeless graph, and a >64-task graph (inexact masks).
+	f.Add([]byte{0x02, 0, 2, 1, 2, 2, 3, 0, 1}, uint16(1))
+	f.Add([]byte{0x0a, 0, 5, 1, 5, 2, 5, 3, 5, 4, 5, 5, 6, 5, 7, 6, 8, 7, 8, 8, 9}, uint16(3))
+	f.Add([]byte{0x05}, uint16(0))
+	f.Add([]byte{0xff, 1, 70, 2, 70, 70, 79, 0, 70}, uint16(2))
+	f.Fuzz(func(t *testing.T, data []byte, mcSeed uint16) {
+		g := fuzzGraph(data)
+		if g == nil {
+			return
+		}
+		sinks := g.Sinks()
+		if len(sinks) > 4 {
+			sinks = sinks[:4] // bound the per-input work on edgeless graphs
+		}
+		const roomy = 2048
+		for _, sink := range sinks {
+			ref, refErr := Enumerate(g, sink, roomy)
+			idx := NewIndex(g, sink, roomy)
+			if refErr != nil {
+				if !errors.Is(refErr, ErrTooManyChains) {
+					t.Fatalf("Enumerate: %v", refErr)
+				}
+				if !idx.Truncated() || idx.NumChains() != roomy {
+					t.Fatalf("Enumerate overflowed %d chains but NewIndex kept %d (truncated=%v)",
+						roomy, idx.NumChains(), idx.Truncated())
+				}
+				continue
+			}
+			if idx.Truncated() {
+				t.Fatalf("index truncated at %d chains, Enumerate found only %d", roomy, len(ref))
+			}
+			if idx.NumChains() != len(ref) {
+				t.Fatalf("NumChains = %d, Enumerate found %d", idx.NumChains(), len(ref))
+			}
+			for i, want := range ref {
+				got := idx.Chain(i)
+				if !got.Equal(want) {
+					t.Fatalf("chain %d = %v, Enumerate order has %v", i, got, want)
+				}
+				if err := got.ValidIn(g); err != nil {
+					t.Fatalf("chain %d invalid: %v", i, err)
+				}
+			}
+
+			// Any smaller cap must truncate with the flag exactly when the
+			// legacy API errors, keeping the Enumerate-order prefix.
+			if len(ref) > 1 {
+				mc := 1 + int(mcSeed)%len(ref)
+				small := NewIndex(g, sink, mc)
+				_, smallErr := Enumerate(g, sink, mc)
+				overflow := len(ref) > mc
+				if small.Truncated() != overflow {
+					t.Fatalf("cap %d of %d chains: Truncated() = %v", mc, len(ref), small.Truncated())
+				}
+				if (smallErr != nil) != overflow || (smallErr != nil && !errors.Is(smallErr, ErrTooManyChains)) {
+					t.Fatalf("cap %d of %d chains: Enumerate error = %v", mc, len(ref), smallErr)
+				}
+				want := len(ref)
+				if overflow {
+					want = mc
+				}
+				if small.NumChains() != want {
+					t.Fatalf("cap %d: kept %d chains, want %d", mc, small.NumChains(), want)
+				}
+				for i := 0; i < small.NumChains(); i++ {
+					if !small.Chain(i).Equal(ref[i]) {
+						t.Fatalf("cap %d: chain %d = %v, want prefix chain %v", mc, i, small.Chain(i), ref[i])
+					}
+				}
+			}
+
+			// PathMasks: exact bitsets up to 64 tasks, refused above.
+			masks, exact := idx.PathMasks()
+			if g.NumTasks() > 64 {
+				if exact || masks != nil {
+					t.Fatalf("PathMasks on %d tasks: exact=%v masks=%v, want refusal", g.NumTasks(), exact, masks != nil)
+				}
+				continue
+			}
+			if !exact || len(masks) != idx.NumNodes() {
+				t.Fatalf("PathMasks on %d tasks: exact=%v len=%d nodes=%d", g.NumTasks(), exact, len(masks), idx.NumNodes())
+			}
+			for i := 0; i < idx.NumChains(); i++ {
+				if got, want := masks[idx.Leaf(i)], chainMask(idx.Chain(i)); got != want {
+					t.Fatalf("leaf %d mask %064b, chain tasks %064b", i, got, want)
+				}
+			}
+		}
+	})
+}

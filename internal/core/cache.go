@@ -80,6 +80,8 @@ type AnalysisCache struct {
 	pair [2]map[string]*PairBound
 	// task interns task-level disparities per (task, method, cap).
 	task map[taskKey]*TaskDisparity
+	// lat interns task-level latency results per (task, metric, cap).
+	lat map[latKey]*TaskLatency
 
 	// track, when non-nil, receives one span per expensive cache miss
 	// (WCRT fixed point, chain enumeration, task-level disparity). Set
@@ -91,6 +93,12 @@ type AnalysisCache struct {
 type enumKey struct {
 	task model.TaskID
 	max  int
+}
+
+type latKey struct {
+	task   model.TaskID
+	metric backward.Latency
+	max    int
 }
 
 type taskKey struct {
@@ -118,6 +126,7 @@ func NewAnalysisCache() *AnalysisCache {
 			SDiff: make(map[string]*PairBound, 512),
 		},
 		task: make(map[taskKey]*TaskDisparity),
+		lat:  make(map[latKey]*TaskLatency),
 	}
 }
 
@@ -273,6 +282,34 @@ func (c *AnalysisCache) taskDisparity(task model.TaskID, m Method, maxChains int
 	c.task[key] = td
 	c.mu.Unlock()
 	return td, nil
+}
+
+// taskLatency returns the interned task-level latency result, or
+// computes and interns it. The returned TaskLatency is shared — treat
+// as immutable.
+func (c *AnalysisCache) taskLatency(task model.TaskID, m backward.Latency, maxChains int, compute func() (*TaskLatency, error)) (*TaskLatency, error) {
+	if maxChains <= 0 {
+		maxChains = chains.DefaultMaxChains
+	}
+	key := latKey{task, m, maxChains}
+	c.mu.RLock()
+	tl, ok := c.lat[key]
+	c.mu.RUnlock()
+	if ok {
+		cacheLatencyHits.Inc()
+		return tl, nil
+	}
+	cacheLatencyMisses.Inc()
+	sp := c.track.Start("latency")
+	tl, err := compute()
+	sp.End(span.Str("metric", m.String()), span.Int("task", int64(task)))
+	if err != nil {
+		return nil, err
+	}
+	c.mu.Lock()
+	c.lat[key] = tl
+	c.mu.Unlock()
+	return tl, nil
 }
 
 // chainUsesEdge reports whether (from → to) is a hop of the chain.

@@ -19,6 +19,7 @@ import (
 	"context"
 	"fmt"
 	"runtime"
+	"sync"
 	"sync/atomic"
 
 	"repro/internal/backward"
@@ -69,6 +70,11 @@ type pairEval struct {
 	// period and sporadic are indexed by TaskID.
 	period   []timeu.Time
 	sporadic []bool
+	// lat is the lazily built reaction-prefix table of the latency
+	// metrics (latency.go); it reads the backward analyzer, so retarget
+	// never carries it across Analyses.
+	latOnce sync.Once
+	lat     *latSums
 }
 
 // pairEvalFor returns the (possibly cached) pairEval for a task and

@@ -1,0 +1,119 @@
+package integration
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/model"
+	"repro/internal/sim"
+	"repro/internal/timeu"
+)
+
+// Property harness for the latency observer: its measured values are a
+// function of the simulated schedule alone. Neither the order sources
+// are registered in, nor the observer's position among other observers,
+// nor the engine driving it (pooled vs reference) may change a single
+// sample. The corpus is the engine-differential one (diffWorkload),
+// including the mixed-semantics trials the analytical harness cannot
+// cover — the observer is purely behavioral.
+
+// latencySnapshot renders every accessor for every watched source; two
+// observers that saw the same schedule must snapshot identically.
+type latencySnapshot struct {
+	src                           model.TaskID
+	mrt, mrrt, mda, mrda, fresh   timeu.Time
+	okRT, okRRT, okDA, okRDA, okF bool
+}
+
+func snapshotLatency(obs *sim.LatencyObserver, origins []model.TaskID) []latencySnapshot {
+	out := make([]latencySnapshot, 0, len(origins))
+	for _, src := range origins {
+		var s latencySnapshot
+		s.src = src
+		s.mrt, s.okRT = obs.MaxReaction(src)
+		s.mrrt, s.okRRT = obs.MaxReducedReaction(src)
+		s.mda, s.okDA = obs.MaxAge(src)
+		s.mrda, s.okRDA = obs.MaxReducedAge(src)
+		s.fresh, s.okF = obs.MinFreshAge(src)
+		out = append(out, s)
+	}
+	return out
+}
+
+// stampOrigins lists every task that can appear in a token stamp:
+// external stimuli and source tasks.
+func stampOrigins(g *model.Graph) []model.TaskID {
+	var origins []model.TaskID
+	for i := 0; i < g.NumTasks(); i++ {
+		id := model.TaskID(i)
+		if g.IsSource(id) || g.Task(id).ECU == model.NoECU {
+			origins = append(origins, id)
+		}
+	}
+	return origins
+}
+
+// TestLatencyObserverProperties runs the 200-workload engine corpus and
+// checks, per trial: registration-order invariance (sources reversed,
+// observer first vs last) on the pooled engine, and pooled-vs-reference
+// engine equality of every sample.
+func TestLatencyObserverProperties(t *testing.T) {
+	const trials = 200
+	horizon := timeu.Second
+	warmup := 200 * timeu.Millisecond
+	rng := rand.New(rand.NewSource(4242))
+	sampled := 0
+	for trial := 0; trial < trials; trial++ {
+		g := diffWorkload(t, rng, trial)
+		sink := g.Sinks()[0]
+		origins := stampOrigins(g)
+		reversed := make([]model.TaskID, len(origins))
+		for i, src := range origins {
+			reversed[len(origins)-1-i] = src
+		}
+		cfg := sim.Config{
+			Horizon: horizon,
+			Exec:    execModels[trial%len(execModels)],
+			Seed:    rng.Int63(),
+		}
+
+		// Pooled engine: canonical order registered last, reversed order
+		// first, with an unrelated observer between them.
+		fwd := sim.NewLatencyObserver(sink, origins, warmup)
+		rev := sim.NewLatencyObserver(sink, reversed, warmup)
+		fastCfg := cfg
+		fastCfg.Observers = []sim.Observer{rev, sim.NewDisparityObserver(warmup, sink), fwd}
+		if _, err := sim.Run(g, fastCfg); err != nil {
+			t.Fatalf("trial %d: pooled engine: %v", trial, err)
+		}
+
+		// Reference engine, same config.
+		ref := sim.NewLatencyObserver(sink, origins, warmup)
+		refCfg := cfg
+		refCfg.Observers = []sim.Observer{ref}
+		if _, err := sim.RunReference(g, refCfg); err != nil {
+			t.Fatalf("trial %d: reference engine: %v", trial, err)
+		}
+
+		want := snapshotLatency(fwd, origins)
+		for name, snap := range map[string][]latencySnapshot{
+			"reversed-registration": snapshotLatency(rev, origins),
+			"reference-engine":      snapshotLatency(ref, origins),
+		} {
+			for i, s := range snap {
+				if s != want[i] {
+					t.Errorf("trial %d: %s diverges for source %s:\n got %+v\nwant %+v",
+						trial, name, g.Task(s.src).Name, s, want[i])
+				}
+			}
+		}
+		for _, s := range want {
+			if s.okRDA {
+				sampled++
+			}
+		}
+	}
+	if sampled < trials {
+		t.Errorf("only %d age-sampled sources across %d trials; the corpus no longer exercises the observer", sampled, trials)
+	}
+}

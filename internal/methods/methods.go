@@ -15,6 +15,7 @@ import (
 	"math/rand"
 	"sync"
 
+	"repro/internal/backward"
 	"repro/internal/core"
 	"repro/internal/metrics"
 	"repro/internal/model"
@@ -44,6 +45,70 @@ func (k Kind) String() string {
 		return "measured"
 	default:
 		return fmt.Sprintf("Kind(%d)", int(k))
+	}
+}
+
+// Metric classifies what quantity a method evaluates: the paper's
+// worst-case time disparity, or one of the classical end-to-end latency
+// metrics. Consumers group table columns by it — the disparity tables
+// keep quoting only MetricDisparity methods side by side.
+type Metric int
+
+const (
+	// MetricDisparity is the worst-case time disparity (Definition 3).
+	MetricDisparity Metric = iota
+	// MetricMRT is the maximum reaction time.
+	MetricMRT
+	// MetricMRRT is the maximum reduced reaction time.
+	MetricMRRT
+	// MetricMDA is the maximum data age.
+	MetricMDA
+	// MetricMRDA is the maximum reduced data age.
+	MetricMRDA
+)
+
+func (m Metric) String() string {
+	switch m {
+	case MetricDisparity:
+		return "disparity"
+	case MetricMRT, MetricMRRT, MetricMDA, MetricMRDA:
+		l, _ := m.Latency()
+		return l.String()
+	default:
+		return fmt.Sprintf("Metric(%d)", int(m))
+	}
+}
+
+// Latency maps the metric to its backward.Latency identifier; ok is
+// false for MetricDisparity.
+func (m Metric) Latency() (backward.Latency, bool) {
+	switch m {
+	case MetricMRT:
+		return backward.LatencyMRT, true
+	case MetricMRRT:
+		return backward.LatencyMRRT, true
+	case MetricMDA:
+		return backward.LatencyMDA, true
+	case MetricMRDA:
+		return backward.LatencyMRDA, true
+	default:
+		return 0, false
+	}
+}
+
+// MetricOf is the inverse of Metric.Latency.
+func MetricOf(l backward.Latency) Metric {
+	switch l {
+	case backward.LatencyMRT:
+		return MetricMRT
+	case backward.LatencyMRRT:
+		return MetricMRRT
+	case backward.LatencyMDA:
+		return MetricMDA
+	case backward.LatencyMRDA:
+		return MetricMRDA
+	default:
+		panic(fmt.Sprintf("methods: unknown latency %v", l))
 	}
 }
 
@@ -92,6 +157,9 @@ type Result struct {
 	Detail *core.TaskDisparity
 	// Greedy is the buffer plan behind an optimizing method's bound.
 	Greedy *core.GreedyResult
+	// Latency is the task-level latency result, when the method
+	// evaluates one of the latency metrics analytically.
+	Latency *core.TaskLatency
 	// Truncated reports that the chain enumeration behind the value hit
 	// the MaxChains cap, i.e. the bound covers a partial chain set.
 	// Sweep drivers discard such evaluations and count them.
@@ -112,13 +180,18 @@ type Method interface {
 	// Optimizing reports whether the method redesigns the system
 	// (inserts buffers) before bounding it.
 	Optimizing() bool
+	// Metric reports what quantity the method evaluates (disparity or
+	// one of the latency metrics).
+	Metric() Metric
 	// Eval computes the method's value for task in g. Analytic methods
 	// require ec.Analysis to be bound to g.
 	Eval(ctx context.Context, ec *Context, g *model.Graph, task model.TaskID) (Result, error)
 }
 
 // The canonical method set. Registered in init; consumers may also
-// reference them directly.
+// reference them directly. The latency metric family (latency.go)
+// registers one analytic bound and one "-sim" measured ground truth per
+// metric, in backward.Latencies order.
 var (
 	PDiff  Method = pdiffMethod{}
 	SDiff  Method = sdiffMethod{}
@@ -136,6 +209,10 @@ func init() {
 	Register(SDiff)
 	Register(SDiffB)
 	Register(Sim)
+	for _, l := range backward.Latencies() {
+		Register(latencyBound{l})
+		Register(latencySim{l})
+	}
 }
 
 // Register adds a method to the registry. Registration order is
@@ -161,14 +238,43 @@ func All() []Method {
 	return out
 }
 
-// Bounds returns the analytic, non-optimizing methods in registration
-// order: the per-task bounds a report quotes side by side.
+// Bounds returns the analytic, non-optimizing disparity methods in
+// registration order: the per-task bounds a disparity report quotes
+// side by side.
 func Bounds() []Method {
 	regMu.RLock()
 	defer regMu.RUnlock()
 	var out []Method
 	for _, m := range registry {
-		if m.Kind() == Analytic && !m.Optimizing() {
+		if m.Kind() == Analytic && !m.Optimizing() && m.Metric() == MetricDisparity {
+			out = append(out, m)
+		}
+	}
+	return out
+}
+
+// LatencyAnalytic returns the analytic latency-metric methods in
+// registration order (MRT, MRRT, MDA, MRDA).
+func LatencyAnalytic() []Method {
+	regMu.RLock()
+	defer regMu.RUnlock()
+	var out []Method
+	for _, m := range registry {
+		if m.Kind() == Analytic && m.Metric() != MetricDisparity {
+			out = append(out, m)
+		}
+	}
+	return out
+}
+
+// LatencyMeasured returns the measured latency-metric methods in
+// registration order (the "-sim" ground truths).
+func LatencyMeasured() []Method {
+	regMu.RLock()
+	defer regMu.RUnlock()
+	var out []Method
+	for _, m := range registry {
+		if m.Kind() == Measured && m.Metric() != MetricDisparity {
 			out = append(out, m)
 		}
 	}
@@ -203,6 +309,7 @@ func (pdiffMethod) Name() string     { return core.PDiff.String() }
 func (pdiffMethod) Ref() string      { return "Theorem 1" }
 func (pdiffMethod) Kind() Kind       { return Analytic }
 func (pdiffMethod) Optimizing() bool { return false }
+func (pdiffMethod) Metric() Metric   { return MetricDisparity }
 
 func (pdiffMethod) Eval(_ context.Context, ec *Context, _ *model.Graph, task model.TaskID) (Result, error) {
 	td, err := analyticDisparity(ec, task, core.PDiff)
@@ -218,6 +325,7 @@ func (sdiffMethod) Name() string     { return core.SDiff.String() }
 func (sdiffMethod) Ref() string      { return "Theorem 2" }
 func (sdiffMethod) Kind() Kind       { return Analytic }
 func (sdiffMethod) Optimizing() bool { return false }
+func (sdiffMethod) Metric() Metric   { return MetricDisparity }
 
 func (sdiffMethod) Eval(_ context.Context, ec *Context, _ *model.Graph, task model.TaskID) (Result, error) {
 	td, err := analyticDisparity(ec, task, core.SDiff)
@@ -243,6 +351,7 @@ func (sdiffBMethod) Name() string     { return core.SDiff.String() + "-B" }
 func (sdiffBMethod) Ref() string      { return "Algorithm 1" }
 func (sdiffBMethod) Kind() Kind       { return Analytic }
 func (sdiffBMethod) Optimizing() bool { return true }
+func (sdiffBMethod) Metric() Metric   { return MetricDisparity }
 
 func (sdiffBMethod) Eval(_ context.Context, ec *Context, _ *model.Graph, task model.TaskID) (Result, error) {
 	greedy, err := ec.Analysis.OptimizeTaskGreedy(task, ec.MaxChains, ec.GreedyRounds)
@@ -269,6 +378,7 @@ func (simMethod) Name() string     { return "Sim" }
 func (simMethod) Ref() string      { return "" }
 func (simMethod) Kind() Kind       { return Measured }
 func (simMethod) Optimizing() bool { return false }
+func (simMethod) Metric() Metric   { return MetricDisparity }
 
 // Eval runs ec.Runs simulations with fresh random offsets and returns
 // the maximum observed disparity of the task. One sim.Engine is built

@@ -118,17 +118,14 @@ func writeTaskAnalysis(b *strings.Builder, g *model.Graph, a *core.Analysis, an 
 		return err
 	}
 	sort.Slice(cs, func(i, j int) bool { return an.WCBT(cs[i]) > an.WCBT(cs[j]) })
-	b.WriteString("### Chains\n\n| chain | WCBT | BCBT | max data age | max reaction |\n|---|---|---|---|---|\n")
+	b.WriteString("### Chains\n\n| chain | WCBT | BCBT | MRDA | MDA | MRRT | MRT |\n|---|---|---|---|---|---|---|\n")
 	for _, c := range cs {
-		fmt.Fprintf(b, "| %s | %v | %v | %v | %v |\n",
-			c.Format(g), an.WCBT(c), an.BCBT(c), an.DataAge(c), an.Reaction(c))
+		fmt.Fprintf(b, "| %s | %v | %v | %v | %v | %v | %v |\n",
+			c.Format(g), an.WCBT(c), an.BCBT(c),
+			an.ChainLatency(backward.LatencyMRDA, c), an.ChainLatency(backward.LatencyMDA, c),
+			an.ChainLatency(backward.LatencyMRRT, c), an.ChainLatency(backward.LatencyMRT, c))
 	}
 	b.WriteString("\n")
-
-	if len(cs) < 2 {
-		fmt.Fprintf(b, "Fewer than two chains: the time disparity of %s is trivially 0.\n\n", name)
-		return nil
-	}
 
 	// The bound rows come from the method registry: every analytic,
 	// non-optimizing method gets a row, labeled by its name and paper
@@ -136,6 +133,31 @@ func writeTaskAnalysis(b *strings.Builder, g *model.Graph, a *core.Analysis, an 
 	// FullDetail: the worst-pair section below reads Pairs[ArgMax], which
 	// only the complete per-pair analysis materializes for every method.
 	ec := &methods.Context{Analysis: a, MaxChains: opts.MaxChains, FullDetail: true}
+
+	// Task-level latency: the maximum of each metric over the task's
+	// chains, with the chain attaining it.
+	fmt.Fprintf(b, "### End-to-end latency\n\n")
+	b.WriteString("| metric | bound | worst chain |\n|---|---|---|\n")
+	for _, m := range methods.LatencyAnalytic() {
+		r, err := m.Eval(context.Background(), ec, g, task)
+		if err != nil {
+			return err
+		}
+		worst := "-"
+		if r.Latency != nil && len(r.Latency.ArgMax) > 0 {
+			worst = r.Latency.ArgMax.Format(g)
+		}
+		fmt.Fprintf(b, "| %s (%s) | %v | %s |\n", m.Name(), m.Ref(), r.Bound, worst)
+		if r.Truncated {
+			fmt.Fprintf(b, "| | *truncated at %d chains* | |\n", opts.MaxChains)
+		}
+	}
+	b.WriteString("\n")
+
+	if len(cs) < 2 {
+		fmt.Fprintf(b, "Fewer than two chains: the time disparity of %s is trivially 0.\n\n", name)
+		return nil
+	}
 	var sd *core.TaskDisparity
 	fmt.Fprintf(b, "### Worst-case time disparity\n\n")
 	b.WriteString("| method | bound |\n|---|---|\n")

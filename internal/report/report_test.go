@@ -31,7 +31,11 @@ func TestFullReport(t *testing.T) {
 		"| t3 | ecu0 | implicit | 0 | 2ms | 1ms | 10ms |",
 		"## Task t6",
 		"### Chains",
+		"| chain | WCBT | BCBT | MRDA | MDA | MRRT | MRT |",
 		"t1 -> t3 -> t5 -> t6",
+		"### End-to-end latency",
+		"| MRT (Dürr et al., TECS 2019) |",
+		"| MRDA (Günzel et al., RTSS 2021) |",
 		"### Worst-case time disparity",
 		"P-diff (Theorem 1) | 65ms",
 		"S-diff (Theorem 2) | 71ms",
@@ -74,6 +78,9 @@ func TestReportSingleChainTask(t *testing.T) {
 	out := render(t, g, Options{})
 	if !strings.Contains(out, "trivially 0") {
 		t.Error("single-chain note missing")
+	}
+	if !strings.Contains(out, "### End-to-end latency") {
+		t.Error("latency section missing for a single-chain task")
 	}
 }
 

@@ -1,0 +1,95 @@
+package sim
+
+import (
+	"testing"
+
+	"repro/internal/model"
+	"repro/internal/timeu"
+)
+
+func TestLatencyObserverOnPipeline(t *testing.T) {
+	g, src, a, b := pipeline(t)
+	_ = a
+	obs := NewLatencyObserver(b, []model.TaskID{src}, 50*ms)
+	age := NewAgeObserver(b, src, 50*ms)
+	if _, err := Run(g, Config{Horizon: timeu.Second, Observers: []Observer{obs, age}}); err != nil {
+		t.Fatal(err)
+	}
+	mrda, ok := obs.MaxReducedAge(src)
+	if !ok {
+		t.Fatal("no age samples")
+	}
+	mda, _ := obs.MaxAge(src)
+	mrrt, ok := obs.MaxReducedReaction(src)
+	if !ok {
+		t.Fatal("no reaction samples")
+	}
+	mrt, _ := obs.MaxReaction(src)
+
+	// Definitional orderings.
+	if mrda > mda {
+		t.Errorf("MRDA %v > MDA %v", mrda, mda)
+	}
+	if mrrt > mrt {
+		t.Errorf("MRRT %v > MRT %v", mrrt, mrt)
+	}
+	// The reduced metrics agree with AgeObserver's samples: MRDA is its
+	// max age, MRRT its max reaction.
+	_, ageMax, ok := age.AgeRange()
+	if !ok {
+		t.Fatal("AgeObserver saw nothing")
+	}
+	if mrda != ageMax {
+		t.Errorf("MRDA %v != AgeObserver max age %v", mrda, ageMax)
+	}
+	if r, _ := age.MaxReaction(); mrrt != r {
+		t.Errorf("MRRT %v != AgeObserver reaction %v", mrrt, r)
+	}
+	// Strictly periodic stimulus: the reaction gap is one src period.
+	if mrt != mrrt+10*ms {
+		t.Errorf("MRT %v != MRRT %v + 10ms", mrt, mrrt)
+	}
+	// Consecutive b outputs are one b period apart, so the data-age pair
+	// adds at most 20 ms over MRDA.
+	if mda > mrda+20*ms {
+		t.Errorf("MDA %v exceeds MRDA %v + one tail period", mda, mrda)
+	}
+	if fresh, ok := obs.MinFreshAge(src); !ok || fresh < 0 || fresh > mrda {
+		t.Errorf("MinFreshAge = %v,%v out of [0, MRDA]", fresh, ok)
+	}
+}
+
+func TestLatencyObserverNoFlow(t *testing.T) {
+	g, src, a, b := pipeline(t)
+	_ = src
+	// b's data never reaches a: no samples in either direction.
+	obs := NewLatencyObserver(a, []model.TaskID{b}, 0)
+	if _, err := Run(g, Config{Horizon: 200 * ms, Observers: []Observer{obs}}); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := obs.MaxReducedAge(b); ok {
+		t.Error("age samples for a non-flow pair")
+	}
+	if _, ok := obs.MaxReaction(b); ok {
+		t.Error("reaction samples for a non-flow pair")
+	}
+	if got := obs.Sources(); len(got) != 1 || got[0] != b {
+		t.Errorf("Sources() = %v, want [%d]", got, b)
+	}
+}
+
+// TestLatencyObserverWarmup checks that a warmup beyond the horizon
+// yields no samples at all.
+func TestLatencyObserverWarmup(t *testing.T) {
+	g, src, _, b := pipeline(t)
+	obs := NewLatencyObserver(b, []model.TaskID{src}, timeu.Second)
+	if _, err := Run(g, Config{Horizon: 200 * ms, Observers: []Observer{obs}}); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := obs.MaxReducedAge(src); ok {
+		t.Error("age samples before warmup")
+	}
+	if _, ok := obs.MaxReducedReaction(src); ok {
+		t.Error("reaction samples before warmup")
+	}
+}
