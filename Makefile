@@ -24,6 +24,10 @@
 #                 observer property harness under -race, the trie
 #                 fast-path unit differentials, the latency observer
 #                 and method tests, and the chains fuzz seed corpus
+#   verify-sim-cycle - steady-state jump-ahead tier: the cycle-detection
+#                 and batch unit tests plus the public-API jump on/off
+#                 determinism test under -race, and the 200-workload
+#                 jump-vs-full differential harness
 #   check       - build + test + race + bench
 #
 # tools/escape_check.sh (not wired into check; advisory) prints sim hot-path
@@ -31,7 +35,7 @@
 
 GO ?= go
 
-.PHONY: build test race bench bench-smoke bench-json verify-obs verify-latency check
+.PHONY: build test race bench bench-smoke bench-json verify-obs verify-latency verify-sim-cycle check
 
 build:
 	$(GO) build ./...
@@ -48,7 +52,7 @@ bench:
 
 bench-smoke:
 	$(GO) vet ./internal/sim/...
-	$(GO) test -run='^$$' -bench='BenchmarkSimThroughput|BenchmarkPooledEngine|BenchmarkReferenceEngine|BenchmarkPairBounds' -benchtime=3x -benchmem ./...
+	$(GO) test -run='^$$' -bench='BenchmarkSimThroughput|BenchmarkPooledEngine|BenchmarkReferenceEngine|BenchmarkPairBounds|BenchmarkSimJumpAhead|BenchmarkBatchSweep' -benchtime=3x -benchmem ./...
 
 bench-json:
 	sh tools/bench_json.sh
@@ -60,6 +64,12 @@ verify-obs:
 	$(GO) test -race -run 'TestSweepObservability|TestUntracedSweepIdentical' ./internal/exp/...
 	$(GO) test -run 'TestSteadyStateAllocsPerJob' ./internal/sim/...
 	sh tools/check_obs_overhead.sh
+
+verify-sim-cycle:
+	$(GO) vet ./internal/sim/...
+	$(GO) test -race -run 'TestJumpAhead|TestBatch' ./internal/sim/...
+	$(GO) test -race -run 'TestSimulateJumpAheadDeterministic' .
+	$(GO) test -run 'TestJumpAheadMatchesFullExecution' ./internal/integration/...
 
 verify-latency:
 	$(GO) test -race -run 'TestLatency' ./internal/integration/...

@@ -9,6 +9,7 @@
 package disparity_test
 
 import (
+	"math/rand"
 	"testing"
 
 	disparity "repro"
@@ -17,6 +18,7 @@ import (
 	"repro/internal/sim"
 	"repro/internal/timeu"
 	"repro/internal/trace/span"
+	"repro/internal/waters"
 )
 
 func benchCfg() exp.Config {
@@ -292,6 +294,74 @@ func BenchmarkSimThroughputTraced(b *testing.B) {
 	}
 	if tracer.SpanCount() == 0 {
 		b.Fatal("traced run recorded no spans")
+	}
+}
+
+// BenchmarkSimJumpAhead measures the steady-state jump-ahead fast path
+// on a deterministic periodic workload: a 25-task WATERS graph with
+// WCET execution over a 60-second horizon, of which everything past the
+// transient prefix is one detected hyperperiod cycle replayed by the
+// fast-forward. BenchmarkSimJumpAheadDisabled executes the same run in
+// full; their ratio is the jump-ahead speedup recorded in
+// BENCH_sim.json. The reported jobs/s counts simulated (including
+// skipped) jobs.
+func BenchmarkSimJumpAhead(b *testing.B) { benchJumpAhead(b, false) }
+
+// BenchmarkSimJumpAheadDisabled is the full-execution baseline of
+// BenchmarkSimJumpAhead.
+func BenchmarkSimJumpAheadDisabled(b *testing.B) { benchJumpAhead(b, true) }
+
+func benchJumpAhead(b *testing.B, disable bool) {
+	g, _ := benchGraph(b)
+	disparity.RandomOffsets(g, 1)
+	var jobs int64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := disparity.Simulate(g, disparity.SimConfig{
+			Horizon:          60 * timeu.Second,
+			Exec:             disparity.ExecWCET,
+			Seed:             42,
+			DisableJumpAhead: disable,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !disable && !res.Jump.Engaged {
+			b.Fatalf("jump-ahead did not engage: %+v", res.Jump)
+		}
+		jobs += res.Jobs
+	}
+	b.StopTimer()
+	if secs := b.Elapsed().Seconds(); secs > 0 {
+		b.ReportMetric(float64(jobs)/secs, "jobs/s")
+	}
+}
+
+// BenchmarkBatchSweep measures the inner loop of the experiment
+// pipeline: a 20-run random-offset sweep through one shared engine
+// (sim.Batch), WCET execution so jump-ahead engages per run. The
+// per-run cost is what a thousand-variant sweep pays after the first
+// run has warmed the pools.
+func BenchmarkBatchSweep(b *testing.B) {
+	g, _ := benchGraph(b)
+	batch, err := sim.NewBatch(g, sim.Config{Horizon: 10 * timeu.Second, Exec: sim.WCETExec{}})
+	if err != nil {
+		b.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(7))
+	var offsets []timeu.Time
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for run := 0; run < 20; run++ {
+			offsets = waters.DrawOffsets(g, rng, offsets[:0])
+			if _, err := batch.Run(sim.BatchRun{
+				Seed:      rng.Int63(),
+				Offsets:   offsets,
+				Observers: []sim.Observer{sim.NewDisparityObserver(timeu.Second)},
+			}); err != nil {
+				b.Fatal(err)
+			}
+		}
 	}
 }
 

@@ -6,7 +6,17 @@
 //
 //	disparity-sim -graph g.json [-horizon 10s] [-exec extremes] [-seed 1]
 //	              [-warmup 1s] [-random-offsets] [-jobtrace out.csv]
-//	disparity-sim -graph g.json -paper   # the paper's full 10-minute horizon
+//	disparity-sim -graph g.json -paper         # the paper's full 10-minute horizon
+//	disparity-sim -graph g.json -horizon auto  # transient + a few hyperperiods
+//	disparity-sim -graph g.json -runs 50 -random-offsets -exec wcet
+//
+// -horizon auto derives the span from the graph itself: the transient
+// prefix (release offsets plus warm-up) followed by a few full
+// hyperperiod cycles of steady state. -runs N batches N simulations
+// with fresh offsets and seeds through one shared engine (sim.Batch)
+// and reports the maximum disparity over all runs. Deterministic
+// periodic runs skip repeated steady-state cycles via jump-ahead;
+// -no-jump forces full execution (results are identical either way).
 //
 // Observability (the shared flag block, see internal/cli; -trace is the
 // Chrome span trace as in every other tool, -jobtrace the per-job CSV):
@@ -23,6 +33,7 @@ package main
 
 import (
 	"fmt"
+	"math/rand"
 	"os"
 	"text/tabwriter"
 
@@ -34,6 +45,7 @@ import (
 	"repro/internal/timeu"
 	"repro/internal/trace"
 	"repro/internal/trace/span"
+	"repro/internal/waters"
 )
 
 func main() {
@@ -62,11 +74,13 @@ func run(args []string) error {
 	app := cli.New("disparity-sim")
 	fs := app.FlagSet()
 	graphPath := fs.String("graph", "", "path to the graph JSON (required)")
-	horizonStr := fs.String("horizon", "10s", "simulated time span")
+	horizonStr := fs.String("horizon", "10s", "simulated time span, or \"auto\" (transient + a few hyperperiods)")
 	warmupStr := fs.String("warmup", "1s", "measurement warm-up")
 	paper := fs.Bool("paper", false, "use the paper's full 10-minute horizon (overrides -horizon)")
 	execName := fs.String("exec", "extremes", "execution-time model: wcet|bcet|uniform|extremes")
 	randomOffsets := fs.Bool("random-offsets", false, "draw release offsets uniformly from [0, T)")
+	runs := fs.Int("runs", 1, "batch this many runs through one engine; with -random-offsets each run draws fresh offsets")
+	noJump := fs.Bool("no-jump", false, "disable steady-state jump-ahead (results are identical either way)")
 	jobTracePath := fs.String("jobtrace", "", "write a per-job CSV trace")
 	jobTraceLimit := fs.Int("jobtrace-limit", 100000, "max job-trace records")
 	ganttPath := fs.String("gantt", "", "write an SVG Gantt chart of the first 200ms")
@@ -82,14 +96,8 @@ func run(args []string) error {
 		return err
 	}
 	defer app.Close()
-	horizon, err := disparity.ParseTime(*horizonStr)
-	if err != nil {
-		return err
-	}
-	if *paper {
-		// The paper's evaluation simulates 10 minutes per run; with the
-		// pooled engine this is routine rather than a coffee break.
-		horizon = 10 * timeu.Minute
+	if *runs < 1 {
+		return fmt.Errorf("-runs must be at least 1")
 	}
 	warmup, err := disparity.ParseTime(*warmupStr)
 	if err != nil {
@@ -109,8 +117,48 @@ func run(args []string) error {
 		return err
 	}
 	seed := app.Seed()
-	if *randomOffsets {
+	if *randomOffsets && *runs == 1 {
 		disparity.RandomOffsets(g, seed)
+	}
+	horizon, err := resolveHorizon(*horizonStr, *paper, g, warmup, *randomOffsets && *runs > 1)
+	if err != nil {
+		return err
+	}
+
+	var track *span.Track
+	if app.Tracer != nil {
+		track = app.Tracer.Track("sim")
+	}
+
+	if *runs > 1 {
+		if *jobTracePath != "" || *ganttPath != "" || *ganttASCII {
+			return fmt.Errorf("-jobtrace and -gantt record a single run; drop them or -runs")
+		}
+		jobs, overruns, engaged, maxDisp, err := runBatch(g, sim.Config{
+			Horizon:          horizon,
+			Exec:             exec,
+			Trace:            track,
+			DisableJumpAhead: *noJump,
+		}, warmup, seed, *runs, *randomOffsets)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("simulated %d × %v (%d jobs, %d overruns, exec=%s, seed=%d)\n",
+			*runs, horizon, jobs, overruns, *execName, seed)
+		fmt.Printf("jump-ahead: engaged on %d/%d runs\n", engaged, *runs)
+		if err := printDisparities(g, func(id model.TaskID) timeu.Time { return maxDisp[id] }); err != nil {
+			return err
+		}
+		return app.Finish(os.Stdout, seed, map[string]any{
+			"graph":          *graphPath,
+			"horizon_ns":     int64(horizon),
+			"warmup_ns":      int64(warmup),
+			"exec":           *execName,
+			"random_offsets": *randomOffsets,
+			"runs":           *runs,
+			"jobs":           jobs,
+			"overruns":       overruns,
+		})
 	}
 
 	var observers []sim.Observer
@@ -120,17 +168,14 @@ func run(args []string) error {
 		rec.Limit = *jobTraceLimit
 		observers = append(observers, rec)
 	}
-	var track *span.Track
-	if app.Tracer != nil {
-		track = app.Tracer.Track("sim")
-	}
 	res, err := disparity.Simulate(g, disparity.SimConfig{
-		Horizon:   horizon,
-		Warmup:    warmup,
-		Exec:      exec,
-		Seed:      seed,
-		Observers: observers,
-		Trace:     track,
+		Horizon:          horizon,
+		Warmup:           warmup,
+		Exec:             exec,
+		Seed:             seed,
+		Observers:        observers,
+		Trace:            track,
+		DisableJumpAhead: *noJump,
 	})
 	if err != nil {
 		return err
@@ -138,13 +183,8 @@ func run(args []string) error {
 
 	fmt.Printf("simulated %v (%d jobs, %d overruns, exec=%s, seed=%d)\n",
 		horizon, res.Jobs, res.Overruns, *execName, seed)
-	tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
-	fmt.Fprintln(tw, "task\tmax disparity")
-	for i := 0; i < g.NumTasks(); i++ {
-		id := model.TaskID(i)
-		fmt.Fprintf(tw, "%s\t%v\n", g.Task(id).Name, res.MaxDisparity[id])
-	}
-	if err := tw.Flush(); err != nil {
+	logJump(res.Jump)
+	if err := printDisparities(g, func(id model.TaskID) timeu.Time { return res.MaxDisparity[id] }); err != nil {
 		return err
 	}
 
@@ -196,4 +236,108 @@ func run(args []string) error {
 		"jobs":           res.Jobs,
 		"overruns":       res.Overruns,
 	})
+}
+
+// autoCycles is how many full hyperperiod cycles of steady state
+// -horizon auto simulates after the transient prefix. A deterministic
+// periodic run repeats after one cycle (and jump-ahead skips the rest);
+// a few extra cycles keep the auto horizon useful for random exec
+// models too.
+const autoCycles = 4
+
+// resolveHorizon turns the -horizon flag into a time span. "auto"
+// derives it from the graph: the transient prefix (release offsets plus
+// warm-up) followed by autoCycles full hyperperiod cycles. When the
+// batch draws fresh random offsets per run the concrete offsets are
+// unknown here; each is below its task's period and therefore below the
+// hyperperiod, which bounds the transient instead.
+func resolveHorizon(s string, paper bool, g *disparity.Graph, warmup timeu.Time, randomPerRun bool) (timeu.Time, error) {
+	if paper {
+		// The paper's evaluation simulates 10 minutes per run; with the
+		// pooled engine this is routine rather than a coffee break.
+		return 10 * timeu.Minute, nil
+	}
+	if s != "auto" {
+		return disparity.ParseTime(s)
+	}
+	hp, err := g.HyperperiodChecked(10 * timeu.Minute)
+	if err != nil {
+		return 0, fmt.Errorf("-horizon auto: %w", err)
+	}
+	var off timeu.Time
+	if randomPerRun {
+		off = hp
+	} else {
+		for i := 0; i < g.NumTasks(); i++ {
+			off = timeu.Max(off, g.Task(model.TaskID(i)).Offset)
+		}
+	}
+	h := off + warmup + autoCycles*hp
+	fmt.Printf("horizon auto: %v (transient %v + %d × hyperperiod %v)\n",
+		h, off+warmup, autoCycles, hp)
+	return h, nil
+}
+
+// runBatch executes n variants through one shared engine: fresh
+// disparity observers per run, fresh offsets when requested, and seeds
+// drawn from one deterministic stream. It returns aggregate counters,
+// the number of runs on which jump-ahead engaged, and the per-task
+// maximum disparity over all runs.
+func runBatch(g *disparity.Graph, base sim.Config, warmup timeu.Time, seed int64, n int, randomOffsets bool) (jobs, overruns int64, engaged int, maxDisp []timeu.Time, err error) {
+	batch, err := sim.NewBatch(g, base)
+	if err != nil {
+		return 0, 0, 0, nil, err
+	}
+	rng := rand.New(rand.NewSource(seed))
+	maxDisp = make([]timeu.Time, g.NumTasks())
+	var offsets []timeu.Time
+	for run := 0; run < n; run++ {
+		if randomOffsets {
+			offsets = waters.DrawOffsets(g, rng, offsets[:0])
+		}
+		obs := sim.NewDisparityObserver(warmup)
+		res, err := batch.Run(sim.BatchRun{
+			Seed:      rng.Int63(),
+			Offsets:   offsets,
+			Observers: []sim.Observer{obs},
+		})
+		if err != nil {
+			return 0, 0, 0, nil, fmt.Errorf("run %d: %w", run, err)
+		}
+		jobs += res.Stats.Jobs
+		overruns += res.Stats.Overruns
+		if res.Jump.Engaged {
+			engaged++
+		}
+		for i := 0; i < g.NumTasks(); i++ {
+			id := model.TaskID(i)
+			maxDisp[id] = timeu.Max(maxDisp[id], obs.Max(id))
+		}
+	}
+	return jobs, overruns, engaged, maxDisp, nil
+}
+
+// printDisparities writes the per-task maximum-disparity table.
+func printDisparities(g *disparity.Graph, get func(model.TaskID) timeu.Time) error {
+	tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "task\tmax disparity")
+	for i := 0; i < g.NumTasks(); i++ {
+		id := model.TaskID(i)
+		fmt.Fprintf(tw, "%s\t%v\n", g.Task(id).Name, get(id))
+	}
+	return tw.Flush()
+}
+
+// logJump reports which simulation mode a single run used.
+func logJump(j disparity.JumpStats) {
+	switch {
+	case j.Engaged:
+		fmt.Printf("jump-ahead: skipped %d × %v cycles (%v) after a %v transient\n",
+			j.Skipped, j.Cycle, j.SkippedTime, j.Transient)
+	case j.Eligible:
+		fmt.Printf("jump-ahead: armed (hyperperiod %v) but no cycle repeated within the horizon\n",
+			j.Hyperperiod)
+	default:
+		fmt.Printf("jump-ahead: off (%s)\n", j.Reason)
+	}
 }

@@ -60,3 +60,52 @@ func TestSimulateDeterministic(t *testing.T) {
 		}
 	}
 }
+
+// TestSimulateJumpAheadDeterministic pins the jump-ahead transparency
+// contract at the public API: a deterministic periodic run with
+// steady-state jump-ahead engaged returns a SimResult byte-identical
+// (modulo the informational Jump field) to the same run with
+// DisableJumpAhead set — over a horizon long enough that the jumped run
+// skips most of its cycles.
+func TestSimulateJumpAheadDeterministic(t *testing.T) {
+	g, err := disparity.GenerateGNM(20, 40, disparity.GenConfig{Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	disparity.RandomOffsets(g, 3)
+	cfg := disparity.SimConfig{
+		Horizon: 30 * timeu.Second,
+		Warmup:  200 * timeu.Millisecond,
+		Exec:    disparity.ExecWCET,
+		Seed:    1234,
+	}
+	encode := func(disable bool) ([]byte, disparity.JumpStats) {
+		t.Helper()
+		cfg.DisableJumpAhead = disable
+		res, err := disparity.Simulate(g, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Jobs == 0 || len(res.Channels) == 0 {
+			t.Fatalf("degenerate run: %+v", res)
+		}
+		jump := res.Jump
+		res.Jump = disparity.JumpStats{} // the only field allowed to differ
+		b, err := json.Marshal(res)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return b, jump
+	}
+	jumped, js := encode(false)
+	if !js.Engaged {
+		t.Fatalf("jump-ahead did not engage on a deterministic periodic run: %+v", js)
+	}
+	full, fs := encode(true)
+	if fs.Eligible || fs.Engaged {
+		t.Fatalf("disabled run still armed: %+v", fs)
+	}
+	if !bytes.Equal(jumped, full) {
+		t.Fatalf("jump-ahead changed the result:\njumped: %s\nfull:   %s", jumped, full)
+	}
+}

@@ -82,6 +82,11 @@ type Config struct {
 	// either way; the switch exists for benchmarking the memoization
 	// layer and for differential testing.
 	DisableCache bool
+	// DisableJumpAhead forces the simulation method to execute every
+	// job instead of skipping repeated steady-state hyperperiod cycles.
+	// Like DisableCache, results are bit-identical either way; the
+	// switch exists for benchmarking and differential testing.
+	DisableJumpAhead bool
 	// Log, when non-nil, receives one summary line per point.
 	Log io.Writer
 	// Progress, when non-nil, receives one line per finished graph
@@ -253,11 +258,12 @@ func (cfg *Config) boundContext(a *core.Analysis) *methods.Context {
 // from the caller's rng stream.
 func (cfg *Config) simContext(rng *rand.Rand, tk *span.Track) *methods.Context {
 	return &methods.Context{
-		Horizon: cfg.Horizon,
-		Warmup:  cfg.Warmup,
-		Runs:    cfg.OffsetsPerGraph,
-		Exec:    cfg.Exec,
-		RNG:     rng,
-		Track:   tk,
+		Horizon:          cfg.Horizon,
+		Warmup:           cfg.Warmup,
+		Runs:             cfg.OffsetsPerGraph,
+		Exec:             cfg.Exec,
+		RNG:              rng,
+		Track:            tk,
+		DisableJumpAhead: cfg.DisableJumpAhead,
 	}
 }

@@ -1,0 +1,137 @@
+package integration
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"repro/internal/model"
+	"repro/internal/sim"
+	"repro/internal/timeu"
+)
+
+// Steady-state jump-ahead (internal/sim/cycle.go) claims that skipping
+// repeated hyperperiod cycles is invisible: identical Stats (including
+// per-channel counters) and identical observer metrics, on every
+// workload — whether the jump engages, falls back, or the workload is
+// sporadic/randomized and jump-ahead never arms. The harness here runs
+// the pooled engine twice per workload, jump armed vs force-disabled,
+// over the same corpus generator as the engine differential, and
+// demands bit identity. It also requires that the jump actually
+// engages on a healthy fraction of the corpus — a vacuously-green
+// differential (nothing ever jumped) is a failure, not a pass.
+
+// jumpMetrics flattens every observer metric of one run into a
+// comparable value.
+type jumpMetrics struct {
+	Stats     sim.Stats
+	Disparity []timeu.Time
+	MRDA      []timeu.Time
+	MDA       []timeu.Time
+	MRRT      []timeu.Time
+	MRT       []timeu.Time
+	Fresh     []timeu.Time
+	BackMin   timeu.Time
+	BackMax   timeu.Time
+	BackOK    bool
+	AgeMin    timeu.Time
+	AgeMax    timeu.Time
+	AgeOK     bool
+	React     timeu.Time
+	ReactOK   bool
+}
+
+func runJumpTrial(t *testing.T, g *model.Graph, cfg sim.Config, disable bool) (*jumpMetrics, sim.JumpStats) {
+	t.Helper()
+	sink := g.Sinks()[0]
+	var origins []model.TaskID
+	for i := 0; i < g.NumTasks(); i++ {
+		id := model.TaskID(i)
+		if g.Task(id).ECU == model.NoECU || g.IsSource(id) {
+			origins = append(origins, id)
+		}
+	}
+	warmup := 100 * timeu.Millisecond
+	disp := sim.NewDisparityObserver(warmup)
+	lat := sim.NewLatencyObserver(sink, origins, warmup)
+	back := sim.NewBackwardObserver(sink, origins[0], warmup)
+	age := sim.NewAgeObserver(sink, origins[0], warmup)
+	cfg.Observers = []sim.Observer{disp, lat, back, age}
+	cfg.DisableJumpAhead = disable
+
+	eng, err := sim.NewEngine(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stats, err := eng.Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := &jumpMetrics{Stats: *stats}
+	for i := 0; i < g.NumTasks(); i++ {
+		m.Disparity = append(m.Disparity, disp.Max(model.TaskID(i)))
+	}
+	for _, src := range origins {
+		v, _ := lat.MaxReducedAge(src)
+		m.MRDA = append(m.MRDA, v)
+		v, _ = lat.MaxAge(src)
+		m.MDA = append(m.MDA, v)
+		v, _ = lat.MaxReducedReaction(src)
+		m.MRRT = append(m.MRRT, v)
+		v, _ = lat.MaxReaction(src)
+		m.MRT = append(m.MRT, v)
+		v, _ = lat.MinFreshAge(src)
+		m.Fresh = append(m.Fresh, v)
+	}
+	m.BackMin, m.BackMax, m.BackOK = back.Range()
+	m.AgeMin, m.AgeMax, m.AgeOK = age.AgeRange()
+	m.React, m.ReactOK = age.MaxReaction()
+	return m, eng.LastJump()
+}
+
+// TestJumpAheadMatchesFullExecution is the jump-ahead differential:
+// ≥200 seeded WATERS workloads across all exec models, implicit, LET,
+// mixed semantics, buffered channels, and sporadic stimuli; jumped and
+// full runs must agree bit-for-bit on stats and every observer metric.
+func TestJumpAheadMatchesFullExecution(t *testing.T) {
+	trials := 200
+	horizon := 2 * timeu.Second
+	if testing.Short() {
+		trials = 40
+		horizon = timeu.Second
+	}
+	rng := rand.New(rand.NewSource(4242))
+	engaged, eligible := 0, 0
+	for trial := 0; trial < trials; trial++ {
+		g := diffWorkload(t, rng, trial)
+		cfg := sim.Config{
+			Horizon: horizon,
+			Exec:    execModels[trial%len(execModels)],
+			Seed:    rng.Int63(),
+		}
+		jump, js := runJumpTrial(t, g, cfg, false)
+		full, fullJS := runJumpTrial(t, g, cfg, true)
+		if fullJS.Eligible || fullJS.Engaged {
+			t.Fatalf("trial %d: DisableJumpAhead run still armed: %+v", trial, fullJS)
+		}
+		if !reflect.DeepEqual(jump, full) {
+			t.Fatalf("trial %d (exec %s, engaged=%v): jumped run diverges from full\njump: %+v\nfull: %+v",
+				trial, cfg.Exec.Name(), js.Engaged, jump, full)
+		}
+		if js.Eligible {
+			eligible++
+		}
+		if js.Engaged {
+			engaged++
+		}
+	}
+	// WATERS period sets share divisors (hyperperiod ≤ 200ms), so the
+	// deterministic 2/5 of the corpus (wcet, bcet exec) minus sporadic
+	// variants must essentially all engage. Demand a healthy floor so
+	// the differential can never pass vacuously.
+	if engaged < trials/5 {
+		t.Fatalf("jump engaged on only %d/%d trials (%d eligible) — differential is vacuous",
+			engaged, trials, eligible)
+	}
+	t.Logf("jump engaged on %d/%d trials (%d eligible)", engaged, trials, eligible)
+}

@@ -73,30 +73,34 @@ func (v LatencyValues) Get(m backward.Latency) timeu.Time { return v[m] }
 // rather than Eval'ing each method (which would re-simulate).
 func SimLatencies(ctx context.Context, ec *Context, g *model.Graph, task model.TaskID) (LatencyValues, error) {
 	var vals LatencyValues
-	eng, err := sim.NewEngine(g)
+	batch, err := sim.NewBatch(g, sim.Config{
+		Horizon:          ec.Horizon,
+		Exec:             ec.Exec,
+		Trace:            ec.Track,
+		DisableJumpAhead: ec.DisableJumpAhead,
+	})
 	if err != nil {
 		return vals, fmt.Errorf("methods: simulation of task %s's graph failed: %w", g.Task(task).Name, err)
 	}
 	sources := g.Sources()
+	var offsets []timeu.Time
 	for run := 0; run < ec.Runs; run++ {
 		if err := ctx.Err(); err != nil {
 			return vals, err
 		}
-		waters.RandomOffsets(g, ec.RNG)
+		offsets = waters.DrawOffsets(g, ec.RNG, offsets[:0])
 		obs := sim.NewLatencyObserver(task, sources, ec.Warmup)
 		stopRun := simRunHist.Start()
-		stats, err := eng.Run(sim.Config{
-			Horizon:   ec.Horizon,
-			Exec:      ec.Exec,
+		res, err := batch.Run(sim.BatchRun{
 			Seed:      ec.RNG.Int63(),
+			Offsets:   offsets,
 			Observers: []sim.Observer{obs},
-			Trace:     ec.Track,
 		})
 		stopRun()
 		if err != nil {
 			return vals, fmt.Errorf("methods: simulation of task %s's graph failed: %w", g.Task(task).Name, err)
 		}
-		simJobs.Add(stats.Jobs)
+		simJobs.Add(res.Stats.Jobs)
 		for _, src := range sources {
 			if v, ok := obs.MaxReaction(src); ok {
 				vals[backward.LatencyMRT] = timeu.Max(vals[backward.LatencyMRT], v)

@@ -146,6 +146,10 @@ type Context struct {
 	RNG *rand.Rand
 	// Track, when non-nil, receives the per-run simulation spans.
 	Track *span.Track
+	// DisableJumpAhead forces full execution instead of steady-state
+	// cycle skipping; results are identical either way (differential
+	// and benchmarking switch, mirroring DisableCache).
+	DisableJumpAhead bool
 }
 
 // Result is one method's evaluation of one task.
@@ -389,7 +393,12 @@ func (simMethod) Metric() Metric   { return MetricDisparity }
 // programming error upstream; it is returned (not swallowed) so callers
 // abort loudly instead of skewing results silently.
 func (simMethod) Eval(ctx context.Context, ec *Context, g *model.Graph, task model.TaskID) (Result, error) {
-	eng, err := sim.NewEngine(g)
+	batch, err := sim.NewBatch(g, sim.Config{
+		Horizon:          ec.Horizon,
+		Exec:             ec.Exec,
+		Trace:            ec.Track,
+		DisableJumpAhead: ec.DisableJumpAhead,
+	})
 	if err != nil {
 		return Result{}, fmt.Errorf("methods: simulation of task %s's graph failed: %w", g.Task(task).Name, err)
 	}
@@ -398,21 +407,22 @@ func (simMethod) Eval(ctx context.Context, ec *Context, g *model.Graph, task mod
 		if err := ctx.Err(); err != nil {
 			return Result{}, err
 		}
+		// Offsets stay on the graph (not in BatchRun.Offsets) on
+		// purpose: the adversarial-offset ablation seeds its search from
+		// the graph's post-sweep offsets, a dependency the sweep goldens
+		// pin down.
 		waters.RandomOffsets(g, ec.RNG)
 		obs := sim.NewDisparityObserver(ec.Warmup, task)
 		stopRun := simRunHist.Start()
-		stats, err := eng.Run(sim.Config{
-			Horizon:   ec.Horizon,
-			Exec:      ec.Exec,
+		res, err := batch.Run(sim.BatchRun{
 			Seed:      ec.RNG.Int63(),
 			Observers: []sim.Observer{obs},
-			Trace:     ec.Track,
 		})
 		stopRun()
 		if err != nil {
 			return Result{}, fmt.Errorf("methods: simulation of task %s's graph failed: %w", g.Task(task).Name, err)
 		}
-		simJobs.Add(stats.Jobs)
+		simJobs.Add(res.Stats.Jobs)
 		worst = timeu.Max(worst, obs.Max(task))
 	}
 	return Result{Bound: worst}, nil

@@ -506,3 +506,17 @@ func (g *Graph) Hyperperiod() timeu.Time {
 	}
 	return timeu.Hyperperiod(periods)
 }
+
+// HyperperiodChecked returns the LCM of all task periods with explicit
+// errors instead of panics: int64 overflow (many coprime periods) and,
+// when horizon is positive, hyperperiods beyond the horizon are
+// reported rather than computed wrong. Callers that need a cyclic
+// window inside a simulated span (jump-ahead, auto horizons) use this
+// form and fall back when it errors.
+func (g *Graph) HyperperiodChecked(horizon timeu.Time) (timeu.Time, error) {
+	periods := make([]timeu.Time, len(g.tasks))
+	for i := range g.tasks {
+		periods[i] = g.tasks[i].Period
+	}
+	return timeu.HyperperiodChecked(periods, horizon)
+}

@@ -59,6 +59,14 @@ type Config struct {
 	Seed int64
 	// Observers receive job completions.
 	Observers []Observer
+	// Offsets, when non-nil, overrides every task's release offset for
+	// this run (indexed by task ID, length NumTasks). Batch runs use it
+	// to vary offsets without mutating the shared graph.
+	Offsets []timeu.Time
+	// DisableJumpAhead forces full execution even when steady-state
+	// jump-ahead (see cycle.go) would be sound. Results are identical
+	// either way; this exists for differential testing and debugging.
+	DisableJumpAhead bool
 	// Trace, when non-nil, records engine-level spans on this track: one
 	// "sim.run" span per Run plus sampled "sim.chunk" spans every
 	// TraceChunk finished jobs, so long runs show internal progress in
@@ -221,6 +229,12 @@ type Engine struct {
 	epoch     []uint64
 	curEpoch  uint64
 
+	// cyc is the steady-state cycle detector (see cycle.go). When armed
+	// it fingerprints the engine at hyperperiod boundaries and jumps
+	// over repeated cycles; costs one bool check per event batch when
+	// disarmed.
+	cyc cycleState
+
 	stats Stats
 }
 
@@ -287,6 +301,9 @@ func (e *Engine) Run(cfg Config) (*Stats, error) {
 	}
 	if cfg.Exec == nil {
 		cfg.Exec = WCETExec{}
+	}
+	if cfg.Offsets != nil && len(cfg.Offsets) != e.g.NumTasks() {
+		return nil, fmt.Errorf("sim: %d offsets for %d tasks", len(cfg.Offsets), e.g.NumTasks())
 	}
 	runSpan := cfg.Trace.Start("sim.run")
 	e.reset(cfg) // starts the first chunk span, nested under runSpan
@@ -360,9 +377,14 @@ func (e *Engine) reset(cfg Config) {
 	// the reference engine's initial event pushes.
 	for i := 0; i < e.g.NumTasks(); i++ {
 		t := e.g.Task(model.TaskID(i))
-		e.releases.push(relEntry{time: t.Offset, seq: e.seq, task: t.ID})
+		off := t.Offset
+		if cfg.Offsets != nil {
+			off = cfg.Offsets[i]
+		}
+		e.releases.push(relEntry{time: off, seq: e.seq, task: t.ID})
 		e.seq++
 	}
+	e.cycleInit()
 }
 
 // Run simulates the graph for cfg.Horizon of simulated time and returns
@@ -411,6 +433,14 @@ func (e *Engine) loop() {
 		}
 		if now > e.cfg.Horizon {
 			return
+		}
+		if e.cyc.active && now >= e.cyc.next {
+			// Crossing a hyperperiod boundary: fingerprint the state
+			// before processing this instant. A jump shifts every
+			// pending time, so the instant must be recomputed.
+			if e.cycleAdvance(now) {
+				continue
+			}
 		}
 		e.stats.End = now
 		for {

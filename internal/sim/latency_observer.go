@@ -151,6 +151,57 @@ func (o *LatencyObserver) JobFinished(j *Job) {
 	}
 }
 
+// appendCycleState implements cycleObserver: per source, the pairing
+// state of the previous sink output (rebased to the boundary and to
+// the sink's job-index counter) and the unanswered-stimulus FIFO
+// (rebased instants; gaps are durations). The metric accumulators are
+// excluded — ages, freshness, reactions, and gaps are all differences
+// of co-shifted times, so skipped cycles re-deliver recorded values.
+func (o *LatencyObserver) appendCycleState(enc *cycleEnc, base timeu.Time, nextK []int64) {
+	enc.time(max0(o.warm - base))
+	for _, id := range o.ids {
+		s := o.src[id]
+		enc.boolean(s.havePrev)
+		if s.havePrev {
+			enc.time(s.prevMin - base)
+			enc.i64(s.prevK - nextK[o.sink])
+		}
+		enc.boolean(s.haveRel)
+		if s.haveRel {
+			enc.time(s.lastRel - base)
+		}
+		enc.u64(uint64(len(s.pending) - s.phead))
+		for i := s.phead; i < len(s.pending); i++ {
+			enc.time(s.pending[i].rel - base)
+			enc.time(s.pending[i].gap)
+			// The answer-time filter compares the *absolute* release
+			// against warm-up, so a pre-warm-up pending stimulus must
+			// not match a post-warm-up one even when their rebased
+			// instants agree: their answers record differently.
+			enc.boolean(s.pending[i].rel < o.warm)
+		}
+	}
+}
+
+// jumpAhead implements cycleObserver, shifting the same sample-state
+// forward so post-jump callbacks pair and answer exactly as a full run
+// would.
+func (o *LatencyObserver) jumpAhead(dt timeu.Time, dk []int64) {
+	for _, id := range o.ids {
+		s := o.src[id]
+		if s.havePrev {
+			s.prevMin += dt
+			s.prevK += dk[o.sink]
+		}
+		if s.haveRel {
+			s.lastRel += dt
+		}
+		for i := s.phead; i < len(s.pending); i++ {
+			s.pending[i].rel += dt
+		}
+	}
+}
+
 // Sources returns the watched source IDs in registration order.
 func (o *LatencyObserver) Sources() []model.TaskID { return o.ids }
 

@@ -221,16 +221,31 @@ func GCD(a, b Time) Time {
 // LCM returns the least common multiple of a and b, or panics on overflow.
 // LCM(0, x) = 0.
 func LCM(a, b Time) Time {
+	r, ok := LCMChecked(a, b)
+	if !ok {
+		panic("timeu: LCM overflow")
+	}
+	return r
+}
+
+// LCMChecked returns the least common multiple of a and b, reporting
+// overflow instead of panicking. Many pairwise-coprime periods (e.g.
+// 7ms, 11ms, 13ms, ... primes) grow the LCM multiplicatively, and a
+// silent int64 wrap would turn a hyperperiod into garbage; callers that
+// merely *prefer* a finite hyperperiod (the simulator's jump-ahead, the
+// auto-horizon derivation) use this form and fall back cleanly.
+// LCMChecked(0, x) = 0.
+func LCMChecked(a, b Time) (Time, bool) {
 	if a == 0 || b == 0 {
-		return 0
+		return 0, true
 	}
 	g := GCD(a, b)
 	q := a / g
 	r := q * b
 	if r/b != q {
-		panic("timeu: LCM overflow")
+		return 0, false
 	}
-	return Abs(r)
+	return Abs(r), true
 }
 
 // Hyperperiod returns the least common multiple of all periods, the length
@@ -244,4 +259,29 @@ func Hyperperiod(periods []Time) Time {
 		h = LCM(h, p)
 	}
 	return h
+}
+
+// HyperperiodChecked is Hyperperiod with explicit errors instead of
+// panics: non-positive periods and int64 overflow (no finite
+// hyperperiod representable on the nanosecond timeline) are reported to
+// the caller. The horizon parameter, when positive, additionally bounds
+// the result: a hyperperiod beyond the horizon is useless to callers
+// that want at least one full cyclic window inside a simulated span,
+// and is reported as "no finite hyperperiod within horizon".
+func HyperperiodChecked(periods []Time, horizon Time) (Time, error) {
+	h := Time(1)
+	for _, p := range periods {
+		if p <= 0 {
+			return 0, fmt.Errorf("timeu: non-positive period %v in hyperperiod", p)
+		}
+		var ok bool
+		h, ok = LCMChecked(h, p)
+		if !ok {
+			return 0, fmt.Errorf("timeu: hyperperiod overflows int64 nanoseconds (no finite hyperperiod)")
+		}
+		if horizon > 0 && h > horizon {
+			return 0, fmt.Errorf("timeu: no finite hyperperiod within horizon %v (LCM already %v)", horizon, h)
+		}
+	}
+	return h, nil
 }

@@ -161,6 +161,50 @@ func TestHyperperiodPanics(t *testing.T) {
 	Hyperperiod([]Time{0})
 }
 
+func TestLCMChecked(t *testing.T) {
+	if got, ok := LCMChecked(6, 4); !ok || got != 12 {
+		t.Errorf("LCMChecked(6,4) = %v,%v, want 12,true", got, ok)
+	}
+	if got, ok := LCMChecked(0, 9); !ok || got != 0 {
+		t.Errorf("LCMChecked(0,9) = %v,%v, want 0,true", got, ok)
+	}
+	if _, ok := LCMChecked(Infinity-1, Infinity-2); ok {
+		t.Error("LCMChecked of two near-Infinity coprimes reported no overflow")
+	}
+}
+
+func TestHyperperiodChecked(t *testing.T) {
+	periods := []Time{
+		1 * Millisecond, 2 * Millisecond, 5 * Millisecond, 10 * Millisecond,
+		20 * Millisecond, 50 * Millisecond, 100 * Millisecond, 200 * Millisecond,
+	}
+	if got, err := HyperperiodChecked(periods, 0); err != nil || got != 200*Millisecond {
+		t.Errorf("HyperperiodChecked = %v,%v, want 200ms,nil", got, err)
+	}
+	// Bounded by a horizon: the same set fits in 1s but not in 100ms.
+	if got, err := HyperperiodChecked(periods, Second); err != nil || got != 200*Millisecond {
+		t.Errorf("HyperperiodChecked(horizon=1s) = %v,%v, want 200ms,nil", got, err)
+	}
+	if _, err := HyperperiodChecked(periods, 100*Millisecond); err == nil {
+		t.Error("HyperperiodChecked(horizon=100ms) accepted a 200ms hyperperiod")
+	}
+	// Many coprime periods overflow int64 nanoseconds multiplicatively;
+	// the checked form reports it instead of wrapping or panicking.
+	var coprimes []Time
+	for _, p := range []int64{2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37, 41, 43} {
+		coprimes = append(coprimes, Time(p)*Millisecond)
+	}
+	if _, err := HyperperiodChecked(coprimes, 0); err == nil {
+		t.Error("HyperperiodChecked accepted an overflowing coprime period set")
+	}
+	if _, err := HyperperiodChecked([]Time{0}, 0); err == nil {
+		t.Error("HyperperiodChecked accepted a non-positive period")
+	}
+	if got, err := HyperperiodChecked(nil, 0); err != nil || got != 1 {
+		t.Errorf("HyperperiodChecked(nil) = %v,%v, want 1,nil", got, err)
+	}
+}
+
 func TestLCMOverflowPanics(t *testing.T) {
 	defer func() {
 		if recover() == nil {

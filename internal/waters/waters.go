@@ -128,6 +128,19 @@ func RandomOffsets(g *model.Graph, rng *rand.Rand) {
 	}
 }
 
+// DrawOffsets draws the same offset sequence as RandomOffsets — one
+// Int63n per task in ID order, so the two are interchangeable within a
+// deterministic rng stream — but appends to dst instead of mutating
+// the graph. Batched simulation (sim.Batch) passes the result as
+// per-run offsets, keeping the shared graph untouched.
+func DrawOffsets(g *model.Graph, rng *rand.Rand, dst []timeu.Time) []timeu.Time {
+	for i := 0; i < g.NumTasks(); i++ {
+		t := g.Task(model.TaskID(i))
+		dst = append(dst, timeu.Time(rng.Int63n(int64(t.Period))))
+	}
+	return dst
+}
+
 // assignRM mirrors sched.AssignRateMonotonic without importing sched (the
 // generator sits below the analysis layers).
 func assignRM(g *model.Graph) {

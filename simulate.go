@@ -29,6 +29,11 @@ var (
 // internal/sim for the Job fields.
 type Observer = sim.Observer
 
+// JumpStats reports whether a run used steady-state jump-ahead and how
+// much simulated time it skipped; see internal/sim and DESIGN.md
+// "Steady-state jump-ahead".
+type JumpStats = sim.JumpStats
+
 // Job is one completed execution instance, as passed to observers.
 type Job = sim.Job
 
@@ -49,6 +54,11 @@ type SimConfig struct {
 	// Trace, when non-nil, records engine-level spans (one per run plus
 	// sampled progress chunks) on the track; see internal/trace/span.
 	Trace *span.Track
+	// DisableJumpAhead forces full execution of every job instead of
+	// skipping repeated steady-state hyperperiod cycles. Results are
+	// bit-identical either way; the switch exists for benchmarking and
+	// differential testing.
+	DisableJumpAhead bool
 }
 
 // ChannelStats is the token flow of one edge during a simulation; Lost
@@ -70,6 +80,11 @@ type SimResult struct {
 	// Channels reports per-edge token flow (writes, reads, tokens lost
 	// unread), in the graph's edge order.
 	Channels []ChannelStats
+	// Jump reports the steady-state jump-ahead outcome of the run:
+	// whether the engine was eligible to skip repeated hyperperiod
+	// cycles, and how many it skipped. Purely informational — the
+	// remaining fields are identical with jump-ahead on or off.
+	Jump JumpStats
 }
 
 // Simulate runs the discrete-event simulator of §II-B on the graph and
@@ -81,12 +96,17 @@ func Simulate(g *Graph, cfg SimConfig) (*SimResult, error) {
 		return nil, fmt.Errorf("disparity: non-positive horizon %v", cfg.Horizon)
 	}
 	obs := sim.NewDisparityObserver(cfg.Warmup)
-	stats, err := sim.Run(g, sim.Config{
-		Horizon:   cfg.Horizon,
-		Exec:      cfg.Exec,
-		Seed:      cfg.Seed,
-		Observers: append([]Observer{obs}, cfg.Observers...),
-		Trace:     cfg.Trace,
+	eng, err := sim.NewEngine(g)
+	if err != nil {
+		return nil, err
+	}
+	stats, err := eng.Run(sim.Config{
+		Horizon:          cfg.Horizon,
+		Exec:             cfg.Exec,
+		Seed:             cfg.Seed,
+		Observers:        append([]Observer{obs}, cfg.Observers...),
+		Trace:            cfg.Trace,
+		DisableJumpAhead: cfg.DisableJumpAhead,
 	})
 	if err != nil {
 		return nil, err
@@ -96,6 +116,7 @@ func Simulate(g *Graph, cfg SimConfig) (*SimResult, error) {
 		Jobs:         stats.Jobs,
 		Overruns:     stats.Overruns,
 		Channels:     stats.Channels,
+		Jump:         eng.LastJump(),
 	}
 	for i := 0; i < g.NumTasks(); i++ {
 		id := model.TaskID(i)
