@@ -28,6 +28,14 @@
 #                 and batch unit tests plus the public-API jump on/off
 #                 determinism test under -race, and the 200-workload
 #                 jump-vs-full differential harness
+#   verify-explain - decision-telemetry tier: vet + race tests of the
+#                 explain recorder/witness, the derived telemetry
+#                 gauges, the shared CLI -explain lifecycle, the bench
+#                 gate tool, and the pinned WATERS -explain golden
+#   bench-gate  - regenerate both bench JSONs into .bench/ and diff
+#                 them against the checked-in baselines with
+#                 tools/bench_compare (BENCH_GATE_FLAGS=-report-only
+#                 for advisory mode); fails on ratio/alloc regression
 #   check       - build + test + race + bench
 #
 # tools/escape_check.sh (not wired into check; advisory) prints sim hot-path
@@ -35,7 +43,7 @@
 
 GO ?= go
 
-.PHONY: build test race bench bench-smoke bench-json verify-obs verify-latency verify-sim-cycle check
+.PHONY: build test race bench bench-smoke bench-json verify-obs verify-latency verify-sim-cycle verify-explain bench-gate check
 
 build:
 	$(GO) build ./...
@@ -70,6 +78,18 @@ verify-sim-cycle:
 	$(GO) test -race -run 'TestJumpAhead|TestBatch' ./internal/sim/...
 	$(GO) test -race -run 'TestSimulateJumpAheadDeterministic' .
 	$(GO) test -run 'TestJumpAheadMatchesFullExecution' ./internal/integration/...
+
+verify-explain:
+	$(GO) vet ./internal/explain/... ./tools/bench_compare/...
+	$(GO) test -race ./internal/explain/... ./internal/telemetry/... ./internal/cli/... ./tools/bench_compare/...
+	$(GO) test -run 'TestGoldenExplainWaters' ./cmd/disparity-analyze/...
+	$(GO) test -run 'TestReportExplainSection' ./internal/report/...
+
+bench-gate:
+	mkdir -p .bench
+	BENCH_OUT_DIR=.bench sh tools/bench_json.sh
+	BENCH_OUT_DIR=.bench sh tools/bench_analysis_json.sh
+	$(GO) run ./tools/bench_compare $(BENCH_GATE_FLAGS) BENCH_sim.json .bench/BENCH_sim.json BENCH_analysis.json .bench/BENCH_analysis.json
 
 verify-latency:
 	$(GO) test -race -run 'TestLatency' ./internal/integration/...

@@ -7,6 +7,8 @@ import (
 	"path/filepath"
 	"strings"
 	"testing"
+
+	disparity "repro"
 )
 
 var update = flag.Bool("update", false, "rewrite golden files")
@@ -42,6 +44,51 @@ func TestGoldenAnalyzeFig2(t *testing.T) {
 		t.Fatal(err)
 	}
 	checkGolden(t, "fig2_report", buf.String())
+}
+
+// TestGoldenExplainWaters pins the -explain decision record for a
+// WATERS-parameterized automotive workload: per-layer cache ratios,
+// prune ratio, truncation status, per-method argmax pairs, and the
+// worst-case witness with its replay recipe. The record contains only
+// deterministic quantities (counter deltas and simulated times, no
+// wall-clock), so it goldens cleanly.
+func TestGoldenExplainWaters(t *testing.T) {
+	g, fusion, err := disparity.GenerateAutomotive(disparity.AutomotiveConfig{}, disparity.GenConfig{Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	path := filepath.Join(dir, "waters.json")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := g.WriteJSON(f); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	explainPath := filepath.Join(dir, "out.json")
+	var buf bytes.Buffer
+	if err := run([]string{"-graph", path, "-task", g.Task(fusion).Name, "-explain", explainPath}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	record, err := os.ReadFile(explainPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkGolden(t, "waters_explain", string(record))
+
+	if !strings.Contains(buf.String(), "explain:") {
+		t.Error("stdout missing the explain section")
+	}
+	for _, side := range []string{"out.witness.svg", "out.witness.trace.json"} {
+		if info, err := os.Stat(filepath.Join(dir, side)); err != nil || info.Size() == 0 {
+			t.Errorf("witness artifact %s missing or empty (err %v)", side, err)
+		}
+	}
 }
 
 // TestAnalyzeMetricsFlag checks the default-off metrics dump and that

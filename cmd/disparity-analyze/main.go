@@ -22,11 +22,16 @@ import (
 	"os"
 	"text/tabwriter"
 
+	"path/filepath"
+	"strings"
+
 	disparity "repro"
 	"repro/internal/backward"
 	"repro/internal/chains"
 	"repro/internal/cli"
+	"repro/internal/core"
 	exhaustivepkg "repro/internal/exhaustive"
+	"repro/internal/explain"
 	"repro/internal/methods"
 	"repro/internal/model"
 	"repro/internal/sched"
@@ -88,6 +93,7 @@ func run(args []string, stdout io.Writer) error {
 	if err != nil {
 		return err
 	}
+	app.Explain.SetGraph(filepath.Base(*graphPath), g.NumTasks(), g.NumEdges())
 
 	// One cache backs everything below: the schedulability report, the
 	// per-chain backward bounds, and the disparity analysis share the
@@ -163,11 +169,33 @@ func run(args []string, stdout io.Writer) error {
 		}
 	}
 
+	// witnessTD is the per-pair detail the witness is extracted from:
+	// the S-diff bound when available (the tighter exact analysis),
+	// otherwise the last method with a detail.
+	var witnessTD *core.TaskDisparity
+	var witnessMethod string
 	for _, m := range methods.Bounds() {
 		r, err := m.Eval(ctx, ec, g, task)
 		if err != nil {
 			return err
 		}
+		mr := explain.MethodRecord{
+			Method: m.Name(), BoundNS: r.Bound, Truncated: r.Truncated,
+		}
+		if d := r.Detail; d != nil {
+			mr.NumPairs = int64(d.NumPairs)
+			if d.ArgMax >= 0 {
+				pb := d.Pairs[d.ArgMax]
+				mr.ArgMax = &explain.ArgMaxInfo{
+					Lambda: pb.Lambda.Format(g), Nu: pb.Nu.Format(g),
+					BoundNS: pb.Bound, SameHead: pb.SameHead, X1: pb.X1, Y1: pb.Y1,
+				}
+				if witnessTD == nil || m.Name() == core.SDiff.String() {
+					witnessTD, witnessMethod = d, m.Name()
+				}
+			}
+		}
+		app.Explain.Method(mr)
 		fmt.Fprintf(stdout, "\n%s worst-case time disparity of %s: %v\n", m.Name(), g.Task(task).Name, r.Bound)
 		if r.Truncated {
 			fmt.Fprintf(stdout, "  WARNING: chain enumeration truncated at the cap; the bound covers a partial chain set (raise -max-chains)\n")
@@ -177,6 +205,35 @@ func run(args []string, stdout io.Writer) error {
 				fmt.Fprintf(stdout, "  %v | %v: %v (x1=%d y1=%d)\n",
 					pb.Lambda.Format(g), pb.Nu.Format(g), pb.Bound, pb.X1, pb.Y1)
 			}
+		}
+	}
+
+	if app.Explain.Enabled() && witnessTD != nil {
+		w, err := explain.BuildWitness(g, witnessMethod, witnessTD, 1)
+		if err != nil {
+			return err
+		}
+		if w != nil {
+			app.Explain.SetWitness(w)
+			base := strings.TrimSuffix(app.ExplainPath(), filepath.Ext(app.ExplainPath()))
+			svgPath := base + ".witness.svg"
+			sf, err := os.Create(svgPath)
+			if err != nil {
+				return err
+			}
+			if err := w.WriteSVG(sf); err != nil {
+				sf.Close()
+				return err
+			}
+			if err := sf.Close(); err != nil {
+				return err
+			}
+			ctPath := base + ".witness.trace.json"
+			if err := w.WriteChromeTrace(ctPath); err != nil {
+				return err
+			}
+			fmt.Fprintf(os.Stderr, "disparity-analyze: witness timeline written to %s and %s (open in ui.perfetto.dev)\n",
+				svgPath, ctPath)
 		}
 	}
 
@@ -210,6 +267,9 @@ func run(args []string, stdout io.Writer) error {
 		fmt.Fprintf(stdout, "\nAlgorithm 1: set buffer %s -> %s to capacity %d (shift L=%v)\n",
 			src, dst, plan.Cap, plan.L)
 		fmt.Fprintf(stdout, "Theorem 3 bound: %v -> %v\n", plan.Before, plan.After)
+	}
+	if err := app.Explain.WriteSummary(stdout); err != nil {
+		return err
 	}
 	return app.Finish(stdout, 0, nil)
 }

@@ -13,6 +13,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"path/filepath"
 
 	disparity "repro"
 	"repro/internal/cli"
@@ -57,7 +58,8 @@ func run(args []string, stdout io.Writer) error {
 		return err
 	}
 
-	opts := report.Options{Optimize: *optimize, MaxChains: *maxChains, Title: *title}
+	app.Explain.SetGraph(filepath.Base(*graphPath), g.NumTasks(), g.NumEdges())
+	opts := report.Options{Optimize: *optimize, MaxChains: *maxChains, Title: *title, Explain: app.Explain}
 	if *taskName != "" {
 		t, ok := g.TaskByName(*taskName)
 		if !ok {

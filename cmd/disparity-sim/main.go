@@ -26,9 +26,7 @@
 //	disparity-sim -graph g.json -trace run.json      # Chrome trace (ui.perfetto.dev)
 //	disparity-sim -graph g.json -telemetry :9090     # live /metrics + pprof
 //	disparity-sim -graph g.json -manifest run.json   # per-run provenance
-//
-// The historical spellings -runtrace (for -trace) and -trace-limit (for
-// -jobtrace-limit) still work as deprecated aliases.
+//	disparity-sim -graph g.json -explain out.json    # decision record (jump-ahead outcome)
 package main
 
 import (
@@ -37,8 +35,12 @@ import (
 	"os"
 	"text/tabwriter"
 
+	"sort"
+	"strings"
+
 	disparity "repro"
 	"repro/internal/cli"
+	"repro/internal/explain"
 	"repro/internal/gantt"
 	"repro/internal/model"
 	"repro/internal/sim"
@@ -134,18 +136,22 @@ func run(args []string) error {
 		if *jobTracePath != "" || *ganttPath != "" || *ganttASCII {
 			return fmt.Errorf("-jobtrace and -gantt record a single run; drop them or -runs")
 		}
-		jobs, overruns, engaged, maxDisp, err := runBatch(g, sim.Config{
+		jobs, overruns, jumpCodes, lastJump, maxDisp, err := runBatch(g, sim.Config{
 			Horizon:          horizon,
 			Exec:             exec,
 			Trace:            track,
 			DisableJumpAhead: *noJump,
-		}, warmup, seed, *runs, *randomOffsets)
+		}, warmup, seed, *runs, *randomOffsets, app.Explain)
 		if err != nil {
 			return err
 		}
 		fmt.Printf("simulated %d × %v (%d jobs, %d overruns, exec=%s, seed=%d)\n",
 			*runs, horizon, jobs, overruns, *execName, seed)
-		fmt.Printf("jump-ahead: engaged on %d/%d runs\n", engaged, *runs)
+		engaged := jumpCodes["engaged"]
+		fmt.Printf("jump-ahead: engaged on %d/%d runs%s\n", engaged, *runs, fallbackBreakdown(jumpCodes))
+		app.Explain.Sim(explain.SimRecord{
+			Label: "batch", Runs: *runs, Jobs: jobs, Jump: explain.JumpFrom(lastJump),
+		})
 		if err := printDisparities(g, func(id model.TaskID) timeu.Time { return maxDisp[id] }); err != nil {
 			return err
 		}
@@ -184,6 +190,10 @@ func run(args []string) error {
 	fmt.Printf("simulated %v (%d jobs, %d overruns, exec=%s, seed=%d)\n",
 		horizon, res.Jobs, res.Overruns, *execName, seed)
 	logJump(res.Jump)
+	app.Explain.JumpRun(res.Jump.Code())
+	app.Explain.Sim(explain.SimRecord{
+		Label: "run", Runs: 1, Jobs: res.Jobs, Jump: explain.JumpFrom(res.Jump),
+	})
 	if err := printDisparities(g, func(id model.TaskID) timeu.Time { return res.MaxDisparity[id] }); err != nil {
 		return err
 	}
@@ -281,15 +291,17 @@ func resolveHorizon(s string, paper bool, g *disparity.Graph, warmup timeu.Time,
 // runBatch executes n variants through one shared engine: fresh
 // disparity observers per run, fresh offsets when requested, and seeds
 // drawn from one deterministic stream. It returns aggregate counters,
-// the number of runs on which jump-ahead engaged, and the per-task
-// maximum disparity over all runs.
-func runBatch(g *disparity.Graph, base sim.Config, warmup timeu.Time, seed int64, n int, randomOffsets bool) (jobs, overruns int64, engaged int, maxDisp []timeu.Time, err error) {
+// the per-run jump-ahead outcome tally (keyed by reason code, with
+// "engaged" counting the fast-path runs), the last run's jump stats,
+// and the per-task maximum disparity over all runs.
+func runBatch(g *disparity.Graph, base sim.Config, warmup timeu.Time, seed int64, n int, randomOffsets bool, rec *explain.Recorder) (jobs, overruns int64, jumpCodes map[string]int64, lastJump sim.JumpStats, maxDisp []timeu.Time, err error) {
 	batch, err := sim.NewBatch(g, base)
 	if err != nil {
-		return 0, 0, 0, nil, err
+		return 0, 0, nil, sim.JumpStats{}, nil, err
 	}
 	rng := rand.New(rand.NewSource(seed))
 	maxDisp = make([]timeu.Time, g.NumTasks())
+	jumpCodes = make(map[string]int64)
 	var offsets []timeu.Time
 	for run := 0; run < n; run++ {
 		if randomOffsets {
@@ -302,19 +314,39 @@ func runBatch(g *disparity.Graph, base sim.Config, warmup timeu.Time, seed int64
 			Observers: []sim.Observer{obs},
 		})
 		if err != nil {
-			return 0, 0, 0, nil, fmt.Errorf("run %d: %w", run, err)
+			return 0, 0, nil, sim.JumpStats{}, nil, fmt.Errorf("run %d: %w", run, err)
 		}
 		jobs += res.Stats.Jobs
 		overruns += res.Stats.Overruns
-		if res.Jump.Engaged {
-			engaged++
-		}
+		jumpCodes[res.Jump.Code()]++
+		rec.JumpRun(res.Jump.Code())
+		lastJump = res.Jump
 		for i := 0; i < g.NumTasks(); i++ {
 			id := model.TaskID(i)
 			maxDisp[id] = timeu.Max(maxDisp[id], obs.Max(id))
 		}
 	}
-	return jobs, overruns, engaged, maxDisp, nil
+	return jobs, overruns, jumpCodes, lastJump, maxDisp, nil
+}
+
+// fallbackBreakdown renders the non-engaged jump outcomes of a batch
+// (" (fallbacks: random-exec x3, ...)"), or "" when every run engaged.
+func fallbackBreakdown(jumpCodes map[string]int64) string {
+	codes := make([]string, 0, len(jumpCodes))
+	for code := range jumpCodes {
+		if code != "engaged" {
+			codes = append(codes, code)
+		}
+	}
+	if len(codes) == 0 {
+		return ""
+	}
+	sort.Strings(codes)
+	parts := make([]string, 0, len(codes))
+	for _, code := range codes {
+		parts = append(parts, fmt.Sprintf("%s x%d", code, jumpCodes[code]))
+	}
+	return " (fallbacks: " + strings.Join(parts, ", ") + ")"
 }
 
 // printDisparities writes the per-task maximum-disparity table.

@@ -107,7 +107,7 @@ func TestRunSimObservabilityFlags(t *testing.T) {
 	manifest := filepath.Join(dir, "run.manifest.json")
 	err := run([]string{
 		"-graph", path, "-horizon", "500ms", "-warmup", "100ms",
-		"-runtrace", runTrace, "-manifest", manifest, "-metrics",
+		"-trace", runTrace, "-manifest", manifest, "-metrics",
 	})
 	if err != nil {
 		t.Fatal(err)

@@ -2,10 +2,10 @@
 // Every command declares which of the common flags it supports in
 // Frontends — the single source of truth behind the flag registration,
 // the observability bootstrap (CPU profile, Chrome trace, live
-// telemetry, run manifest), and the README's shared-flag table — and
-// drives one App through Parse → Start → (work) → Finish, instead of
-// each main.go wiring pprof, span tracers, telemetry servers, and
-// manifests by hand.
+// telemetry, run manifest, decision record), and the README's
+// shared-flag table — and drives one App through Parse → Start →
+// (work) → Finish, instead of each main.go wiring pprof, span tracers,
+// telemetry servers, and manifests by hand.
 package cli
 
 import (
@@ -17,6 +17,7 @@ import (
 	"sort"
 	"strings"
 
+	"repro/internal/explain"
 	"repro/internal/metrics"
 	"repro/internal/telemetry"
 	"repro/internal/trace/span"
@@ -43,6 +44,10 @@ const (
 	Seed
 	// Workers is -workers N: parallel evaluations (0 = all cores).
 	Workers
+	// Explain is -explain FILE: write a per-run decision record
+	// (engaged optimizations, fallback reason codes, worst-case
+	// witness) as JSON.
+	Explain
 )
 
 // Frontend declares one command's use of the shared flag block.
@@ -55,9 +60,6 @@ type Frontend struct {
 	// TraceObject names what -trace records ("sweep", "analysis",
 	// "run") in the flag's usage text.
 	TraceObject string
-	// Aliases maps deprecated flag spellings to their canonical shared
-	// flag. Setting one still works but prints a one-line warning.
-	Aliases map[string]string
 }
 
 // Frontends is the registry of the repository's commands: which shared
@@ -69,26 +71,22 @@ var Frontends = map[string]Frontend{
 		SeedDefault: 1,
 	},
 	"disparity-analyze": {
-		Flags:       Metrics | Pprof | Trace,
+		Flags:       Metrics | Pprof | Trace | Explain,
 		TraceObject: "analysis",
 	},
 	"disparity-sim": {
-		Flags:       Metrics | Pprof | Trace | Telemetry | Manifest | Seed,
+		Flags:       Metrics | Pprof | Trace | Telemetry | Manifest | Seed | Explain,
 		SeedDefault: 1,
 		TraceObject: "run",
-		Aliases: map[string]string{
-			"runtrace":    "trace",
-			"trace-limit": "jobtrace-limit",
-		},
 	},
 	"disparity-opt": {
-		Flags: Metrics | Pprof,
+		Flags: Metrics | Pprof | Explain,
 	},
 	"disparity-report": {
-		Flags: Metrics | Pprof,
+		Flags: Metrics | Pprof | Explain,
 	},
 	"disparity-exp": {
-		Flags:       Metrics | Pprof | Trace | Telemetry | Manifest | Seed | Workers,
+		Flags:       Metrics | Pprof | Trace | Telemetry | Manifest | Seed | Workers | Explain,
 		TraceObject: "sweep",
 	},
 }
@@ -107,6 +105,7 @@ var flagDefs = []struct {
 	{Manifest, "manifest", "write a JSON run manifest (seed, config, stage-time breakdown) to this file"},
 	{Seed, "seed", "random seed"},
 	{Workers, "workers", "parallel graph evaluations (0 = all cores)"},
+	{Explain, "explain", "write a per-run decision record (engaged optimizations, reason codes, worst-case witness) as JSON to this file"},
 }
 
 // App carries one command invocation's shared flag values and the
@@ -122,6 +121,10 @@ type App struct {
 	// given; commands with live progress feed it (it implements
 	// exp.ProgressSink).
 	Tracker *telemetry.Tracker
+	// Explain is non-nil between Start and Finish when -explain was
+	// given; commands feed it method outcomes, sim summaries, and
+	// witnesses. It is nil-safe, so commands call it unconditionally.
+	Explain *explain.Recorder
 
 	fe   Frontend
 	fs   *flag.FlagSet
@@ -134,6 +137,7 @@ type App struct {
 	maniPath    *string
 	seed        *int64
 	workers     *int
+	explainPath *string
 
 	manifest  *telemetry.Manifest
 	pprofFile *os.File
@@ -180,6 +184,8 @@ func New(name string) *App {
 			a.seed = a.fs.Int64(d.name, fe.SeedDefault, desc)
 		case Workers:
 			a.workers = a.fs.Int(d.name, 0, desc)
+		case Explain:
+			a.explainPath = a.fs.String(d.name, "", desc)
 		}
 	}
 	return a
@@ -188,14 +194,9 @@ func New(name string) *App {
 // FlagSet returns the command's flag set for registering its own flags.
 func (a *App) FlagSet() *flag.FlagSet { return a.fs }
 
-// Parse registers the deprecated aliases and parses args. A manifest,
-// when requested, is created here so it captures the invocation's exact
-// arguments and start time.
+// Parse parses args. A manifest, when requested, is created here so it
+// captures the invocation's exact arguments and start time.
 func (a *App) Parse(args []string) error {
-	for old, canonical := range a.fe.Aliases {
-		a.fs.Var(&aliasValue{app: a, canonical: canonical, old: old},
-			old, fmt.Sprintf("deprecated alias for -%s", canonical))
-	}
 	if err := a.fs.Parse(args); err != nil {
 		return err
 	}
@@ -222,9 +223,19 @@ func (a *App) Workers() int {
 	return *a.workers
 }
 
+// ExplainPath returns the -explain value ("" when the command has none
+// or the flag was not given).
+func (a *App) ExplainPath() string {
+	if a.explainPath == nil {
+		return ""
+	}
+	return *a.explainPath
+}
+
 // Start brings up the run's observability: the CPU profile, the span
-// tracer, and the live telemetry server with its progress tracker.
-// Close undoes all of it; call it deferred right after Start succeeds.
+// tracer, the live telemetry server with its progress tracker, and the
+// decision recorder. Close undoes all of it; call it deferred right
+// after Start succeeds.
 func (a *App) Start() error {
 	if a.pprofPath != nil && *a.pprofPath != "" {
 		f, err := os.Create(*a.pprofPath)
@@ -239,6 +250,12 @@ func (a *App) Start() error {
 	}
 	if a.tracePath != nil && *a.tracePath != "" {
 		a.Tracer = span.New()
+	}
+	if a.explainPath != nil && *a.explainPath != "" {
+		// Created after the other plumbing so its counter-delta base
+		// excludes setup; a.Explain stays nil (a valid disabled
+		// recorder) when the flag is absent.
+		a.Explain = explain.New(a.Name)
 	}
 	if a.teleAddr != nil && *a.teleAddr != "" {
 		a.Tracker = telemetry.NewTracker()
@@ -269,9 +286,9 @@ func (a *App) Close() {
 }
 
 // Finish emits the run's closing artifacts in the standard order: the
-// metrics dump to metricsOut, the Chrome trace, then the manifest
-// (stamped with the run's effective seed and config). Trace and
-// manifest confirmations go to stderr.
+// metrics dump to metricsOut, the Chrome trace, the manifest (stamped
+// with the run's effective seed and config), then the decision record.
+// Trace, manifest, and explain confirmations go to stderr.
 func (a *App) Finish(metricsOut io.Writer, seed int64, config map[string]any) error {
 	if a.dumpMetrics != nil && *a.dumpMetrics {
 		fmt.Fprintln(metricsOut)
@@ -296,22 +313,13 @@ func (a *App) Finish(metricsOut io.Writer, seed int64, config map[string]any) er
 		}
 		fmt.Fprintf(a.errW, "%s: manifest written to %s\n", a.Name, *a.maniPath)
 	}
+	if a.Explain != nil {
+		if err := a.Explain.WriteFile(*a.explainPath); err != nil {
+			return err
+		}
+		fmt.Fprintf(a.errW, "%s: decision record written to %s\n", a.Name, *a.explainPath)
+	}
 	return nil
-}
-
-// aliasValue forwards a deprecated flag spelling to its canonical flag,
-// warning once per use.
-type aliasValue struct {
-	app       *App
-	canonical string
-	old       string
-}
-
-func (v *aliasValue) String() string { return "" }
-
-func (v *aliasValue) Set(s string) error {
-	fmt.Fprintf(v.app.errW, "%s: -%s is deprecated; use -%s\n", v.app.Name, v.old, v.canonical)
-	return v.app.fs.Set(v.canonical, s)
 }
 
 // MarkdownFlagTable renders the shared-flag support matrix from
@@ -341,15 +349,9 @@ func MarkdownFlagTable() string {
 		}
 		fmt.Fprintf(&b, "| `-%s` | %s |", d.name, desc)
 		for _, name := range names {
-			fe := Frontends[name]
 			cell := ""
-			if fe.Flags&d.bit != 0 {
+			if Frontends[name].Flags&d.bit != 0 {
 				cell = "✓"
-				for old, canonical := range fe.Aliases {
-					if canonical == d.name {
-						cell = fmt.Sprintf("✓ (alias `-%s`)", old)
-					}
-				}
 			}
 			fmt.Fprintf(&b, " %s |", cell)
 		}

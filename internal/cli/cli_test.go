@@ -24,12 +24,12 @@ func TestFrontendFlagRegistration(t *testing.T) {
 		has     []string
 		hasNot  []string
 	}{
-		{"disparity-gen", []string{"seed"}, []string{"metrics", "pprof", "trace", "telemetry", "manifest", "workers"}},
-		{"disparity-analyze", []string{"metrics", "pprof", "trace"}, []string{"seed", "telemetry", "manifest", "workers"}},
-		{"disparity-sim", []string{"metrics", "pprof", "trace", "telemetry", "manifest", "seed"}, []string{"workers"}},
-		{"disparity-opt", []string{"metrics", "pprof"}, []string{"trace", "seed"}},
-		{"disparity-report", []string{"metrics", "pprof"}, []string{"trace", "seed"}},
-		{"disparity-exp", []string{"metrics", "pprof", "trace", "telemetry", "manifest", "seed", "workers"}, nil},
+		{"disparity-gen", []string{"seed"}, []string{"metrics", "pprof", "trace", "telemetry", "manifest", "workers", "explain"}},
+		{"disparity-analyze", []string{"metrics", "pprof", "trace", "explain"}, []string{"seed", "telemetry", "manifest", "workers"}},
+		{"disparity-sim", []string{"metrics", "pprof", "trace", "telemetry", "manifest", "seed", "explain"}, []string{"workers"}},
+		{"disparity-opt", []string{"metrics", "pprof", "explain"}, []string{"trace", "seed"}},
+		{"disparity-report", []string{"metrics", "pprof", "explain"}, []string{"trace", "seed"}},
+		{"disparity-exp", []string{"metrics", "pprof", "trace", "telemetry", "manifest", "seed", "workers", "explain"}, nil},
 	}
 	for _, c := range cases {
 		app := New(c.command)
@@ -76,39 +76,74 @@ func TestSeedDefaults(t *testing.T) {
 	}
 }
 
-func TestAliasForwardsAndWarns(t *testing.T) {
-	var errBuf bytes.Buffer
-	app := New("disparity-sim")
-	app.errW = &errBuf
-	path := filepath.Join(t.TempDir(), "out.json")
-	if err := app.Parse([]string{"-runtrace", path}); err != nil {
-		t.Fatal(err)
-	}
-	if got := *app.tracePath; got != path {
-		t.Errorf("-runtrace did not forward to -trace: got %q", got)
-	}
-	warning := errBuf.String()
-	if !strings.Contains(warning, "-runtrace is deprecated") || !strings.Contains(warning, "use -trace") {
-		t.Errorf("missing deprecation warning, got %q", warning)
+func TestRemovedAliasesRejected(t *testing.T) {
+	// The -runtrace/-trace-limit spellings were deprecated aliases;
+	// they are gone, and parsing them must now fail cleanly.
+	for _, arg := range []string{"-runtrace", "-trace-limit"} {
+		var errBuf bytes.Buffer
+		app := New("disparity-sim")
+		app.errW = &errBuf
+		app.FlagSet().SetOutput(&errBuf)
+		if err := app.Parse([]string{arg, "x"}); err == nil {
+			t.Errorf("Parse(%s) succeeded; the alias should be removed", arg)
+		}
 	}
 }
 
-func TestAliasForwardsToCommandFlag(t *testing.T) {
-	// -trace-limit aliases the command-specific -jobtrace-limit flag,
-	// which the command registers before Parse — exactly like
-	// cmd/disparity-sim does.
+func TestExplainLifecycle(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "run.explain.json")
 	var errBuf bytes.Buffer
-	app := New("disparity-sim")
+	app := New("disparity-analyze")
 	app.errW = &errBuf
-	limit := app.FlagSet().Int("jobtrace-limit", 0, "cap")
-	if err := app.Parse([]string{"-trace-limit", "7"}); err != nil {
+	if err := app.Parse([]string{"-explain", path}); err != nil {
 		t.Fatal(err)
 	}
-	if *limit != 7 {
-		t.Errorf("-trace-limit did not forward to -jobtrace-limit: got %d", *limit)
+	if err := app.Start(); err != nil {
+		t.Fatal(err)
 	}
-	if !strings.Contains(errBuf.String(), "-trace-limit is deprecated") {
-		t.Errorf("missing deprecation warning, got %q", errBuf.String())
+	defer app.Close()
+	if app.Explain == nil {
+		t.Fatal("Start with -explain left Explain nil")
+	}
+	if got := app.ExplainPath(); got != path {
+		t.Errorf("ExplainPath() = %q, want %q", got, path)
+	}
+	app.Explain.SetGraph("test", 3, 2)
+	if err := app.Finish(os.Stdout, 0, nil); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rec struct {
+		Command string `json:"command"`
+		Graph   struct {
+			Tasks int `json:"tasks"`
+		} `json:"graph"`
+	}
+	if err := json.Unmarshal(data, &rec); err != nil {
+		t.Fatalf("decision record is not valid JSON: %v", err)
+	}
+	if rec.Command != "disparity-analyze" || rec.Graph.Tasks != 3 {
+		t.Errorf("decision record = %+v", rec)
+	}
+	if !strings.Contains(errBuf.String(), "decision record written to") {
+		t.Errorf("missing confirmation line, got %q", errBuf.String())
+	}
+
+	// Without the flag the recorder stays nil (the disabled recorder).
+	off := New("disparity-analyze")
+	if err := off.Parse(nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := off.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer off.Close()
+	if off.Explain != nil {
+		t.Error("Explain non-nil without -explain")
 	}
 }
 
@@ -183,8 +218,7 @@ func TestMarkdownFlagTable(t *testing.T) {
 	table := MarkdownFlagTable()
 	for _, want := range []string{
 		"| flag | purpose |",
-		"`-metrics`", "`-pprof`", "`-trace`", "`-telemetry`", "`-manifest`", "`-seed`", "`-workers`",
-		"✓ (alias `-runtrace`)", // sim's deprecated spelling surfaces in its cell
+		"`-metrics`", "`-pprof`", "`-trace`", "`-telemetry`", "`-manifest`", "`-seed`", "`-workers`", "`-explain`",
 	} {
 		if !strings.Contains(table, want) {
 			t.Errorf("MarkdownFlagTable missing %q", want)

@@ -30,7 +30,17 @@ import (
 	"repro/internal/timeu"
 )
 
-var disparityTruncated = metrics.C("core.disparity.truncated")
+var (
+	disparityTruncated = metrics.C("core.disparity.truncated")
+	// pairsPruned counts chain pairs the dominance prune skipped (their
+	// cheap upper bound could not reach the running maximum), the
+	// complement of core.pairs.bounded. Blocks accumulate locally and
+	// bulk-add, so the hot loop stays free of shared atomics.
+	pairsPruned = metrics.C("core.pairs.pruned")
+	// boundParallelRuns counts DisparityBound evaluations that crossed
+	// ParallelPairThreshold and ran the block-parallel reduction.
+	boundParallelRuns = metrics.C("core.bound.parallel")
+)
 
 // ParallelPairThreshold is the number of chain pairs above which
 // DisparityBound evaluates pairs on all CPUs. The reduction is
@@ -511,6 +521,12 @@ func (ev *pairEval) boundBlock(m Method, n, lo, hi int, threshold *atomic.Int64)
 	i, j := pairAt(n, lo)
 	var s pairScratch
 	var v pairVals
+	var prunedCount int64
+	defer func() {
+		if prunedCount > 0 {
+			pairsPruned.Add(prunedCount)
+		}
+	}()
 	for rank := lo; rank < hi; rank++ {
 		evaluated := true
 		if m == PDiff {
@@ -539,6 +555,9 @@ func (ev *pairEval) boundBlock(m Method, n, lo, hi int, threshold *atomic.Int64)
 				return best
 			}
 		}
+		if !evaluated {
+			prunedCount++
+		}
 		if evaluated {
 			if v.bound > best.bound || best.rank < 0 {
 				best.bound, best.rank = v.bound, rank
@@ -562,6 +581,7 @@ func (ev *pairEval) boundBlock(m Method, n, lo, hi int, threshold *atomic.Int64)
 // evaluates them concurrently, and reduces the block results in block
 // order — reproducing the serial first-attaining argmax exactly.
 func (ev *pairEval) boundParallel(m Method, n, numPairs int) blockBest {
+	boundParallelRuns.Inc()
 	workers := runtime.GOMAXPROCS(0)
 	numBlocks := workers * 4
 	if numBlocks > numPairs {

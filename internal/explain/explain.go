@@ -1,0 +1,398 @@
+// Package explain is the decision-telemetry layer of the analysis
+// pipeline: it turns the engine's opaque go/no-go choices — did
+// steady-state jump-ahead engage or why did it fall back, how hard did
+// the dominance prune bite, which cache layers hit, did chain
+// enumeration truncate — into one structured, golden-testable decision
+// record per run, plus a concrete worst-case witness (see witness.go)
+// for the argmax pair behind a disparity bound.
+//
+// The design follows internal/trace/span's discipline: a nil *Recorder
+// is a valid disabled recorder whose every method is a no-op, so
+// callers thread one pointer and never branch, and the enabled path
+// stays off the hot loops — engine decisions are read back as deltas
+// of the existing internal/metrics counters between New and Record,
+// not pushed through per-pair or per-job callbacks. Explain-enabled
+// and explain-disabled runs are therefore bit-identical in every
+// analysis and simulation result (the differential test in
+// explain_test.go holds this).
+package explain
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"strings"
+	"sync"
+
+	"repro/internal/metrics"
+	"repro/internal/sim"
+	"repro/internal/timeu"
+)
+
+// cacheLayers names the AnalysisCache layers (plus the backward memo)
+// whose hit/miss counter pairs the record reports, in display order.
+var cacheLayers = []string{"sched", "backward", "enum", "pair", "task", "latency"}
+
+// GraphInfo identifies the analyzed workload.
+type GraphInfo struct {
+	Label string `json:"label"`
+	Tasks int    `json:"tasks"`
+	Edges int    `json:"edges"`
+}
+
+// LayerStats is one cache layer's hit/miss outcome over the run.
+type LayerStats struct {
+	Layer  string  `json:"layer"`
+	Hits   int64   `json:"hits"`
+	Misses int64   `json:"misses"`
+	Ratio  float64 `json:"ratio"`
+}
+
+// PairStats reports the trie fast path's per-pair decisions: how many
+// chain pairs were fully bounded, how many the dominance prune skipped,
+// and whether the block-parallel reduction engaged.
+type PairStats struct {
+	Bounded      int64   `json:"bounded"`
+	Pruned       int64   `json:"pruned"`
+	PruneRatio   float64 `json:"prune_ratio"`
+	ParallelRuns int64   `json:"parallel_runs"`
+}
+
+// ChainStats reports chain enumeration volume and truncation: a
+// non-zero Truncated means at least one enumeration hit the MaxChains
+// cap ("max-chains-cap" is the only truncation cause the trie has) and
+// the bounds cover a partial chain set.
+type ChainStats struct {
+	Indexed            int64  `json:"indexed"`
+	Enumerated         int64  `json:"enumerated"`
+	Truncated          int64  `json:"truncated"`
+	DisparityTruncated int64  `json:"disparity_truncated"`
+	Cause              string `json:"cause,omitempty"`
+}
+
+// JumpOutcome is one simulation run's (or run group's) steady-state
+// jump-ahead decision in record form.
+type JumpOutcome struct {
+	// Code is the stable reason-code taxonomy of sim.JumpStats.Code:
+	// "engaged", "armed-no-repeat", or an ineligibility/deactivation
+	// code such as "random-exec" or "snapshot-cap".
+	Code    string `json:"code"`
+	Reason  string `json:"reason,omitempty"`
+	Engaged bool   `json:"engaged"`
+	// HyperperiodNS, CycleNS, Skipped, and SkippedNS mirror
+	// sim.JumpStats when the feature armed.
+	HyperperiodNS timeu.Time `json:"hyperperiod_ns,omitempty"`
+	CycleNS       timeu.Time `json:"cycle_ns,omitempty"`
+	Skipped       int64      `json:"skipped,omitempty"`
+	SkippedNS     timeu.Time `json:"skipped_ns,omitempty"`
+}
+
+// JumpFrom converts engine jump statistics into record form.
+func JumpFrom(j sim.JumpStats) JumpOutcome {
+	return JumpOutcome{
+		Code:          j.Code(),
+		Reason:        j.Reason,
+		Engaged:       j.Engaged,
+		HyperperiodNS: j.Hyperperiod,
+		CycleNS:       j.Cycle,
+		Skipped:       j.Skipped,
+		SkippedNS:     j.SkippedTime,
+	}
+}
+
+// ArgMaxInfo describes the chain pair attaining a method's bound.
+type ArgMaxInfo struct {
+	Lambda   string     `json:"lambda"`
+	Nu       string     `json:"nu"`
+	BoundNS  timeu.Time `json:"bound_ns"`
+	SameHead bool       `json:"same_head,omitempty"`
+	X1       int64      `json:"x1,omitempty"`
+	Y1       int64      `json:"y1,omitempty"`
+}
+
+// MethodRecord is one bounding method's evaluation outcome.
+type MethodRecord struct {
+	Method    string      `json:"method"`
+	BoundNS   timeu.Time  `json:"bound_ns"`
+	NumPairs  int64       `json:"num_pairs"`
+	Truncated bool        `json:"truncated,omitempty"`
+	ArgMax    *ArgMaxInfo `json:"argmax,omitempty"`
+}
+
+// SimRecord is one frontend-level simulation activity summary.
+type SimRecord struct {
+	Label string      `json:"label"`
+	Runs  int         `json:"runs"`
+	Jobs  int64       `json:"jobs"`
+	Jump  JumpOutcome `json:"jump"`
+}
+
+// Record is the per-run decision record the -explain flag emits. All
+// engine-level sections (Cache, Pairs, Chains, JumpRuns) are metric
+// deltas between Recorder creation and Record, so they cover exactly
+// the run in flight even though the underlying registry is
+// process-global.
+type Record struct {
+	Command  string           `json:"command"`
+	Graph    *GraphInfo       `json:"graph,omitempty"`
+	Methods  []MethodRecord   `json:"methods,omitempty"`
+	Sim      []SimRecord      `json:"sim,omitempty"`
+	Cache    []LayerStats     `json:"cache,omitempty"`
+	Pairs    *PairStats       `json:"pairs,omitempty"`
+	Chains   *ChainStats      `json:"chains,omitempty"`
+	JumpRuns map[string]int64 `json:"jump_runs,omitempty"`
+	Witness  *Witness         `json:"witness,omitempty"`
+}
+
+// Recorder accumulates one run's decision record. The nil Recorder is
+// the disabled recorder: every method is a nil-safe no-op, so call
+// sites need no enablement branches. A non-nil Recorder is safe for
+// concurrent use (sweep workers may record sim outcomes in parallel).
+type Recorder struct {
+	mu       sync.Mutex
+	rec      Record
+	base     map[string]int64
+	jumpRuns map[string]int64
+}
+
+// New returns an enabled Recorder for one command run, snapshotting
+// the global counter registry so Record can report per-run deltas.
+func New(command string) *Recorder {
+	return &Recorder{
+		rec:  Record{Command: command},
+		base: counterSnapshot(),
+	}
+}
+
+// Enabled reports whether the recorder records anything.
+func (r *Recorder) Enabled() bool { return r != nil }
+
+// SetGraph attaches the workload identity. No-op on nil.
+func (r *Recorder) SetGraph(label string, tasks, edges int) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	r.rec.Graph = &GraphInfo{Label: label, Tasks: tasks, Edges: edges}
+	r.mu.Unlock()
+}
+
+// Method appends one bounding method's outcome. No-op on nil.
+func (r *Recorder) Method(m MethodRecord) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	r.rec.Methods = append(r.rec.Methods, m)
+	r.mu.Unlock()
+}
+
+// Sim appends one simulation activity summary. No-op on nil.
+func (r *Recorder) Sim(s SimRecord) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	r.rec.Sim = append(r.rec.Sim, s)
+	r.mu.Unlock()
+}
+
+// JumpRun tallies one simulation run's jump-ahead outcome code
+// directly (for frontends that drive the engine themselves rather
+// than through the sweep pipeline's counters). No-op on nil.
+func (r *Recorder) JumpRun(code string) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	if r.jumpRuns == nil {
+		r.jumpRuns = make(map[string]int64)
+	}
+	r.jumpRuns[code]++
+	r.mu.Unlock()
+}
+
+// SetWitness attaches the worst-case witness. No-op on nil.
+func (r *Recorder) SetWitness(w *Witness) {
+	if r == nil || w == nil {
+		return
+	}
+	r.mu.Lock()
+	r.rec.Witness = w
+	r.mu.Unlock()
+}
+
+// Record materializes the decision record: the explicitly recorded
+// sections plus the engine sections derived from counter deltas since
+// New. It can be called repeatedly; each call re-reads the registry.
+// Returns nil on a nil recorder.
+func (r *Recorder) Record() *Record {
+	if r == nil {
+		return nil
+	}
+	now := counterSnapshot()
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	delta := func(name string) int64 { return now[name] - r.base[name] }
+
+	rec := r.rec // shallow copy; slices are append-only
+	rec.Cache = nil
+	for _, layer := range cacheLayers {
+		h, m := delta("cache."+layer+".hits"), delta("cache."+layer+".misses")
+		if h+m == 0 {
+			continue
+		}
+		rec.Cache = append(rec.Cache, LayerStats{
+			Layer: layer, Hits: h, Misses: m,
+			Ratio: float64(h) / float64(h+m),
+		})
+	}
+
+	bounded, pruned := delta("core.pairs.bounded"), delta("core.pairs.pruned")
+	if bounded+pruned > 0 {
+		ps := &PairStats{
+			Bounded:      bounded,
+			Pruned:       pruned,
+			ParallelRuns: delta("core.bound.parallel"),
+		}
+		ps.PruneRatio = float64(pruned) / float64(bounded+pruned)
+		rec.Pairs = ps
+	}
+
+	indexed := delta("chains.indexed")
+	enumerated := delta("chains.enumerated")
+	truncated := delta("chains.truncated")
+	dTrunc := delta("core.disparity.truncated")
+	if indexed+enumerated+truncated > 0 {
+		cs := &ChainStats{
+			Indexed: indexed, Enumerated: enumerated,
+			Truncated: truncated, DisparityTruncated: dTrunc,
+		}
+		if truncated > 0 {
+			cs.Cause = "max-chains-cap"
+		}
+		rec.Chains = cs
+	}
+
+	rec.JumpRuns = nil
+	addJump := func(code string, d int64) {
+		if rec.JumpRuns == nil {
+			rec.JumpRuns = make(map[string]int64)
+		}
+		rec.JumpRuns[code] += d
+	}
+	for code, n := range r.jumpRuns {
+		addJump(code, n)
+	}
+	for name, v := range now {
+		if !strings.HasPrefix(name, "exp.sim.jump.") {
+			continue
+		}
+		if d := v - r.base[name]; d != 0 {
+			// Keys are bare reason codes: "engaged", "random-exec", ...
+			code := strings.TrimPrefix(name, "exp.sim.jump.")
+			addJump(strings.TrimPrefix(code, "fallback."), d)
+		}
+	}
+	return &rec
+}
+
+// WriteJSON finalizes and writes the decision record as indented JSON.
+// No-op on nil.
+func (r *Recorder) WriteJSON(w io.Writer) error {
+	if r == nil {
+		return nil
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r.Record())
+}
+
+// WriteFile writes the decision record to path. No-op on nil.
+func (r *Recorder) WriteFile(path string) error {
+	if r == nil {
+		return nil
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := r.WriteJSON(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// WriteSummary renders the record as the human-readable "explain:"
+// section the CLI frontends print. No-op on nil.
+func (r *Recorder) WriteSummary(w io.Writer) error {
+	if r == nil {
+		return nil
+	}
+	rec := r.Record()
+	var b strings.Builder
+	b.WriteString("\nexplain:\n")
+	if len(rec.Cache) > 0 {
+		parts := make([]string, 0, len(rec.Cache))
+		for _, l := range rec.Cache {
+			parts = append(parts, fmt.Sprintf("%s %d/%d (%.1f%%)",
+				l.Layer, l.Hits, l.Hits+l.Misses, 100*l.Ratio))
+		}
+		fmt.Fprintf(&b, "  cache hits:   %s\n", strings.Join(parts, ", "))
+	}
+	if rec.Pairs != nil {
+		fmt.Fprintf(&b, "  pair bounds:  %d evaluated, %d pruned (%.1f%% prune ratio), parallel x%d\n",
+			rec.Pairs.Bounded, rec.Pairs.Pruned, 100*rec.Pairs.PruneRatio, rec.Pairs.ParallelRuns)
+	}
+	if rec.Chains != nil {
+		trunc := "none"
+		if rec.Chains.Truncated > 0 {
+			trunc = fmt.Sprintf("%d enumerations hit the cap (%s)", rec.Chains.Truncated, rec.Chains.Cause)
+		}
+		fmt.Fprintf(&b, "  chains:       %d indexed, truncation: %s\n", rec.Chains.Indexed, trunc)
+	}
+	for _, s := range rec.Sim {
+		fmt.Fprintf(&b, "  sim %-9s %d runs, %d jobs, jump-ahead: %s\n", s.Label+":", s.Runs, s.Jobs, s.Jump.Code)
+	}
+	if len(rec.JumpRuns) > 0 {
+		codes := make([]string, 0, len(rec.JumpRuns))
+		for code := range rec.JumpRuns {
+			codes = append(codes, code)
+		}
+		sort.Strings(codes)
+		parts := make([]string, 0, len(codes))
+		for _, code := range codes {
+			parts = append(parts, fmt.Sprintf("%s x%d", code, rec.JumpRuns[code]))
+		}
+		fmt.Fprintf(&b, "  jump-ahead:   %s\n", strings.Join(parts, ", "))
+	}
+	for _, m := range rec.Methods {
+		line := fmt.Sprintf("  %-13s %v over %d pairs", m.Method+":", m.BoundNS, m.NumPairs)
+		if m.ArgMax != nil {
+			line += fmt.Sprintf(", argmax %s | %s", m.ArgMax.Lambda, m.ArgMax.Nu)
+		}
+		if m.Truncated {
+			line += " (truncated)"
+		}
+		b.WriteString(line + "\n")
+	}
+	if wt := rec.Witness; wt != nil {
+		fmt.Fprintf(&b, "  witness:      %s | %s attains %v (bound %v) at %s job k=%d, releases k_lambda=%d k_nu=%d, jump-ahead: %s\n",
+			wt.Lambda, wt.Nu, wt.AttainedNS, wt.BoundNS, wt.Watch, wt.Job.K, wt.JobLambda, wt.JobNu, wt.Jump.Code)
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// counterSnapshot flattens the global registry's counters.
+func counterSnapshot() map[string]int64 {
+	ex := metrics.Default.Export()
+	m := make(map[string]int64, len(ex.Counters))
+	for _, c := range ex.Counters {
+		m[c.Name] = c.Value
+	}
+	return m
+}

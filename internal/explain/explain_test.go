@@ -1,0 +1,242 @@
+package explain
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/model"
+)
+
+// fig2Sink is τ6 of the Fig. 2 fixture (IDs are insertion-ordered).
+const fig2Sink = model.TaskID(5)
+
+func TestNilRecorderIsSafe(t *testing.T) {
+	var r *Recorder
+	if r.Enabled() {
+		t.Fatal("nil recorder reports enabled")
+	}
+	r.SetGraph("g", 1, 2)
+	r.Method(MethodRecord{Method: "sdiff"})
+	r.Sim(SimRecord{Label: "run"})
+	r.SetWitness(&Witness{})
+	if rec := r.Record(); rec != nil {
+		t.Fatalf("nil recorder Record() = %+v, want nil", rec)
+	}
+	var buf bytes.Buffer
+	if err := r.WriteJSON(&buf); err != nil || buf.Len() != 0 {
+		t.Fatalf("nil WriteJSON wrote %q, err %v", buf.String(), err)
+	}
+	if err := r.WriteSummary(&buf); err != nil || buf.Len() != 0 {
+		t.Fatalf("nil WriteSummary wrote %q, err %v", buf.String(), err)
+	}
+	if err := r.WriteFile(filepath.Join(t.TempDir(), "x.json")); err != nil {
+		t.Fatalf("nil WriteFile: %v", err)
+	}
+}
+
+func TestRecorderCountsOnlyItsOwnRun(t *testing.T) {
+	g := model.Fig2Graph()
+
+	r := New("test")
+	a, err := core.New(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := a.DisparityBound(fig2Sink, core.SDiff, 0); err != nil {
+		t.Fatal(err)
+	}
+	rec := r.Record()
+	if rec.Command != "test" {
+		t.Errorf("Command = %q", rec.Command)
+	}
+	if rec.Pairs == nil || rec.Pairs.Bounded+rec.Pairs.Pruned == 0 {
+		t.Fatalf("Pairs section missing after analysis: %+v", rec.Pairs)
+	}
+	if rec.Chains == nil || rec.Chains.Indexed == 0 {
+		t.Fatalf("Chains section missing after analysis: %+v", rec.Chains)
+	}
+	if rec.Pairs.PruneRatio < 0 || rec.Pairs.PruneRatio > 1 {
+		t.Errorf("PruneRatio = %v", rec.Pairs.PruneRatio)
+	}
+
+	// A recorder created after the work sees none of it.
+	after := New("after").Record()
+	if after.Pairs != nil || after.Chains != nil || after.Cache != nil {
+		t.Errorf("fresh recorder saw stale activity: %+v", after)
+	}
+}
+
+func TestCacheLayerDeltas(t *testing.T) {
+	g := model.Fig2Graph()
+	r := New("test")
+	a, err := core.NewCached(g, core.NewAnalysisCache())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 2; i++ { // second pass hits the caches
+		if _, err := a.Disparity(fig2Sink, core.SDiff, 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	rec := r.Record()
+	if len(rec.Cache) == 0 {
+		t.Fatal("no cache layers recorded for a cached analysis")
+	}
+	sawHit := false
+	for _, l := range rec.Cache {
+		if l.Hits+l.Misses == 0 {
+			t.Errorf("layer %s recorded with zero activity", l.Layer)
+		}
+		if l.Ratio < 0 || l.Ratio > 1 {
+			t.Errorf("layer %s ratio = %v", l.Layer, l.Ratio)
+		}
+		sawHit = sawHit || l.Hits > 0
+	}
+	if !sawHit {
+		t.Error("repeated cached analysis produced no cache hits")
+	}
+}
+
+func TestWitnessValidity(t *testing.T) {
+	g := model.Fig2Graph()
+	a, err := core.New(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	td, err := a.DisparityBound(fig2Sink, core.SDiff, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, err := BuildWitness(g, "sdiff", td, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w == nil {
+		t.Fatal("no witness for a task with pairs")
+	}
+	if w.AttainedNS <= 0 {
+		t.Errorf("attained disparity = %v, want > 0", w.AttainedNS)
+	}
+	// The analytical bound must dominate any simulated schedule.
+	if w.AttainedNS > w.BoundNS {
+		t.Errorf("attained %v exceeds bound %v", w.AttainedNS, w.BoundNS)
+	}
+	// The replay recipe embedded in the witness reproduces it exactly.
+	got, err := w.Replay(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != w.AttainedNS {
+		t.Errorf("replay attained %v, witness says %v", got, w.AttainedNS)
+	}
+	if w.Jump.Code != "random-exec" {
+		t.Errorf("witness jump code = %q, want random-exec", w.Jump.Code)
+	}
+	if len(w.Timeline) == 0 {
+		t.Error("witness has no timeline")
+	}
+	if w.Job.Task != fig2Sink {
+		t.Errorf("witness job task = %d, want %d", w.Job.Task, fig2Sink)
+	}
+
+	var svg bytes.Buffer
+	if err := w.WriteSVG(&svg); err != nil {
+		t.Fatalf("WriteSVG: %v", err)
+	}
+	if !strings.Contains(svg.String(), "<svg") {
+		t.Error("SVG output missing <svg element")
+	}
+
+	ctPath := filepath.Join(t.TempDir(), "witness.trace.json")
+	if err := w.WriteChromeTrace(ctPath); err != nil {
+		t.Fatalf("WriteChromeTrace: %v", err)
+	}
+	raw, err := os.ReadFile(ctPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ct struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(raw, &ct); err != nil {
+		t.Fatalf("chrome trace not valid JSON: %v", err)
+	}
+	if len(ct.TraceEvents) == 0 {
+		t.Error("chrome trace has no events")
+	}
+}
+
+func TestWitnessNilForEmptyDisparity(t *testing.T) {
+	g := model.Fig2Graph()
+	td := &core.TaskDisparity{Task: 0, ArgMax: -1}
+	w, err := BuildWitness(g, "sdiff", td, 1)
+	if err != nil || w != nil {
+		t.Fatalf("BuildWitness on empty = (%v, %v), want (nil, nil)", w, err)
+	}
+}
+
+// TestExplainDifferential asserts a live recorder changes nothing about
+// analysis results: explain-enabled and explain-disabled runs are
+// bit-identical (the recorder only reads counters, never hooks paths).
+func TestExplainDifferential(t *testing.T) {
+	run := func(record bool) *core.TaskDisparity {
+		g := model.Fig2Graph()
+		var r *Recorder
+		if record {
+			r = New("diff")
+		}
+		a, err := core.New(g)
+		if err != nil {
+			t.Fatal(err)
+		}
+		td, err := a.DisparityBound(fig2Sink, core.SDiff, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		r.Record() // exercise the read path
+		return td
+	}
+	on, off := run(true), run(false)
+	if !reflect.DeepEqual(on, off) {
+		t.Errorf("explain-enabled result differs:\n on: %+v\noff: %+v", on, off)
+	}
+}
+
+func TestWriteSummaryRendersSections(t *testing.T) {
+	g := model.Fig2Graph()
+	r := New("sum")
+	a, err := core.New(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	td, err := a.DisparityBound(fig2Sink, core.SDiff, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pb := td.Pairs[td.ArgMax]
+	r.Method(MethodRecord{
+		Method: "sdiff", BoundNS: td.Bound, NumPairs: int64(td.NumPairs),
+		ArgMax: &ArgMaxInfo{Lambda: pb.Lambda.Format(g), Nu: pb.Nu.Format(g), BoundNS: pb.Bound},
+	})
+	w, err := BuildWitness(g, "sdiff", td, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.SetWitness(w)
+	var buf bytes.Buffer
+	if err := r.WriteSummary(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"explain:", "pair bounds:", "sdiff:", "witness:", "random-exec"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("summary missing %q in:\n%s", want, out)
+		}
+	}
+}

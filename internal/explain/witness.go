@@ -1,0 +1,397 @@
+package explain
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+	"sort"
+
+	"repro/internal/core"
+	"repro/internal/gantt"
+	"repro/internal/model"
+	"repro/internal/sim"
+	"repro/internal/timeu"
+	"repro/internal/trace"
+	"repro/internal/trace/span"
+	"repro/internal/waters"
+)
+
+// witnessTraceLimit caps the number of job records kept for the
+// witness timeline so long replays stay bounded in memory.
+const witnessTraceLimit = 4096
+
+// witnessOffsetRounds is how many release-offset assignments the
+// witness search tries: the graph's own offsets plus random draws.
+// The analytic bound holds for arbitrary offsets, so aligned graphs
+// (all offsets zero, harmonic periods) often attain zero disparity
+// as configured — the search perturbs offsets to find a schedule
+// that actually separates the two sources.
+const witnessOffsetRounds = 8
+
+// witnessTimelineCap caps the timeline embedded in the JSON record;
+// the SVG/Chrome renderings still draw from the full captured window.
+const witnessTimelineCap = 256
+
+// Witness is a concrete worst-case schedule fragment for the argmax
+// chain pair behind a disparity bound: the simulated job of the common
+// tail task whose output token realizes the largest observed pairwise
+// disparity, the releasing job indices of the two source heads, and a
+// timeline of the jobs around it. A witness is evidence, not proof:
+// AttainedNS is an achieved lower bound that the analytical BoundNS
+// must dominate for exact methods, and the gap between them measures
+// the bound's pessimism on this workload.
+type Witness struct {
+	Method string `json:"method"`
+	// Lambda and Nu are the argmax chain pair, task names joined.
+	Lambda string `json:"lambda"`
+	Nu     string `json:"nu"`
+	// Watch is the common tail task whose output the pair disparity is
+	// measured on; HeadLambda/HeadNu are the two source heads.
+	Watch      string `json:"watch"`
+	HeadLambda string `json:"head_lambda"`
+	HeadNu     string `json:"head_nu"`
+
+	BoundNS    timeu.Time `json:"bound_ns"`
+	AttainedNS timeu.Time `json:"attained_ns"`
+
+	// Job is the watch-task job attaining AttainedNS; JobLambda and
+	// JobNu are the 0-based releasing job indices of the head tasks
+	// whose timestamps realize the disparity, with the timestamps
+	// themselves in TLambda/TNu.
+	Job       trace.Record `json:"job"`
+	JobLambda int64        `json:"job_lambda"`
+	JobNu     int64        `json:"job_nu"`
+	TLambda   timeu.Time   `json:"t_lambda_ns"`
+	TNu       timeu.Time   `json:"t_nu_ns"`
+
+	// Replay parameters: re-running the simulator with these reproduces
+	// AttainedNS exactly (Replay does so). OffsetsNS, when non-empty,
+	// is the per-task release-offset assignment (indexed by task ID)
+	// the winning search round used in place of the graph's offsets.
+	Exec      string       `json:"exec"`
+	Seed      int64        `json:"seed"`
+	HorizonNS timeu.Time   `json:"horizon_ns"`
+	OffsetsNS []timeu.Time `json:"offsets_ns,omitempty"`
+
+	// Jump is the witness run's own jump-ahead outcome — always a
+	// fallback code: ExtremesExec draws random execution times
+	// ("random-exec"), and the witness observer needs per-job
+	// callbacks anyway ("foreign-observer").
+	Jump JumpOutcome `json:"jump"`
+
+	// Timeline is the captured job window around Job, capped at
+	// witnessTimelineCap records for the JSON form.
+	Timeline []trace.Record `json:"timeline,omitempty"`
+
+	g       *model.Graph
+	tasks   []model.TaskID
+	records []trace.Record
+	watchID model.TaskID
+	headL   model.TaskID
+	headN   model.TaskID
+}
+
+// pairObserver watches the common tail task of one chain pair and
+// tracks the job whose output token maximizes the pairwise disparity
+// between the two head tasks' timestamps. It deliberately implements
+// only sim.Observer (per-job callbacks), keeping the engine's
+// jump-ahead off — a witness run needs every job inspected.
+type pairObserver struct {
+	watch        model.TaskID
+	headL, headN model.TaskID
+
+	best   timeu.Time
+	found  bool
+	job    trace.Record
+	tL, tN timeu.Time
+}
+
+// JobFinished implements sim.Observer.
+func (o *pairObserver) JobFinished(j *sim.Job) {
+	if j.Task != o.watch || j.Out == nil {
+		return
+	}
+	sl, okL := j.Out.Stamp(o.headL)
+	sn, okN := j.Out.Stamp(o.headN)
+	if !okL || !okN {
+		return // warm-up: a head's data has not reached this job yet
+	}
+	// The stamp intervals aggregate every path from the head to this
+	// job; the pairwise disparity |t(λ¹) − t(ν¹)| is maximized at the
+	// interval endpoints. For same-head pairs this degenerates to the
+	// stamp's own Max − Min, as it should.
+	d1 := timeu.Abs(sl.Max - sn.Min)
+	d2 := timeu.Abs(sn.Max - sl.Min)
+	d := timeu.Max(d1, d2)
+	if o.found && d <= o.best {
+		return
+	}
+	o.found, o.best = true, d
+	o.job = trace.Record{
+		Task: j.Task, K: j.K,
+		Release: j.Release, Start: j.Start, Finish: j.Finish,
+		Disparity: j.Out.Span(), Incomplete: j.EmptyInputs > 0,
+	}
+	if d1 >= d2 {
+		o.tL, o.tN = sl.Max, sn.Min
+	} else {
+		o.tL, o.tN = sl.Min, sn.Max
+	}
+}
+
+// jobIndex recovers the 0-based releasing job index from a source
+// timestamp (source stamps are release times, so the division is
+// exact for periodic tasks).
+func jobIndex(period, offset, stamp timeu.Time) int64 {
+	if period <= 0 || stamp < offset {
+		return 0
+	}
+	return timeu.FloorDiv(stamp-offset, period)
+}
+
+// witnessHorizon picks a replay horizon long enough to reach steady
+// state and cover several hyperperiods, bounded for pathological LCMs.
+func witnessHorizon(g *model.Graph) timeu.Time {
+	var maxOffset, maxPeriod timeu.Time
+	for _, t := range g.Tasks() {
+		maxOffset = timeu.Max(maxOffset, t.Offset)
+		maxPeriod = timeu.Max(maxPeriod, t.Period)
+	}
+	const cap = 10 * timeu.Minute
+	hp := g.Hyperperiod()
+	if hp <= 0 || hp > cap/4 {
+		hp = 50 * maxPeriod // no usable hyperperiod: settle for many periods
+	}
+	// maxPeriod headroom: searched offset draws lie in [0, period).
+	h := maxOffset + maxPeriod + 4*hp
+	if h > cap {
+		h = cap
+	}
+	if h <= 0 {
+		h = timeu.Second
+	}
+	return h
+}
+
+// BuildWitness searches for a concrete worst-case witness for the
+// argmax pair of td. Returns (nil, nil) when td has no pairs. The
+// search replays the simulator with ExtremesExec (deterministic under
+// seed, and mixing WCET/BCET draws spreads the head timestamps further
+// than pure WCET) across witnessOffsetRounds release-offset
+// assignments — the graph's own plus random draws, all derived
+// deterministically from seed — and keeps the schedule attaining the
+// largest pairwise disparity.
+func BuildWitness(g *model.Graph, method string, td *core.TaskDisparity, seed int64) (*Witness, error) {
+	if td == nil || td.ArgMax < 0 || td.ArgMax >= len(td.Pairs) {
+		return nil, nil
+	}
+	pb := td.Pairs[td.ArgMax]
+	watch := pb.Lambda.Tail()
+	headL, headN := pb.Lambda.Head(), pb.Nu.Head()
+
+	// The timeline covers every task on either chain.
+	seen := make(map[model.TaskID]bool)
+	var tasks []model.TaskID
+	for _, c := range []model.Chain{pb.Lambda, pb.Nu} {
+		for _, id := range c {
+			if !seen[id] {
+				seen[id] = true
+				tasks = append(tasks, id)
+			}
+		}
+	}
+	sort.Slice(tasks, func(i, j int) bool { return tasks[i] < tasks[j] })
+
+	horizon := witnessHorizon(g)
+	eng, err := sim.NewEngine(g)
+	if err != nil {
+		return nil, fmt.Errorf("explain: witness engine: %w", err)
+	}
+	exec := sim.ExtremesExec{P: 0.5}
+
+	type round struct {
+		offsets []timeu.Time // nil = the graph's own offsets
+		seed    int64
+	}
+	rng := rand.New(rand.NewSource(seed))
+	rounds := []round{{nil, seed}}
+	for len(rounds) < witnessOffsetRounds {
+		rounds = append(rounds, round{waters.DrawOffsets(g, rng, nil), rng.Int63()})
+	}
+
+	var best *pairObserver
+	var bestRound round
+	for _, r := range rounds {
+		obs := &pairObserver{watch: watch, headL: headL, headN: headN}
+		_, err := eng.Run(sim.Config{
+			Horizon:   horizon,
+			Exec:      exec,
+			Seed:      r.seed,
+			Offsets:   r.offsets,
+			Observers: []sim.Observer{obs},
+		})
+		if err != nil {
+			return nil, fmt.Errorf("explain: witness run: %w", err)
+		}
+		if obs.found && (best == nil || obs.best > best.best) {
+			best, bestRound = obs, r
+		}
+	}
+	if best == nil {
+		return nil, fmt.Errorf("explain: no complete %s job observed within horizon %v", g.Task(watch).Name, horizon)
+	}
+
+	// Re-run the winning round with the timeline recorder attached.
+	obs := &pairObserver{watch: watch, headL: headL, headN: headN}
+	rec := trace.NewRecorder(tasks...)
+	rec.Limit = witnessTraceLimit
+	if _, err := eng.Run(sim.Config{
+		Horizon:   horizon,
+		Exec:      exec,
+		Seed:      bestRound.seed,
+		Offsets:   bestRound.offsets,
+		Observers: []sim.Observer{obs, rec},
+	}); err != nil {
+		return nil, fmt.Errorf("explain: witness replay: %w", err)
+	}
+
+	offsetOf := func(id model.TaskID) timeu.Time {
+		if bestRound.offsets != nil {
+			return bestRound.offsets[id]
+		}
+		return g.Task(id).Offset
+	}
+	w := &Witness{
+		Method:     method,
+		Lambda:     pb.Lambda.Format(g),
+		Nu:         pb.Nu.Format(g),
+		Watch:      g.Task(watch).Name,
+		HeadLambda: g.Task(headL).Name,
+		HeadNu:     g.Task(headN).Name,
+		BoundNS:    pb.Bound,
+		AttainedNS: obs.best,
+		Job:        obs.job,
+		JobLambda:  jobIndex(g.Task(headL).Period, offsetOf(headL), obs.tL),
+		JobNu:      jobIndex(g.Task(headN).Period, offsetOf(headN), obs.tN),
+		TLambda:    obs.tL,
+		TNu:        obs.tN,
+		Exec:       exec.Name(),
+		Seed:       bestRound.seed,
+		HorizonNS:  horizon,
+		OffsetsNS:  bestRound.offsets,
+		Jump:       JumpFrom(eng.LastJump()),
+		g:          g,
+		tasks:      tasks,
+		records:    rec.Records,
+		watchID:    watch,
+		headL:      headL,
+		headN:      headN,
+	}
+	w.Timeline = w.window(witnessTimelineCap)
+	return w, nil
+}
+
+// window returns the captured records nearest the attaining job,
+// capped at n, in release order.
+func (w *Witness) window(n int) []trace.Record {
+	recs := append([]trace.Record(nil), w.records...)
+	sort.Slice(recs, func(i, j int) bool {
+		if recs[i].Release != recs[j].Release {
+			return recs[i].Release < recs[j].Release
+		}
+		return recs[i].Task < recs[j].Task
+	})
+	if len(recs) <= n {
+		return recs
+	}
+	// Center the window on the attaining job's release.
+	c := sort.Search(len(recs), func(i int) bool { return recs[i].Release >= w.Job.Release })
+	lo := c - n/2
+	if lo < 0 {
+		lo = 0
+	}
+	if lo+n > len(recs) {
+		lo = len(recs) - n
+	}
+	return recs[lo : lo+n]
+}
+
+// Replay re-runs the witness configuration and returns the attained
+// pairwise disparity — by construction equal to AttainedNS, which the
+// witness-validity test asserts (and that it is ≤ BoundNS for exact
+// methods).
+func (w *Witness) Replay(g *model.Graph) (timeu.Time, error) {
+	eng, err := sim.NewEngine(g)
+	if err != nil {
+		return 0, err
+	}
+	obs := &pairObserver{watch: w.watchID, headL: w.headL, headN: w.headN}
+	_, err = eng.Run(sim.Config{
+		Horizon:   w.HorizonNS,
+		Exec:      sim.ExtremesExec{P: 0.5},
+		Seed:      w.Seed,
+		Offsets:   w.OffsetsNS,
+		Observers: []sim.Observer{obs},
+	})
+	if err != nil {
+		return 0, err
+	}
+	if !obs.found {
+		return 0, fmt.Errorf("explain: replay observed no complete job")
+	}
+	return obs.best, nil
+}
+
+// WriteSVG renders the witness timeline as a Gantt chart windowed
+// around the attaining job.
+func (w *Witness) WriteSVG(out io.Writer) error {
+	if len(w.records) == 0 {
+		return fmt.Errorf("explain: witness has no timeline records")
+	}
+	win := w.window(witnessTimelineCap)
+	from, to := win[0].Release, win[0].Finish
+	for _, r := range win[1:] {
+		from = timeu.Min(from, r.Release)
+		to = timeu.Max(to, r.Finish)
+	}
+	return gantt.New(w.g, win).Window(from, to).WriteSVG(out)
+}
+
+// WriteChromeTrace writes the witness timeline as a Chrome trace
+// (one track per task, span times = simulated times) viewable in
+// Perfetto / chrome://tracing.
+func (w *Witness) WriteChromeTrace(path string) error {
+	if len(w.records) == 0 {
+		return fmt.Errorf("explain: witness has no timeline records")
+	}
+	// Drive the span recorder with a synthetic clock set to simulated
+	// timestamps: advance `now` to a job's start before opening its
+	// span and to its finish before closing it.
+	var now int64
+	tr := span.NewWithClock(func() int64 { return now })
+
+	byTask := make(map[model.TaskID][]trace.Record)
+	for _, r := range w.records {
+		byTask[r.Task] = append(byTask[r.Task], r)
+	}
+	for _, id := range w.tasks {
+		recs := byTask[id]
+		sort.Slice(recs, func(i, j int) bool { return recs[i].Start < recs[j].Start })
+		tk := tr.Track(w.g.Task(id).Name)
+		for _, r := range recs {
+			now = int64(r.Start)
+			s := tk.Start(fmt.Sprintf("%s#%d", w.g.Task(id).Name, r.K))
+			now = int64(r.Finish)
+			args := []span.Arg{
+				span.Int("k", r.K),
+				span.Int("release_ns", int64(r.Release)),
+				span.Int("disparity_ns", int64(r.Disparity)),
+			}
+			if r.Task == w.Job.Task && r.K == w.Job.K {
+				args = append(args, span.Str("witness", "argmax"))
+			}
+			s.End(args...)
+		}
+	}
+	return tr.WriteChromeFile(path)
+}

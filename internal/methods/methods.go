@@ -423,6 +423,14 @@ func (simMethod) Eval(ctx context.Context, ec *Context, g *model.Graph, task mod
 			return Result{}, fmt.Errorf("methods: simulation of task %s's graph failed: %w", g.Task(task).Name, err)
 		}
 		simJobs.Add(res.Stats.Jobs)
+		// Surface the jump-ahead outcome per run: sweeps that stay on
+		// the slow path used to do so invisibly (e.g. ExtremesExec is
+		// jump-ineligible); -metrics now shows the exact reason.
+		if res.Jump.Engaged {
+			metrics.C("exp.sim.jump.engaged").Inc()
+		} else {
+			metrics.C("exp.sim.jump.fallback." + res.Jump.Code()).Inc()
+		}
 		worst = timeu.Max(worst, obs.Max(task))
 	}
 	return Result{Bound: worst}, nil

@@ -6,6 +6,7 @@ import (
 	"testing"
 
 	"repro/internal/core"
+	"repro/internal/metrics"
 	"repro/internal/model"
 	"repro/internal/sim"
 	"repro/internal/timeu"
@@ -203,6 +204,49 @@ func TestSimEvalDeterministic(t *testing.T) {
 	}
 	if a <= 0 {
 		t.Fatalf("observed disparity %v, want > 0", a)
+	}
+}
+
+// TestSimEvalCountsJumpOutcomes pins the jump-ahead accounting behind
+// `disparity-exp -metrics`: every simulation run lands in exactly one
+// of exp.sim.jump.engaged or exp.sim.jump.fallback.<code>, so a sweep
+// that stayed slow says why. ExtremesExec draws random execution
+// times, which makes jump-ahead ineligible with code "random-exec".
+func TestSimEvalCountsJumpOutcomes(t *testing.T) {
+	g, _, sink := fig2Context(t)
+	sec := &Context{
+		Horizon: 2 * timeu.Second,
+		Warmup:  200 * timeu.Millisecond,
+		Runs:    3,
+		Exec:    sim.ExtremesExec{P: 0.5},
+		RNG:     rand.New(rand.NewSource(7)),
+	}
+	fallback := metrics.C("exp.sim.jump.fallback.random-exec").Load()
+	engaged := metrics.C("exp.sim.jump.engaged").Load()
+	if _, err := Sim.Eval(context.Background(), sec, g, sink); err != nil {
+		t.Fatal(err)
+	}
+	if got := metrics.C("exp.sim.jump.fallback.random-exec").Load() - fallback; got != 3 {
+		t.Errorf("fallback.random-exec delta = %d, want 3 (one per run)", got)
+	}
+	if got := metrics.C("exp.sim.jump.engaged").Load() - engaged; got != 0 {
+		t.Errorf("engaged delta = %d, want 0 under a random exec model", got)
+	}
+
+	// A deterministic exec model on the periodic fig2 graph engages.
+	sec = &Context{
+		Horizon: 2 * timeu.Second,
+		Warmup:  200 * timeu.Millisecond,
+		Runs:    1,
+		Exec:    sim.WCETExec{},
+		RNG:     rand.New(rand.NewSource(7)),
+	}
+	engaged = metrics.C("exp.sim.jump.engaged").Load()
+	if _, err := Sim.Eval(context.Background(), sec, g, sink); err != nil {
+		t.Fatal(err)
+	}
+	if got := metrics.C("exp.sim.jump.engaged").Load() - engaged; got != 1 {
+		t.Errorf("engaged delta = %d, want 1 under WCETExec", got)
 	}
 }
 

@@ -16,6 +16,7 @@ import (
 	"repro/internal/backward"
 	"repro/internal/chains"
 	"repro/internal/core"
+	"repro/internal/explain"
 	"repro/internal/methods"
 	"repro/internal/model"
 	"repro/internal/sched"
@@ -31,6 +32,11 @@ type Options struct {
 	Optimize bool
 	// Title overrides the document heading.
 	Title string
+	// Explain, when non-nil, receives per-method records and appends a
+	// "Decision telemetry" section rendered from the run's decision
+	// record (cache effectiveness, prune decisions, truncation). The
+	// nil recorder renders nothing.
+	Explain *explain.Recorder
 }
 
 // Write renders the report.
@@ -66,8 +72,65 @@ func Write(w io.Writer, g *model.Graph, opts Options) error {
 			return err
 		}
 	}
+	writeExplain(&b, opts.Explain.Record())
 	_, err := io.WriteString(w, b.String())
 	return err
+}
+
+// writeExplain renders the decision-telemetry section from the run's
+// explain record: cache effectiveness, dominance-prune decisions,
+// truncation status, and the jump-ahead tally. The deltas cover the
+// report's own analysis because the recorder snapshots the counter
+// registry at creation.
+func writeExplain(b *strings.Builder, rec *explain.Record) {
+	if rec == nil {
+		return
+	}
+	b.WriteString("## Decision telemetry\n\n")
+	if len(rec.Methods) > 0 {
+		b.WriteString("| method | bound | pairs | worst pair |\n|---|---|---|---|\n")
+		for _, m := range rec.Methods {
+			worst := "-"
+			if m.ArgMax != nil {
+				worst = m.ArgMax.Lambda + " vs " + m.ArgMax.Nu
+			}
+			fmt.Fprintf(b, "| %s | %v | %d | %s |\n", m.Method, m.BoundNS, m.NumPairs, worst)
+		}
+		b.WriteString("\n")
+	}
+	if len(rec.Cache) > 0 {
+		b.WriteString("| cache layer | hits | misses | hit ratio |\n|---|---|---|---|\n")
+		for _, l := range rec.Cache {
+			fmt.Fprintf(b, "| %s | %d | %d | %.1f%% |\n", l.Layer, l.Hits, l.Misses, 100*l.Ratio)
+		}
+		b.WriteString("\n")
+	}
+	if p := rec.Pairs; p != nil {
+		fmt.Fprintf(b, "Pair bounds: %d computed, %d dominance-pruned (%.1f%%)", p.Bounded, p.Pruned, 100*p.PruneRatio)
+		if p.ParallelRuns > 0 {
+			fmt.Fprintf(b, "; block-parallel reduction engaged %d time(s)", p.ParallelRuns)
+		}
+		b.WriteString(".\n\n")
+	}
+	if c := rec.Chains; c != nil {
+		fmt.Fprintf(b, "Chains: %d indexed, %d enumerated", c.Indexed, c.Enumerated)
+		if c.Truncated > 0 {
+			fmt.Fprintf(b, "; **enumeration truncated** (%s)", c.Cause)
+		}
+		b.WriteString(".\n\n")
+	}
+	if len(rec.JumpRuns) > 0 {
+		codes := make([]string, 0, len(rec.JumpRuns))
+		for code := range rec.JumpRuns {
+			codes = append(codes, code)
+		}
+		sort.Strings(codes)
+		b.WriteString("| jump-ahead outcome | runs |\n|---|---|\n")
+		for _, code := range codes {
+			fmt.Fprintf(b, "| %s | %d |\n", code, rec.JumpRuns[code])
+		}
+		b.WriteString("\n")
+	}
 }
 
 func writePlatform(b *strings.Builder, g *model.Graph, res *sched.Result) {
@@ -170,6 +233,18 @@ func writeTaskAnalysis(b *strings.Builder, g *model.Graph, a *core.Analysis, an 
 		if m == methods.SDiff {
 			sd = r.Detail
 		}
+		mr := explain.MethodRecord{Method: m.Name(), BoundNS: r.Bound, Truncated: r.Truncated}
+		if d := r.Detail; d != nil {
+			mr.NumPairs = int64(d.NumPairs)
+			if d.ArgMax >= 0 {
+				pb := d.Pairs[d.ArgMax]
+				mr.ArgMax = &explain.ArgMaxInfo{
+					Lambda: pb.Lambda.Format(g), Nu: pb.Nu.Format(g),
+					BoundNS: pb.Bound, SameHead: pb.SameHead, X1: pb.X1, Y1: pb.Y1,
+				}
+			}
+		}
+		opts.Explain.Method(mr)
 	}
 	b.WriteString("\n")
 	if sd == nil {

@@ -4,6 +4,7 @@ import (
 	"strings"
 	"testing"
 
+	"repro/internal/explain"
 	"repro/internal/model"
 	"repro/internal/timeu"
 )
@@ -43,6 +44,29 @@ func TestFullReport(t *testing.T) {
 	} {
 		if !strings.Contains(out, want) {
 			t.Errorf("report missing %q", want)
+		}
+	}
+}
+
+// TestReportExplainSection checks that a non-nil recorder appends the
+// decision-telemetry section with the per-method and pair-decision
+// tables, and that the default (nil recorder) report omits it.
+func TestReportExplainSection(t *testing.T) {
+	g := model.Fig2Graph()
+	if out := render(t, g, Options{}); strings.Contains(out, "## Decision telemetry") {
+		t.Error("telemetry section rendered without a recorder")
+	}
+	rec := explain.New("test-report")
+	out := render(t, g, Options{Explain: rec})
+	for _, want := range []string{
+		"## Decision telemetry",
+		"| method | bound | pairs | worst pair |",
+		"| S-diff |",
+		"Pair bounds:",
+		"Chains:",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("telemetry section missing %q", want)
 		}
 	}
 }

@@ -81,6 +81,12 @@ type JumpStats struct {
 	// the first failed precondition otherwise.
 	Eligible bool
 	Reason   string `json:",omitempty"`
+	// ReasonCode is the stable machine-readable identifier behind
+	// Reason (see Code for the full taxonomy): ineligibility codes set
+	// where arming fails, plus the two in-flight deactivations
+	// ("snapshot-cap", "cycle-exceeds-horizon") that previously left no
+	// trace. Like Reason it never differs between identical runs.
+	ReasonCode string `json:",omitempty"`
 	// Hyperperiod is the boundary spacing L (0 when not eligible).
 	Hyperperiod timeu.Time
 	// Engaged reports that a fingerprint match occurred and cycles were
@@ -92,6 +98,34 @@ type JumpStats struct {
 	Cycle       timeu.Time
 	Skipped     int64
 	SkippedTime timeu.Time
+}
+
+// Code collapses the outcome into one stable reason-code string, the
+// identifier used by decision records (internal/explain) and the
+// exp.sim.jump.* counters:
+//
+//	"engaged"               cycles were skipped
+//	"armed-no-repeat"       armed, but no boundary repeated in time
+//	"disabled-by-config"    Config.DisableJumpAhead
+//	"tracing-enabled"       Config.Trace != nil
+//	"random-exec"           exec model draws random execution times
+//	"sporadic-tasks"        graph has sporadic tasks
+//	"foreign-observer"      an observer needs per-job callbacks
+//	"no-finite-hyperperiod" hyperperiod missing, overflowing, or > horizon
+//	"snapshot-cap"          still transient after maxCycleSnaps boundaries
+//	"cycle-exceeds-horizon" cycle found, but no whole cycle fit before
+//	                        the horizon
+func (j JumpStats) Code() string {
+	switch {
+	case j.Engaged:
+		return "engaged"
+	case j.ReasonCode != "":
+		return j.ReasonCode
+	case j.Eligible:
+		return "armed-no-repeat"
+	default:
+		return "unknown"
+	}
 }
 
 // maxCycleSnaps bounds the boundary fingerprints kept per run. A
@@ -191,28 +225,28 @@ func (e *Engine) cycleInit() {
 	c.active = false
 	c.snaps = c.snaps[:0]
 	c.jump = JumpStats{}
-	reason := func(r string) { c.jump.Reason = r }
+	reason := func(code, r string) { c.jump.ReasonCode, c.jump.Reason = code, r }
 	if e.cfg.DisableJumpAhead {
-		reason("disabled by config")
+		reason("disabled-by-config", "disabled by config")
 		return
 	}
 	if e.cfg.Trace != nil {
-		reason("tracing enabled")
+		reason("tracing-enabled", "tracing enabled")
 		return
 	}
 	if _, ok := e.cfg.Exec.(DeterministicExec); !ok {
-		reason("exec model " + e.cfg.Exec.Name() + " draws random execution times")
+		reason("random-exec", "exec model "+e.cfg.Exec.Name()+" draws random execution times")
 		return
 	}
 	for i := range e.info {
 		if e.info[i].sporadicSpan > 0 {
-			reason("graph has sporadic tasks")
+			reason("sporadic-tasks", "graph has sporadic tasks")
 			return
 		}
 	}
 	for _, obs := range e.cfg.Observers {
 		if _, ok := obs.(cycleObserver); !ok {
-			reason("observer requires per-job callbacks")
+			reason("foreign-observer", "observer requires per-job callbacks")
 			return
 		}
 	}
@@ -222,7 +256,7 @@ func (e *Engine) cycleInit() {
 	}
 	l, err := timeu.HyperperiodChecked(periods, e.cfg.Horizon)
 	if err != nil {
-		reason(err.Error())
+		reason("no-finite-hyperperiod", err.Error())
 		return
 	}
 	c.period = l
@@ -273,6 +307,8 @@ func (e *Engine) cycleBoundary(b timeu.Time) bool {
 		if m < 1 {
 			// A cycle exists but less than one fits before the horizon;
 			// nothing to skip, and every later boundary would re-match.
+			c.jump.ReasonCode = "cycle-exceeds-horizon"
+			c.jump.Reason = "cycle detected but no whole cycle fits before the horizon"
 			e.cycleDeactivate()
 			return false
 		}
@@ -282,6 +318,8 @@ func (e *Engine) cycleBoundary(b timeu.Time) bool {
 	if len(c.snaps) >= maxCycleSnaps {
 		// Still transient after many hyperperiods — stop paying for
 		// snapshots.
+		c.jump.ReasonCode = "snapshot-cap"
+		c.jump.Reason = "still transient after the boundary-snapshot cap"
 		e.cycleDeactivate()
 		return false
 	}

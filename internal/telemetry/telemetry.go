@@ -71,6 +71,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 		WritePrometheus(w, reg)
+		WriteDerivedGauges(w, reg)
 	})
 	mux.HandleFunc("/progress", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "application/json")
@@ -154,6 +155,67 @@ func WritePrometheus(w io.Writer, reg *metrics.Registry) error {
 		}
 		if _, err := fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n%s_sum %s\n%s_count %d\n",
 			name, h.Count, name, seconds(h.SumNS), name, h.Count); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// WriteDerivedGauges renders the decision-telemetry ratio gauges the
+// raw counters imply: per-layer cache hit ratios, the pair-bound
+// dominance prune ratio, and the jump-ahead engagement rate across
+// sweep simulation runs. Gauges with no underlying activity are
+// omitted so scrapes before any run stay clean.
+func WriteDerivedGauges(w io.Writer, reg *metrics.Registry) error {
+	ex := reg.Export()
+	counters := make(map[string]int64, len(ex.Counters))
+	for _, c := range ex.Counters {
+		counters[c.Name] = c.Value
+	}
+	ratio := func(num, den int64) string {
+		return strconv.FormatFloat(float64(num)/float64(den), 'g', -1, 64)
+	}
+
+	headerDone := false
+	for _, layer := range []string{"sched", "backward", "enum", "pair", "task", "latency"} {
+		h, m := counters["cache."+layer+".hits"], counters["cache."+layer+".misses"]
+		if h+m == 0 {
+			continue
+		}
+		if !headerDone {
+			if _, err := fmt.Fprint(w, "# TYPE disparity_cache_hit_ratio gauge\n"); err != nil {
+				return err
+			}
+			headerDone = true
+		}
+		if _, err := fmt.Fprintf(w, "disparity_cache_hit_ratio{layer=%q} %s\n", layer, ratio(h, h+m)); err != nil {
+			return err
+		}
+	}
+
+	if bounded, pruned := counters["core.pairs.bounded"], counters["core.pairs.pruned"]; bounded+pruned > 0 {
+		if _, err := fmt.Fprintf(w, "# TYPE disparity_pair_prune_ratio gauge\ndisparity_pair_prune_ratio %s\n",
+			ratio(pruned, bounded+pruned)); err != nil {
+			return err
+		}
+	}
+
+	var engaged, jumpTotal int64
+	for name, v := range counters {
+		if strings.HasPrefix(name, "exp.sim.jump.") {
+			jumpTotal += v
+		}
+	}
+	engaged = counters["exp.sim.jump.engaged"]
+	if jumpTotal > 0 {
+		if _, err := fmt.Fprintf(w, "# TYPE disparity_jump_engagement_rate gauge\ndisparity_jump_engagement_rate %s\n",
+			ratio(engaged, jumpTotal)); err != nil {
+			return err
+		}
+	}
+
+	if truncated := counters["chains.truncated"] + counters["core.disparity.truncated"]; truncated > 0 {
+		if _, err := fmt.Fprintf(w, "# TYPE disparity_truncations gauge\ndisparity_truncations %d\n", truncated); err != nil {
 			return err
 		}
 	}

@@ -64,6 +64,47 @@ func TestPrometheusExposition(t *testing.T) {
 	}
 }
 
+func TestDerivedGauges(t *testing.T) {
+	reg := metrics.NewRegistry()
+
+	// No activity → no gauges at all.
+	var empty strings.Builder
+	if err := WriteDerivedGauges(&empty, reg); err != nil {
+		t.Fatal(err)
+	}
+	if empty.Len() != 0 {
+		t.Errorf("gauges emitted with no activity:\n%s", empty.String())
+	}
+
+	reg.Counter("cache.pair.hits").Add(3)
+	reg.Counter("cache.pair.misses").Add(1)
+	reg.Counter("core.pairs.bounded").Add(6)
+	reg.Counter("core.pairs.pruned").Add(2)
+	reg.Counter("exp.sim.jump.engaged").Add(9)
+	reg.Counter("exp.sim.jump.fallback.random-exec").Add(1)
+	reg.Counter("chains.truncated").Add(4)
+
+	var sb strings.Builder
+	if err := WriteDerivedGauges(&sb, reg); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		"# TYPE disparity_cache_hit_ratio gauge\n",
+		`disparity_cache_hit_ratio{layer="pair"} 0.75`,
+		"disparity_pair_prune_ratio 0.25\n",
+		"disparity_jump_engagement_rate 0.9\n",
+		"disparity_truncations 4\n",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("derived gauges missing %q:\n%s", want, out)
+		}
+	}
+	if strings.Contains(out, `layer="sched"`) {
+		t.Errorf("zero-activity layer emitted:\n%s", out)
+	}
+}
+
 // fmt_sscan pulls the trailing integer off an exposition line.
 func fmt_sscan(line string, v *int64) (int, error) {
 	i := strings.LastIndexByte(line, ' ')

@@ -9,11 +9,13 @@
 # PairBoundsReference pair, which shares whatever noise the machine has.
 #
 # Usage: sh tools/bench_analysis_json.sh [count]   (default 5, best-of)
+# BENCH_OUT_DIR redirects the output file (the CI bench gate writes a
+# fresh copy to .bench/ and diffs it against the checked-in baseline).
 set -e
 
 cd "$(dirname "$0")/.."
 COUNT="${1:-5}"
-OUT=BENCH_analysis.json
+OUT="${BENCH_OUT_DIR:-.}/BENCH_analysis.json"
 TMP="$(mktemp)"
 trap 'rm -f "$TMP"' EXIT
 

@@ -71,4 +71,43 @@ awk -v cs="$cur_sim" -v cr="$cur_ref" -v bs="$base_sim" -v br="$base_ref" -v tol
 	exit (pct > tol) ? 1 : 0
 }' || { echo "check_obs_overhead: FAIL normalized throughput regressed beyond ${TOL}%" >&2; exit 1; }
 
+# ---- analysis-side guard: PairBounds / PairBoundsReference ----------
+# The decision-telemetry counters (core.pairs.pruned, core.bound.parallel)
+# sit on the pair-bounding hot path; the explain recorder itself only
+# reads counter snapshots at frontend start/finish and adds no per-pair
+# work. With -explain disabled the normalized pair-bounds ratio must
+# stay within the same tolerance, using the same anchor methodology:
+# BenchmarkPairBoundsReference runs the preserved per-pair pipeline,
+# which the counters do not touch, so machine drift cancels in the
+# ratio.
+ABASE=BENCH_analysis.json
+if [ ! -f "$ABASE" ]; then
+	echo "check_obs_overhead: $ABASE missing; skipping the analysis-side guard" >&2
+else
+	abase_fast="$(jq -r '.current.BenchmarkPairBounds.ns_op' "$ABASE")"
+	abase_ref="$(jq -r '.current.BenchmarkPairBoundsReference.ns_op' "$ABASE")"
+	if [ "$abase_fast" = "null" ] || [ "$abase_ref" = "null" ] || [ -z "$abase_fast" ]; then
+		echo "check_obs_overhead: $ABASE lacks current.BenchmarkPairBounds/BenchmarkPairBoundsReference" >&2
+		exit 1
+	fi
+	go test -run '^$' -bench 'BenchmarkPairBounds$|BenchmarkPairBoundsReference$' \
+		-benchtime 10x -count "$COUNT" -benchmem . | tee "$TMP"
+	acur_fast="$(awk '$1 ~ /^BenchmarkPairBounds(-[0-9]+)?$/ { ns = $3 + 0; if (best == "" || ns < best) best = ns } END { print best }' "$TMP")"
+	acur_ref="$(awk '$1 ~ /^BenchmarkPairBoundsReference(-[0-9]+)?$/ { ns = $3 + 0; if (best == "" || ns < best) best = ns } END { print best }' "$TMP")"
+	if [ -z "$acur_fast" ] || [ -z "$acur_ref" ]; then
+		echo "check_obs_overhead: analysis benchmarks produced no output" >&2
+		exit 1
+	fi
+	awk -v cs="$acur_fast" -v cr="$acur_ref" -v bs="$abase_fast" -v br="$abase_ref" -v tol="$TOL" 'BEGIN {
+		cur = cs / cr
+		base = bs / br
+		pct = (cur - base) / base * 100
+		printf "check_obs_overhead: pairbounds/reference ratio %.4f vs baseline %.4f (%+.2f%%, tolerance %s%%)\n",
+			cur, base, pct, tol
+		printf "check_obs_overhead: raw %d ns/op vs stored %d ns/op (anchor %d vs %d)\n",
+			cs, bs, cr, br
+		exit (pct > tol) ? 1 : 0
+	}' || { echo "check_obs_overhead: FAIL normalized pair-bounds throughput regressed beyond ${TOL}%" >&2; exit 1; }
+fi
+
 echo "check_obs_overhead: OK"
