@@ -32,6 +32,12 @@
 #                 explain recorder/witness, the derived telemetry
 #                 gauges, the shared CLI -explain lifecycle, the bench
 #                 gate tool, and the pinned WATERS -explain golden
+#   verify-scale - fleet-scale tier: vet + race tests of the bitset,
+#                 chains, and fleet generator packages, the >64-task
+#                 differential harness (100 fleet-tier workloads fast
+#                 path == reference, exact multi-word masks on the
+#                 1000+-task default fleet), the public GenerateFleet
+#                 tests, and the pinned fleet generator golden
 #   bench-gate  - regenerate both bench JSONs into .bench/ and diff
 #                 them against the checked-in baselines with
 #                 tools/bench_compare (BENCH_GATE_FLAGS=-report-only
@@ -43,7 +49,7 @@
 
 GO ?= go
 
-.PHONY: build test race bench bench-smoke bench-json verify-obs verify-latency verify-sim-cycle verify-explain bench-gate check
+.PHONY: build test race bench bench-smoke bench-json verify-obs verify-latency verify-sim-cycle verify-explain verify-scale bench-gate check
 
 build:
 	$(GO) build ./...
@@ -84,6 +90,13 @@ verify-explain:
 	$(GO) test -race ./internal/explain/... ./internal/telemetry/... ./internal/cli/... ./tools/bench_compare/...
 	$(GO) test -run 'TestGoldenExplainWaters' ./cmd/disparity-analyze/...
 	$(GO) test -run 'TestReportExplainSection' ./internal/report/...
+
+verify-scale:
+	$(GO) vet ./internal/bitset/... ./internal/chains/... ./internal/randgraph/... ./internal/waters/...
+	$(GO) test -race ./internal/bitset/... ./internal/chains/... ./internal/randgraph/... ./internal/waters/...
+	$(GO) test -race -run 'TestScale' ./internal/integration/...
+	$(GO) test -run 'TestGenerateFleet' .
+	$(GO) test -run 'TestGoldenGenTopologies/fleet' ./cmd/disparity-gen/...
 
 bench-gate:
 	mkdir -p .bench

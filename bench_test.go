@@ -219,6 +219,54 @@ func BenchmarkChainIndex(b *testing.B) {
 	}
 }
 
+// fleetBenchGraph builds the default ~2000-task fleet workload once
+// per benchmark (schedulable by construction, so no retry loop skews
+// the measurement) and returns it with its single sink.
+func fleetBenchGraph(b *testing.B) (*disparity.Graph, disparity.TaskID) {
+	b.Helper()
+	g, _, err := disparity.GenerateFleet(disparity.FleetConfig{}, disparity.GenConfig{Seed: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	if g.NumTasks() < 2000 {
+		b.Fatalf("fleet workload has %d tasks, want ≥ 2000", g.NumTasks())
+	}
+	return g, g.Sinks()[0]
+}
+
+// BenchmarkChainIndexFleet times the incremental trie build at fleet
+// scale: ~2000 tasks with multi-word path masks.
+func BenchmarkChainIndexFleet(b *testing.B) {
+	g, sink := fleetBenchGraph(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		idx := chains.NewIndex(g, sink, 0)
+		if idx.NumChains() == 0 {
+			b.Fatal("empty index")
+		}
+		if _, stride := idx.PathMasks(); stride < 2 {
+			b.Fatalf("fleet masks stride = %d, want multi-word", stride)
+		}
+	}
+}
+
+// BenchmarkPairBoundsFleet times the full bound-only analysis on the
+// fleet workload: fresh analysis, streaming index+bounds build, and
+// the block-parallel pair loop over ~40k pairs with multi-word masks.
+func BenchmarkPairBoundsFleet(b *testing.B) {
+	g, sink := fleetBenchGraph(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		a, err := disparity.Analyze(g)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := a.DisparityBound(sink, disparity.SDiff, 0); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 // BenchmarkSimulateSecond times simulating one second of the 25-task
 // workload (reported allocations dominate the merge of source stamps).
 func BenchmarkSimulateSecond(b *testing.B) {

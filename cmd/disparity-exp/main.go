@@ -9,6 +9,7 @@
 //	disparity-exp -fig 6c            # two-chain buffering experiment
 //	disparity-exp -fig 6d            # incremental ratios of (c)
 //	disparity-exp -fig bounds        # analysis-only bounds (no simulation)
+//	disparity-exp -fig fleet         # fleet-scale zonal sweep (10^3 tasks)
 //	disparity-exp -fig latency       # MRT/MRRT/MDA/MRDA bounds vs simulation
 //	disparity-exp -fig all           # everything
 //	disparity-exp -fig 6a -paper     # the paper's full 10-minute horizons
@@ -81,6 +82,7 @@ var sweeps = map[string]sweepCmd{
 		defaultPoints: []int{1, 10, 30, 50},
 		ecus:          1,
 	},
+	"fleet":                {run: exp.FleetSweep, defaultPoints: []int{2, 4, 8, 12}},
 	"ablation-greedy":      {run: exp.AblationGreedyBuffers},
 	"ablation-adversarial": {run: exp.AblationAdversarial, defaultPoints: []int{5, 10, 15}},
 	"latency":              {run: exp.LatencySweep},

@@ -44,6 +44,7 @@ func TestGoldenGenTopologies(t *testing.T) {
 		{"twochains_n4_seed1", []string{"-topology", "twochains", "-n", "4", "-seed", "1"}},
 		{"layered_232_seed1", []string{"-topology", "layered", "-layers", "2,3,2", "-fanout", "2", "-seed", "1"}},
 		{"automotive_seed1", []string{"-topology", "automotive", "-seed", "1"}},
+		{"fleet_small_seed1", []string{"-topology", "fleet", "-zones", "2", "-zone-ecus", "2", "-pipes", "2", "-depth", "2", "-tail", "1", "-seed", "1"}},
 	}
 	for _, c := range cases {
 		t.Run(c.name, func(t *testing.T) {

@@ -8,6 +8,7 @@
 //	disparity-gen -topology twochains -n 10 -out g.json
 //	disparity-gen -topology layered -layers 3,4,2 -fanout 2 -out g.json
 //	disparity-gen -topology automotive -sensors 3 -depth 2 -tail 2 -out g.json
+//	disparity-gen -topology fleet -zones 8 -zone-ecus 4 -pipes 9 -depth 6 -tail 2 -out g.json
 package main
 
 import (
@@ -32,7 +33,7 @@ func main() {
 func run(args []string, stdout io.Writer) error {
 	app := cli.New("disparity-gen")
 	fs := app.FlagSet()
-	topology := fs.String("topology", "gnm", "gnm | twochains | layered | automotive")
+	topology := fs.String("topology", "gnm", "gnm | twochains | layered | automotive | fleet")
 	n := fs.Int("n", 15, "tasks (gnm) or per-chain tasks (twochains)")
 	m := fs.Int("m", 0, "edges for gnm (default 2n)")
 	layers := fs.String("layers", "3,4,2", "layer widths for layered")
@@ -41,6 +42,9 @@ func run(args []string, stdout io.Writer) error {
 	depth := fs.Int("depth", 2, "per-sensor processing depth for automotive")
 	tail := fs.Int("tail", 2, "shared tail length for automotive")
 	zonal := fs.Bool("zonal", true, "zonal ECU architecture for automotive")
+	zones := fs.Int("zones", 8, "vehicle zones for fleet")
+	zoneECUs := fs.Int("zone-ecus", 4, "compute ECUs per zone for fleet")
+	pipes := fs.Int("pipes", 9, "sensor pipelines per ECU for fleet")
 	ecus := fs.Int("ecus", 4, "number of compute ECUs")
 	out := fs.String("out", "", "output path (default stdout)")
 	requireSched := fs.Bool("schedulable", true, "retry generation until the graph is NP-FP schedulable")
@@ -70,6 +74,12 @@ func run(args []string, stdout io.Writer) error {
 		case "automotive":
 			g, _, err := disparity.GenerateAutomotive(disparity.AutomotiveConfig{
 				Sensors: *sensors, ProcDepth: *depth, TailLen: *tail, ZoneECUs: *zonal,
+			}, cfg)
+			return g, err
+		case "fleet":
+			g, _, err := disparity.GenerateFleet(disparity.FleetConfig{
+				Zones: *zones, ECUsPerZone: *zoneECUs, PipesPerECU: *pipes,
+				ProcDepth: *depth, TailLen: *tail,
 			}, cfg)
 			return g, err
 		default:

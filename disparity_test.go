@@ -8,6 +8,7 @@ import (
 
 	disparity "repro"
 	"repro/internal/model"
+	"repro/internal/sched"
 )
 
 const ms = disparity.Millisecond
@@ -375,6 +376,73 @@ func TestGenerateAutomotive(t *testing.T) {
 	}
 	if _, _, err := disparity.GenerateAutomotive(disparity.AutomotiveConfig{Sensors: 1, ProcDepth: 1}, disparity.GenConfig{}); err == nil {
 		t.Error("bad config accepted")
+	}
+}
+
+func TestGenerateFleet(t *testing.T) {
+	cfg := disparity.FleetConfig{Zones: 2, ECUsPerZone: 2, PipesPerECU: 3, ProcDepth: 2, TailLen: 1}
+	g, fusion, err := disparity.GenerateFleet(cfg, disparity.GenConfig{Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Tasks = topology + one bus message per cross-ECU edge: an
+	// aggregator→gateway hop for each non-gateway ECU plus every
+	// gateway→fusion hop.
+	msgs := cfg.Zones*(cfg.ECUsPerZone-1) + cfg.Zones
+	if got, want := g.NumTasks(), cfg.NumTasks()+msgs; got != want {
+		t.Errorf("NumTasks = %d, want %d (+%d bus messages)", got, want, msgs)
+	}
+	// Budgeted WCETs make the graph schedulable by construction.
+	if res := sched.Analyze(g, sched.NonPreemptiveFP); !res.Schedulable {
+		t.Errorf("budget-populated fleet graph not NP-FP schedulable: %+v", res)
+	}
+	a, err := disparity.Analyze(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	td, err := a.DisparityBound(fusion, disparity.SDiff, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nc := cfg.NumChains()
+	if want := nc * (nc - 1) / 2; td.NumPairs != want {
+		t.Errorf("NumPairs = %d, want %d (%d pipelines)", td.NumPairs, want, nc)
+	}
+	if td.Bound <= 0 {
+		t.Errorf("fleet disparity bound = %v, want > 0", td.Bound)
+	}
+	if _, _, err := disparity.GenerateFleet(disparity.FleetConfig{Zones: 1}, disparity.GenConfig{}); err == nil {
+		t.Error("bad config accepted")
+	}
+}
+
+func TestGenerateFleetDefaultScale(t *testing.T) {
+	if testing.Short() {
+		t.Skip("2000-task generation in -short mode")
+	}
+	g, fusion, err := disparity.GenerateFleet(disparity.FleetConfig{}, disparity.GenConfig{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumTasks() < 2000 {
+		t.Errorf("default fleet has %d tasks, want ≥ 2000", g.NumTasks())
+	}
+	if res := sched.Analyze(g, sched.NonPreemptiveFP); !res.Schedulable {
+		t.Error("default fleet graph not NP-FP schedulable")
+	}
+	a, err := disparity.Analyze(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	td, err := a.DisparityBound(fusion, disparity.SDiff, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if td.Truncated || td.Bound <= 0 {
+		t.Errorf("default fleet: bound %v truncated=%v", td.Bound, td.Truncated)
 	}
 }
 

@@ -3,9 +3,11 @@ package disparity
 import (
 	"math/rand"
 
+	"repro/internal/can"
 	"repro/internal/letanalysis"
 	"repro/internal/offsetopt"
 	"repro/internal/randgraph"
+	"repro/internal/timeu"
 	"repro/internal/waters"
 )
 
@@ -86,6 +88,38 @@ func GenerateAutomotive(cfg AutomotiveConfig, gen GenConfig) (*Graph, TaskID, er
 		return nil, 0, err
 	}
 	waters.Populate(g, newRand(gen.Seed))
+	return g, fusion, nil
+}
+
+// FleetConfig shapes GenerateFleet: zones, ECUs per zone, pipelines
+// per ECU, processing depth and tail length.
+type FleetConfig = randgraph.FleetConfig
+
+// GenerateFleet builds a fleet-scale zonal E/E architecture — per-ECU
+// sensor pipelines joined by aggregators, per-zone gateways, central
+// fusion with a shared tail — at the 10^3–10^4-task scale, and returns
+// the fusion task, the natural disparity target. A zero-valued config
+// selects randgraph.DefaultFleet (≈ 2000 tasks).
+//
+// Unlike the WATERS-populated small topologies, execution times are
+// budgeted (waters.PopulateBudget): every ECU's total WCET stays below
+// half its shortest period, so the graph is NP-FP schedulable by
+// construction — a retry loop at this scale would be prohibitive.
+// Cross-ECU edges (aggregator→gateway, gateway→fusion) are split over
+// a 500 kbit/s standard-frame CAN bus.
+func GenerateFleet(cfg FleetConfig, gen GenConfig) (*Graph, TaskID, error) {
+	if cfg == (FleetConfig{}) {
+		cfg = randgraph.DefaultFleet()
+	}
+	g, fusion, err := randgraph.Fleet(cfg)
+	if err != nil {
+		return nil, 0, err
+	}
+	waters.PopulateBudget(g, newRand(gen.Seed), 20*timeu.Millisecond, 0.5)
+	bus := can.Bus{Rate: can.Baud500k, Format: can.Standard, Payload: 8}
+	if _, _, err := bus.Split(g, "can0"); err != nil {
+		return nil, 0, err
+	}
 	return g, fusion, nil
 }
 

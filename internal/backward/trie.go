@@ -38,49 +38,78 @@ type TrieBounds struct {
 // TrieBounds computes the per-node bound tables for idx. Like WCBT and
 // BCBT it panics when a chain in the trie mixes communication
 // semantics among scheduled tasks (see CheckChain).
+//
+// Trie nodes are appended parent-before-child, so one forward pass
+// sees every parent first; IndexBounds feeds the same per-node step
+// from the index construction itself, without the second walk.
 func (a *Analyzer) TrieBounds(idx *chains.Index) *TrieBounds {
 	n := idx.NumNodes()
 	tb := &TrieBounds{
 		a:       a,
 		idx:     idx,
-		whop:    make([]timeu.Time, n),
-		blo:     make([]timeu.Time, n),
-		bsum:    make([]timeu.Time, n),
-		pper:    make([]timeu.Time, n),
-		schedAt: make([]int32, n),
+		whop:    make([]timeu.Time, 0, n),
+		blo:     make([]timeu.Time, 0, n),
+		bsum:    make([]timeu.Time, 0, n),
+		pper:    make([]timeu.Time, 0, n),
+		schedAt: make([]int32, 0, n),
 	}
-	root := a.g.Task(idx.NodeTask(0))
-	tb.bsum[0] = root.BCET
-	tb.schedAt[0] = -1
-	if root.ECU != model.NoECU {
-		tb.pper[0] = root.Period
-		tb.schedAt[0] = 0
-	}
-	// Trie nodes are appended parent-before-child, so one forward pass
-	// sees every parent first.
-	for u := int32(1); u < int32(n); u++ {
-		p := idx.NodeParent(u)
-		task := idx.NodeTask(u)
-		tsk := a.g.Task(task)
-		ptask := idx.NodeTask(p)
-		tb.whop[u] = tb.whop[p] + a.theta(task, ptask) + a.bufferShiftHi(task, ptask)
-		tb.blo[u] = tb.blo[p] + a.bufferShiftLo(task, ptask)
-		tb.bsum[u] = tb.bsum[p] + tsk.BCET
-		tb.pper[u] = tb.pper[p]
-		tb.schedAt[u] = tb.schedAt[p]
-		if tsk.ECU != model.NoECU {
-			if anc := tb.schedAt[p]; anc >= 0 {
-				if ancSem := a.g.Task(idx.NodeTask(anc)).Sem; ancSem != tsk.Sem {
-					// Same condition and message as CheckChain, with
-					// the head-side (deeper) semantics named first.
-					panic(fmt.Errorf("backward: chain mixes %v and %v tasks", tsk.Sem, ancSem))
-				}
-			}
-			tb.pper[u] += tsk.Period
-			tb.schedAt[u] = u
-		}
+	for u := int32(0); u < int32(n); u++ {
+		tb.addNode(idx, u)
 	}
 	return tb
+}
+
+// IndexBounds builds the chain trie and its per-node bound tables in
+// one streaming pass: each trie node is folded into the prefix sums the
+// moment NewIndexStream creates it. The result is identical to
+// NewIndex followed by TrieBounds; fleet-scale tries just never pay the
+// second O(nodes) walk.
+func (a *Analyzer) IndexBounds(g *model.Graph, task model.TaskID, maxChains int) (*chains.Index, *TrieBounds) {
+	tb := &TrieBounds{a: a}
+	idx := chains.NewIndexStream(g, task, maxChains, tb.addNode)
+	tb.idx = idx
+	return idx, tb
+}
+
+// addNode appends node u's cumulative sums, reading only u's task and
+// its (already appended) parent — the visitor contract of
+// NewIndexStream.
+func (tb *TrieBounds) addNode(idx *chains.Index, u int32) {
+	a := tb.a
+	task := idx.NodeTask(u)
+	tsk := a.g.Task(task)
+	if u == 0 {
+		tb.whop = append(tb.whop, 0)
+		tb.blo = append(tb.blo, 0)
+		tb.bsum = append(tb.bsum, tsk.BCET)
+		if tsk.ECU != model.NoECU {
+			tb.pper = append(tb.pper, tsk.Period)
+			tb.schedAt = append(tb.schedAt, 0)
+		} else {
+			tb.pper = append(tb.pper, 0)
+			tb.schedAt = append(tb.schedAt, -1)
+		}
+		return
+	}
+	p := idx.NodeParent(u)
+	ptask := idx.NodeTask(p)
+	tb.whop = append(tb.whop, tb.whop[p]+a.theta(task, ptask)+a.bufferShiftHi(task, ptask))
+	tb.blo = append(tb.blo, tb.blo[p]+a.bufferShiftLo(task, ptask))
+	tb.bsum = append(tb.bsum, tb.bsum[p]+tsk.BCET)
+	pper, schedAt := tb.pper[p], tb.schedAt[p]
+	if tsk.ECU != model.NoECU {
+		if anc := schedAt; anc >= 0 {
+			if ancSem := a.g.Task(idx.NodeTask(anc)).Sem; ancSem != tsk.Sem {
+				// Same condition and message as CheckChain, with
+				// the head-side (deeper) semantics named first.
+				panic(fmt.Errorf("backward: chain mixes %v and %v tasks", tsk.Sem, ancSem))
+			}
+		}
+		pper += tsk.Period
+		schedAt = u
+	}
+	tb.pper = append(tb.pper, pper)
+	tb.schedAt = append(tb.schedAt, schedAt)
 }
 
 // Index returns the trie the bounds were computed for.

@@ -1,0 +1,136 @@
+package bitset
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestWords(t *testing.T) {
+	cases := []struct{ n, want int }{
+		{0, 0}, {1, 1}, {63, 1}, {64, 1}, {65, 2}, {128, 2}, {129, 3}, {1000, 16},
+	}
+	for _, c := range cases {
+		if got := Words(c.n); got != c.want {
+			t.Errorf("Words(%d) = %d, want %d", c.n, got, c.want)
+		}
+	}
+}
+
+func TestSetTestRow(t *testing.T) {
+	const bits, rows = 150, 4
+	stride := Words(bits)
+	flat := make([]uint64, rows*stride)
+	// Set bit (r*37+r) mod bits in row r, check only that bit is set.
+	for r := 0; r < rows; r++ {
+		Set(Row(flat, stride, r), (r*37+r)%bits)
+	}
+	for r := 0; r < rows; r++ {
+		row := Row(flat, stride, r)
+		if len(row) != stride {
+			t.Fatalf("row %d length %d, want %d", r, len(row), stride)
+		}
+		for b := 0; b < bits; b++ {
+			want := b == (r*37+r)%bits
+			if Test(row, b) != want {
+				t.Errorf("row %d bit %d = %v, want %v", r, b, Test(row, b), want)
+			}
+		}
+	}
+}
+
+// TestOpsMatchReference drives Or/And/AndNotAny/AndNotAnyExcept against
+// a naive per-bit reference on random rows spanning several words.
+func TestOpsMatchReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	const bits = 200
+	stride := Words(bits)
+	randRow := func() []uint64 {
+		row := make([]uint64, stride)
+		for b := 0; b < bits; b++ {
+			if rng.Intn(3) == 0 {
+				Set(row, b)
+			}
+		}
+		return row
+	}
+	for trial := 0; trial < 200; trial++ {
+		a, b, c := randRow(), randRow(), randRow()
+
+		dst := make([]uint64, stride)
+		copy(dst, a)
+		Or(dst, b)
+		for i := 0; i < bits; i++ {
+			if Test(dst, i) != (Test(a, i) || Test(b, i)) {
+				t.Fatalf("trial %d: Or bit %d wrong", trial, i)
+			}
+		}
+
+		And(dst, a, b)
+		for i := 0; i < bits; i++ {
+			if Test(dst, i) != (Test(a, i) && Test(b, i)) {
+				t.Fatalf("trial %d: And bit %d wrong", trial, i)
+			}
+		}
+
+		want := false
+		for i := 0; i < bits; i++ {
+			if Test(a, i) && Test(b, i) && !Test(c, i) {
+				want = true
+				break
+			}
+		}
+		if got := AndNotAny(a, b, c); got != want {
+			t.Fatalf("trial %d: AndNotAny = %v, want %v", trial, got, want)
+		}
+
+		ex := rng.Intn(bits)
+		want = false
+		for i := 0; i < bits; i++ {
+			if i != ex && Test(a, i) && Test(b, i) && !Test(c, i) {
+				want = true
+				break
+			}
+		}
+		if got := AndNotAnyExcept(a, b, c, ex); got != want {
+			t.Fatalf("trial %d: AndNotAnyExcept(·, %d) = %v, want %v", trial, ex, got, want)
+		}
+	}
+}
+
+// TestAndNotAnyExceptHighBit pins the word indexing of the exclusion:
+// a bit in the second word must be cleared from the second word, not
+// the first.
+func TestAndNotAnyExceptHighBit(t *testing.T) {
+	stride := Words(128)
+	a, b, c := make([]uint64, stride), make([]uint64, stride), make([]uint64, stride)
+	Set(a, 100)
+	Set(b, 100)
+	if !AndNotAny(a, b, c) {
+		t.Fatal("bit 100 set in a&b&^c but AndNotAny false")
+	}
+	if AndNotAnyExcept(a, b, c, 100) {
+		t.Fatal("bit 100 excluded but AndNotAnyExcept true")
+	}
+	if !AndNotAnyExcept(a, b, c, 36) {
+		t.Fatal("excluding bit 36 must not clear bit 100")
+	}
+}
+
+// BenchmarkAndNotAnyExcept pins the alloc-free contract of the hot
+// helper.
+func BenchmarkAndNotAnyExcept(b *testing.B) {
+	stride := Words(2048)
+	a, bb, c := make([]uint64, stride), make([]uint64, stride), make([]uint64, stride)
+	for i := 0; i < 2048; i += 7 {
+		Set(a, i)
+		Set(bb, i)
+		Set(c, i)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if AndNotAnyExcept(a, bb, c, 63) {
+			b.Fatal("unexpected residue")
+		}
+	}
+}

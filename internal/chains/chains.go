@@ -18,8 +18,11 @@ var chainsEnumerated = metrics.C("chains.enumerated")
 
 // DefaultMaxChains caps path enumeration. Random DAGs can have
 // exponentially many source→sink paths; analyses that would exceed the cap
-// fail loudly rather than running forever.
-const DefaultMaxChains = 1 << 16
+// fail loudly rather than running forever. The cap was raised from 2^16
+// when the trie index went incremental (fleet-scale graphs legitimately
+// carry more chains); runaway memory on adversarial graphs is bounded
+// separately by DefaultMaxNodes.
+const DefaultMaxChains = 1 << 18
 
 // ErrTooManyChains is wrapped by Enumerate when the cap is exceeded.
 var ErrTooManyChains = fmt.Errorf("chains: too many chains")

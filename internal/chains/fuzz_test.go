@@ -4,11 +4,13 @@ import (
 	"errors"
 	"testing"
 
+	"repro/internal/bitset"
 	"repro/internal/model"
 )
 
 // fuzzGraph decodes arbitrary bytes into a DAG: the first byte sets the
-// task count (2..81, deliberately crossing the 64-task PathMasks cap),
+// task count (2..81, deliberately crossing the 64-task single-word mask
+// specialization),
 // each following byte pair proposes an edge, always directed from the
 // lower to the higher task ID so the graph stays acyclic. Self-loops
 // and duplicates are skipped, mirroring what a generator would refuse.
@@ -35,11 +37,12 @@ func fuzzGraph(data []byte) *model.Graph {
 	return g
 }
 
-// chainMask is the reference bitset of a chain's tasks (≤ 64 tasks).
-func chainMask(c model.Chain) uint64 {
-	var m uint64
+// chainMask is the reference bitset of a chain's tasks: a stride-word
+// row built bit by bit, independent of the Index mask builder.
+func chainMask(c model.Chain, stride int) []uint64 {
+	m := make([]uint64, stride)
 	for _, id := range c {
-		m |= 1 << uint(id)
+		bitset.Set(m, int(id))
 	}
 	return m
 }
@@ -48,10 +51,11 @@ func chainMask(c model.Chain) uint64 {
 // trie index: on every decodable DAG and every sink, NewIndex must
 // agree with the legacy Enumerate — same chains in the same order, the
 // same truncation decision at any cap (flag vs error), and PathMasks
-// that are exact exactly up to 64 tasks.
+// that are exact at any task count (single-word up to 64 tasks,
+// multi-word beyond).
 func FuzzIndexMatchesEnumerate(f *testing.F) {
 	// A diamond with a shared tail, a dense truncation-prone graph, an
-	// edgeless graph, and a >64-task graph (inexact masks).
+	// edgeless graph, and a >64-task graph (multi-word masks).
 	f.Add([]byte{0x02, 0, 2, 1, 2, 2, 3, 0, 1}, uint16(1))
 	f.Add([]byte{0x0a, 0, 5, 1, 5, 2, 5, 3, 5, 4, 5, 5, 6, 5, 7, 6, 8, 7, 8, 8, 9}, uint16(3))
 	f.Add([]byte{0x05}, uint16(0))
@@ -122,20 +126,21 @@ func FuzzIndexMatchesEnumerate(f *testing.F) {
 				}
 			}
 
-			// PathMasks: exact bitsets up to 64 tasks, refused above.
-			masks, exact := idx.PathMasks()
-			if g.NumTasks() > 64 {
-				if exact || masks != nil {
-					t.Fatalf("PathMasks on %d tasks: exact=%v masks=%v, want refusal", g.NumTasks(), exact, masks != nil)
-				}
-				continue
-			}
-			if !exact || len(masks) != idx.NumNodes() {
-				t.Fatalf("PathMasks on %d tasks: exact=%v len=%d nodes=%d", g.NumTasks(), exact, len(masks), idx.NumNodes())
+			// PathMasks: exact bitsets at any task count — single-word
+			// rows up to 64 tasks, multi-word rows beyond.
+			masks, stride := idx.PathMasks()
+			wantStride := bitset.Words(g.NumTasks())
+			if stride != wantStride || len(masks) != idx.NumNodes()*stride {
+				t.Fatalf("PathMasks on %d tasks: stride=%d (want %d) len=%d nodes=%d",
+					g.NumTasks(), stride, wantStride, len(masks), idx.NumNodes())
 			}
 			for i := 0; i < idx.NumChains(); i++ {
-				if got, want := masks[idx.Leaf(i)], chainMask(idx.Chain(i)); got != want {
-					t.Fatalf("leaf %d mask %064b, chain tasks %064b", i, got, want)
+				row := bitset.Row(masks, stride, int(idx.Leaf(i)))
+				want := chainMask(idx.Chain(i), stride)
+				for k := range want {
+					if row[k] != want[k] {
+						t.Fatalf("leaf %d word %d mask %064b, chain tasks %064b", i, k, row[k], want[k])
+					}
 				}
 			}
 		}

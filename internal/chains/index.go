@@ -21,6 +21,7 @@ package chains
 import (
 	"sync"
 
+	"repro/internal/bitset"
 	"repro/internal/metrics"
 	"repro/internal/model"
 )
@@ -28,7 +29,63 @@ import (
 var (
 	chainsIndexed   = metrics.C("chains.indexed")
 	chainsTruncated = metrics.C("chains.truncated")
+	// chainsTruncatedNodes counts indexes truncated by the trie node
+	// budget (as opposed to the chain cap); explain derives the
+	// truncation cause from the two counters' delta.
+	chainsTruncatedNodes = metrics.C("chains.truncated.nodes")
+	// Mask-mode counters, one increment per index whose PathMasks were
+	// requested: single-word exact, multi-word exact, or skipped because
+	// the table would exceed MaskBudgetWords. Telemetry derives the
+	// disparity_mask_exact gauge from these.
+	masksWord    = metrics.C("chains.masks.word")
+	masksMulti   = metrics.C("chains.masks.multi")
+	masksSkipped = metrics.C("chains.masks.skipped")
 )
+
+// DefaultMaxNodes bounds the number of trie nodes NewIndex materializes
+// — the memory budget complementing the chain cap. A trie that reaches
+// it is truncated with TruncatedNodeBudget: it holds the chains fully
+// discovered so far, in Enumerate order. The default (≈50 MB of nodes)
+// is far above anything the chain cap admits on realistic graphs; it
+// exists so adversarial deep-and-wide DAGs degrade to a truncated
+// analysis instead of an allocation storm. It is a variable so tests
+// can lower it.
+var DefaultMaxNodes = 1 << 22
+
+// MaskBudgetWords bounds the flat path-mask table PathMasks builds
+// (64-bit words, so the default is 256 MB). An index whose table would
+// exceed it reports no masks — the analysis falls back to the
+// decomposition walk, which is exact, merely slower. It is a variable
+// so tests can exercise the fallback.
+var MaskBudgetWords = 1 << 25
+
+// TruncationCause says why an Index holds only a prefix of the chain
+// set. The zero value means the enumeration completed.
+type TruncationCause uint8
+
+const (
+	// NotTruncated: the index holds every chain.
+	NotTruncated TruncationCause = iota
+	// TruncatedChainCap: the enumeration hit maxChains (the condition
+	// under which Enumerate fails with ErrTooManyChains).
+	TruncatedChainCap
+	// TruncatedNodeBudget: trie construction hit DefaultMaxNodes before
+	// the chain cap.
+	TruncatedNodeBudget
+)
+
+// String returns the stable cause label used by explain records and
+// reports.
+func (c TruncationCause) String() string {
+	switch c {
+	case TruncatedChainCap:
+		return "max-chains-cap"
+	case TruncatedNodeBudget:
+		return "node-budget"
+	default:
+		return "none"
+	}
+}
 
 // node is one trie entry: a distinct path from a task to the analyzed
 // task. nodes[0] is the root (the analyzed task itself, depth 1);
@@ -40,23 +97,30 @@ type node struct {
 	depth  int32 // number of tasks on the path node..root
 }
 
+// frame is one pending trie node of the iterative construction.
+type frame struct {
+	task   model.TaskID
+	parent int32
+}
+
 // Index is the prefix trie of every chain ending at one task, built in
 // one backward DAG traversal. The zero value is not usable; construct
 // with NewIndex. An Index is immutable after construction and safe for
 // concurrent use.
 type Index struct {
-	task      model.TaskID
-	numTasks  int
-	nodes     []node
-	leaves    []int32 // leaf node per chain, in Enumerate order
-	maxDepth  int32
-	truncated bool
+	task     model.TaskID
+	numTasks int
+	nodes    []node
+	leaves   []int32 // leaf node per chain, in Enumerate order
+	maxDepth int32
+	cause    TruncationCause
 
 	// Lazily built derived tables (see LCA and PathMasks).
-	liftOnce sync.Once
-	lift     [][]int32
-	maskOnce sync.Once
-	masks    []uint64
+	liftOnce   sync.Once
+	lift       [][]int32
+	maskOnce   sync.Once
+	masks      []uint64
+	maskStride int
 }
 
 // NewIndex builds the trie of all chains that start at a source task of
@@ -65,39 +129,66 @@ type Index struct {
 // Enumerate fails with ErrTooManyChains, NewIndex keeps the first
 // maxChains chains and marks the index Truncated — callers that must
 // not work on a partial chain set check Truncated instead of an error.
+// A second budget, DefaultMaxNodes, bounds trie memory on graphs whose
+// node count (not chain count) explodes; Cause distinguishes the two.
 func NewIndex(g *model.Graph, task model.TaskID, maxChains int) *Index {
+	return NewIndexStream(g, task, maxChains, nil)
+}
+
+// NewIndexStream is NewIndex with a per-node visitor: fn is invoked for
+// every trie node immediately after it is appended (a node's parent is
+// always visited before the node), so per-node tables — the backward
+// WCBT/BCBT prefix sums of backward.TrieBounds — can be built in the
+// same single pass instead of re-walking the finished trie. fn must not
+// retain x's internals; x is still under construction.
+func NewIndexStream(g *model.Graph, task model.TaskID, maxChains int, fn func(x *Index, n int32)) *Index {
 	if maxChains <= 0 {
 		maxChains = DefaultMaxChains
 	}
 	x := &Index{task: task, numTasks: g.NumTasks()}
-	x.nodes = append(x.nodes, node{task: task, parent: -1, depth: 1})
-	var rec func(n int32) bool
-	rec = func(n int32) bool {
-		preds := g.Predecessors(x.nodes[n].task)
+	// Iterative DFS, children pushed in reverse predecessor order so
+	// they pop in predecessor order: nodes are appended in exactly the
+	// preorder the recursive formulation produced, and fleet-scale
+	// chains (10^3+ tasks long) cannot overflow the goroutine stack.
+	stack := []frame{{task: task, parent: -1}}
+	for len(stack) > 0 {
+		fr := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if len(x.nodes) >= DefaultMaxNodes {
+			x.cause = TruncatedNodeBudget
+			break
+		}
+		n := int32(len(x.nodes))
+		depth := int32(1)
+		if fr.parent >= 0 {
+			depth = x.nodes[fr.parent].depth + 1
+		}
+		x.nodes = append(x.nodes, node{task: fr.task, parent: fr.parent, depth: depth})
+		if fn != nil {
+			fn(x, n)
+		}
+		preds := g.Predecessors(fr.task)
 		if len(preds) == 0 {
 			if len(x.leaves) >= maxChains {
-				x.truncated = true
-				return false
+				x.cause = TruncatedChainCap
+				break
 			}
 			x.leaves = append(x.leaves, n)
-			if d := x.nodes[n].depth; d > x.maxDepth {
-				x.maxDepth = d
+			if depth > x.maxDepth {
+				x.maxDepth = depth
 			}
-			return true
+			continue
 		}
-		for _, p := range preds {
-			c := int32(len(x.nodes))
-			x.nodes = append(x.nodes, node{task: p, parent: n, depth: x.nodes[n].depth + 1})
-			if !rec(c) {
-				return false
-			}
+		for k := len(preds) - 1; k >= 0; k-- {
+			stack = append(stack, frame{task: preds[k], parent: n})
 		}
-		return true
 	}
-	rec(0)
 	chainsIndexed.Add(int64(len(x.leaves)))
-	if x.truncated {
+	if x.cause != NotTruncated {
 		chainsTruncated.Inc()
+		if x.cause == TruncatedNodeBudget {
+			chainsTruncatedNodes.Inc()
+		}
 	}
 	return x
 }
@@ -111,10 +202,14 @@ func (x *Index) NumChains() int { return len(x.leaves) }
 // NumNodes returns the number of trie nodes.
 func (x *Index) NumNodes() int { return len(x.nodes) }
 
-// Truncated reports whether the enumeration hit maxChains: the index
-// holds the first maxChains chains in Enumerate order and the analysis
-// built on it covers only those.
-func (x *Index) Truncated() bool { return x.truncated }
+// Truncated reports whether the enumeration hit maxChains or the node
+// budget: the index holds a prefix of the chains in Enumerate order and
+// the analysis built on it covers only those.
+func (x *Index) Truncated() bool { return x.cause != NotTruncated }
+
+// Cause returns why the index is truncated (NotTruncated when it holds
+// the full chain set).
+func (x *Index) Cause() TruncationCause { return x.cause }
 
 // MaxDepth returns the length of the longest chain.
 func (x *Index) MaxDepth() int { return int(x.maxDepth) }
@@ -231,23 +326,44 @@ func (x *Index) buildLift() {
 }
 
 // PathMasks returns a per-node bitset of the tasks on the path
-// node..root, and whether the masks are exact (one bit per task, only
-// possible when the graph has at most 64 tasks). With exact masks,
-// masks[u] & masks[v] &^ masks[LCA(u,v)] == 0 proves the two chains
-// share no task below their join point — the c = 1 case of Theorem 2 —
-// without walking either path. Inexact masks are never returned
-// (callers fall back to the path walk), keeping the test one-sided.
-func (x *Index) PathMasks() ([]uint64, bool) {
-	if x.numTasks > 64 {
-		return nil, false
-	}
+// node..root as one flat table, and the table's word stride: node n's
+// row is masks[n*stride : (n+1)*stride] (see internal/bitset). The
+// masks are exact — one bit per task — for any task count: graphs with
+// at most 64 tasks keep the historical single-uint64 layout (stride 1,
+// bit-identical and allocation-identical to the pre-bitset build),
+// larger graphs get stride bitset.Words(numTasks). With exact masks,
+// row(u) & row(w) &^ row(LCA(u,w)) == 0 proves the two chains share no
+// task below their join point — the c = 1 case of Theorem 2 — without
+// walking either path.
+//
+// A table that would exceed MaskBudgetWords is not built: the call
+// returns (nil, 0) and callers fall back to the decomposition walk.
+func (x *Index) PathMasks() ([]uint64, int) {
 	x.maskOnce.Do(func() {
-		masks := make([]uint64, len(x.nodes))
-		masks[0] = 1 << uint(x.nodes[0].task)
-		for n := 1; n < len(x.nodes); n++ {
-			masks[n] = masks[x.nodes[n].parent] | 1<<uint(x.nodes[n].task)
+		stride := bitset.Words(x.numTasks)
+		if stride <= 1 {
+			masks := make([]uint64, len(x.nodes))
+			masks[0] = 1 << uint(x.nodes[0].task)
+			for n := 1; n < len(x.nodes); n++ {
+				masks[n] = masks[x.nodes[n].parent] | 1<<uint(x.nodes[n].task)
+			}
+			x.masks, x.maskStride = masks, 1
+			masksWord.Inc()
+			return
 		}
-		x.masks = masks
+		if len(x.nodes) > MaskBudgetWords/stride {
+			masksSkipped.Inc()
+			return
+		}
+		flat := make([]uint64, len(x.nodes)*stride)
+		bitset.Set(flat[:stride], int(x.nodes[0].task))
+		for n := 1; n < len(x.nodes); n++ {
+			row := flat[n*stride : (n+1)*stride]
+			copy(row, flat[int(x.nodes[n].parent)*stride:])
+			bitset.Set(row, int(x.nodes[n].task))
+		}
+		x.masks, x.maskStride = flat, stride
+		masksMulti.Inc()
 	})
-	return x.masks, true
+	return x.masks, x.maskStride
 }

@@ -112,9 +112,9 @@ func TestIndexPathMasks(t *testing.T) {
 			t.Fatal(err)
 		}
 		idx := NewIndex(g, sink, 4096)
-		masks, exact := idx.PathMasks()
-		if !exact {
-			t.Fatalf("trial %d: %d-task graph should have exact masks", trial, g.NumTasks())
+		masks, stride := idx.PathMasks()
+		if stride != 1 {
+			t.Fatalf("trial %d: %d-task graph should have single-word masks, got stride %d", trial, g.NumTasks(), stride)
 		}
 		err = ForEachPair(len(cs), func(i, j int) error {
 			sl, sn, err := StripCommonSuffix(cs[i], cs[j])
@@ -199,5 +199,152 @@ func TestIndexSingleSourceTask(t *testing.T) {
 	idx := NewIndex(g, id, 0)
 	if idx.NumChains() != 1 || idx.Chain(0).Len() != 1 || idx.Chain(0)[0] != id {
 		t.Fatalf("index of a source task = %v", idx.Chains())
+	}
+}
+
+// diamondLadder builds the 2^levels-chain truncation topology shared by
+// the cause tests.
+func diamondLadder(t *testing.T, levels int) (*model.Graph, model.TaskID) {
+	t.Helper()
+	g := model.NewGraph()
+	prev := g.AddTask(model.Task{Name: "s"})
+	for i := 0; i < levels; i++ {
+		a := g.AddTask(model.Task{})
+		b := g.AddTask(model.Task{})
+		join := g.AddTask(model.Task{})
+		for _, mid := range []model.TaskID{a, b} {
+			if err := g.AddEdge(prev, mid); err != nil {
+				t.Fatal(err)
+			}
+			if err := g.AddEdge(mid, join); err != nil {
+				t.Fatal(err)
+			}
+		}
+		prev = join
+	}
+	return g, prev
+}
+
+// TestIndexTruncationCause distinguishes the two truncation causes: the
+// chain cap and the trie node budget, each keeping an Enumerate-order
+// chain prefix.
+func TestIndexTruncationCause(t *testing.T) {
+	g, sink := diamondLadder(t, 10)
+	full, err := Enumerate(g, sink, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	capped := NewIndex(g, sink, 64)
+	if capped.Cause() != TruncatedChainCap || capped.Cause().String() != "max-chains-cap" {
+		t.Fatalf("cap truncation cause = %v (%q)", capped.Cause(), capped.Cause().String())
+	}
+
+	defer func(old int) { DefaultMaxNodes = old }(DefaultMaxNodes)
+	DefaultMaxNodes = 200
+	budgeted := NewIndex(g, sink, 0)
+	if budgeted.Cause() != TruncatedNodeBudget || budgeted.Cause().String() != "node-budget" {
+		t.Fatalf("budget truncation cause = %v (%q)", budgeted.Cause(), budgeted.Cause().String())
+	}
+	if !budgeted.Truncated() || budgeted.NumNodes() > 200 {
+		t.Fatalf("budgeted index: truncated=%v nodes=%d", budgeted.Truncated(), budgeted.NumNodes())
+	}
+	if budgeted.NumChains() == 0 || budgeted.NumChains() >= len(full) {
+		t.Fatalf("budgeted index kept %d of %d chains", budgeted.NumChains(), len(full))
+	}
+	for i := 0; i < budgeted.NumChains(); i++ {
+		if !budgeted.Chain(i).Equal(full[i]) {
+			t.Fatalf("budget-truncated chain %d diverges from Enumerate order", i)
+		}
+	}
+
+	DefaultMaxNodes = 1 << 22
+	if fresh := NewIndex(g, sink, 0); fresh.Cause() != NotTruncated || fresh.Truncated() {
+		t.Fatalf("restored budget still truncates: cause=%v", fresh.Cause())
+	}
+}
+
+// TestIndexStream checks the one-pass visitor contract: every node is
+// visited exactly once, immediately after creation, parents first — the
+// ordering backward.TrieBounds' streaming build relies on.
+func TestIndexStream(t *testing.T) {
+	rng := rand.New(rand.NewSource(44))
+	g, err := randgraph.GNM(14, 28, randgraph.DefaultConfig(), rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sink := g.Sinks()[0]
+	var visited []int32
+	idx := NewIndexStream(g, sink, 0, func(x *Index, n int32) {
+		if int(n) != len(visited) {
+			t.Fatalf("node %d visited out of order (visit #%d)", n, len(visited))
+		}
+		if n >= int32(x.NumNodes()) {
+			t.Fatalf("node %d not yet appended at visit time", n)
+		}
+		if p := x.NodeParent(n); p >= n {
+			t.Fatalf("node %d visited before its parent %d", n, p)
+		}
+		visited = append(visited, n)
+	})
+	if len(visited) != idx.NumNodes() {
+		t.Fatalf("visited %d nodes, index has %d", len(visited), idx.NumNodes())
+	}
+	ref := NewIndex(g, sink, 0)
+	if idx.NumChains() != ref.NumChains() || idx.NumNodes() != ref.NumNodes() {
+		t.Fatalf("streamed index differs: %d/%d chains, %d/%d nodes",
+			idx.NumChains(), ref.NumChains(), idx.NumNodes(), ref.NumNodes())
+	}
+}
+
+// TestIndexMultiWordMasks checks exact multi-word masks on a >64-task
+// graph: each leaf row must contain exactly its chain's tasks, and the
+// c = 1 test must agree with Decompose, mirroring TestIndexPathMasks.
+func TestIndexMultiWordMasks(t *testing.T) {
+	rng := rand.New(rand.NewSource(45))
+	for trial := 0; trial < 10; trial++ {
+		n := 70 + rng.Intn(80)
+		g, err := randgraph.GNM(n, 3*n/2, randgraph.DefaultConfig(), rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sink := g.Sinks()[0]
+		cs, err := Enumerate(g, sink, 4096)
+		if err != nil {
+			t.Skip("dense instance overflows the test cap")
+		}
+		idx := NewIndex(g, sink, 4096)
+		masks, stride := idx.PathMasks()
+		if want := (g.NumTasks() + 63) / 64; stride != want || len(masks) != idx.NumNodes()*want {
+			t.Fatalf("trial %d: stride %d (want %d), len %d (nodes %d)", trial, stride, want, len(masks), idx.NumNodes())
+		}
+		for i := range cs {
+			row := masks[int(idx.Leaf(i))*stride : (int(idx.Leaf(i))+1)*stride]
+			want := make([]uint64, stride)
+			for _, id := range cs[i] {
+				want[int(id)>>6] |= 1 << (uint(id) & 63)
+			}
+			for k := range want {
+				if row[k] != want[k] {
+					t.Fatalf("trial %d leaf %d word %d: %064b want %064b", trial, i, k, row[k], want[k])
+				}
+			}
+		}
+	}
+}
+
+// TestIndexMaskBudget exercises the skip path: a table over budget is
+// not built and the call reports no masks.
+func TestIndexMaskBudget(t *testing.T) {
+	defer func(old int) { MaskBudgetWords = old }(MaskBudgetWords)
+	MaskBudgetWords = 8
+	rng := rand.New(rand.NewSource(46))
+	g, err := randgraph.GNM(70, 100, randgraph.DefaultConfig(), rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	idx := NewIndex(g, g.Sinks()[0], 0)
+	if masks, stride := idx.PathMasks(); masks != nil || stride != 0 {
+		t.Fatalf("over-budget masks built anyway: len=%d stride=%d", len(masks), stride)
 	}
 }

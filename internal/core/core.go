@@ -318,7 +318,21 @@ type TaskDisparity struct {
 	// Consumers that must not act on a partial analysis check this flag
 	// (the sweep drivers discard truncated graphs and log the count).
 	Truncated bool
+	// Cause names which limit truncated the enumeration (chain cap vs
+	// trie node budget); NotTruncated when Truncated is false.
+	Cause TruncationCause
 }
+
+// TruncationCause re-exports chains.TruncationCause so callers reading
+// TaskDisparity.Cause need not import the chains package.
+type TruncationCause = chains.TruncationCause
+
+// Truncation causes, re-exported for the same reason.
+const (
+	NotTruncated        = chains.NotTruncated
+	TruncatedChainCap   = chains.TruncatedChainCap
+	TruncatedNodeBudget = chains.TruncatedNodeBudget
+)
 
 // Disparity bounds the worst-case time disparity of the task (Definition
 // 2): it enumerates all chains in 𝒫 ending at the task, bounds every

@@ -23,6 +23,7 @@ import (
 	"sync/atomic"
 
 	"repro/internal/backward"
+	"repro/internal/bitset"
 	"repro/internal/chains"
 	"repro/internal/metrics"
 	"repro/internal/model"
@@ -66,13 +67,20 @@ type pairEval struct {
 	a   *Analysis
 	idx *chains.Index
 	tb  *backward.TrieBounds
-	// cs materializes every chain once, in Enumerate order; stripped
-	// chains are prefix slices of these (StripCommonSuffix keeps the
-	// head-side prefix up to the last joint task).
-	cs []model.Chain
-	// masks are the exact per-node path bitsets (nil when the graph has
-	// more than 64 tasks).
-	masks []uint64
+	// store materializes every chain at most once, lazily and shared
+	// across retargeted evaluations; stripped chains are prefix slices
+	// of the stored ones (StripCommonSuffix keeps the head-side prefix
+	// up to the last joint task). Only the full-detail Disparity loop
+	// touches it — the bound-only loop materializes just the winning
+	// pair, so fleet-scale bound runs never pay O(chains × length).
+	store *chainStore
+	// masks is the flat exact path-mask table with maskStride words per
+	// trie node: one uint64 per node when the graph has at most 64
+	// tasks (the historical layout), bitset.Words(numTasks) words
+	// beyond. maskStride 0 means no masks (table over budget) and the
+	// pair loop falls back to the decomposition walk.
+	masks      []uint64
+	maskStride int
 	// Per-leaf bounds of the full chain (root segment) for Theorem 1.
 	wFull, bFull []timeu.Time
 	// headTask[i] is chain i's source task.
@@ -105,7 +113,7 @@ func (a *Analysis) pairEvalFor(task model.TaskID, maxChains int) *pairEval {
 	if ok {
 		return ev
 	}
-	ev = newPairEval(a, chains.NewIndex(a.g, task, maxChains))
+	ev = newPairEval(a, task, maxChains)
 	a.evmu.Lock()
 	if prev, ok := a.evals[key]; ok {
 		ev = prev
@@ -116,11 +124,26 @@ func (a *Analysis) pairEvalFor(task model.TaskID, maxChains int) *pairEval {
 	return ev
 }
 
-func newPairEval(a *Analysis, idx *chains.Index) *pairEval {
-	ev := &pairEval{a: a, idx: idx}
-	ev.tb = a.bw.TrieBounds(idx)
-	ev.masks, _ = idx.PathMasks()
-	ev.cs = idx.Chains()
+// chainStore lazily materializes the trie's chain slice once, shared
+// across the greedy optimizer's retargeted evaluations (the trie
+// topology is identical, so the chains are too).
+type chainStore struct {
+	once sync.Once
+	cs   []model.Chain
+}
+
+func (st *chainStore) chains(idx *chains.Index) []model.Chain {
+	st.once.Do(func() { st.cs = idx.Chains() })
+	return st.cs
+}
+
+func newPairEval(a *Analysis, task model.TaskID, maxChains int) *pairEval {
+	// Index and backward prefix sums are built in one streaming pass;
+	// the chains themselves stay unmaterialized until a full-detail
+	// consumer asks.
+	idx, tb := a.bw.IndexBounds(a.g, task, maxChains)
+	ev := &pairEval{a: a, idx: idx, tb: tb, store: &chainStore{}}
+	ev.masks, ev.maskStride = idx.PathMasks()
 	nt := a.g.NumTasks()
 	ev.period = make([]timeu.Time, nt)
 	ev.sporadic = make([]bool, nt)
@@ -144,11 +167,12 @@ func newPairEval(a *Analysis, idx *chains.Index) *pairEval {
 // retarget rebuilds the analysis-dependent tables (backward bounds,
 // per-leaf windows, per-task attributes) for another Analysis of a
 // topologically identical graph — the greedy optimizer's buffered
-// clones — while sharing the topology-only tables (trie, materialized
-// chains, masks, LCA lifting) that a capacity change cannot touch.
+// clones — while sharing the topology-only tables (trie, chain store,
+// masks, LCA lifting) that a capacity change cannot touch.
 func (ev *pairEval) retarget(a *Analysis) *pairEval {
 	next := &pairEval{
-		a: a, idx: ev.idx, cs: ev.cs, masks: ev.masks, headTask: ev.headTask,
+		a: a, idx: ev.idx, store: ev.store, masks: ev.masks,
+		maskStride: ev.maskStride, headTask: ev.headTask,
 	}
 	next.tb = a.bw.TrieBounds(ev.idx)
 	nt := a.g.NumTasks()
@@ -216,8 +240,7 @@ type pairVals struct {
 	lambdaLen, nuLen int
 }
 
-func (ev *pairEval) toPairBound(i, j int, v *pairVals) *PairBound {
-	la, nu := ev.cs[i], ev.cs[j]
+func (ev *pairEval) toPairBound(la, nu model.Chain, v *pairVals) *PairBound {
 	if v.lambdaLen > 0 {
 		la, nu = la[:v.lambdaLen:v.lambdaLen], nu[:v.nuLen:v.nuLen]
 	}
@@ -268,15 +291,9 @@ func (ev *pairEval) evalSDiff(i, j int, s *pairScratch, v *pairVals) error {
 	// below the join point means the decomposition degenerates and both
 	// pairTheorem2-with-c=1 and the sporadic Theorem-1 fallback reduce
 	// to the same window combination (see sdiffC1).
-	if ev.masks != nil {
-		common := ev.masks[u] & ev.masks[w] &^ ev.masks[f]
-		if sameHead {
-			common &^= 1 << uint(ev.headTask[i])
-		}
-		if common == 0 {
-			ev.sdiffC1(u, w, f, i, laLen, nuLen, sameHead, v)
-			return nil
-		}
+	if c1, ok := ev.maskC1(u, w, f, ev.headTask[i], sameHead); ok && c1 {
+		ev.sdiffC1(u, w, f, i, laLen, nuLen, sameHead, v)
+		return nil
 	}
 
 	// Decomposition walk (replicates chains.Decompose on the stripped
@@ -387,6 +404,36 @@ func (ev *pairEval) sdiffC1UB(u, w, f int32) timeu.Time {
 	return timeu.Max(timeu.Abs(wa-bb), timeu.Abs(wb-ba))
 }
 
+// maskC1 applies the exact-mask c = 1 test to the stripped pair with
+// leaves u, w and join node f: masks[u] & masks[w] &^ masks[f], with a
+// shared head's bit cleared, is empty exactly when the pair shares no
+// task strictly below the join point. ok is false when the index built
+// no masks (table over MaskBudgetWords) — the test is then unavailable
+// and callers run the decomposition walk. Allocation-free on both the
+// single-word (≤ 64 tasks) and multi-word layouts.
+func (ev *pairEval) maskC1(u, w, f int32, head model.TaskID, sameHead bool) (c1, ok bool) {
+	switch s := ev.maskStride; s {
+	case 0:
+		return false, false
+	case 1:
+		common := ev.masks[u] & ev.masks[w] &^ ev.masks[f]
+		if sameHead {
+			common &^= 1 << uint(head)
+		}
+		return common == 0, true
+	default:
+		exclude := -1
+		if sameHead {
+			exclude = int(head)
+		}
+		return !bitset.AndNotAnyExcept(
+			ev.masks[int(u)*s:(int(u)+1)*s],
+			ev.masks[int(w)*s:(int(w)+1)*s],
+			ev.masks[int(f)*s:(int(f)+1)*s],
+			exclude), true
+	}
+}
+
 // disparityFast is the full-detail task-level loop: every pair's
 // PairBound is materialized (the public Disparity contract), but the
 // per-pair work runs on the shared trie tables. The pair order, the
@@ -399,6 +446,7 @@ func (a *Analysis) disparityFast(task model.TaskID, m Method, maxChains int) (*T
 		Task: task, ArgMax: -1,
 		NumPairs:  chains.NumPairs(n),
 		Truncated: ev.idx.Truncated(),
+		Cause:     ev.idx.Cause(),
 	}
 	if td.Truncated {
 		disparityTruncated.Inc()
@@ -406,6 +454,7 @@ func (a *Analysis) disparityFast(task model.TaskID, m Method, maxChains int) (*T
 	if n < 2 {
 		return td, nil
 	}
+	cs := ev.store.chains(ev.idx)
 	td.Pairs = make([]*PairBound, 0, td.NumPairs)
 	var s pairScratch
 	var v pairVals
@@ -416,7 +465,7 @@ func (a *Analysis) disparityFast(task model.TaskID, m Method, maxChains int) (*T
 			} else if err := ev.evalSDiff(i, j, &s, &v); err != nil {
 				return nil, err
 			}
-			pb := ev.toPairBound(i, j, &v)
+			pb := ev.toPairBound(cs[i], cs[j], &v)
 			td.Pairs = append(td.Pairs, pb)
 			if pb.Bound > td.Bound || td.ArgMax < 0 {
 				td.Bound = pb.Bound
@@ -475,6 +524,7 @@ func (a *Analysis) disparityBound(task model.TaskID, m Method, maxChains int) (*
 		Task: task, ArgMax: -1,
 		NumPairs:  chains.NumPairs(n),
 		Truncated: ev.idx.Truncated(),
+		Cause:     ev.idx.Cause(),
 	}
 	if td.Truncated {
 		disparityTruncated.Inc()
@@ -506,7 +556,7 @@ func (a *Analysis) disparityBound(task model.TaskID, m Method, maxChains int) (*
 	pairsBounded.Add(-1)
 	td.Bound = best.bound
 	td.ArgMax = 0
-	td.Pairs = []*PairBound{ev.toPairBound(i, j, &v)}
+	td.Pairs = []*PairBound{ev.toPairBound(ev.idx.Chain(i), ev.idx.Chain(j), &v)}
 	return td, nil
 }
 
@@ -537,14 +587,11 @@ func (ev *pairEval) boundBlock(m Method, n, lo, hi int, threshold *atomic.Int64)
 			}
 		} else {
 			pruned := false
-			if ev.masks != nil {
+			if ev.maskStride != 0 {
 				u, w := ev.idx.Leaf(i), ev.idx.Leaf(j)
 				f := ev.idx.LCA(u, w)
-				common := ev.masks[u] & ev.masks[w] &^ ev.masks[f]
-				if ev.headTask[i] == ev.headTask[j] {
-					common &^= 1 << uint(ev.headTask[i])
-				}
-				if common == 0 && ev.sdiffC1UB(u, w, f) < timeu.Time(threshold.Load()) {
+				c1, _ := ev.maskC1(u, w, f, ev.headTask[i], ev.headTask[i] == ev.headTask[j])
+				if c1 && ev.sdiffC1UB(u, w, f) < timeu.Time(threshold.Load()) {
 					pruned = true
 				}
 			}

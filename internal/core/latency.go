@@ -164,7 +164,7 @@ func (a *Analysis) latencyFast(task model.TaskID, m backward.Latency, maxChains 
 		}
 	}
 	if arg >= 0 {
-		tl.ArgMax = ev.cs[arg]
+		tl.ArgMax = ev.idx.Chain(arg)
 	}
 	for t, ok := range seenSrc {
 		if ok {

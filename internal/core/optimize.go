@@ -113,8 +113,9 @@ type GreedyResult struct {
 	Graph *model.Graph
 	// Truncated reports that the chain enumeration hit the cap, i.e.
 	// the optimization saw only a partial chain set (see
-	// TaskDisparity.Truncated).
+	// TaskDisparity.Truncated); Cause names the limit that was hit.
 	Truncated bool
+	Cause     TruncationCause
 }
 
 // OptimizeTaskGreedy extends Algorithm 1 beyond a single chain pair: it
@@ -143,7 +144,7 @@ func (a *Analysis) OptimizeTaskGreedy(task model.TaskID, maxChains, maxRounds in
 	if err != nil {
 		return nil, err
 	}
-	res := &GreedyResult{Before: base.Bound, After: base.Bound, Graph: a.g.Clone(), Truncated: base.Truncated}
+	res := &GreedyResult{Before: base.Bound, After: base.Bound, Graph: a.g.Clone(), Truncated: base.Truncated, Cause: base.Cause}
 	if base.ArgMax < 0 {
 		return res, nil
 	}

@@ -61,15 +61,27 @@ type PairStats struct {
 }
 
 // ChainStats reports chain enumeration volume and truncation: a
-// non-zero Truncated means at least one enumeration hit the MaxChains
-// cap ("max-chains-cap" is the only truncation cause the trie has) and
-// the bounds cover a partial chain set.
+// non-zero Truncated means at least one enumeration hit a limit and
+// the bounds cover a partial chain set. Cause names the limit —
+// "max-chains-cap" (chain count), "node-budget" (trie node budget on
+// adversarial graphs), or "mixed" when a run hit both.
+//
+// The mask fields report the path-bitset decision behind the c=1 fast
+// test per built index: MasksWord single-uint64 tables (≤ 64 tasks),
+// MasksMulti exact multi-word tables, MasksSkipped indexes whose
+// table would exceed the word budget — those evaluate every pair
+// through the full decomposition. MaskMode summarizes ("word",
+// "multi", "skipped", or "mixed").
 type ChainStats struct {
 	Indexed            int64  `json:"indexed"`
 	Enumerated         int64  `json:"enumerated"`
 	Truncated          int64  `json:"truncated"`
 	DisparityTruncated int64  `json:"disparity_truncated"`
 	Cause              string `json:"cause,omitempty"`
+	MasksWord          int64  `json:"masks_word,omitempty"`
+	MasksMulti         int64  `json:"masks_multi,omitempty"`
+	MasksSkipped       int64  `json:"masks_skipped,omitempty"`
+	MaskMode           string `json:"mask_mode,omitempty"`
 }
 
 // JumpOutcome is one simulation run's (or run group's) steady-state
@@ -269,10 +281,21 @@ func (r *Recorder) Record() *Record {
 		cs := &ChainStats{
 			Indexed: indexed, Enumerated: enumerated,
 			Truncated: truncated, DisparityTruncated: dTrunc,
+			MasksWord:    delta("chains.masks.word"),
+			MasksMulti:   delta("chains.masks.multi"),
+			MasksSkipped: delta("chains.masks.skipped"),
 		}
 		if truncated > 0 {
-			cs.Cause = "max-chains-cap"
+			switch nodes := delta("chains.truncated.nodes"); {
+			case nodes == 0:
+				cs.Cause = "max-chains-cap"
+			case nodes == truncated:
+				cs.Cause = "node-budget"
+			default:
+				cs.Cause = "mixed"
+			}
 		}
+		cs.MaskMode = maskMode(cs.MasksWord, cs.MasksMulti, cs.MasksSkipped)
 		rec.Chains = cs
 	}
 
@@ -350,9 +373,17 @@ func (r *Recorder) WriteSummary(w io.Writer) error {
 	if rec.Chains != nil {
 		trunc := "none"
 		if rec.Chains.Truncated > 0 {
-			trunc = fmt.Sprintf("%d enumerations hit the cap (%s)", rec.Chains.Truncated, rec.Chains.Cause)
+			trunc = fmt.Sprintf("%d enumerations hit a limit (%s)", rec.Chains.Truncated, rec.Chains.Cause)
 		}
 		fmt.Fprintf(&b, "  chains:       %d indexed, truncation: %s\n", rec.Chains.Indexed, trunc)
+		if mode := rec.Chains.MaskMode; mode != "" {
+			detail := ""
+			if mode == "mixed" || rec.Chains.MasksSkipped > 0 {
+				detail = fmt.Sprintf(" (word x%d, multi x%d, skipped x%d)",
+					rec.Chains.MasksWord, rec.Chains.MasksMulti, rec.Chains.MasksSkipped)
+			}
+			fmt.Fprintf(&b, "  path masks:   %s%s\n", mode, detail)
+		}
 	}
 	for _, s := range rec.Sim {
 		fmt.Fprintf(&b, "  sim %-9s %d runs, %d jobs, jump-ahead: %s\n", s.Label+":", s.Runs, s.Jobs, s.Jump.Code)
@@ -385,6 +416,26 @@ func (r *Recorder) WriteSummary(w io.Writer) error {
 	}
 	_, err := io.WriteString(w, b.String())
 	return err
+}
+
+// maskMode names the run's path-bitset outcome: the single mode when
+// every index agreed, "mixed" otherwise, "" with no index builds.
+func maskMode(word, multi, skipped int64) string {
+	modes := []struct {
+		name string
+		n    int64
+	}{{"word", word}, {"multi", multi}, {"skipped", skipped}}
+	active := ""
+	for _, m := range modes {
+		if m.n == 0 {
+			continue
+		}
+		if active != "" {
+			return "mixed"
+		}
+		active = m.name
+	}
+	return active
 }
 
 // counterSnapshot flattens the global registry's counters.

@@ -9,6 +9,7 @@ import (
 	"strings"
 	"testing"
 
+	"repro/internal/chains"
 	"repro/internal/core"
 	"repro/internal/model"
 )
@@ -234,9 +235,58 @@ func TestWriteSummaryRendersSections(t *testing.T) {
 		t.Fatal(err)
 	}
 	out := buf.String()
-	for _, want := range []string{"explain:", "pair bounds:", "sdiff:", "witness:", "random-exec"} {
+	for _, want := range []string{"explain:", "pair bounds:", "sdiff:", "witness:", "random-exec", "path masks:"} {
 		if !strings.Contains(out, want) {
 			t.Errorf("summary missing %q in:\n%s", want, out)
 		}
+	}
+}
+
+func TestMaskMode(t *testing.T) {
+	cases := []struct {
+		word, multi, skipped int64
+		want                 string
+	}{
+		{0, 0, 0, ""},
+		{3, 0, 0, "word"},
+		{0, 2, 0, "multi"},
+		{0, 0, 1, "skipped"},
+		{1, 1, 0, "mixed"},
+		{1, 0, 1, "mixed"},
+		{1, 2, 3, "mixed"},
+	}
+	for _, c := range cases {
+		if got := maskMode(c.word, c.multi, c.skipped); got != c.want {
+			t.Errorf("maskMode(%d, %d, %d) = %q, want %q", c.word, c.multi, c.skipped, got, c.want)
+		}
+	}
+}
+
+// TestChainStatsCauses pins the cause derivation: a run whose only
+// truncations are node-budget reports "node-budget"; chain-cap-only
+// runs report "max-chains-cap".
+func TestChainStatsCauses(t *testing.T) {
+	g := model.Fig2Graph()
+	r := New("cause")
+	old := chains.DefaultMaxNodes
+	defer func() { chains.DefaultMaxNodes = old }()
+	chains.DefaultMaxNodes = 2
+	idx := chains.NewIndex(g, fig2Sink, 0)
+	if idx.Cause() != chains.TruncatedNodeBudget {
+		t.Fatalf("cause = %v, want node budget", idx.Cause())
+	}
+	rec := r.Record()
+	if rec.Chains == nil || rec.Chains.Cause != "node-budget" {
+		t.Fatalf("record cause = %+v, want node-budget", rec.Chains)
+	}
+
+	chains.DefaultMaxNodes = old
+	r2 := New("cause2")
+	if !chains.NewIndex(g, fig2Sink, 1).Truncated() {
+		t.Fatal("cap 1 not truncated")
+	}
+	rec2 := r2.Record()
+	if rec2.Chains == nil || rec2.Chains.Cause != "max-chains-cap" {
+		t.Fatalf("record cause = %+v, want max-chains-cap", rec2.Chains)
 	}
 }

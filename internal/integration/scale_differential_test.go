@@ -1,0 +1,200 @@
+package integration
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/bitset"
+	"repro/internal/can"
+	"repro/internal/chains"
+	"repro/internal/core"
+	"repro/internal/model"
+	"repro/internal/randgraph"
+	"repro/internal/timeu"
+	"repro/internal/waters"
+)
+
+// This file is the >64-task tier of the analysis differential (`make
+// verify-scale`): past one machine word the c=1 fast test runs on
+// multi-word bitsets (internal/bitset) instead of single uint64 masks,
+// so the small-graph corpus in analysis_differential_test.go never
+// exercises that code. The contract is unchanged — BIT-IDENTICAL
+// results against core.DisparityReference — on fleet-tier workloads.
+
+// fleetScaleConfigs are fleet shapes whose task count (topology + CAN
+// message tasks) lands in the 65–150 range: big enough to force
+// multi-word masks, small enough to run the reference pipeline 100
+// times. genFleet asserts the range so a topology change cannot
+// silently shrink the corpus back under one word.
+var fleetScaleConfigs = []randgraph.FleetConfig{
+	{Zones: 2, ECUsPerZone: 2, PipesPerECU: 2, ProcDepth: 6, TailLen: 2},
+	{Zones: 2, ECUsPerZone: 2, PipesPerECU: 3, ProcDepth: 4, TailLen: 1},
+	{Zones: 3, ECUsPerZone: 2, PipesPerECU: 2, ProcDepth: 4, TailLen: 0},
+	{Zones: 2, ECUsPerZone: 3, PipesPerECU: 2, ProcDepth: 4, TailLen: 2},
+	{Zones: 2, ECUsPerZone: 2, PipesPerECU: 2, ProcDepth: 10, TailLen: 1},
+	{Zones: 3, ECUsPerZone: 3, PipesPerECU: 2, ProcDepth: 4, TailLen: 0},
+	{Zones: 4, ECUsPerZone: 2, PipesPerECU: 2, ProcDepth: 4, TailLen: 1},
+	{Zones: 2, ECUsPerZone: 2, PipesPerECU: 4, ProcDepth: 6, TailLen: 0},
+	{Zones: 3, ECUsPerZone: 2, PipesPerECU: 3, ProcDepth: 4, TailLen: 2},
+	{Zones: 2, ECUsPerZone: 4, PipesPerECU: 2, ProcDepth: 3, TailLen: 0},
+}
+
+// genFleet builds one schedulable fleet-tier workload: topology from
+// cfg, budgeted WATERS timing (schedulable by construction), cross-ECU
+// edges split over CAN. Mirrors disparity.GenerateFleet, but takes the
+// trial rng so the corpus is seeded like the other differentials.
+func genFleet(t *testing.T, cfg randgraph.FleetConfig, rng *rand.Rand) (*model.Graph, model.TaskID) {
+	t.Helper()
+	g, fusion, err := randgraph.Fleet(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	waters.PopulateBudget(g, rng, 20*timeu.Millisecond, 0.5)
+	bus := can.Bus{Rate: can.Baud500k, Format: can.Standard, Payload: 8}
+	if _, _, err := bus.Split(g, "can0"); err != nil {
+		t.Fatal(err)
+	}
+	if n := g.NumTasks(); n <= 64 || n > 150 {
+		t.Fatalf("fleet config %+v yields %d tasks, want 65–150", cfg, n)
+	}
+	return g, fusion
+}
+
+// TestScaleFastPathMatchesReference is the fleet-tier analog of
+// TestAnalysisFastPathMatchesReference: 100 seeded >64-task workloads,
+// every pair of both methods compared field by field against the
+// reference pipeline, plus the DisparityBound argmax. Each graph's
+// index must actually have built multi-word masks — a silently skipped
+// table would make this test vacuously pass through the decomposition
+// fallback.
+func TestScaleFastPathMatchesReference(t *testing.T) {
+	trials := 100
+	if testing.Short() {
+		trials = 20
+	}
+	rng := rand.New(rand.NewSource(90))
+	for trial := 0; trial < trials; trial++ {
+		cfg := fleetScaleConfigs[trial%len(fleetScaleConfigs)]
+		g, sink := genFleet(t, cfg, rng)
+		varyCorpus(t, g, trial, rng)
+
+		idx := chains.NewIndex(g, sink, 0)
+		masks, stride := idx.PathMasks()
+		if masks == nil || stride < 2 {
+			t.Fatalf("trial %d: PathMasks stride %d on a %d-task graph, want multi-word", trial, stride, g.NumTasks())
+		}
+
+		a, err := core.NewCached(g, core.NewAnalysisCache())
+		if err != nil {
+			t.Fatalf("trial %d: budgeted fleet workload rejected: %v", trial, err)
+		}
+		for _, m := range []core.Method{core.PDiff, core.SDiff} {
+			want, err := a.DisparityReference(sink, m, 0)
+			if err != nil {
+				t.Fatalf("trial %d %v: reference: %v", trial, m, err)
+			}
+			got, err := a.Disparity(sink, m, 0)
+			if err != nil {
+				t.Fatalf("trial %d %v: fast path: %v", trial, m, err)
+			}
+			if got.Truncated {
+				t.Errorf("trial %d %v: fast path truncated where the reference enumerated fully", trial, m)
+			}
+			if got.NumPairs != len(want.Pairs) {
+				t.Errorf("trial %d %v: fast NumPairs %d, reference %d", trial, m, got.NumPairs, len(want.Pairs))
+			}
+			compareTask(t, trial, m.String(), got, want)
+			for i := range got.Pairs {
+				comparePairExact(t, trial, m.String(), got.Pairs[i], want.Pairs[i])
+			}
+
+			bd, err := a.DisparityBound(sink, m, 0)
+			if err != nil {
+				t.Fatalf("trial %d %v: DisparityBound: %v", trial, m, err)
+			}
+			if bd.Bound != want.Bound {
+				t.Errorf("trial %d %v: DisparityBound %v, reference %v", trial, m, bd.Bound, want.Bound)
+			}
+			if want.ArgMax >= 0 {
+				if len(bd.Pairs) != 1 {
+					t.Fatalf("trial %d %v: DisparityBound carried %d pairs, want 1", trial, m, len(bd.Pairs))
+				}
+				comparePairExact(t, trial, m.String()+"/bound", bd.Pairs[0], want.Pairs[want.ArgMax])
+			}
+		}
+	}
+}
+
+// TestScaleExactMasksThousandTasks pins the acceptance criterion
+// "PathMasks exact on a 1000-task graph" directly: on the default
+// ~2100-task fleet workload, every leaf's mask row must equal the set
+// of tasks on its root walk (computed independently of the prefix-OR
+// build), and the analysis must be bit-identical whether the c=1 test
+// runs on those masks or on the decomposition fallback (forced by
+// zeroing the mask word budget).
+func TestScaleExactMasksThousandTasks(t *testing.T) {
+	rng := rand.New(rand.NewSource(91))
+	g, fusion, err := randgraph.Fleet(randgraph.DefaultFleet())
+	if err != nil {
+		t.Fatal(err)
+	}
+	waters.PopulateBudget(g, rng, 20*timeu.Millisecond, 0.5)
+	if n := g.NumTasks(); n < 1000 {
+		t.Fatalf("default fleet has %d tasks, want ≥ 1000", n)
+	}
+
+	idx := chains.NewIndex(g, fusion, 0)
+	if idx.Truncated() {
+		t.Fatalf("default fleet index truncated (%v)", idx.Cause())
+	}
+	masks, stride := idx.PathMasks()
+	if masks == nil {
+		t.Fatal("PathMasks skipped on the default fleet workload")
+	}
+	if want := bitset.Words(g.NumTasks()); stride != want {
+		t.Fatalf("mask stride %d, want %d for %d tasks", stride, want, g.NumTasks())
+	}
+	ref := make([]uint64, stride)
+	for i := 0; i < idx.NumChains(); i++ {
+		for w := range ref {
+			ref[w] = 0
+		}
+		for n := idx.Leaf(i); n >= 0; n = idx.NodeParent(n) {
+			bitset.Set(ref, int(idx.NodeTask(n)))
+		}
+		row := masks[int(idx.Leaf(i))*stride : (int(idx.Leaf(i))+1)*stride]
+		for w := range ref {
+			if row[w] != ref[w] {
+				t.Fatalf("leaf %d mask word %d = %#x, independent walk %#x", i, w, row[w], ref[w])
+			}
+		}
+	}
+
+	// Same trie, masks on vs. forced decomposition fallback: the c=1
+	// shortcut must be a pure optimization.
+	a, err := core.New(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	withMasks, err := a.DisparityBound(fusion, core.SDiff, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func(old int) { chains.MaskBudgetWords = old }(chains.MaskBudgetWords)
+	chains.MaskBudgetWords = 0
+	a2, err := core.New(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	noMasks, err := a2.DisparityBound(fusion, core.SDiff, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if withMasks.Bound != noMasks.Bound || withMasks.NumPairs != noMasks.NumPairs {
+		t.Fatalf("mask c=1 test changed the bound: with masks %v/%d pairs, fallback %v/%d",
+			withMasks.Bound, withMasks.NumPairs, noMasks.Bound, noMasks.NumPairs)
+	}
+	if len(withMasks.Pairs) == 1 && len(noMasks.Pairs) == 1 {
+		comparePairExact(t, 0, "fleet/maskfallback", withMasks.Pairs[0], noMasks.Pairs[0])
+	}
+}

@@ -166,8 +166,10 @@ type Result struct {
 	Latency *core.TaskLatency
 	// Truncated reports that the chain enumeration behind the value hit
 	// the MaxChains cap, i.e. the bound covers a partial chain set.
-	// Sweep drivers discard such evaluations and count them.
+	// Sweep drivers discard such evaluations and count them. Cause
+	// names the limit that was hit (chain cap vs trie node budget).
 	Truncated bool
+	Cause     core.TruncationCause
 }
 
 // Method is one way of attaching a worst-case time disparity value to a
@@ -320,7 +322,7 @@ func (pdiffMethod) Eval(_ context.Context, ec *Context, _ *model.Graph, task mod
 	if err != nil {
 		return Result{}, err
 	}
-	return Result{Bound: td.Bound, Detail: td, Truncated: td.Truncated}, nil
+	return Result{Bound: td.Bound, Detail: td, Truncated: td.Truncated, Cause: td.Cause}, nil
 }
 
 type sdiffMethod struct{}
@@ -336,7 +338,7 @@ func (sdiffMethod) Eval(_ context.Context, ec *Context, _ *model.Graph, task mod
 	if err != nil {
 		return Result{}, err
 	}
-	return Result{Bound: td.Bound, Detail: td, Truncated: td.Truncated}, nil
+	return Result{Bound: td.Bound, Detail: td, Truncated: td.Truncated, Cause: td.Cause}, nil
 }
 
 // analyticDisparity routes a bound evaluation to the full-detail or
@@ -362,7 +364,7 @@ func (sdiffBMethod) Eval(_ context.Context, ec *Context, _ *model.Graph, task mo
 	if err != nil {
 		return Result{}, err
 	}
-	return Result{Bound: greedy.After, Greedy: greedy, Truncated: greedy.Truncated}, nil
+	return Result{Bound: greedy.After, Greedy: greedy, Truncated: greedy.Truncated, Cause: greedy.Cause}, nil
 }
 
 // Simulation throughput metrics. The names predate this package (the

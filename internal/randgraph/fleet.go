@@ -1,0 +1,129 @@
+package randgraph
+
+import (
+	"fmt"
+
+	"repro/internal/model"
+)
+
+// FleetConfig shapes the Fleet generator: a zonal E/E architecture at
+// the 10^3–10^4-task scale. Zones hold compute ECUs, each ECU runs a
+// set of sensor pipelines joined by a per-ECU aggregator, aggregators
+// feed a per-zone gateway, gateways feed a central fusion task with a
+// shared planning/control tail.
+type FleetConfig struct {
+	// Zones is the number of vehicle zones (≥ 1), each with its own
+	// gateway task.
+	Zones int
+	// ECUsPerZone is the number of compute ECUs per zone (≥ 1). The
+	// zone's gateway runs on its first ECU.
+	ECUsPerZone int
+	// PipesPerECU is the number of sensor pipelines per ECU (≥ 1); each
+	// pipeline is an external stimulus followed by ProcDepth processing
+	// tasks on that ECU.
+	PipesPerECU int
+	// ProcDepth is the number of processing tasks per pipeline (≥ 1).
+	ProcDepth int
+	// TailLen is the shared planning/control pipeline after fusion
+	// (≥ 0), on the central ECU.
+	TailLen int
+}
+
+// DefaultFleet sizes the topology just above 2000 tasks (before the
+// bus split): 8 zones × 4 ECUs × 9 pipelines × (1 stimulus + 6
+// processing tasks), per-ECU aggregators, per-zone gateways, fusion
+// and a two-stage tail.
+func DefaultFleet() FleetConfig {
+	return FleetConfig{Zones: 8, ECUsPerZone: 4, PipesPerECU: 9, ProcDepth: 6, TailLen: 2}
+}
+
+// NumTasks reports the task count of the generated topology, before
+// any bus split adds message tasks.
+func (c FleetConfig) NumTasks() int {
+	perECU := c.PipesPerECU*(1+c.ProcDepth) + 1 // pipelines + aggregator
+	return c.Zones*(c.ECUsPerZone*perECU+1) + 1 + c.TailLen
+}
+
+// NumChains reports the number of source→fusion chains: one per
+// pipeline. Every chain pair shares the fusion task (and tail), the
+// structure where S-diff's last-joint-task reduction is exact.
+func (c FleetConfig) NumChains() int { return c.Zones * c.ECUsPerZone * c.PipesPerECU }
+
+// Fleet builds the zonal fleet topology with placeholder parameters
+// (populate with waters.PopulateBudget) and returns the fusion task —
+// the natural disparity target. Cross-ECU edges are exactly
+// aggregator→gateway (for non-gateway ECUs) and gateway→fusion, so a
+// later bus split stays small relative to the task count.
+func Fleet(cfg FleetConfig) (*model.Graph, model.TaskID, error) {
+	if cfg.Zones < 1 || cfg.ECUsPerZone < 1 || cfg.PipesPerECU < 1 || cfg.ProcDepth < 1 {
+		return nil, 0, fmt.Errorf("randgraph: fleet needs ≥ 1 zone, ECU per zone, pipeline per ECU and processing stage, got %+v", cfg)
+	}
+	if cfg.TailLen < 0 {
+		return nil, 0, fmt.Errorf("randgraph: negative tail length")
+	}
+	g := model.NewGraph()
+	central := g.AddECU("central", model.Compute)
+	prio := 0
+	mkTask := func(name string, ecu model.ECUID) model.TaskID {
+		id := g.AddTask(model.Task{
+			Name:   name,
+			Period: placeholderPeriod,
+			WCET:   1, BCET: 1,
+			Prio: prio,
+			ECU:  ecu,
+		})
+		prio++
+		return id
+	}
+
+	gateways := make([]model.TaskID, 0, cfg.Zones)
+	for z := 0; z < cfg.Zones; z++ {
+		var gwECU model.ECUID
+		aggs := make([]model.TaskID, 0, cfg.ECUsPerZone)
+		for e := 0; e < cfg.ECUsPerZone; e++ {
+			ecu := g.AddECU(fmt.Sprintf("z%d_e%d", z, e), model.Compute)
+			if e == 0 {
+				gwECU = ecu
+			}
+			ends := make([]model.TaskID, 0, cfg.PipesPerECU)
+			for p := 0; p < cfg.PipesPerECU; p++ {
+				stim := g.AddTask(model.Task{
+					Name:   fmt.Sprintf("s%d_%d_%d", z, e, p),
+					Period: placeholderPeriod,
+					ECU:    model.NoECU,
+				})
+				prev := stim
+				for d := 0; d < cfg.ProcDepth; d++ {
+					id := mkTask(fmt.Sprintf("p%d_%d_%d_%d", z, e, p, d), ecu)
+					mustEdge(g, prev, id)
+					prev = id
+				}
+				ends = append(ends, prev)
+			}
+			agg := mkTask(fmt.Sprintf("agg%d_%d", z, e), ecu)
+			for _, id := range ends {
+				mustEdge(g, id, agg)
+			}
+			aggs = append(aggs, agg)
+		}
+		gw := mkTask(fmt.Sprintf("gw%d", z), gwECU)
+		for _, a := range aggs {
+			mustEdge(g, a, gw)
+		}
+		gateways = append(gateways, gw)
+	}
+	fusion := mkTask("fusion", central)
+	for _, gw := range gateways {
+		mustEdge(g, gw, fusion)
+	}
+	prev := fusion
+	for i := 0; i < cfg.TailLen; i++ {
+		id := mkTask(fmt.Sprintf("tail%d", i), central)
+		mustEdge(g, prev, id)
+		prev = id
+	}
+	if err := g.Validate(); err != nil {
+		return nil, 0, fmt.Errorf("randgraph: fleet graph invalid: %w", err)
+	}
+	return g, fusion, nil
+}

@@ -1,0 +1,53 @@
+package randgraph
+
+import (
+	"testing"
+
+	"repro/internal/model"
+)
+
+func TestFleetShape(t *testing.T) {
+	cfg := FleetConfig{Zones: 3, ECUsPerZone: 2, PipesPerECU: 2, ProcDepth: 3, TailLen: 2}
+	g, fusion, err := Fleet(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := g.NumTasks(); got != cfg.NumTasks() {
+		t.Errorf("NumTasks = %d, want %d", got, cfg.NumTasks())
+	}
+	// One compute ECU per (zone, slot) plus the central ECU.
+	if got, want := g.NumECUs(), cfg.Zones*cfg.ECUsPerZone+1; got != want {
+		t.Errorf("ECUs = %d, want %d", got, want)
+	}
+	// Fusion joins one gateway per zone; the single sink is the tail end.
+	if got := len(g.Predecessors(fusion)); got != cfg.Zones {
+		t.Errorf("fusion inputs = %d, want %d", got, cfg.Zones)
+	}
+	if sinks := g.Sinks(); len(sinks) != 1 {
+		t.Errorf("sinks = %d, want 1", len(sinks))
+	}
+	// Sources are the stimulus tasks, one per pipeline, all unscheduled.
+	srcs := g.Sources()
+	if got := len(srcs); got != cfg.NumChains() {
+		t.Errorf("sources = %d, want %d", got, cfg.NumChains())
+	}
+	for _, s := range srcs {
+		if g.Task(s).ECU != model.NoECU {
+			t.Errorf("stimulus %v is scheduled", s)
+		}
+	}
+}
+
+func TestFleetErrors(t *testing.T) {
+	bad := []FleetConfig{
+		{},
+		{Zones: 1, ECUsPerZone: 1, PipesPerECU: 1},               // ProcDepth 0
+		{Zones: 0, ECUsPerZone: 1, PipesPerECU: 1, ProcDepth: 1}, // no zones
+		{Zones: 1, ECUsPerZone: 1, PipesPerECU: 1, ProcDepth: 1, TailLen: -1},
+	}
+	for i, cfg := range bad {
+		if _, _, err := Fleet(cfg); err == nil {
+			t.Errorf("config %d (%+v) accepted", i, cfg)
+		}
+	}
+}

@@ -219,6 +219,17 @@ func WriteDerivedGauges(w io.Writer, reg *metrics.Registry) error {
 			return err
 		}
 	}
+
+	// Fraction of built chain indexes whose c=1 fast test ran on exact
+	// path bitsets (single- or multi-word) rather than falling back to
+	// the full per-pair decomposition under the mask word budget.
+	word, multi, skipped := counters["chains.masks.word"], counters["chains.masks.multi"], counters["chains.masks.skipped"]
+	if total := word + multi + skipped; total > 0 {
+		if _, err := fmt.Fprintf(w, "# TYPE disparity_mask_exact gauge\ndisparity_mask_exact %s\n",
+			ratio(word+multi, total)); err != nil {
+			return err
+		}
+	}
 	return nil
 }
 

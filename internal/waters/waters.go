@@ -118,6 +118,76 @@ func Populate(g *model.Graph, rng *rand.Rand) {
 	assignRM(g)
 }
 
+// PopulateBudget fills in periods and execution times like Populate but
+// with a per-ECU WCET budget instead of free benchmark draws: periods
+// come from the benchmark classes with Period ≥ minPeriod (shares
+// renormalized over that subset), and every scheduled task on an ECU
+// gets WCET = frac · min-period-on-ECU / task-count, so the ECU's total
+// WCET is at most frac times its shortest period. For frac ≤ 1 that
+// makes non-preemptive fixed-priority response times converge within
+// one period regardless of priority order — fleet-scale graphs are
+// schedulable by construction, with no retry loop at 10^3–10^4 tasks.
+// BCET applies the class's benchmark BCET factor to the budgeted WCET
+// (the factors are ≤ 1 by Validate). Priorities are assigned
+// rate-monotonically per ECU.
+func PopulateBudget(g *model.Graph, rng *rand.Rand, minPeriod timeu.Time, frac float64) {
+	classes := make([]int, 0, len(Table))
+	for i, s := range Table {
+		if s.Period >= minPeriod {
+			classes = append(classes, i)
+		}
+	}
+	if len(classes) == 0 || frac <= 0 {
+		panic(fmt.Sprintf("waters: no period class ≥ %v or non-positive budget %v", minPeriod, frac))
+	}
+	// Pass 1: periods (and the class behind each, for the BCET factor).
+	class := make([]int, g.NumTasks())
+	for i := 0; i < g.NumTasks(); i++ {
+		t := g.Task(model.TaskID(i))
+		class[i] = classes[sampleSubset(rng, classes)]
+		t.Period = Table[class[i]].Period
+		if t.ECU == model.NoECU {
+			t.BCET, t.WCET = 0, 0
+		}
+	}
+	// Pass 2: per-ECU WCET budgets.
+	for _, ecu := range g.ECUs() {
+		ids := g.TasksOnECU(ecu.ID)
+		if len(ids) == 0 {
+			continue
+		}
+		minT := g.Task(ids[0]).Period
+		for _, id := range ids[1:] {
+			if t := g.Task(id).Period; t < minT {
+				minT = t
+			}
+		}
+		w := scale(minT, frac/float64(len(ids)))
+		for _, id := range ids {
+			t := g.Task(id)
+			t.WCET = w
+			t.BCET = scale(w, uniform(rng, Table[class[int(id)]].BCETFactor))
+		}
+	}
+	assignRM(g)
+}
+
+// sampleSubset draws an index into classes by renormalized share.
+func sampleSubset(rng *rand.Rand, classes []int) int {
+	var total float64
+	for _, c := range classes {
+		total += Table[c].Share
+	}
+	x := rng.Float64() * total
+	for i, c := range classes {
+		x -= Table[c].Share
+		if x < 0 {
+			return i
+		}
+	}
+	return len(classes) - 1
+}
+
 // RandomOffsets draws each task's release offset uniformly from [0, T),
 // as in the paper's evaluation setup ("the release offset of each task τ
 // is randomly picked from the range of [1, T]").

@@ -1,6 +1,7 @@
 package waters
 
 import (
+	"fmt"
 	"math/rand"
 	"testing"
 
@@ -104,6 +105,50 @@ func TestPopulate(t *testing.T) {
 	}
 	if ta.Period > tb.Period && ta.Prio < tb.Prio {
 		t.Error("RM violated")
+	}
+}
+
+func TestPopulateBudget(t *testing.T) {
+	g := model.NewGraph()
+	ecu := g.AddECU("e", model.Compute)
+	src := g.AddTask(model.Task{Name: "src", Period: timeu.Millisecond, ECU: model.NoECU})
+	prev := src
+	n := 40
+	for i := 0; i < n; i++ {
+		id := g.AddTask(model.Task{Name: fmt.Sprintf("t%d", i), Period: timeu.Millisecond, WCET: 1, BCET: 1, ECU: ecu})
+		if err := g.AddEdge(prev, id); err != nil {
+			t.Fatal(err)
+		}
+		prev = id
+	}
+	const minP, frac = 20 * timeu.Millisecond, 0.5
+	PopulateBudget(g, rand.New(rand.NewSource(3)), minP, frac)
+	if err := g.Validate(); err != nil {
+		t.Fatalf("populated graph invalid: %v", err)
+	}
+	if g.Task(src).WCET != 0 || g.Task(src).BCET != 0 {
+		t.Error("stimulus kept execution time")
+	}
+	var sum timeu.Time
+	minT := g.Task(model.TaskID(1)).Period
+	for i := 1; i <= n; i++ {
+		tk := g.Task(model.TaskID(i))
+		if tk.Period < minP {
+			t.Errorf("task %d period %v below class floor %v", i, tk.Period, minP)
+		}
+		if tk.BCET > tk.WCET || tk.BCET < 1 {
+			t.Errorf("task %d BCET %v outside [1, WCET=%v]", i, tk.BCET, tk.WCET)
+		}
+		sum += tk.WCET
+		if tk.Period < minT {
+			minT = tk.Period
+		}
+	}
+	// The defining invariant: the ECU's total WCET stays within the
+	// budgeted fraction of its shortest period (the scale() floor of 1
+	// time unit per task is irrelevant at these magnitudes).
+	if limit := timeu.Time(frac * float64(minT)); sum > limit {
+		t.Errorf("ECU WCET sum %v exceeds budget %v (minT %v)", sum, limit, minT)
 	}
 }
 

@@ -17,6 +17,8 @@
 //	SimThroughput  / ReferenceEngine        (jump-ahead fallback overhead)
 //	SimJumpAhead   / SimJumpAheadDisabled   (steady-state jump-ahead speedup)
 //	PairBounds     / PairBoundsReference    (trie fast-path speedup)
+//	ChainIndexFleet / ChainIndex            (fleet-tier index build scaling)
+//	PairBoundsFleet / PairBounds            (fleet-tier bound scaling)
 //
 // A ratio regressing past -ratio-tolerance (default 20%) is a real
 // slowdown regardless of machine noise. Absolute per-benchmark ns/op
@@ -53,6 +55,8 @@ var ratioPairs = [][2]string{
 	{"BenchmarkSimThroughput", "BenchmarkReferenceEngine"},
 	{"BenchmarkSimJumpAhead", "BenchmarkSimJumpAheadDisabled"},
 	{"BenchmarkPairBounds", "BenchmarkPairBoundsReference"},
+	{"BenchmarkChainIndexFleet", "BenchmarkChainIndex"},
+	{"BenchmarkPairBoundsFleet", "BenchmarkPairBounds"},
 }
 
 type tolerances struct {
