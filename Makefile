@@ -36,8 +36,11 @@
 #                 chains, and fleet generator packages, the >64-task
 #                 differential harness (100 fleet-tier workloads fast
 #                 path == reference, exact multi-word masks on the
-#                 1000+-task default fleet), the public GenerateFleet
-#                 tests, and the pinned fleet generator golden
+#                 1000+-task default fleet, subtree pruning on == off
+#                 field by field plus the subtree-aggregate property
+#                 test — every TestScale* in internal/integration rides
+#                 the -run pattern), the public GenerateFleet tests,
+#                 and the pinned fleet generator golden
 #   bench-gate  - regenerate both bench JSONs into .bench/ and diff
 #                 them against the checked-in baselines with
 #                 tools/bench_compare (BENCH_GATE_FLAGS=-report-only

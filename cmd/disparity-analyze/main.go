@@ -37,6 +37,13 @@ import (
 	"repro/internal/sched"
 )
 
+// streamPairLimit is the pair count past which -pairs stops
+// materializing the full per-pair list and streams it instead
+// (core.ForEachPairBound): beyond it the PairBound records, not the
+// analysis, would dominate memory. Well above every example workload,
+// well below the fleet tier's 4×10^4+ pairs.
+const streamPairLimit = 8192
+
 func main() {
 	if err := run(os.Args[1:], os.Stdout); err != nil {
 		fmt.Fprintln(os.Stderr, "disparity-analyze:", err)
@@ -149,8 +156,13 @@ func run(args []string, stdout io.Writer) error {
 	// labels and pair breakdowns come from the methods themselves.
 	ctx := context.Background()
 	// FullDetail: the -pairs flag prints every chain pair, which only the
-	// complete per-pair analysis materializes.
-	ec := &methods.Context{Analysis: a, MaxChains: *maxChains, FullDetail: true}
+	// complete per-pair analysis materializes. Past streamPairLimit the
+	// materialized list would dominate memory (fleet-scale graphs reach
+	// 10^4–10^5 pairs), so the listing switches to the streaming
+	// iterator and the methods run bound-only — same bounds, same argmax
+	// pair, O(1) pair memory.
+	streamPairs := chains.NumPairs(idx.NumChains()) > streamPairLimit
+	ec := &methods.Context{Analysis: a, MaxChains: *maxChains, FullDetail: !streamPairs}
 
 	// End-to-end latency metric family, off the same cached trie.
 	fmt.Fprintf(stdout, "\nend-to-end latency bounds of %s:\n", g.Task(task).Name)
@@ -200,10 +212,25 @@ func run(args []string, stdout io.Writer) error {
 		if r.Truncated {
 			fmt.Fprintf(stdout, "  WARNING: chain enumeration truncated at the cap; the bound covers a partial chain set (raise -max-chains)\n")
 		}
-		if *pairs && r.Detail != nil {
+		if *pairs && !streamPairs && r.Detail != nil {
 			for _, pb := range r.Detail.Pairs {
 				fmt.Fprintf(stdout, "  %v | %v: %v (x1=%d y1=%d)\n",
 					pb.Lambda.Format(g), pb.Nu.Format(g), pb.Bound, pb.X1, pb.Y1)
+			}
+		}
+		if *pairs && streamPairs {
+			if cm, ok := methods.CoreMethod(m.Name()); ok {
+				var streamErr error
+				if _, err := a.ForEachPairBound(task, cm, *maxChains, func(_ int, pb *core.PairBound) bool {
+					_, streamErr = fmt.Fprintf(stdout, "  %v | %v: %v (x1=%d y1=%d)\n",
+						pb.Lambda.Format(g), pb.Nu.Format(g), pb.Bound, pb.X1, pb.Y1)
+					return streamErr == nil
+				}); err != nil {
+					return err
+				}
+				if streamErr != nil {
+					return streamErr
+				}
 			}
 		}
 	}

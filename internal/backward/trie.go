@@ -2,6 +2,8 @@ package backward
 
 import (
 	"fmt"
+	"math"
+	"sync"
 
 	"repro/internal/chains"
 	"repro/internal/model"
@@ -33,6 +35,112 @@ type TrieBounds struct {
 	// BCBT branch of any segment it falls into (the build panics on
 	// mixed semantics, so one scheduled node speaks for all).
 	schedAt []int32
+
+	// Lazily built per-subtree aggregates (see SubtreeAggs).
+	aggOnce sync.Once
+	aggs    []SubtreeAgg
+	aggLET  bool
+}
+
+// SubtreeAgg is the min/max envelope of the leaf-side aggregate keys
+// over one trie node's leaf range. A segment bound leaf..f splits into
+// a per-leaf key plus a per-f offset (BlockOffsets):
+//
+//	𝒲(leaf..f)  = whop[leaf]              + wOff(f)
+//	ℬ(leaf..f)  = keyB[leaf]              + bOff(f)    (Dürr/implicit)
+//	ℬ(leaf..f)  = (pper+blo)[leaf]        + bletOff(f) (LET branch)
+//
+// so [Min+off, Max+off] brackets the exact segment windows of every
+// leaf in the range without touching the leaves — the block upper
+// bound of the subtree-pruned pair loop. keyB is blo under Dürr and
+// bsum+blo under the implicit Lemma-5 branch; which ℬ line applies is
+// per leaf (the LET branch needs a scheduled task on leaf..f), so when
+// the trie holds LET tasks at all, callers take the hull of both
+// candidate intervals — sound because each leaf's true ℬ is one of the
+// two. Empty subtrees (truncated construction) keep the crossed
+// sentinels Min = +∞ > Max = −∞ and must be skipped, not folded.
+type SubtreeAgg struct {
+	MinW, MaxW       timeu.Time
+	MinB, MaxB       timeu.Time
+	MinBLET, MaxBLET timeu.Time
+}
+
+// fold widens the envelope by another node's envelope.
+func (s *SubtreeAgg) fold(o *SubtreeAgg) {
+	s.MinW = timeu.Min(s.MinW, o.MinW)
+	s.MaxW = timeu.Max(s.MaxW, o.MaxW)
+	s.MinB = timeu.Min(s.MinB, o.MinB)
+	s.MaxB = timeu.Max(s.MaxB, o.MaxB)
+	s.MinBLET = timeu.Min(s.MinBLET, o.MinBLET)
+	s.MaxBLET = timeu.Max(s.MaxBLET, o.MaxBLET)
+}
+
+// Fold widens the envelope by another node's envelope (the exported
+// run-folding entry point of the pair evaluator).
+func (s *SubtreeAgg) Fold(o *SubtreeAgg) { s.fold(o) }
+
+// emptyAgg is the fold identity: crossed infinities that any real leaf
+// key replaces.
+var emptyAgg = SubtreeAgg{
+	MinW: math.MaxInt64, MaxW: math.MinInt64,
+	MinB: math.MaxInt64, MaxB: math.MinInt64,
+	MinBLET: math.MaxInt64, MaxBLET: math.MinInt64,
+}
+
+// SubtreeAggs returns the per-trie-node key envelopes over each node's
+// leaf range, plus whether any scheduled task in the graph runs under
+// LET (in which case block bounds must hull the ℬ candidates, see
+// SubtreeAgg). Built lazily in one reverse-preorder fold; the slice is
+// immutable and safe for concurrent use.
+func (tb *TrieBounds) SubtreeAggs() ([]SubtreeAgg, bool) {
+	tb.aggOnce.Do(func() {
+		idx := tb.idx
+		n := idx.NumNodes()
+		aggs := make([]SubtreeAgg, n)
+		for i := range aggs {
+			aggs[i] = emptyAgg
+		}
+		for i := 0; i < idx.NumChains(); i++ {
+			l := idx.Leaf(i)
+			w := tb.whop[l]
+			b := tb.blo[l]
+			if tb.a.method != Duerr {
+				b += tb.bsum[l]
+			}
+			blet := tb.pper[l] + tb.blo[l]
+			aggs[l] = SubtreeAgg{MinW: w, MaxW: w, MinB: b, MaxB: b, MinBLET: blet, MaxBLET: blet}
+		}
+		for c := int32(n - 1); c >= 1; c-- {
+			aggs[idx.NodeParent(c)].fold(&aggs[c])
+		}
+		tb.aggs = aggs
+		for t := 0; t < tb.a.g.NumTasks(); t++ {
+			if tsk := tb.a.g.Task(model.TaskID(t)); tsk.ECU != model.NoECU && tsk.Sem == model.LET {
+				tb.aggLET = true
+				break
+			}
+		}
+	})
+	return tb.aggs, tb.aggLET
+}
+
+// BlockOffsets returns the per-join-node offsets completing the
+// SubtreeAgg keys into exact segment bounds at join node f: for any
+// leaf u in a subtree hanging off f, 𝒲(u..f) = whop[u] + wOff, and
+// ℬ(u..f) is keyB[u] + bOff on the Dürr/implicit branch or
+// (pper+blo)[u] + bletOff on the LET branch — the same three-way split
+// as segBCBT, rearranged so everything depending on f is in the
+// offset.
+func (tb *TrieBounds) BlockOffsets(f int32) (wOff, bOff, bletOff timeu.Time) {
+	wOff = -tb.whop[f]
+	ft := tb.idx.NodeTask(f)
+	if tb.a.method == Duerr {
+		bOff = -tb.a.wcrt.R(ft) - tb.blo[f]
+	} else {
+		bOff = -tb.bsum[f] + tb.a.g.Task(ft).BCET - tb.a.wcrt.R(ft) - tb.blo[f]
+	}
+	bletOff = -tb.pper[f] - tb.blo[f]
+	return wOff, bOff, bletOff
 }
 
 // TrieBounds computes the per-node bound tables for idx. Like WCBT and

@@ -1,6 +1,7 @@
 package backward
 
 import (
+	"math"
 	"math/rand"
 	"testing"
 
@@ -8,6 +9,7 @@ import (
 	"repro/internal/model"
 	"repro/internal/randgraph"
 	"repro/internal/sched"
+	"repro/internal/timeu"
 	"repro/internal/waters"
 )
 
@@ -91,4 +93,76 @@ func TestTrieBoundsMixedSemanticsPanics(t *testing.T) {
 		}
 	}()
 	an.TrieBounds(idx)
+}
+
+// TestSubtreeAggsMatchBruteForce pins the per-subtree key envelopes to
+// the exact segment API over the same randomized corpus as
+// TestTrieBoundsMatchDirect: for every trie node f, the brute-force
+// min/max of Bounds(leaf, f) over f's leaf range must equal the
+// SubtreeAggs keys completed by BlockOffsets — exactly for 𝒲 always and
+// for ℬ on LET-free graphs, and within the two-candidate hull when the
+// graph schedules LET tasks (each leaf's true ℬ is one candidate, so
+// the hull may be loose but must never be violated).
+func TestSubtreeAggsMatchBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(43))
+	for trial := 0; trial < 30; trial++ {
+		n := 6 + rng.Intn(10)
+		g, err := randgraph.GNM(n, 2*n, randgraph.DefaultConfig(), rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		waters.Populate(g, rng)
+		if trial%3 == 1 {
+			for i := 0; i < g.NumTasks(); i++ {
+				g.Task(model.TaskID(i)).Sem = model.LET
+			}
+		}
+		if trial%4 == 2 {
+			for _, e := range g.Edges() {
+				if rng.Intn(2) == 0 {
+					if err := g.SetBuffer(e.Src, e.Dst, 1+rng.Intn(3)); err != nil {
+						t.Fatal(err)
+					}
+				}
+			}
+		}
+		res := sched.Analyze(g, sched.NonPreemptiveFP)
+		sink := g.Sinks()[0]
+		for _, method := range []Method{NonPreemptive, Duerr} {
+			an := NewAnalyzer(g, res, method)
+			idx, tb := an.IndexBounds(g, sink, 0)
+			aggs, hasLET := tb.SubtreeAggs()
+			for f := int32(0); f < int32(idx.NumNodes()); f++ {
+				lo, hi := idx.LeafSpan(f)
+				if lo >= hi {
+					t.Fatalf("trial %d %v: empty subtree %d on a full index", trial, method, f)
+				}
+				wOff, bOff, bletOff := tb.BlockOffsets(f)
+				minW, maxW := timeu.Time(math.MaxInt64), timeu.Time(math.MinInt64)
+				minB, maxB := timeu.Time(math.MaxInt64), timeu.Time(math.MinInt64)
+				for i := lo; i < hi; i++ {
+					w, b := tb.Bounds(idx.Leaf(int(i)), f)
+					minW, maxW = timeu.Min(minW, w), timeu.Max(maxW, w)
+					minB, maxB = timeu.Min(minB, b), timeu.Max(maxB, b)
+				}
+				if minW != aggs[f].MinW+wOff || maxW != aggs[f].MaxW+wOff {
+					t.Fatalf("trial %d %v node %d: brute 𝒲 [%v, %v], aggregate [%v, %v]",
+						trial, method, f, minW, maxW, aggs[f].MinW+wOff, aggs[f].MaxW+wOff)
+				}
+				if !hasLET {
+					if minB != aggs[f].MinB+bOff || maxB != aggs[f].MaxB+bOff {
+						t.Fatalf("trial %d %v node %d: brute ℬ [%v, %v], aggregate [%v, %v]",
+							trial, method, f, minB, maxB, aggs[f].MinB+bOff, aggs[f].MaxB+bOff)
+					}
+				} else {
+					hullLo := timeu.Min(aggs[f].MinB+bOff, aggs[f].MinBLET+bletOff)
+					hullHi := timeu.Max(aggs[f].MaxB+bOff, aggs[f].MaxBLET+bletOff)
+					if minB < hullLo || maxB > hullHi {
+						t.Fatalf("trial %d %v node %d: brute ℬ [%v, %v] escapes hull [%v, %v]",
+							trial, method, f, minB, maxB, hullLo, hullHi)
+					}
+				}
+			}
+		}
+	}
 }

@@ -124,6 +124,7 @@ func FuzzIndexMatchesEnumerate(f *testing.F) {
 						t.Fatalf("cap %d: chain %d = %v, want prefix chain %v", mc, i, small.Chain(i), ref[i])
 					}
 				}
+				checkSubtreeTables(t, small) // truncated tier: empty subtrees allowed
 			}
 
 			// PathMasks: exact bitsets at any task count — single-word
@@ -143,6 +144,10 @@ func FuzzIndexMatchesEnumerate(f *testing.F) {
 					}
 				}
 			}
+
+			// Subtree topology tables (leaf spans, child lists, union
+			// masks) against the parent pointers and leaf rows.
+			checkSubtreeTables(t, idx)
 		}
 	})
 }

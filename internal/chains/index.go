@@ -115,12 +115,21 @@ type Index struct {
 	maxDepth int32
 	cause    TruncationCause
 
-	// Lazily built derived tables (see LCA and PathMasks).
+	// Lazily built derived tables (see LCA, PathMasks, LeafSpan,
+	// Children and SubtreeMasks).
 	liftOnce   sync.Once
 	lift       [][]int32
 	maskOnce   sync.Once
 	masks      []uint64
 	maskStride int
+	subOnce    sync.Once
+	spanLo     []int32
+	spanHi     []int32
+	childStart []int32
+	childList  []int32
+	unionOnce  sync.Once
+	sub        []uint64
+	subStride  int
 }
 
 // NewIndex builds the trie of all chains that start at a source task of
@@ -366,4 +375,105 @@ func (x *Index) PathMasks() ([]uint64, int) {
 		masksMulti.Inc()
 	})
 	return x.masks, x.maskStride
+}
+
+// buildSubtree fills the leaf-span and children tables in two linear
+// passes over the preorder node array. Preorder construction makes
+// every subtree a contiguous node range, so its leaves are a contiguous
+// range of the Enumerate-ordered leaf list: seed each leaf node with
+// its own chain index, then fold children into parents in reverse
+// preorder (every child has a higher index than its parent). A node
+// whose subtree holds no leaf — possible only when construction was
+// truncated mid-DFS — keeps the empty sentinel lo ≥ hi.
+func (x *Index) buildSubtree() {
+	n := len(x.nodes)
+	if n == 0 {
+		x.childStart = make([]int32, 1)
+		return
+	}
+	x.spanLo = make([]int32, n)
+	x.spanHi = make([]int32, n)
+	for i := range x.spanLo {
+		x.spanLo[i] = int32(len(x.leaves))
+	}
+	for i, l := range x.leaves {
+		x.spanLo[l] = int32(i)
+		x.spanHi[l] = int32(i + 1)
+	}
+	for c := n - 1; c >= 1; c-- {
+		p := x.nodes[c].parent
+		if x.spanLo[c] < x.spanLo[p] {
+			x.spanLo[p] = x.spanLo[c]
+		}
+		if x.spanHi[c] > x.spanHi[p] {
+			x.spanHi[p] = x.spanHi[c]
+		}
+	}
+	// Children as one CSR table, counting-sorted by parent. Filling in
+	// increasing node index keeps each list in preorder, which is the
+	// predecessor order the DFS pushed them in.
+	x.childStart = make([]int32, n+1)
+	for c := 1; c < n; c++ {
+		x.childStart[x.nodes[c].parent+1]++
+	}
+	for i := 1; i <= n; i++ {
+		x.childStart[i] += x.childStart[i-1]
+	}
+	x.childList = make([]int32, n-1)
+	next := make([]int32, n)
+	copy(next, x.childStart[:n])
+	for c := 1; c < n; c++ {
+		p := x.nodes[c].parent
+		x.childList[next[p]] = int32(c)
+		next[p]++
+	}
+}
+
+// LeafSpan returns the half-open chain-index interval [lo, hi) of the
+// leaves in node n's subtree: exactly the chains whose path to the root
+// passes through n, contiguous in Enumerate order because the trie is
+// built in preorder. lo ≥ hi marks an empty subtree (possible only on
+// truncated indexes).
+func (x *Index) LeafSpan(n int32) (lo, hi int32) {
+	x.subOnce.Do(x.buildSubtree)
+	return x.spanLo[n], x.spanHi[n]
+}
+
+// Children returns node n's trie children in predecessor order (the
+// preorder child order, matching Enumerate's DFS). The slice aliases an
+// internal table and must not be mutated.
+func (x *Index) Children(n int32) []int32 {
+	x.subOnce.Do(x.buildSubtree)
+	return x.childList[x.childStart[n]:x.childStart[n+1]]
+}
+
+// SubtreeMasks returns a per-node bitset of every task appearing on any
+// leaf→root path through the node — the union of PathMasks rows over
+// the node's leaf range — as a flat table with the same stride as
+// PathMasks. The subtree-level c = 1 proof of the pair analysis uses
+// it: union(p) & union(q) &^ row(f) == 0 certifies that no pair of
+// chains drawn from the two subtrees shares a task strictly below their
+// join node f. Returns (nil, 0) when PathMasks was skipped (table over
+// MaskBudgetWords); empty subtrees hold all-zero rows.
+func (x *Index) SubtreeMasks() ([]uint64, int) {
+	x.unionOnce.Do(func() {
+		masks, stride := x.PathMasks()
+		if masks == nil {
+			return
+		}
+		flat := make([]uint64, len(x.nodes)*stride)
+		for _, l := range x.leaves {
+			copy(flat[int(l)*stride:(int(l)+1)*stride], masks[int(l)*stride:(int(l)+1)*stride])
+		}
+		for c := len(x.nodes) - 1; c >= 1; c-- {
+			p := int(x.nodes[c].parent)
+			row := flat[c*stride : (c+1)*stride]
+			prow := flat[p*stride : (p+1)*stride]
+			for w := range row {
+				prow[w] |= row[w]
+			}
+		}
+		x.sub, x.subStride = flat, stride
+	})
+	return x.sub, x.subStride
 }

@@ -348,3 +348,126 @@ func TestIndexMaskBudget(t *testing.T) {
 		t.Fatalf("over-budget masks built anyway: len=%d stride=%d", len(masks), stride)
 	}
 }
+
+// checkSubtreeTables verifies the subtree topology tables against the
+// trie's parent pointers and the leaf list, independent of the
+// reverse-preorder builds: every node's leaf span holds exactly the
+// chains whose leaf→root walk passes the node, children come back in
+// increasing (preorder = predecessor) order, and each union mask row is
+// the OR of the leaf mask rows over the span. Shared by the unit test
+// below and FuzzIndexMatchesEnumerate.
+func checkSubtreeTables(t testing.TB, idx *Index) {
+	t.Helper()
+	nn := idx.NumNodes()
+	if nn == 0 {
+		return
+	}
+	// Count chains through each node by walking leaf→root, checking
+	// containment as we go. Equal counts + containment + contiguity of a
+	// half-open range force the span to be exactly the passing set.
+	through := make([]int32, nn)
+	for i := 0; i < idx.NumChains(); i++ {
+		for n := idx.Leaf(i); n >= 0; n = idx.NodeParent(n) {
+			lo, hi := idx.LeafSpan(n)
+			if int32(i) < lo || int32(i) >= hi {
+				t.Fatalf("chain %d passes node %d but span [%d,%d) misses it", i, n, lo, hi)
+			}
+			through[n]++
+		}
+	}
+	children := 0
+	for n := int32(0); n < int32(nn); n++ {
+		lo, hi := idx.LeafSpan(n)
+		size := hi - lo
+		if size < 0 {
+			size = 0 // crossed sentinels mark an empty (truncated-away) subtree
+		}
+		if size != through[n] {
+			t.Fatalf("node %d span [%d,%d) sized %d, but %d chains pass through", n, lo, hi, size, through[n])
+		}
+		kids := idx.Children(n)
+		children += len(kids)
+		prev := n
+		for _, c := range kids {
+			if c <= prev {
+				t.Fatalf("node %d children %v out of preorder", n, kids)
+			}
+			if idx.NodeParent(c) != n {
+				t.Fatalf("node %d lists child %d whose parent is %d", n, c, idx.NodeParent(c))
+			}
+			prev = c
+		}
+	}
+	if children != nn-1 {
+		t.Fatalf("children lists cover %d nodes, want %d", children, nn-1)
+	}
+	masks, stride := idx.PathMasks()
+	sub, subStride := idx.SubtreeMasks()
+	if masks == nil {
+		if sub != nil || subStride != 0 {
+			t.Fatalf("SubtreeMasks built without PathMasks: len=%d stride=%d", len(sub), subStride)
+		}
+		return
+	}
+	if subStride != stride || len(sub) != nn*stride {
+		t.Fatalf("SubtreeMasks stride %d len %d, want stride %d len %d", subStride, len(sub), stride, nn*stride)
+	}
+	want := make([]uint64, stride)
+	for n := 0; n < nn; n++ {
+		lo, hi := idx.LeafSpan(int32(n))
+		for w := range want {
+			want[w] = 0
+		}
+		for i := lo; i < hi; i++ {
+			row := masks[int(idx.Leaf(int(i)))*stride : (int(idx.Leaf(int(i)))+1)*stride]
+			for w := range want {
+				want[w] |= row[w]
+			}
+		}
+		row := sub[n*stride : (n+1)*stride]
+		for w := range want {
+			if row[w] != want[w] {
+				t.Fatalf("node %d union word %d = %#x, leaf OR %#x", n, w, row[w], want[w])
+			}
+		}
+	}
+}
+
+// TestIndexSubtreeTables runs the subtree-table checker over random
+// DAGs on both mask tiers (≤64 and >64 tasks), over a truncated index
+// (empty subtrees), and over the masks-skipped path (SubtreeMasks must
+// report nil rather than an all-zero table).
+func TestIndexSubtreeTables(t *testing.T) {
+	rng := rand.New(rand.NewSource(47))
+	for trial := 0; trial < 40; trial++ {
+		n := 5 + rng.Intn(12)
+		if trial%4 == 3 {
+			n = 70 + rng.Intn(40) // multi-word masks
+		}
+		g, err := randgraph.GNM(n, 2*n, randgraph.DefaultConfig(), rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sink := g.Sinks()[0]
+		idx := NewIndex(g, sink, 2048)
+		if idx.Truncated() {
+			continue
+		}
+		checkSubtreeTables(t, idx)
+		if lo, hi := idx.LeafSpan(0); lo != 0 || int(hi) != idx.NumChains() {
+			t.Fatalf("trial %d: root span [%d,%d), want [0,%d)", trial, lo, hi, idx.NumChains())
+		}
+		if nc := idx.NumChains(); nc > 1 {
+			small := NewIndex(g, sink, 1+rng.Intn(nc-1))
+			checkSubtreeTables(t, small) // truncated: spans may be empty but stay consistent
+		}
+	}
+
+	defer func(old int) { MaskBudgetWords = old }(MaskBudgetWords)
+	MaskBudgetWords = 8
+	g, err := randgraph.GNM(70, 100, randgraph.DefaultConfig(), rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkSubtreeTables(t, NewIndex(g, g.Sinks()[0], 0))
+}

@@ -45,10 +45,18 @@ var (
 
 // ParallelPairThreshold is the number of chain pairs above which
 // DisparityBound evaluates pairs on all CPUs. The reduction is
-// deterministic (fixed block partition, serial block-order merge), so
-// the parallel result is bit-identical to the serial one; the
-// threshold only trades goroutine overhead against pair volume. It is
-// a variable so tests can force the parallel path on small inputs.
+// deterministic (fixed partition, order-independent (bound, rank)
+// merge), so the parallel result is bit-identical to the serial one;
+// the threshold only trades goroutine overhead against pair volume.
+//
+// It is a plain package variable so tests can force the parallel path
+// on small inputs, and it is read — without synchronization — each
+// time an analysis evaluates a task. Set it once, before any analysis
+// starts, and never concurrently with running analyses; tests that
+// override it must restore the previous value via t.Cleanup so a
+// failing test cannot leak the override into the rest of the package
+// run. The same discipline applies to SubtreePrune and SubtreeRectCap
+// (subtree.go).
 var ParallelPairThreshold = 1 << 12
 
 // evalKey identifies one pairEval per analyzed task and enumeration
@@ -241,10 +249,18 @@ type pairVals struct {
 }
 
 func (ev *pairEval) toPairBound(la, nu model.Chain, v *pairVals) *PairBound {
+	pb := new(PairBound)
+	ev.fillPairBound(pb, la, nu, v)
+	return pb
+}
+
+// fillPairBound writes the materialized PairBound into pb — the
+// allocation-free variant the streaming iterator reuses per pair.
+func (ev *pairEval) fillPairBound(pb *PairBound, la, nu model.Chain, v *pairVals) {
 	if v.lambdaLen > 0 {
 		la, nu = la[:v.lambdaLen:v.lambdaLen], nu[:v.nuLen:v.nuLen]
 	}
-	return &PairBound{
+	*pb = PairBound{
 		Lambda: la, Nu: nu,
 		Bound: v.bound, SameHead: v.sameHead,
 		X1: v.x1, Y1: v.y1,
@@ -506,8 +522,10 @@ type blockBest struct {
 // differential harness enforces it — while the loop skips the per-pair
 // allocations, applies a sound dominance prune (a pair whose cheap
 // upper bound is below the running maximum cannot change the result),
-// and evaluates blocks of pairs in parallel above
-// ParallelPairThreshold with a deterministic block-ordered reduction.
+// skips whole subtree-pair blocks via the branch-and-bound descent of
+// subtree.go (unless SubtreePrune is off), and evaluates surviving
+// blocks in parallel above ParallelPairThreshold with a deterministic
+// (bound, rank) reduction.
 func (a *Analysis) DisparityBound(task model.TaskID, m Method, maxChains int) (*TaskDisparity, error) {
 	if a.cache != nil {
 		return a.cache.taskDisparity(task, m, maxChains, false, func() (*TaskDisparity, error) {
@@ -534,7 +552,9 @@ func (a *Analysis) disparityBound(task model.TaskID, m Method, maxChains int) (*
 	}
 
 	var best blockBest
-	if td.NumPairs >= ParallelPairThreshold {
+	if SubtreePrune {
+		best = ev.boundSubtree(m, n)
+	} else if td.NumPairs >= ParallelPairThreshold {
 		best = ev.boundParallel(m, n, td.NumPairs)
 	} else {
 		var threshold atomic.Int64
@@ -560,12 +580,37 @@ func (a *Analysis) disparityBound(task model.TaskID, m Method, maxChains int) (*
 	return td, nil
 }
 
-// boundBlock evaluates the pair ranks [lo, hi) serially, pruning pairs
-// whose cheap upper bound cannot reach the shared running maximum.
-// threshold only grows, and a stale read merely prunes less, so the
-// shared atomic is sound under concurrency; the result never depends
-// on it (a pruned pair's bound is strictly below the final maximum, so
-// it can attain neither the maximum nor the first-attaining rank).
+// evalPair evaluates pair (i, j) into v with the per-pair dominance
+// prune: evaluated is false when the pair's cheap upper bound could
+// not reach the shared running maximum. threshold only grows, and a
+// stale read merely prunes less, so the shared atomic is sound under
+// concurrency; the result never depends on it (a pruned pair's bound
+// is strictly below the final maximum, so it can attain neither the
+// maximum nor the first-attaining rank).
+func (ev *pairEval) evalPair(m Method, i, j int, s *pairScratch, v *pairVals, threshold *atomic.Int64) (evaluated bool, err error) {
+	if m == PDiff {
+		if ev.pdiffUB(i, j) < timeu.Time(threshold.Load()) {
+			return false, nil
+		}
+		ev.evalPDiff(i, j, v)
+		return true, nil
+	}
+	if ev.maskStride != 0 {
+		u, w := ev.idx.Leaf(i), ev.idx.Leaf(j)
+		f := ev.idx.LCA(u, w)
+		c1, _ := ev.maskC1(u, w, f, ev.headTask[i], ev.headTask[i] == ev.headTask[j])
+		if c1 && ev.sdiffC1UB(u, w, f) < timeu.Time(threshold.Load()) {
+			return false, nil
+		}
+	}
+	if err := ev.evalSDiff(i, j, s, v); err != nil {
+		return false, err
+	}
+	return true, nil
+}
+
+// boundBlock evaluates the pair ranks [lo, hi) serially with the
+// per-pair dominance prune of evalPair.
 func (ev *pairEval) boundBlock(m Method, n, lo, hi int, threshold *atomic.Int64) blockBest {
 	best := blockBest{rank: -1}
 	i, j := pairAt(n, lo)
@@ -578,32 +623,10 @@ func (ev *pairEval) boundBlock(m Method, n, lo, hi int, threshold *atomic.Int64)
 		}
 	}()
 	for rank := lo; rank < hi; rank++ {
-		evaluated := true
-		if m == PDiff {
-			if ev.pdiffUB(i, j) < timeu.Time(threshold.Load()) {
-				evaluated = false
-			} else {
-				ev.evalPDiff(i, j, &v)
-			}
-		} else {
-			pruned := false
-			if ev.maskStride != 0 {
-				u, w := ev.idx.Leaf(i), ev.idx.Leaf(j)
-				f := ev.idx.LCA(u, w)
-				c1, _ := ev.maskC1(u, w, f, ev.headTask[i], ev.headTask[i] == ev.headTask[j])
-				if c1 && ev.sdiffC1UB(u, w, f) < timeu.Time(threshold.Load()) {
-					pruned = true
-				}
-			}
-			if pruned {
-				evaluated = false
-			} else if err := ev.evalSDiff(i, j, &s, &v); err != nil {
-				best.err = err
-				return best
-			}
-		}
-		if !evaluated {
-			prunedCount++
+		evaluated, err := ev.evalPair(m, i, j, &s, &v, threshold)
+		if err != nil {
+			best.err = err
+			return best
 		}
 		if evaluated {
 			if v.bound > best.bound || best.rank < 0 {
@@ -615,6 +638,8 @@ func (ev *pairEval) boundBlock(m Method, n, lo, hi int, threshold *atomic.Int64)
 					break
 				}
 			}
+		} else {
+			prunedCount++
 		}
 		if j++; j == n {
 			i++

@@ -51,13 +51,20 @@ type LayerStats struct {
 }
 
 // PairStats reports the trie fast path's per-pair decisions: how many
-// chain pairs were fully bounded, how many the dominance prune skipped,
-// and whether the block-parallel reduction engaged.
+// chain pairs were fully bounded, how many the per-pair dominance
+// prune skipped, how many whole subtree-pair blocks (and the pairs
+// inside them) the branch-and-bound descent skipped before
+// enumeration, and whether the block-parallel reduction engaged.
+// PruneRatio and SubtreePruneRatio are fractions of the total pair
+// volume bounded + pruned + subtree-pruned.
 type PairStats struct {
-	Bounded      int64   `json:"bounded"`
-	Pruned       int64   `json:"pruned"`
-	PruneRatio   float64 `json:"prune_ratio"`
-	ParallelRuns int64   `json:"parallel_runs"`
+	Bounded           int64   `json:"bounded"`
+	Pruned            int64   `json:"pruned"`
+	PruneRatio        float64 `json:"prune_ratio"`
+	SubtreePruned     int64   `json:"subtree_pruned,omitempty"`
+	SubtreePruneRatio float64 `json:"subtree_prune_ratio,omitempty"`
+	BlocksPruned      int64   `json:"blocks_pruned,omitempty"`
+	ParallelRuns      int64   `json:"parallel_runs"`
 }
 
 // ChainStats reports chain enumeration volume and truncation: a
@@ -263,13 +270,18 @@ func (r *Recorder) Record() *Record {
 	}
 
 	bounded, pruned := delta("core.pairs.bounded"), delta("core.pairs.pruned")
-	if bounded+pruned > 0 {
+	subtree := delta("core.pairs.subtree_pruned")
+	if bounded+pruned+subtree > 0 {
 		ps := &PairStats{
-			Bounded:      bounded,
-			Pruned:       pruned,
-			ParallelRuns: delta("core.bound.parallel"),
+			Bounded:       bounded,
+			Pruned:        pruned,
+			SubtreePruned: subtree,
+			BlocksPruned:  delta("core.blocks.pruned"),
+			ParallelRuns:  delta("core.bound.parallel"),
 		}
-		ps.PruneRatio = float64(pruned) / float64(bounded+pruned)
+		total := float64(bounded + pruned + subtree)
+		ps.PruneRatio = float64(pruned) / total
+		ps.SubtreePruneRatio = float64(subtree) / total
 		rec.Pairs = ps
 	}
 
@@ -369,6 +381,10 @@ func (r *Recorder) WriteSummary(w io.Writer) error {
 	if rec.Pairs != nil {
 		fmt.Fprintf(&b, "  pair bounds:  %d evaluated, %d pruned (%.1f%% prune ratio), parallel x%d\n",
 			rec.Pairs.Bounded, rec.Pairs.Pruned, 100*rec.Pairs.PruneRatio, rec.Pairs.ParallelRuns)
+		if rec.Pairs.SubtreePruned > 0 {
+			fmt.Fprintf(&b, "  subtree prune: %d pairs in %d blocks skipped before enumeration (%.1f%% of pair volume)\n",
+				rec.Pairs.SubtreePruned, rec.Pairs.BlocksPruned, 100*rec.Pairs.SubtreePruneRatio)
+		}
 	}
 	if rec.Chains != nil {
 		trunc := "none"

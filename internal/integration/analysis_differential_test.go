@@ -169,7 +169,8 @@ func TestAnalysisFastPathMatchesReference(t *testing.T) {
 // reduction; the equality check pins its determinism (the block-ordered
 // merge must reproduce the serial first-attaining argmax exactly).
 func TestAnalysisParallelMatchesSerial(t *testing.T) {
-	defer func(old int) { core.ParallelPairThreshold = old }(core.ParallelPairThreshold)
+	old := core.ParallelPairThreshold
+	t.Cleanup(func() { core.ParallelPairThreshold = old })
 
 	trials := 40
 	if testing.Short() {
@@ -206,6 +207,65 @@ func TestAnalysisParallelMatchesSerial(t *testing.T) {
 			for i := range par.Pairs {
 				comparePairExact(t, trial, m.String()+"/parallel", par.Pairs[i], serial.Pairs[i])
 			}
+		}
+	}
+}
+
+// TestAnalysisSubtreePruneMatchesFlat toggles the subtree
+// branch-and-bound descent (core.SubtreePrune) off and on over the
+// WATERS corpus and checks that DisparityBound is bit-identical in both
+// modes and against the reference pipeline: same bound, same pair
+// count, and the same first-attaining argmax pair field by field. A
+// tiny rect cap is also exercised so the descent is forced to split
+// and re-merge blocks rather than evaluating one big triangle.
+func TestAnalysisSubtreePruneMatchesFlat(t *testing.T) {
+	oldPrune, oldCap := core.SubtreePrune, core.SubtreeRectCap
+	t.Cleanup(func() { core.SubtreePrune, core.SubtreeRectCap = oldPrune, oldCap })
+
+	trials := 60
+	if testing.Short() {
+		trials = 20
+	}
+	rng := rand.New(rand.NewSource(82))
+	for trial := 0; trial < trials; trial++ {
+		g := genWaters(t, rng, 8+rng.Intn(8))
+		varyCorpus(t, g, trial, rng)
+		sink := g.Sinks()[0]
+		for _, m := range []core.Method{core.PDiff, core.SDiff} {
+			core.SubtreePrune = false
+			flatA, err := core.NewCached(g, core.NewAnalysisCache())
+			if err != nil {
+				break
+			}
+			flat, err := flatA.DisparityBound(sink, m, 0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want, err := flatA.DisparityReference(sink, m, 0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, cap := range []int{core.SubtreeRectCap, 4} {
+				core.SubtreePrune, core.SubtreeRectCap = true, cap
+				prunedA, err := core.NewCached(g, core.NewAnalysisCache())
+				if err != nil {
+					t.Fatal(err)
+				}
+				pruned, err := prunedA.DisparityBound(sink, m, 0)
+				if err != nil {
+					t.Fatal(err)
+				}
+				name := m.String() + "/pruned"
+				if pruned.Bound != flat.Bound || pruned.Bound != want.Bound ||
+					pruned.NumPairs != flat.NumPairs || len(pruned.Pairs) != len(flat.Pairs) {
+					t.Fatalf("trial %d %s cap=%d: pruned bound %v/%d pairs, flat %v/%d, reference %v",
+						trial, name, cap, pruned.Bound, pruned.NumPairs, flat.Bound, flat.NumPairs, want.Bound)
+				}
+				for i := range pruned.Pairs {
+					comparePairExact(t, trial, name, pruned.Pairs[i], flat.Pairs[i])
+				}
+			}
+			core.SubtreePrune, core.SubtreeRectCap = oldPrune, oldCap
 		}
 	}
 }

@@ -1,15 +1,19 @@
 package integration
 
 import (
+	"math"
 	"math/rand"
 	"testing"
 
+	"repro/internal/backward"
 	"repro/internal/bitset"
 	"repro/internal/can"
 	"repro/internal/chains"
 	"repro/internal/core"
+	"repro/internal/metrics"
 	"repro/internal/model"
 	"repro/internal/randgraph"
+	"repro/internal/sched"
 	"repro/internal/timeu"
 	"repro/internal/waters"
 )
@@ -196,5 +200,164 @@ func TestScaleExactMasksThousandTasks(t *testing.T) {
 	}
 	if len(withMasks.Pairs) == 1 && len(noMasks.Pairs) == 1 {
 		comparePairExact(t, 0, "fleet/maskfallback", withMasks.Pairs[0], noMasks.Pairs[0])
+	}
+}
+
+// TestScaleSubtreePruneMatchesFlat is the fleet-tier pruning
+// differential: DisparityBound with the subtree branch-and-bound
+// descent on versus off, field by field, over the >64-task corpus and
+// once over the default ~2100-task fleet — where it also checks against
+// the reference pipeline and asserts the pruning actually engaged (the
+// block-skip counter must absorb most of the pair volume, otherwise the
+// fleet benchmark's speedup claim is untested here).
+func TestScaleSubtreePruneMatchesFlat(t *testing.T) {
+	oldPrune := core.SubtreePrune
+	t.Cleanup(func() { core.SubtreePrune = oldPrune })
+
+	trials := 30
+	if testing.Short() {
+		trials = 10
+	}
+	rng := rand.New(rand.NewSource(92))
+	for trial := 0; trial < trials; trial++ {
+		cfg := fleetScaleConfigs[trial%len(fleetScaleConfigs)]
+		g, sink := genFleet(t, cfg, rng)
+		varyCorpus(t, g, trial, rng)
+		for _, m := range []core.Method{core.PDiff, core.SDiff} {
+			comparePrunedFlat(t, trial, g, sink, m)
+		}
+	}
+
+	// Default fleet: the production scale. Reference equality on SDiff
+	// pins the whole stack (trie, descent, block bounds) to the paper
+	// pipeline at the size the benchmarks quote.
+	g, fusion, err := randgraph.Fleet(randgraph.DefaultFleet())
+	if err != nil {
+		t.Fatal(err)
+	}
+	waters.PopulateBudget(g, rng, 20*timeu.Millisecond, 0.5)
+	subtreePruned := metrics.C("core.pairs.subtree_pruned")
+	before := subtreePruned.Load()
+	for _, m := range []core.Method{core.PDiff, core.SDiff} {
+		pruned := comparePrunedFlat(t, -1, g, fusion, m)
+		core.SubtreePrune = oldPrune
+		a, err := core.NewCached(g, core.NewAnalysisCache())
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := a.DisparityReference(fusion, m, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if pruned.Bound != want.Bound || pruned.NumPairs != len(want.Pairs) {
+			t.Fatalf("fleet %v: pruned bound %v/%d pairs, reference %v/%d",
+				m, pruned.Bound, pruned.NumPairs, want.Bound, len(want.Pairs))
+		}
+		if want.ArgMax >= 0 {
+			comparePairExact(t, -1, m.String()+"/fleet", pruned.Pairs[0], want.Pairs[want.ArgMax])
+		}
+	}
+	skipped := subtreePruned.Load() - before
+	if total := int64(chains.NumPairs(288)); skipped < total/2 {
+		t.Errorf("default fleet skipped only %d pairs wholesale across both methods, want > %d", skipped, total/2)
+	}
+}
+
+// comparePrunedFlat runs DisparityBound with the descent off then on
+// (fresh analyses — the cache would otherwise hand the second run the
+// first's result) and requires bit-identical bounds and argmax pairs.
+// Returns the pruned-mode result for further checks.
+func comparePrunedFlat(t *testing.T, trial int, g *model.Graph, sink model.TaskID, m core.Method) *core.TaskDisparity {
+	t.Helper()
+	core.SubtreePrune = false
+	flatA, err := core.NewCached(g, core.NewAnalysisCache())
+	if err != nil {
+		t.Fatalf("trial %d: fleet workload rejected: %v", trial, err)
+	}
+	flat, err := flatA.DisparityBound(sink, m, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	core.SubtreePrune = true
+	prunedA, err := core.NewCached(g, core.NewAnalysisCache())
+	if err != nil {
+		t.Fatal(err)
+	}
+	pruned, err := prunedA.DisparityBound(sink, m, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pruned.Bound != flat.Bound || pruned.NumPairs != flat.NumPairs ||
+		pruned.Truncated != flat.Truncated || len(pruned.Pairs) != len(flat.Pairs) {
+		t.Fatalf("trial %d %v: pruned bound %v/%d pairs, flat %v/%d",
+			trial, m, pruned.Bound, pruned.NumPairs, flat.Bound, flat.NumPairs)
+	}
+	for i := range pruned.Pairs {
+		comparePairExact(t, trial, m.String()+"/pruned", pruned.Pairs[i], flat.Pairs[i])
+	}
+	return pruned
+}
+
+// TestScaleSubtreeAggregates is the fleet-tier half of the aggregate
+// property test (the small-graph half lives in internal/backward): on
+// >64-task workloads and the default fleet trie, every node's
+// SubtreeAggs envelope completed by BlockOffsets must equal the
+// brute-force min/max of the exact segment bounds over its leaf range —
+// 𝒲 always, ℬ exactly on LET-free graphs and within the candidate hull
+// otherwise.
+func TestScaleSubtreeAggregates(t *testing.T) {
+	rng := rand.New(rand.NewSource(93))
+	graphs := make([]*model.Graph, 0, 6)
+	sinks := make([]model.TaskID, 0, 6)
+	for trial := 0; trial < 5; trial++ {
+		g, sink := genFleet(t, fleetScaleConfigs[trial*2%len(fleetScaleConfigs)], rng)
+		varyCorpus(t, g, trial, rng)
+		graphs, sinks = append(graphs, g), append(sinks, sink)
+	}
+	g, fusion, err := randgraph.Fleet(randgraph.DefaultFleet())
+	if err != nil {
+		t.Fatal(err)
+	}
+	waters.PopulateBudget(g, rng, 20*timeu.Millisecond, 0.5)
+	graphs, sinks = append(graphs, g), append(sinks, fusion)
+
+	for gi, g := range graphs {
+		res := sched.Analyze(g, sched.NonPreemptiveFP)
+		for _, method := range []backward.Method{backward.NonPreemptive, backward.Duerr} {
+			an := backward.NewAnalyzer(g, res, method)
+			idx, tb := an.IndexBounds(g, sinks[gi], 0)
+			aggs, hasLET := tb.SubtreeAggs()
+			for f := int32(0); f < int32(idx.NumNodes()); f++ {
+				lo, hi := idx.LeafSpan(f)
+				if lo >= hi {
+					t.Fatalf("graph %d %v: empty subtree %d on a full index", gi, method, f)
+				}
+				wOff, bOff, bletOff := tb.BlockOffsets(f)
+				minW, maxW := timeu.Time(math.MaxInt64), timeu.Time(math.MinInt64)
+				minB, maxB := timeu.Time(math.MaxInt64), timeu.Time(math.MinInt64)
+				for i := lo; i < hi; i++ {
+					w, b := tb.Bounds(idx.Leaf(int(i)), f)
+					minW, maxW = timeu.Min(minW, w), timeu.Max(maxW, w)
+					minB, maxB = timeu.Min(minB, b), timeu.Max(maxB, b)
+				}
+				if minW != aggs[f].MinW+wOff || maxW != aggs[f].MaxW+wOff {
+					t.Fatalf("graph %d %v node %d: brute 𝒲 [%v, %v], aggregate [%v, %v]",
+						gi, method, f, minW, maxW, aggs[f].MinW+wOff, aggs[f].MaxW+wOff)
+				}
+				if !hasLET {
+					if minB != aggs[f].MinB+bOff || maxB != aggs[f].MaxB+bOff {
+						t.Fatalf("graph %d %v node %d: brute ℬ [%v, %v], aggregate [%v, %v]",
+							gi, method, f, minB, maxB, aggs[f].MinB+bOff, aggs[f].MaxB+bOff)
+					}
+				} else {
+					hullLo := timeu.Min(aggs[f].MinB+bOff, aggs[f].MinBLET+bletOff)
+					hullHi := timeu.Max(aggs[f].MaxB+bOff, aggs[f].MaxBLET+bletOff)
+					if minB < hullLo || maxB > hullHi {
+						t.Fatalf("graph %d %v node %d: brute ℬ [%v, %v] escapes hull [%v, %v]",
+							gi, method, f, minB, maxB, hullLo, hullHi)
+					}
+				}
+			}
+		}
 	}
 }

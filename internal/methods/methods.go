@@ -287,6 +287,23 @@ func LatencyMeasured() []Method {
 	return out
 }
 
+// CoreMethod maps a registered bound method's display name back to
+// the core.Method selector it evaluates with, for callers that bypass
+// the Result shape — e.g. the CLI's streaming per-pair listing, which
+// drives core.ForEachPairBound directly once the pair count exceeds
+// what it is willing to materialize. ok is false for methods that are
+// not plain Theorem-1/2 bounds (optimizing or measured ones).
+func CoreMethod(name string) (m core.Method, ok bool) {
+	switch name {
+	case core.PDiff.String():
+		return core.PDiff, true
+	case core.SDiff.String():
+		return core.SDiff, true
+	default:
+		return 0, false
+	}
+}
+
 // ByName looks a method up by display name.
 func ByName(name string) (Method, bool) {
 	regMu.RLock()

@@ -200,6 +200,17 @@ func WriteDerivedGauges(w io.Writer, reg *metrics.Registry) error {
 		}
 	}
 
+	// Fraction of the pair volume skipped wholesale by the subtree
+	// branch-and-bound, over everything the bound-only loop saw:
+	// evaluated + per-pair pruned + block-pruned pairs.
+	if subtree := counters["core.pairs.subtree_pruned"]; subtree > 0 {
+		total := counters["core.pairs.bounded"] + counters["core.pairs.pruned"] + subtree
+		if _, err := fmt.Fprintf(w, "# TYPE disparity_subtree_prune_ratio gauge\ndisparity_subtree_prune_ratio %s\n",
+			ratio(subtree, total)); err != nil {
+			return err
+		}
+	}
+
 	var engaged, jumpTotal int64
 	for name, v := range counters {
 		if strings.HasPrefix(name, "exp.sim.jump.") {

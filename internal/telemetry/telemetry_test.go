@@ -80,6 +80,7 @@ func TestDerivedGauges(t *testing.T) {
 	reg.Counter("cache.pair.misses").Add(1)
 	reg.Counter("core.pairs.bounded").Add(6)
 	reg.Counter("core.pairs.pruned").Add(2)
+	reg.Counter("core.pairs.subtree_pruned").Add(24)
 	reg.Counter("exp.sim.jump.engaged").Add(9)
 	reg.Counter("exp.sim.jump.fallback.random-exec").Add(1)
 	reg.Counter("chains.truncated").Add(4)
@@ -93,6 +94,7 @@ func TestDerivedGauges(t *testing.T) {
 		"# TYPE disparity_cache_hit_ratio gauge\n",
 		`disparity_cache_hit_ratio{layer="pair"} 0.75`,
 		"disparity_pair_prune_ratio 0.25\n",
+		"disparity_subtree_prune_ratio 0.75\n",
 		"disparity_jump_engagement_rate 0.9\n",
 		"disparity_truncations 4\n",
 	} {

@@ -57,6 +57,7 @@ var ratioPairs = [][2]string{
 	{"BenchmarkPairBounds", "BenchmarkPairBoundsReference"},
 	{"BenchmarkChainIndexFleet", "BenchmarkChainIndex"},
 	{"BenchmarkPairBoundsFleet", "BenchmarkPairBounds"},
+	{"BenchmarkPairBoundsFleetPruned", "BenchmarkPairBoundsFleet"},
 }
 
 type tolerances struct {
